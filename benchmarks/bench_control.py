@@ -1,0 +1,166 @@
+"""A2 -- control strategies: block orderings and repeated sequences.
+
+"Optimization strategies may require the application of one or more
+rules up to saturation before applying other rules.  For example, rules
+pushing restrictions before joins may be applied totally before
+permuting joins." (section 4.2)
+
+Measures alternative generated optimizers on the same query: the
+standard order, a reversed order, a single-pass sequence and the
+two-pass default; plus interleaved vs staged blocks.
+"""
+
+import pytest
+
+from repro import Database
+from repro.core.rewriter import QueryRewriter
+from repro.lera.typecheck import typecheck
+from repro.rules.control import Block, RewriteEngine, Seq
+from repro.rules.library import standard_blocks
+from repro.rules.rule import RuleContext
+
+
+def stacked_db():
+    db = Database()
+    db.execute("""
+    TABLE SALE (Shop : NUMERIC, Item : NUMERIC, Amount : NUMERIC);
+    TABLE SHOP (Sid : NUMERIC, Region : NUMERIC);
+    CREATE VIEW BIG (Shop, Item, Amount) AS
+      SELECT Shop, Item, Amount FROM SALE WHERE Amount > 50;
+    CREATE VIEW REGIONAL (Region, Item, Amount) AS
+      SELECT SHOP.Region, BIG.Item, BIG.Amount FROM BIG, SHOP
+      WHERE BIG.Shop = SHOP.Sid
+    """)
+    import random
+    rng = random.Random(6)
+    db.execute("INSERT INTO SHOP VALUES " + ", ".join(
+        f"({s}, {s % 3})" for s in range(1, 9)
+    ))
+    db.execute("INSERT INTO SALE VALUES " + ", ".join(
+        f"({rng.randint(1, 8)}, {rng.randint(1, 30)}, "
+        f"{rng.randint(1, 100)})" for __ in range(120)
+    ))
+    return db
+
+
+QUERY = "SELECT Item FROM REGIONAL WHERE Region = 1 AND Amount > 80"
+
+
+def typed_query(db):
+    from repro.esql.parser import parse_statement
+    term = db.translator.execute(parse_statement(QUERY))
+    typed, __ = typecheck(term, db.catalog)
+    return typed
+
+
+@pytest.fixture(scope="module")
+def db():
+    return stacked_db()
+
+
+def _engine(blocks, passes):
+    return RewriteEngine(Seq(blocks, passes=passes))
+
+
+def test_standard_order(benchmark, db):
+    typed = typed_query(db)
+    rewriter = QueryRewriter(db.catalog)
+    result = benchmark(rewriter.rewrite, typed)
+    assert result.applications > 0
+
+
+def test_reversed_order(benchmark, db):
+    """Simplify-first ordering: same final correctness, different cost
+    profile ('changing the list of blocks may completely change the
+    generated optimizer')."""
+    typed = typed_query(db)
+    blocks = list(reversed(standard_blocks()))
+    engine = _engine(blocks, passes=2)
+    ctx = RuleContext(catalog=db.catalog)
+    result = benchmark(engine.rewrite, typed, ctx)
+    assert result.term is not None
+
+
+def test_single_pass(benchmark, db):
+    typed = typed_query(db)
+    engine = _engine(standard_blocks(), passes=1)
+    ctx = RuleContext(catalog=db.catalog)
+    benchmark(engine.rewrite, typed, ctx)
+
+
+def test_four_passes(benchmark, db):
+    typed = typed_query(db)
+    engine = _engine(standard_blocks(), passes=4)
+    ctx = RuleContext(catalog=db.catalog)
+    result = benchmark(engine.rewrite, typed, ctx)
+    # global saturation stops early: extra passes must not add work
+    assert result.passes <= 3
+
+
+def test_one_interleaved_block(benchmark, db):
+    """All rules in ONE block (no staging): the degenerate strategy."""
+    typed = typed_query(db)
+    all_rules = []
+    for block in standard_blocks():
+        all_rules.extend(block.rules)
+    engine = _engine([Block("everything", all_rules)], passes=1)
+    ctx = RuleContext(catalog=db.catalog)
+    result = benchmark(engine.rewrite, typed, ctx)
+    assert result.term is not None
+
+
+def test_orderings_agree_on_results(db):
+    """Every generated optimizer must preserve the query's answers."""
+    from repro.engine.evaluate import Evaluator
+    typed = typed_query(db)
+    baseline = set(
+        Evaluator(db.catalog).evaluate(typed).rows
+    )
+    ctx = RuleContext(catalog=db.catalog)
+    variants = {
+        "standard": _engine(standard_blocks(), 2),
+        "reversed": _engine(list(reversed(standard_blocks())), 2),
+        "single-pass": _engine(standard_blocks(), 1),
+    }
+    for name, engine in variants.items():
+        rewritten = engine.rewrite(typed, ctx).term
+        rows = set(Evaluator(db.catalog).evaluate(rewritten).rows)
+        assert rows == baseline, f"{name} changed the answers"
+
+
+def test_or_split_strategy(benchmark, db):
+    """An optimizer variant installing the OR-to-UNION split (kept out
+    of the default program): same answers, different plan shape."""
+    from repro.rules.syntactic import or_split_rules
+    typed = typed_query(db)
+    blocks = standard_blocks()
+    for block in blocks:
+        if block.name == "push":
+            block.rules.extend(or_split_rules())
+    engine = _engine(blocks, passes=2)
+    ctx = RuleContext(catalog=db.catalog)
+
+    result = benchmark(engine.rewrite, typed, ctx)
+
+    from repro.engine.evaluate import Evaluator
+    baseline = set(Evaluator(db.catalog).evaluate(typed).rows)
+    rows = set(Evaluator(db.catalog).evaluate(result.term).rows)
+    assert rows == baseline
+
+
+def test_or_split_splits_disjunctions(db):
+    from repro.rules.syntactic import or_split_rules
+    from repro.esql.parser import parse_statement
+    from repro.terms.printer import term_to_str
+    term = db.translator.execute(parse_statement(
+        "SELECT Item FROM SALE WHERE Shop = 1 OR Shop = 3"
+    ))
+    typed, __ = typecheck(term, db.catalog)
+    blocks = standard_blocks()
+    for block in blocks:
+        if block.name == "push":
+            block.rules.extend(or_split_rules())
+    engine = _engine(blocks, passes=2)
+    result = engine.rewrite(typed, RuleContext(catalog=db.catalog))
+    assert "search_or_split" in result.rules_fired()
+    assert term_to_str(result.term).startswith("UNION")

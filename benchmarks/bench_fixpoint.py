@@ -1,0 +1,102 @@
+"""F9 -- Figure 9: the Alexander method on bound recursive queries.
+
+Expected shape: on a selection ``REACH WHERE Src = c`` the reduced
+(magic) plan beats filter-after-fixpoint by a factor that grows with
+the graph size; an unbound query shows the crossover (no reduction
+applies, both plans do the same work).
+"""
+
+import pytest
+
+from benchmarks.conftest import chain_graph, random_graph, reach_db
+
+BOUND = "SELECT Dst FROM REACH WHERE Src = {c}"
+UNBOUND = "SELECT Src, Dst FROM REACH"
+
+
+@pytest.fixture(scope="module")
+def chain30():
+    return reach_db(chain_graph(30))
+
+
+@pytest.fixture(scope="module")
+def rand_db():
+    return reach_db(random_graph(18, 40))
+
+
+def test_magic_execution_chain(benchmark, chain30):
+    result = benchmark(
+        lambda: chain30.query(BOUND.format(c=25), rewrite=True)
+    )
+    assert len(result.rows) == 6
+
+
+def test_plain_execution_chain(benchmark, chain30):
+    result = benchmark(
+        lambda: chain30.query(BOUND.format(c=25), rewrite=False)
+    )
+    assert len(set(result.rows)) == 6
+
+
+def test_magic_execution_random(benchmark, rand_db):
+    benchmark(lambda: rand_db.query(BOUND.format(c=3), rewrite=True))
+
+
+def test_plain_execution_random(benchmark, rand_db):
+    benchmark(lambda: rand_db.query(BOUND.format(c=3), rewrite=False))
+
+
+def test_magic_wins_and_factor_grows_with_size():
+    """The central Figure 9 claim, measured in work units."""
+    factors = []
+    for n in (10, 20, 30):
+        db = reach_db(chain_graph(n))
+        q = BOUND.format(c=n - 4)
+        __, opt, optimized = db.query_with_stats(q, rewrite=True)
+        __, plain, ___ = db.query_with_stats(q, rewrite=False)
+        assert "fix_alexander" in optimized.rewrite_result.rules_fired()
+        assert opt.total_work < plain.total_work
+        factors.append(plain.total_work / max(1, opt.total_work))
+    assert factors[-1] > factors[0], (
+        f"speedup should grow with the chain length, got {factors}"
+    )
+
+
+def test_unbound_query_is_the_crossover(chain30):
+    """Without a bound column the rule must not fire: both plans do
+    equivalent work (the reduction has nothing to seed)."""
+    __, opt, optimized = chain30.query_with_stats(UNBOUND, rewrite=True)
+    __, plain, ___ = chain30.query_with_stats(UNBOUND, rewrite=False)
+    assert "fix_alexander" not in optimized.rewrite_result.rules_fired()
+    assert opt.total_work == plain.total_work
+
+
+def test_nonlinear_linearized_first(benchmark):
+    db = reach_db([])  # REACH unused; build BT below
+    db.execute("""
+    CREATE VIEW BT (A, B) AS
+    ( SELECT Src, Dst FROM EDGE
+      UNION
+      SELECT B1.A, B2.B FROM BT B1, BT B2 WHERE B1.B = B2.A )
+    """)
+    values = ", ".join(f"({i}, {i + 1})" for i in range(1, 18))
+    db.execute(f"INSERT INTO EDGE VALUES {values}")
+
+    optimized = benchmark(db.optimize, "SELECT A FROM BT WHERE B = 9")
+
+    fired = optimized.rewrite_result.rules_fired()
+    assert "fix_linearize" in fired and "fix_alexander" in fired
+
+
+def test_second_column_binding(benchmark):
+    """Alexander also reduces Dst-bound queries (backward chains)."""
+    db = reach_db(chain_graph(25))
+    q = "SELECT Src FROM REACH WHERE Dst = 5"
+
+    result = benchmark(lambda: db.query(q, rewrite=True))
+
+    assert len(set(result.rows)) == 4
+    __, opt, optimized = db.query_with_stats(q, rewrite=True)
+    __, plain, ___ = db.query_with_stats(q, rewrite=False)
+    assert "fix_alexander" in optimized.rewrite_result.rules_fired()
+    assert opt.total_work < plain.total_work

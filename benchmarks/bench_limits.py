@@ -1,0 +1,108 @@
+"""A1 -- the conclusion's block-limit trade-off.
+
+"If the application limit is too high [rules] may lead to long
+processing.  If one stops too early (low limit), then the logical
+optimization can actually complicate the query.  Thus, a trade-off has
+to be found, mainly for semantic query optimization."
+
+The sweep varies the semantic block's budget and measures (a) rewrite
+cost -- rule applications and optimizer latency -- and (b) execution
+work of the resulting plan.  Expected shape: execution work drops and
+then plateaus once saturation is reached, while rewrite cost keeps
+growing with the budget until the same plateau.
+"""
+
+import pytest
+
+from repro import Database
+from repro.engine.evaluate import Evaluator
+from repro.engine.stats import EvalStats
+
+LIMITS = (0, 2, 4, 8, 16, 64)
+
+# a query whose win requires several semantic steps (IC addition,
+# substitution, folding): the budget controls how far the chain gets
+QUERY = "SELECT Id FROM TICKET WHERE State = 'lost' AND Price > 3"
+
+
+def ticket_db(semantic_limit):
+    db = Database(semantic_limit=semantic_limit)
+    db.execute("""
+    TYPE Status ENUMERATION OF ('open', 'closed', 'void');
+    TABLE TICKET (Id : NUMERIC, State : Status, Price : NUMERIC)
+    """)
+    db.add_integrity_constraint(
+        "ic_status: F(x) / ISA(x, Status) --> "
+        "F(x) AND MEMBER(x, MAKESET('open', 'closed', 'void')) /"
+    )
+    states = ["open", "closed", "void"]
+    values = ", ".join(
+        f"({i}, '{states[i % 3]}', {i % 97})" for i in range(200)
+    )
+    db.execute(f"INSERT INTO TICKET VALUES {values}")
+    return db
+
+
+@pytest.mark.parametrize("limit", LIMITS)
+def test_rewrite_latency_per_limit(benchmark, limit):
+    db = ticket_db(limit)
+    benchmark(db.optimize, QUERY)
+
+
+def test_limit_tradeoff_shape():
+    """The A1 series: (limit, applications, execution work)."""
+    series = []
+    for limit in LIMITS:
+        db = ticket_db(limit)
+        optimized = db.optimize(QUERY)
+        stats = EvalStats()
+        Evaluator(db.catalog, stats=stats).evaluate(optimized.final)
+        series.append((limit, optimized.applications, stats.total_work))
+
+    applications = [a for __, a, ___ in series]
+    work = [w for __, ___, w in series]
+
+    # rewrite effort grows (weakly) with the budget...
+    assert applications == sorted(applications)
+    # ...execution work never increases with more budget...
+    assert all(earlier >= later
+               for earlier, later in zip(work, work[1:]))
+    # ...and both plateau: the largest two budgets behave identically
+    assert applications[-1] == applications[-2]
+    assert work[-1] == work[-2]
+    # the win is real: saturation reads no data, zero budget scans all
+    assert work[0] > 0
+    assert work[-1] == 0
+
+
+def test_dynamic_limit_policy():
+    """The conclusion suggests allocating limits by query complexity:
+    a key-lookup query gets a 0 budget and must not regress."""
+    db = ticket_db(0)
+    simple = "SELECT Price FROM TICKET WHERE Id = 7"
+    assert set(db.query(simple, rewrite=True).rows) == \
+        set(db.query(simple, rewrite=False).rows)
+
+
+@pytest.mark.parametrize("count_mode", ["applications", "checks"])
+def test_budget_accounting_modes(benchmark, count_mode):
+    """The paper states the limit both as applications and as condition
+    checks; both accountings are supported (ablation)."""
+    from repro.core.rewriter import QueryRewriter
+    from repro.rules.library import standard_blocks
+    from repro.rules.control import Seq, Block
+
+    db = ticket_db(64)
+    blocks = []
+    for b in standard_blocks(db.catalog.integrity_constraints):
+        limit = 64 if b.name == "semantic" else b.limit
+        blocks.append(Block(b.name, b.rules, limit, count_mode))
+    rewriter = QueryRewriter(db.catalog, seq=Seq(blocks, passes=2))
+    term = db.translator.execute(
+        __import__("repro.esql.parser", fromlist=["parse_statement"])
+        .parse_statement(QUERY)
+    )
+    from repro.lera.typecheck import typecheck
+    typed, __ = typecheck(term, db.catalog)
+
+    benchmark(rewriter.rewrite, typed)

@@ -1,0 +1,52 @@
+"""F7 -- Figure 7 merging rules: stacked views vs the merged search.
+
+Expected shape: merging strictly reduces plan size and the evaluator's
+intermediate tuple traffic; execution with rewriting is at least as
+fast as without.
+"""
+
+from repro.engine.stats import EvalStats
+from repro.terms.printer import term_to_str
+from repro.terms.term import term_size
+
+STACKED_QUERY = "SELECT Item FROM REGION_SALE WHERE Region = 1 AND Amount > 80"
+
+
+def test_merged_execution(benchmark, medium_sales_db):
+    db = medium_sales_db
+
+    result = benchmark(lambda: db.query(STACKED_QUERY, rewrite=True))
+
+    assert result.schema.names == ("Item",)
+
+
+def test_unmerged_execution_baseline(benchmark, medium_sales_db):
+    db = medium_sales_db
+
+    benchmark(lambda: db.query(STACKED_QUERY, rewrite=False))
+
+
+def test_merging_shape(medium_sales_db):
+    """The two stacked views collapse into one SEARCH and the work
+    counters drop."""
+    db = medium_sales_db
+    __, opt_stats, optimized = db.query_with_stats(
+        STACKED_QUERY, rewrite=True
+    )
+    __, plain_stats, baseline = db.query_with_stats(
+        STACKED_QUERY, rewrite=False
+    )
+
+    assert term_to_str(optimized.final).count("SEARCH") == 1
+    assert term_size(optimized.final) < term_size(baseline.final)
+    assert opt_stats.tuples_output <= plain_stats.tuples_output
+    assert "search_merge" in optimized.rewrite_result.rules_fired()
+
+
+def test_rewrite_cost_itself(benchmark, medium_sales_db):
+    """The price of the merging pass alone (optimizer latency)."""
+    db = medium_sales_db
+
+    optimized = benchmark(db.optimize, STACKED_QUERY)
+
+    assert optimized.applications >= 2  # both view layers merged

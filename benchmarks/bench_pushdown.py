@@ -1,0 +1,133 @@
+"""F8 -- Figure 8 permutation rules: pushdown through union and nest.
+
+Execution benchmarks run pre-optimized plans (rewrite latency is
+measured separately in bench_limits/bench_translation).  Expected
+shape: pushing the selection below the union / nest reduces the tuples
+flowing through the upper operators, with the gain growing as the
+selection gets more selective.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.util import prepare, work_of
+from repro import Database
+
+
+def union_db(rows_per_side: int) -> Database:
+    db = Database()
+    db.execute("""
+    TABLE OLD_SALE (Shop : NUMERIC, Amount : NUMERIC);
+    TABLE NEW_SALE (Shop : NUMERIC, Amount : NUMERIC);
+    CREATE VIEW ALL_SALE (Shop, Amount) AS
+      SELECT Shop, Amount FROM OLD_SALE
+      UNION
+      SELECT Shop, Amount FROM NEW_SALE
+    """)
+    rng = random.Random(9)
+    for table in ("OLD_SALE", "NEW_SALE"):
+        values = ", ".join(
+            f"({rng.randint(1, 20)}, {rng.randint(1, 100)})"
+            for __ in range(rows_per_side)
+        )
+        db.execute(f"INSERT INTO {table} VALUES {values}")
+    return db
+
+
+def nest_db(rows: int) -> Database:
+    db = Database()
+    db.execute("""
+    TABLE SALE (Shop : NUMERIC, Amount : NUMERIC);
+    CREATE VIEW PER_SHOP (Shop, Amounts) AS
+      SELECT Shop, MakeSet(Amount) FROM SALE GROUP BY Shop
+    """)
+    rng = random.Random(4)
+    values = ", ".join(
+        f"({rng.randint(1, 25)}, {rng.randint(1, 100)})"
+        for __ in range(rows)
+    )
+    db.execute(f"INSERT INTO SALE VALUES {values}")
+    return db
+
+
+UNION_QUERY = ("SELECT A.Amount FROM ALL_SALE A, OLD_SALE B "
+               "WHERE A.Shop = B.Shop AND A.Amount > 95")
+NEST_QUERY = "SELECT Amounts FROM PER_SHOP WHERE Shop = 7"
+
+
+@pytest.fixture(scope="module")
+def u_db():
+    return union_db(120)
+
+
+@pytest.fixture(scope="module")
+def n_db():
+    return nest_db(200)
+
+
+def test_union_push_execution(benchmark, u_db):
+    optimized, run = prepare(u_db, UNION_QUERY, rewrite=True)
+    assert "search_union_push" in optimized.rewrite_result.rules_fired()
+    result = benchmark(run)
+    assert result.schema.names == ("Amount",)
+
+
+def test_union_push_baseline(benchmark, u_db):
+    __, run = prepare(u_db, UNION_QUERY, rewrite=False)
+    benchmark(run)
+
+
+def test_union_push_shape(u_db):
+    """Pushing filters each branch before deduplication: fewer scans
+    and a smaller union input."""
+    opt = work_of(u_db, UNION_QUERY, rewrite=True)
+    plain = work_of(u_db, UNION_QUERY, rewrite=False)
+    assert opt.tuples_output < plain.tuples_output
+    assert opt.tuples_scanned <= plain.tuples_scanned
+    assert set(u_db.query(UNION_QUERY, rewrite=True).rows) == \
+        set(u_db.query(UNION_QUERY, rewrite=False).rows)
+
+
+def test_nest_push_execution(benchmark, n_db):
+    optimized, run = prepare(n_db, NEST_QUERY, rewrite=True)
+    fired = optimized.rewrite_result.rules_fired()
+    assert any(name.startswith("search_nest_push") for name in fired)
+    result = benchmark(run)
+    assert len(result.rows) <= 1
+
+
+def test_nest_push_baseline(benchmark, n_db):
+    __, run = prepare(n_db, NEST_QUERY, rewrite=False)
+    benchmark(run)
+
+
+def test_nest_push_shape(n_db):
+    """Pushing the shop selection below the NEST means only one group
+    is built instead of all 25."""
+    opt = work_of(n_db, NEST_QUERY, rewrite=True)
+    plain = work_of(n_db, NEST_QUERY, rewrite=False)
+    assert opt.tuples_output < plain.tuples_output
+
+
+@pytest.mark.parametrize("label,amount", [
+    ("broad", 10), ("medium", 60), ("narrow", 98),
+])
+def test_union_push_selectivity_sweep(benchmark, u_db, label, amount):
+    """Gain grows with selectivity; the series goes to EXPERIMENTS.md."""
+    query = ("SELECT A.Amount FROM ALL_SALE A, OLD_SALE B "
+             f"WHERE A.Shop = B.Shop AND A.Amount > {amount}")
+    __, run = prepare(u_db, query, rewrite=True)
+    benchmark(run)
+
+
+def test_selectivity_shape(u_db):
+    """The saved output tuples grow as the filter narrows."""
+    saved = []
+    for amount in (10, 60, 98):
+        query = ("SELECT A.Amount FROM ALL_SALE A, OLD_SALE B "
+                 f"WHERE A.Shop = B.Shop AND A.Amount > {amount}")
+        opt = work_of(u_db, query, rewrite=True)
+        plain = work_of(u_db, query, rewrite=False)
+        saved.append(plain.tuples_output - opt.tuples_output)
+    assert saved[0] <= saved[-1] or saved[1] <= saved[-1]

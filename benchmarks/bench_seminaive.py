@@ -1,0 +1,101 @@
+"""A3 -- fixpoint evaluation ablation: naive vs semi-naive iteration.
+
+Expected shape: semi-naive does strictly less work, and the factor
+grows with the recursion depth; non-linear recursion converges in fewer
+(but heavier) rounds than its linearized form.
+"""
+
+import pytest
+
+from benchmarks.conftest import chain_graph, random_graph, reach_db
+from repro import Database
+from repro.engine.evaluate import Evaluator
+from repro.engine.stats import EvalStats
+
+UNBOUND = "SELECT Src, Dst FROM REACH"
+
+
+def run_mode(db: Database, query: str, semi: bool) -> EvalStats:
+    optimized = db.optimize(query, rewrite=False)
+    stats = EvalStats()
+    Evaluator(db.catalog, stats=stats, semi_naive=semi).evaluate(
+        optimized.final
+    )
+    return stats
+
+
+@pytest.fixture(scope="module")
+def chain_db():
+    return reach_db(chain_graph(18))
+
+
+@pytest.fixture(scope="module")
+def random_db():
+    return reach_db(random_graph(14, 28))
+
+
+def test_semi_naive_chain(benchmark, chain_db):
+    optimized = chain_db.optimize(UNBOUND, rewrite=False)
+    benchmark(
+        lambda: Evaluator(chain_db.catalog, semi_naive=True)
+        .evaluate(optimized.final)
+    )
+
+
+def test_naive_chain(benchmark, chain_db):
+    optimized = chain_db.optimize(UNBOUND, rewrite=False)
+    benchmark(
+        lambda: Evaluator(chain_db.catalog, semi_naive=False)
+        .evaluate(optimized.final)
+    )
+
+
+def test_semi_naive_random(benchmark, random_db):
+    optimized = random_db.optimize(UNBOUND, rewrite=False)
+    benchmark(
+        lambda: Evaluator(random_db.catalog, semi_naive=True)
+        .evaluate(optimized.final)
+    )
+
+
+def test_naive_random(benchmark, random_db):
+    optimized = random_db.optimize(UNBOUND, rewrite=False)
+    benchmark(
+        lambda: Evaluator(random_db.catalog, semi_naive=False)
+        .evaluate(optimized.final)
+    )
+
+
+def test_factor_grows_with_depth():
+    """The A3 series: chain length vs naive/semi-naive work ratio."""
+    ratios = []
+    for n in (8, 14, 20):
+        db = reach_db(chain_graph(n))
+        naive = run_mode(db, UNBOUND, semi=False)
+        semi = run_mode(db, UNBOUND, semi=True)
+        assert semi.total_work < naive.total_work
+        ratios.append(naive.total_work / max(1, semi.total_work))
+    assert ratios[-1] > ratios[0], f"expected growth, got {ratios}"
+
+
+def test_same_answers_both_modes():
+    db = reach_db(random_graph(10, 22, seed=5))
+    optimized = db.optimize(UNBOUND, rewrite=False)
+    a = Evaluator(db.catalog, semi_naive=True).evaluate(optimized.final)
+    b = Evaluator(db.catalog, semi_naive=False).evaluate(optimized.final)
+    assert set(a.rows) == set(b.rows)
+
+
+def test_nonlinear_fewer_rounds():
+    """Non-linear TC squares the path length per round: fewer fixpoint
+    iterations than the linear form on long chains."""
+    db = reach_db(chain_graph(24))
+    db.execute("""
+    CREATE VIEW BT (A, B) AS
+    ( SELECT Src, Dst FROM EDGE
+      UNION
+      SELECT B1.A, B2.B FROM BT B1, BT B2 WHERE B1.B = B2.A )
+    """)
+    linear = run_mode(db, UNBOUND, semi=True)
+    nonlinear = run_mode(db, "SELECT A, B FROM BT", semi=True)
+    assert nonlinear.fix_iterations < linear.fix_iterations

@@ -1,0 +1,92 @@
+"""F12 -- predicate simplification benchmarks.
+
+Expected shape: simplification shrinks qualifications (measured in term
+nodes) and pays for itself on redundant predicates; rewriter throughput
+on simplification-heavy inputs is measured for the A1 trade-off.
+"""
+
+import pytest
+
+from benchmarks.util import work_of
+from repro import Database
+from repro.terms.term import term_size
+
+
+def measure_db(rows: int = 200) -> Database:
+    db = Database()
+    db.execute("TABLE M (Id : NUMERIC, V : NUMERIC)")
+    values = ", ".join(f"({i}, {i % 83})" for i in range(rows))
+    db.execute(f"INSERT INTO M VALUES {values}")
+    return db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return measure_db()
+
+
+REDUNDANT = ("SELECT Id FROM M WHERE V > 3 AND V > 10 AND V > 50 "
+             "AND 1 = 1 AND 2 + 2 = 4")
+CONTRADICTORY = "SELECT Id FROM M WHERE V > 10 AND V < 5"
+FOLDABLE = "SELECT Id FROM M WHERE V = 6 * 7 AND Id < 100 - 50"
+
+
+def test_simplification_latency(benchmark, db):
+    optimized = benchmark(db.optimize, REDUNDANT)
+    assert optimized.applications >= 3
+
+
+def test_redundant_predicates_shrink(db):
+    optimized = db.optimize(REDUNDANT)
+    baseline = db.optimize(REDUNDANT, rewrite=False)
+    assert term_size(optimized.final) < term_size(baseline.final)
+    from repro.terms.printer import term_to_str
+    qual = term_to_str(optimized.final.args[1])
+    assert qual == "V > 50".replace("V", "#1.2")
+
+
+def test_redundant_execution_cheaper(db):
+    opt = work_of(db, REDUNDANT, rewrite=True)
+    plain = work_of(db, REDUNDANT, rewrite=False)
+    # same scans, strictly fewer per-row conjunct evaluations
+    assert opt.qual_evaluations < plain.qual_evaluations
+    assert set(db.query(REDUNDANT, rewrite=True).rows) == \
+        set(db.query(REDUNDANT, rewrite=False).rows)
+
+
+def test_contradiction_detected(db):
+    from repro.terms.printer import term_to_str
+    optimized = db.optimize(CONTRADICTORY)
+    # the contradiction folds to false and the plan prunes to EMPTY
+    assert term_to_str(optimized.final) == "EMPTY(1)"
+    assert work_of(db, CONTRADICTORY, rewrite=True).tuples_scanned == 0
+
+
+def test_contradiction_execution(benchmark, db):
+    from benchmarks.util import prepare
+    __, run = prepare(db, CONTRADICTORY, rewrite=True)
+    result = benchmark(run)
+    assert result.rows == []
+
+
+def test_constant_folding(db):
+    from repro.terms.printer import term_to_str
+    optimized = db.optimize(FOLDABLE)
+    rendered = term_to_str(optimized.final)
+    assert "42" in rendered and "50" in rendered
+    assert "*" not in rendered and "-" not in rendered
+
+
+def test_folding_latency(benchmark, db):
+    benchmark(db.optimize, FOLDABLE)
+
+
+def test_wide_conjunction_throughput(benchmark, db):
+    """Rewriter cost on a 12-conjunct qualification (A1 input)."""
+    qual = " AND ".join(f"V > {i}" for i in range(12))
+    query = f"SELECT Id FROM M WHERE {qual}"
+
+    optimized = benchmark(db.optimize, query)
+
+    from repro.terms.printer import term_to_str
+    assert term_to_str(optimized.final.args[1]) == "#1.2 > 11"

@@ -1,0 +1,43 @@
+"""F3 -- translation + rewriting of the Figure 3 query.
+
+Regenerates the section 3.1 artifact: the ESQL query maps to ONE
+compound search over (FILM, APPEARS_IN) with conversion functions
+inserted.  Measures front-end plus rewriter latency.
+"""
+
+from repro.terms.printer import term_to_str
+from repro.terms.term import is_fun
+
+FIGURE3 = """
+SELECT Title, Categories, Salary(Refactor)
+FROM FILM, APPEARS_IN
+WHERE FILM.Numf = APPEARS_IN.Numf
+AND Name(Refactor) = 'Quinn'
+AND MEMBER('Adventure', Categories)
+"""
+
+
+def test_figure3_translation_latency(benchmark, medium_film_db):
+    db = medium_film_db
+
+    optimized = benchmark(db.optimize, FIGURE3)
+
+    # shape: section 3.1 -- a single compound SEARCH
+    assert is_fun(optimized.final, "SEARCH")
+    rendered = term_to_str(optimized.final)
+    assert rendered.count("SEARCH") == 1
+    assert "PROJECT(VALUE(" in rendered
+
+
+def test_figure3_execution(benchmark, medium_film_db):
+    db = medium_film_db
+
+    result = benchmark(lambda: db.query(FIGURE3))
+
+    assert all(salary == 50000 for *_, salary in result.rows)
+
+
+def test_figure3_rewrite_off_baseline(benchmark, medium_film_db):
+    db = medium_film_db
+
+    benchmark(lambda: db.query(FIGURE3, rewrite=False))

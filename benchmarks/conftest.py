@@ -1,0 +1,112 @@
+"""Shared workload builders for the benchmark harness.
+
+Every benchmark compares *work done* (evaluator counters) as well as
+wall-clock time, and asserts the paper's expected shape (who wins); the
+absolute numbers land in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Database
+
+
+def chain_graph(n: int) -> list[tuple[int, int]]:
+    return [(i, i + 1) for i in range(1, n + 1)]
+
+
+def binary_tree(depth: int) -> list[tuple[int, int]]:
+    edges = []
+    for node in range(1, 2 ** depth):
+        left, right = 2 * node, 2 * node + 1
+        if left < 2 ** (depth + 1) - 1:
+            edges.append((node, left))
+        if right < 2 ** (depth + 1) - 1:
+            edges.append((node, right))
+    return edges
+
+
+def random_graph(nodes: int, edges: int, seed: int = 11):
+    rng = random.Random(seed)
+    return list({
+        (rng.randint(1, nodes), rng.randint(1, nodes))
+        for __ in range(edges)
+    })
+
+
+def reach_db(edges) -> Database:
+    db = Database()
+    db.execute("TABLE EDGE (Src : NUMERIC, Dst : NUMERIC)")
+    for a, b in edges:
+        db.execute(f"INSERT INTO EDGE VALUES ({a}, {b})")
+    db.execute("""
+    CREATE VIEW REACH (Src, Dst) AS
+    ( SELECT Src, Dst FROM EDGE
+      UNION
+      SELECT R.Src, E.Dst FROM REACH R, EDGE E WHERE R.Dst = E.Src )
+    """)
+    return db
+
+
+def sales_db(rows: int, shops: int = 10, seed: int = 3) -> Database:
+    db = Database()
+    db.execute("""
+    TABLE SALE (Shop : NUMERIC, Item : NUMERIC, Amount : NUMERIC);
+    TABLE SHOP (Sid : NUMERIC, Region : NUMERIC);
+    CREATE VIEW BIG_SALE (Shop, Item, Amount) AS
+      SELECT Shop, Item, Amount FROM SALE WHERE Amount > 50;
+    CREATE VIEW REGION_SALE (Region, Item, Amount) AS
+      SELECT SHOP.Region, BIG_SALE.Item, BIG_SALE.Amount
+      FROM BIG_SALE, SHOP WHERE BIG_SALE.Shop = SHOP.Sid
+    """)
+    rng = random.Random(seed)
+    for sid in range(1, shops + 1):
+        db.execute(f"INSERT INTO SHOP VALUES ({sid}, {sid % 3})")
+    values = ", ".join(
+        f"({rng.randint(1, shops)}, {rng.randint(1, 50)}, "
+        f"{rng.randint(1, 100)})"
+        for __ in range(rows)
+    )
+    db.execute(f"INSERT INTO SALE VALUES {values}")
+    return db
+
+
+def film_db(films: int = 20, actors_per_film: int = 4) -> Database:
+    db = Database()
+    db.execute("""
+    TYPE Category ENUMERATION OF ('Comedy', 'Adventure',
+                                  'Science Fiction', 'Western');
+    TYPE Person OBJECT TUPLE (Name : CHAR);
+    TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC);
+    TYPE Text LIST OF CHAR;
+    TYPE SetCategory SET OF Category;
+    TABLE FILM (Numf : NUMERIC, Title : Text, Categories : SetCategory);
+    TABLE APPEARS_IN (Numf : NUMERIC, Refactor : Actor)
+    """)
+    cats = ["Comedy", "Adventure", "Science Fiction", "Western"]
+    for f in range(1, films + 1):
+        cat = cats[f % 4]
+        db.execute(
+            f"INSERT INTO FILM VALUES ({f}, LIST('F'), SET('{cat}'))"
+        )
+        for a in range(actors_per_film):
+            name = "Quinn" if (f + a) % 5 == 0 else f"A{f}_{a}"
+            salary = 50000 if name == "Quinn" else 8000 + 1000 * a
+            db.execute(
+                f"INSERT INTO APPEARS_IN VALUES ({f}, "
+                f"NEW Actor('{name}', {salary}))"
+            )
+    return db
+
+
+@pytest.fixture(scope="module")
+def medium_sales_db():
+    return sales_db(rows=150)
+
+
+@pytest.fixture(scope="module")
+def medium_film_db():
+    return film_db()

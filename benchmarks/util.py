@@ -1,0 +1,23 @@
+"""Benchmark helpers: prepared plans and work measurement."""
+
+from __future__ import annotations
+
+from repro import Database
+from repro.engine.evaluate import Evaluator
+from repro.engine.stats import EvalStats
+
+
+def prepare(db: Database, query: str, rewrite: bool):
+    """Optimize once; return a zero-argument plan executor."""
+    optimized = db.optimize(query, rewrite=rewrite)
+
+    def run():
+        return Evaluator(db.catalog).evaluate(optimized.final)
+
+    return optimized, run
+
+
+def work_of(db: Database, query: str, rewrite: bool) -> EvalStats:
+    """Deterministic work counters for one execution."""
+    __, stats, ___ = db.query_with_stats(query, rewrite=rewrite)
+    return stats

@@ -1,0 +1,100 @@
+"""A fuller ESQL workload: complex objects, collections, aggregates.
+
+Exercises the ESQL surface the paper motivates in section 2: generic
+collection ADTs at multiple levels, objects with identity and
+inheritance, quantifiers, grouping with collection constructors and
+scalar aggregates, and views stacked on views.
+
+Run:  python examples/film_catalog.py
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+    db.execute("""
+    TYPE Category ENUMERATION OF ('Comedy', 'Adventure',
+                                  'Science Fiction', 'Western');
+    TYPE Person OBJECT TUPLE (Name : CHAR);
+    TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC);
+    TYPE Text LIST OF CHAR;
+    TYPE SetCategory SET OF Category;
+    TABLE FILM (Numf : NUMERIC, Title : Text, Categories : SetCategory);
+    TABLE APPEARS_IN (Numf : NUMERIC, Refactor : Actor)
+    """)
+
+    films = [
+        (1, "Zorro", ["Adventure"]),
+        (2, "Up", ["Comedy", "Adventure"]),
+        (3, "Nova", ["Science Fiction"]),
+        (4, "Dust", ["Western"]),
+        (5, "Tumble", ["Comedy"]),
+    ]
+    cast = {
+        1: [("Quinn", 50000), ("Rich", 20000)],
+        2: [("Quinn", 50000), ("Bo", 5000)],
+        3: [("Ann", 30000), ("Rich", 20000)],
+        4: [("Bo", 5000)],
+        5: [("Ann", 30000), ("Quinn", 50000), ("Bo", 5000)],
+    }
+    for numf, title, cats in films:
+        letters = ", ".join(f"'{ch}'" for ch in title)
+        catset = ", ".join(f"'{c}'" for c in cats)
+        db.execute(f"INSERT INTO FILM VALUES ({numf}, LIST({letters}), "
+                   f"SET({catset}))")
+    actors = {}
+    for numf, members in cast.items():
+        for name, salary in members:
+            if name not in actors:
+                actors[name] = db.catalog.new_object(
+                    "Actor", (name, salary)
+                )
+            db.catalog.insert("APPEARS_IN", (numf, actors[name]))
+
+    print("== cast sizes and payrolls per film (scalar aggregates) ==")
+    rows = db.query("""
+    SELECT Numf, COUNT(Refactor), SUM(Salary(Refactor)),
+           MAX(Salary(Refactor))
+    FROM APPEARS_IN GROUP BY Numf
+    """).rows
+    print(f"  {'film':>4} {'cast':>5} {'payroll':>8} {'top':>7}")
+    for numf, count, payroll, top in sorted(rows):
+        print(f"  {numf:>4} {count:>5} {payroll:>8} {top:>7}")
+    print()
+
+    print("== films whose whole cast earns > 10000 (ALL quantifier) ==")
+    db.execute("""
+    CREATE VIEW CastOf (Numf, Members) AS
+    SELECT Numf, MakeSet(Refactor) FROM APPEARS_IN GROUP BY Numf
+    """)
+    rows = db.query("""
+    SELECT F.Title FROM FILM F, CastOf C
+    WHERE F.Numf = C.Numf AND ALL(Salary(Members) > 10000)
+    """).rows
+    for (title,) in rows:
+        print("  ", "".join(title.elements))
+    print()
+
+    print("== adventure films with a star earning 50000 (EXIST) ==")
+    rows = db.query("""
+    SELECT F.Title FROM FILM F, CastOf C
+    WHERE F.Numf = C.Numf AND MEMBER('Adventure', F.Categories)
+    AND EXIST(Salary(Members) = 50000)
+    """).rows
+    for (title,) in rows:
+        print("  ", "".join(title.elements))
+    print()
+
+    print("== how the stacked query was rewritten ==")
+    optimized = db.optimize("""
+    SELECT F.Title FROM FILM F, CastOf C
+    WHERE F.Numf = C.Numf AND F.Numf = 2
+    """)
+    print("  rules fired:", optimized.rewrite_result.rules_fired())
+    from repro.lera import plan_to_str
+    print(plan_to_str(optimized.final))
+
+
+if __name__ == "__main__":
+    main()

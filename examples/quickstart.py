@@ -1,0 +1,102 @@
+"""Quickstart: the paper's film database, end to end.
+
+Builds the Figure 2 schema, loads a little data, and runs the queries
+of Figures 3-5 -- showing the LERA plan before and after rewriting.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+
+    # -- Figure 2: schema ---------------------------------------------------
+    db.execute("""
+    TYPE Category ENUMERATION OF ('Comedy', 'Adventure',
+                                  'Science Fiction', 'Western');
+    TYPE Point TUPLE (ABS : REAL, ORD : REAL);
+    TYPE Person OBJECT TUPLE (Name : CHAR, Firstname : SET OF CHAR,
+                              Caricature : LIST OF Point);
+    TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC)
+        FUNCTION IncreaseSalary(This Actor, Val NUMERIC);
+    TYPE Text LIST OF CHAR;
+    TYPE SetCategory SET OF Category;
+    TABLE FILM (Numf : NUMERIC, Title : Text, Categories : SetCategory);
+    TABLE APPEARS_IN (Numf : NUMERIC, Refactor : Actor)
+    """)
+
+    db.execute("""
+    INSERT INTO FILM VALUES
+      (1, LIST('Z','o','r','r','o'), SET('Adventure')),
+      (2, LIST('U','p'), SET('Comedy', 'Adventure'))
+    """)
+    db.execute("""
+    INSERT INTO APPEARS_IN VALUES
+      (1, NEW Actor('Quinn', SET('A'), LIST(), 50000)),
+      (1, NEW Actor('Rich', SET('R'), LIST(), 20000)),
+      (2, NEW Actor('Bo', SET('B'), LIST(), 5000))
+    """)
+
+    # -- Figure 3: a query mixing joins, ADT calls and MEMBER ---------------
+    figure3 = """
+    SELECT Title, Categories, Salary(Refactor)
+    FROM FILM, APPEARS_IN
+    WHERE FILM.Numf = APPEARS_IN.Numf
+    AND Name(Refactor) = 'Quinn'
+    AND MEMBER('Adventure', Categories)
+    """
+    print("== Figure 3 query ==")
+    print(db.explain(figure3))
+    print()
+    for row in db.query(figure3).rows:
+        print("  row:", row)
+    print()
+
+    # -- Figure 4: a nested view with the ALL quantifier --------------------
+    db.execute("""
+    CREATE VIEW FilmActors (Title, Categories, Actors) AS
+    SELECT Title, Categories, MakeSet(Refactor)
+    FROM FILM, APPEARS_IN
+    WHERE FILM.Numf = APPEARS_IN.Numf
+    GROUP BY Title, Categories
+    """)
+    figure4 = """
+    SELECT Title FROM FilmActors
+    WHERE MEMBER('Adventure', Categories)
+    AND ALL(Salary(Actors) > 10000)
+    """
+    print("== Figure 4: films where every actor earns > 10000 ==")
+    for row in db.query(figure4).rows:
+        print("  ", row[0])
+    print()
+
+    # -- Figure 5: a recursive view -----------------------------------------
+    db.execute("TABLE DOMINATE (Numf : NUMERIC, Refactor1 : Actor, "
+               "Refactor2 : Actor)")
+    chain = ["Alma", "Bela", "Cleo", "Quinn"]
+    refs = {
+        name: db.catalog.new_object("Actor", (name, [name[0]], [], 1))
+        for name in chain
+    }
+    for left, right in zip(chain, chain[1:]):
+        db.catalog.insert("DOMINATE", (1, refs[left], refs[right]))
+
+    db.execute("""
+    CREATE VIEW BETTER_THAN (Refactor1, Refactor2) AS
+    ( SELECT Refactor1, Refactor2 FROM DOMINATE
+      UNION
+      SELECT B1.Refactor1, B2.Refactor2
+      FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.Refactor2 = B2.Refactor1 )
+    """)
+    figure5 = ("SELECT Name(Refactor1) FROM BETTER_THAN "
+               "WHERE Name(Refactor2) = 'Quinn'")
+    print("== Figure 5: who dominates Quinn (transitively)? ==")
+    for row in db.query(figure5).rows:
+        print("  ", row[0])
+
+
+if __name__ == "__main__":
+    main()

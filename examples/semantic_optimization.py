@@ -1,0 +1,92 @@
+"""Semantic query optimization: constraints, inference and the limit
+trade-off (sections 6 and 7 of the paper).
+
+A ticketing workload with integrity constraints shows:
+
+* inconsistency detection -- impossible queries answer without reading
+  a single tuple;
+* knowledge propagation -- equality substitution and transitivity turn
+  implicit contradictions into explicit ``false``;
+* the conclusion's trade-off -- sweeping the semantic block's budget
+  trades rewrite effort against execution work.
+
+Run:  python examples/semantic_optimization.py
+"""
+
+from repro import Database
+from repro.engine.evaluate import Evaluator
+from repro.engine.stats import EvalStats
+
+
+def build_db(semantic_limit=64) -> Database:
+    db = Database(semantic_limit=semantic_limit)
+    db.execute("""
+    TYPE Status ENUMERATION OF ('open', 'closed', 'void');
+    TABLE TICKET (Id : NUMERIC, State : Status, Price : NUMERIC)
+    """)
+    db.add_integrity_constraint(
+        "ic_status: F(x) / ISA(x, Status) --> "
+        "F(x) AND MEMBER(x, MAKESET('open', 'closed', 'void')) /"
+    )
+    db.add_integrity_constraint(
+        "ic_price: F(x) / ISA(x, NUMERIC) --> F(x) AND x >= 0 /"
+    )
+    states = ["open", "closed", "void"]
+    values = ", ".join(
+        f"({i}, '{states[i % 3]}', {i % 90})" for i in range(300)
+    )
+    db.execute(f"INSERT INTO TICKET VALUES {values}")
+    return db
+
+
+def show(db: Database, label: str, query: str) -> None:
+    result, stats, optimized = db.query_with_stats(query)
+    from repro.terms.printer import term_to_str
+    from repro.terms.term import is_fun
+    print(f"== {label} ==")
+    print("  query:        ", " ".join(query.split()))
+    if is_fun(optimized.final, "SEARCH"):
+        plan = term_to_str(optimized.final.args[1])[:70]
+    else:
+        plan = term_to_str(optimized.final)[:70]  # pruned to EMPTY
+    print("  final plan:   ", plan)
+    print("  rules fired:  ",
+          optimized.rewrite_result.rules_fired()[:6])
+    print("  rows:", len(result.rows),
+          "| tuples scanned:", stats.tuples_scanned)
+    print()
+
+
+def main() -> None:
+    db = build_db()
+
+    show(db, "impossible enumeration value",
+         "SELECT Id FROM TICKET WHERE State = 'lost'")
+
+    show(db, "negative price contradicts the constraint",
+         "SELECT Id FROM TICKET WHERE Price < 0")
+
+    show(db, "constants meet through equality substitution",
+         "SELECT Id FROM TICKET WHERE Price = 5 AND Price > 50")
+
+    show(db, "a consistent query keeps its answers",
+         "SELECT Id FROM TICKET WHERE State = 'open' AND Price > 80")
+
+    print("== the limit trade-off (section 7) ==")
+    print(f"{'limit':>6} {'rule apps':>10} {'exec work':>10}")
+    query = "SELECT Id FROM TICKET WHERE State = 'lost' AND Price > 3"
+    for limit in (0, 2, 4, 8, 64):
+        db_l = build_db(semantic_limit=limit)
+        optimized = db_l.optimize(query)
+        stats = EvalStats()
+        Evaluator(db_l.catalog, stats=stats).evaluate(optimized.final)
+        print(f"{limit:>6} {optimized.applications:>10} "
+              f"{stats.total_work:>10}")
+    print()
+    print("low limits leave the contradiction undetected (execution")
+    print("pays); high limits spend rewrite effort once and execute")
+    print("for free -- the paper's trade-off, reproduced.")
+
+
+if __name__ == "__main__":
+    main()

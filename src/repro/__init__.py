@@ -1,0 +1,47 @@
+"""repro: a reproduction of Finance & Gardarin (ICDE 1991),
+"A Rule-Based Query Rewriter in an Extensible DBMS".
+
+The package implements the full stack the paper describes: the ESQL
+language subset (objects, generic collection ADTs, deductive views),
+the LERA extended relational algebra, a term-rewriting rule language
+with constraints and method calls, block/sequence control meta-rules,
+the syntactic and semantic rule libraries of Figures 7-12 (including
+the Alexander fixpoint reduction), and an in-memory execution engine
+that makes every rewrite measurable.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("TABLE EDGE (Src : NUMERIC, Dst : NUMERIC)")
+    db.execute("INSERT INTO EDGE VALUES (1, 2), (2, 3), (3, 4)")
+    db.execute('''
+        CREATE VIEW REACH (Src, Dst) AS
+        ( SELECT Src, Dst FROM EDGE
+          UNION
+          SELECT R.Src, E.Dst FROM REACH R, EDGE E
+          WHERE R.Dst = E.Src )
+    ''')
+    rows = db.query("SELECT Dst FROM REACH WHERE Src = 1").rows
+"""
+
+from repro.core.extension import Extension
+from repro.core.optimizer import OptimizedQuery, Optimizer
+from repro.core.rewriter import QueryRewriter
+from repro.engine.catalog import Catalog
+from repro.engine.database import Database
+from repro.engine.evaluate import Evaluator, Result, evaluate
+from repro.engine.stats import EvalStats
+from repro.errors import ReproError
+from repro.lera.printer import plan_to_str
+from repro.rules.rule import rule_from_text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database", "Catalog", "Evaluator", "Result", "evaluate", "EvalStats",
+    "Extension", "OptimizedQuery", "Optimizer", "QueryRewriter",
+    "ReproError", "rule_from_text", "plan_to_str",
+    "__version__",
+]

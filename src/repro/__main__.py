@@ -1,0 +1,5 @@
+"""``python -m repro`` starts the interactive ESQL shell."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""ADT substrate: the ESQL type system, runtime values and function library.
+
+Implements section 2.1 of the paper: user-definable ADTs, the generic
+collection ADTs of Figure 1 with their inheritance hierarchy, objects
+with identity, and the extensible function registry the optimizer and
+the execution engine share.
+"""
+
+from repro.adt.functions import default_registry, install_builtins
+from repro.adt.registry import FunctionDef, FunctionRegistry
+from repro.adt.types import (ANY, BOOLEAN, CHAR, INT, NUMERIC, REAL,
+                             AnyType, AtomicType, CollectionType, DataType,
+                             EnumerationType, ObjectType, TupleType,
+                             TypeSystem)
+from repro.adt.values import (ArrayValue, BagValue, CollectionValue,
+                              ListValue, ObjectRef, ObjectStore, SetValue,
+                              TupleValue)
+
+__all__ = [
+    "ANY", "BOOLEAN", "CHAR", "INT", "NUMERIC", "REAL",
+    "AnyType", "AtomicType", "CollectionType", "DataType",
+    "EnumerationType", "ObjectType", "TupleType", "TypeSystem",
+    "ArrayValue", "BagValue", "CollectionValue", "ListValue",
+    "ObjectRef", "ObjectStore", "SetValue", "TupleValue",
+    "FunctionDef", "FunctionRegistry",
+    "default_registry", "install_builtins",
+]

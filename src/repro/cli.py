@@ -1,0 +1,192 @@
+"""An interactive ESQL shell.
+
+Run::
+
+    python -m repro                # interactive
+    python -m repro script.esql    # execute a file, then exit
+
+Statements end with ``;``.  Dot-commands:
+
+=================  =====================================================
+``.explain <q>``   show the plans before/after rewriting plus the trace
+``.load <file>``   run an ESQL script file
+``.engine hash``   switch to hash joins (also ``nested``)
+``.schema``        list relations, views and their columns
+``.rules``         show the generated optimizer's rule inventory
+``.rewrite on``    toggle rewriting (also ``off``)
+``.stats <q>``     run a query and print the evaluator work counters
+``.quit``          leave
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Iterator, Optional
+
+from repro.engine.database import Database
+from repro.errors import ReproError
+
+__all__ = ["Shell", "main"]
+
+_BANNER = (
+    "repro " + "1.0.0" + " -- an extensible rule-based query rewriter\n"
+    "ESQL statements end with ';'.  Try .help"
+)
+
+_HELP = __doc__.split("Statements end", 1)[1]
+
+
+class Shell:
+    """Line-oriented driver around a Database (testable in isolation)."""
+
+    def __init__(self, db: Optional[Database] = None):
+        self.db = db or Database()
+        self.rewrite = True
+        self._buffer: list[str] = []
+
+    # -- statement assembly -------------------------------------------------
+    def feed(self, line: str) -> list[str]:
+        """Consume one input line; return the outputs it produced."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("."):
+            return self._dot_command(stripped)
+        self._buffer.append(line)
+        if not stripped.endswith(";"):
+            return []
+        statement = "\n".join(self._buffer)
+        self._buffer.clear()
+        return self._execute(statement)
+
+    def run(self, lines: Iterable[str]) -> Iterator[str]:
+        for line in lines:
+            for output in self.feed(line):
+                yield output
+        if self._buffer:
+            for output in self._execute("\n".join(self._buffer)):
+                yield output
+            self._buffer.clear()
+
+    # -- execution ------------------------------------------------------------
+    def _execute(self, statement: str) -> list[str]:
+        statement = statement.strip().rstrip(";").strip()
+        if not statement:
+            return []
+        try:
+            upper = statement.upper()
+            if upper.startswith("SELECT") or upper.startswith("(SELECT"):
+                result = self.db.query(statement, rewrite=self.rewrite)
+                return [result.to_table()]
+            self.db.execute(statement)
+            return ["ok"]
+        except ReproError as error:
+            return [f"error: {error}"]
+
+    def _dot_command(self, line: str) -> list[str]:
+        parts = line.split(None, 1)
+        command = parts[0].lower()
+        argument = parts[1].strip().rstrip(";") if len(parts) > 1 else ""
+
+        if command in (".quit", ".exit"):
+            raise SystemExit(0)
+        if command == ".help":
+            return [_HELP.strip()]
+        if command == ".rewrite":
+            if argument.lower() in ("on", "off"):
+                self.rewrite = argument.lower() == "on"
+                return [f"rewriting {'on' if self.rewrite else 'off'}"]
+            return [f"rewriting is "
+                    f"{'on' if self.rewrite else 'off'}"]
+        if command == ".schema":
+            lines = []
+            catalog = self.db.catalog
+            for name in catalog.relation_names():
+                schema = catalog.relation_schema(name)
+                cols = ", ".join(
+                    f"{n} : {t.name}" for n, t in schema
+                )
+                key = catalog.primary_key_of(name)
+                suffix = f"  [key: {key}]" if key else ""
+                lines.append(f"table {name} ({cols}){suffix}")
+            for name in catalog.view_names():
+                view = catalog.view(name)
+                cols = ", ".join(view.schema.names)
+                kind = "recursive view" if view.recursive else "view"
+                lines.append(f"{kind} {name} ({cols})")
+            return lines or ["(empty catalog)"]
+        if command == ".rules":
+            inventory = self.db.optimizer.rewriter.rule_inventory()
+            return [
+                f"{block}: {', '.join(rules)}"
+                for block, rules in inventory.items()
+            ]
+        if command == ".engine":
+            if argument.lower() in ("hash", "nested"):
+                self.db.hash_joins = argument.lower() == "hash"
+                return [f"join strategy: {argument.lower()}"]
+            return [f"join strategy: "
+                    f"{'hash' if self.db.hash_joins else 'nested'}"]
+        if command == ".load":
+            if not argument:
+                return ["usage: .load <file.esql>"]
+            try:
+                with open(argument) as handle:
+                    return list(self.run(handle))
+            except OSError as error:
+                return [f"error: {error}"]
+        if command == ".explain":
+            if not argument:
+                return ["usage: .explain SELECT ..."]
+            try:
+                return [self.db.explain(argument)]
+            except ReproError as error:
+                return [f"error: {error}"]
+        if command == ".stats":
+            if not argument:
+                return ["usage: .stats SELECT ..."]
+            try:
+                result, stats, optimized = self.db.query_with_stats(
+                    argument, rewrite=self.rewrite
+                )
+            except ReproError as error:
+                return [f"error: {error}"]
+            fired = optimized.rewrite_result.rules_fired()
+            return [
+                result.to_table(),
+                f"rules fired: {fired}" if fired else "rules fired: none",
+                ", ".join(f"{k}={v}"
+                          for k, v in stats.snapshot().items()),
+            ]
+        return [f"unknown command {command}; try .help"]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    shell = Shell()
+
+    if argv:
+        with open(argv[0]) as handle:
+            for output in shell.run(handle):
+                print(output)
+        return 0
+
+    print(_BANNER)
+    try:
+        while True:
+            prompt = "....> " if shell._buffer else "esql> "
+            try:
+                line = input(prompt)
+            except EOFError:
+                break
+            try:
+                for output in shell.feed(line):
+                    print(output)
+            except SystemExit:
+                break
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""The paper's primary contribution: the extensible query rewriter."""
+
+from repro.core.explain import explain_text
+from repro.core.extension import Extension
+from repro.core.optimizer import OptimizedQuery, Optimizer
+from repro.core.rewriter import QueryRewriter
+
+__all__ = [
+    "explain_text", "Extension", "OptimizedQuery", "Optimizer",
+    "QueryRewriter",
+]

@@ -1,0 +1,128 @@
+"""Dynamic block-limit allocation (the paper's section 7 proposal).
+
+"The limit given to a block of rules could also be allocated
+dynamically, according to the complexity of the query.  Simple queries
+(e.g., search on a key) do not need sophisticated optimization: a 0
+limit can then be given to all blocks of the query rewriter.  Complex
+queries need rewriting: a high limit can then be given to each rewrite
+block."
+
+:func:`assess` measures a LERA term; :func:`allocate_limits` maps the
+measurement to per-block budgets and a pass count.  The policy is
+deliberately simple and monotone -- more complexity never gets a
+smaller budget -- so its effect is easy to ablate (benchmark A4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.terms.term import Fun, Term, walk
+
+__all__ = ["QueryComplexity", "assess", "allocate_limits"]
+
+_JOINISH = ("SEARCH", "JOIN", "SEMIJOIN", "ANTIJOIN")
+
+
+@dataclass(frozen=True)
+class QueryComplexity:
+    """Structural measurements of a query term."""
+
+    operators: int
+    relations: int
+    conjuncts: int
+    disjuncts: int
+    fixpoints: int
+    nests: int
+    unions: int
+    negations: int
+
+    @property
+    def score(self) -> int:
+        """A single scalar: how much rewriting this query can repay.
+
+        Joins, fixpoints and nests open permutation/reduction
+        opportunities; conjuncts and disjuncts feed the semantic and
+        simplification blocks.
+        """
+        return (
+            2 * max(0, self.relations - 1)
+            + 2 * self.conjuncts
+            + 2 * self.disjuncts
+            + 3 * self.negations
+            + 6 * self.fixpoints
+            + 3 * self.nests
+            + 2 * self.unions
+        )
+
+    @property
+    def trivial(self) -> bool:
+        """A key-lookup-shaped query: one relation, tiny qualification,
+        no structure worth rewriting."""
+        return (
+            self.relations <= 1
+            and self.conjuncts <= 1
+            and self.disjuncts == 0
+            and self.negations == 0
+            and self.fixpoints == 0
+            and self.nests == 0
+            and self.unions == 0
+        )
+
+
+def assess(term: Term) -> QueryComplexity:
+    """Measure a LERA term."""
+    from repro.lera.ops import LERA_OPERATORS, is_relation_name
+
+    predicate_names = frozenset(
+        {"=", "<>", "<", ">", "<=", ">=", "MEMBER", "INCLUDE",
+         "ISEMPTY", "ALL", "EXIST"}
+    )
+    operators = relations = conjuncts = disjuncts = 0
+    fixpoints = nests = unions = negations = 0
+    for t in walk(term):
+        if isinstance(t, Fun):
+            if t.name in LERA_OPERATORS:
+                operators += 1
+            if t.name == "FIX":
+                fixpoints += 1
+            elif t.name in ("NEST", "UNNEST"):
+                nests += 1
+            elif t.name == "UNION":
+                unions += 1
+            elif t.name in predicate_names:
+                conjuncts += 1
+            elif t.name == "OR":
+                disjuncts += len(t.args) - 1
+            elif t.name == "NOT":
+                negations += 1
+            elif t.name in _JOINISH and t.name in ("SEARCH", "JOIN"):
+                from repro.lera.ops import rel_list
+                relations += sum(
+                    1 for r in rel_list(t) if is_relation_name(r)
+                )
+            elif t.name in ("SEMIJOIN", "ANTIJOIN"):
+                relations += 1
+    return QueryComplexity(
+        operators=operators, relations=relations, conjuncts=conjuncts,
+        disjuncts=disjuncts, fixpoints=fixpoints, nests=nests,
+        unions=unions, negations=negations,
+    )
+
+
+def allocate_limits(complexity: QueryComplexity) -> dict:
+    """Map a measurement to the optimizer configuration.
+
+    Returns ``{"semantic": limit, "passes": n, "enabled": bool}``:
+    trivial queries disable rewriting entirely (0 limits everywhere, as
+    the paper suggests); moderate queries get a small semantic budget
+    and two passes; structurally rich queries get the full treatment.
+    """
+    if complexity.trivial:
+        return {"semantic": 0, "passes": 1, "enabled": False}
+    score = complexity.score
+    if score < 8:
+        return {"semantic": 16, "passes": 2, "enabled": True}
+    if score < 20:
+        return {"semantic": 48, "passes": 3, "enabled": True}
+    return {"semantic": 96, "passes": 4, "enabled": True}

@@ -1,0 +1,41 @@
+"""EXPLAIN output: plans before/after rewriting plus the rule trace."""
+
+from __future__ import annotations
+
+from repro.core.optimizer import OptimizedQuery
+from repro.lera.printer import plan_to_str
+from repro.terms.term import term_size
+
+__all__ = ["explain_text"]
+
+
+def explain_text(optimized: OptimizedQuery, verbose: bool = False) -> str:
+    """Render an optimization outcome for humans."""
+    lines = [
+        "== plan before rewriting "
+        f"({term_size(optimized.typed)} nodes) ==",
+        plan_to_str(optimized.typed),
+        "",
+        "== plan after rewriting "
+        f"({term_size(optimized.final)} nodes) ==",
+        plan_to_str(optimized.final),
+        "",
+        f"== {optimized.applications} rule application(s) ==",
+    ]
+    for entry in optimized.trace:
+        if verbose:
+            lines.append(str(entry))
+        else:
+            lines.append(
+                f"  [{entry.block}] {entry.rule} at {list(entry.path)}"
+            )
+    summary = optimized.rewrite_result.summary()
+    if summary:
+        lines.append("")
+        lines.append("== per-block summary ==")
+        for block, rules in summary.items():
+            fired = ", ".join(
+                f"{rule} x{count}" for rule, count in sorted(rules.items())
+            )
+            lines.append(f"  {block}: {fired}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""The database-implementor extension API.
+
+The paper's thesis is that a DBI extends the optimizer without touching
+its engine: new ADTs and functions through the type system and the
+function registry, new rewrite rules through the rule language, new
+external functions as methods/predicates, and new control through block
+definitions.  :class:`Extension` bundles one coherent set of additions
+so it can be installed into (and documented with) a
+:class:`~repro.engine.database.Database` in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.adt.registry import FunctionDef
+from repro.rules.rule import rule_from_text
+
+__all__ = ["Extension"]
+
+
+@dataclass
+class Extension:
+    """A named bundle of optimizer and ADT extensions.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the bundle (for documentation / tracing).
+    functions:
+        ADT functions to register (evaluable in queries and foldable by
+        EVALUATE when pure).
+    rule_texts:
+        Rewrite rules in the rule language, each paired with the block
+        that should host it: ``(block_name, rule_source)``.
+    integrity_constraints:
+        Figure 10 style constraint rules (source text); compiled into
+        the semantic block.
+    methods:
+        Rule-conclusion methods: ``(name, arity, impl)``.
+    predicates:
+        Constraint predicates: ``(name, impl)``.
+    """
+
+    name: str
+    functions: list[FunctionDef] = field(default_factory=list)
+    rule_texts: list[tuple[str, str]] = field(default_factory=list)
+    integrity_constraints: list[str] = field(default_factory=list)
+    methods: list[tuple[str, int, Callable]] = field(default_factory=list)
+    predicates: list[tuple[str, Callable]] = field(default_factory=list)
+
+    # -- builder helpers -------------------------------------------------------
+    def function(self, fdef: FunctionDef) -> "Extension":
+        self.functions.append(fdef)
+        return self
+
+    def rule(self, block: str, source: str) -> "Extension":
+        rule_from_text(source)  # validate eagerly for a clear error site
+        self.rule_texts.append((block, source))
+        return self
+
+    def constraint(self, source: str) -> "Extension":
+        self.integrity_constraints.append(source)
+        return self
+
+    def method(self, name: str, arity: int, impl: Callable) -> "Extension":
+        self.methods.append((name, arity, impl))
+        return self
+
+    def predicate(self, name: str, impl: Callable) -> "Extension":
+        self.predicates.append((name, impl))
+        return self

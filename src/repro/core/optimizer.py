@@ -1,0 +1,97 @@
+"""The optimization pipeline: type checking, rewriting, re-checking.
+
+Section 5 names three syntactic activities; the pipeline realises them
+as: (1) the type-checking pass (generic-function inference, conversion
+insertion), (2) the rule-driven rewrite (merging, permutation, fixpoint
+reduction, semantic optimization, simplification), and (3) a final
+type-checking pass that normalises expressions introduced by semantic
+rules (integrity-constraint templates are written in user syntax, e.g.
+``ABS(x)``, and must become ``PROJECT(x, 'ABS')`` before execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.catalog import Catalog
+from repro.lera.schema import Schema
+from repro.lera.typecheck import typecheck
+from repro.core.rewriter import QueryRewriter
+from repro.rules.control import RewriteResult
+from repro.terms.term import Term
+
+__all__ = ["Optimizer", "OptimizedQuery"]
+
+
+@dataclass
+class OptimizedQuery:
+    """Every stage of one query's trip through the optimizer."""
+
+    original: Term
+    typed: Term
+    rewritten: Term
+    final: Term
+    schema: Schema
+    rewrite_result: RewriteResult
+
+    @property
+    def trace(self):
+        return self.rewrite_result.trace
+
+    @property
+    def applications(self) -> int:
+        return self.rewrite_result.applications
+
+
+class Optimizer:
+    """Type checking + rewriting against one catalog.
+
+    With ``dynamic_limits=True`` the block budgets and pass count are
+    allocated per query from its structural complexity -- the section 7
+    proposal ("limits can even be adjusted [...] a 0 limit can be given
+    to all blocks" for simple queries).
+    """
+
+    def __init__(self, catalog: Catalog,
+                 rewriter: Optional[QueryRewriter] = None,
+                 dynamic_limits: bool = False):
+        self.catalog = catalog
+        self.rewriter = rewriter or QueryRewriter(catalog)
+        self.dynamic_limits = dynamic_limits
+
+    def optimize(self, term: Term, rewrite: bool = True) -> OptimizedQuery:
+        typed, __ = typecheck(term, self.catalog)
+        if rewrite and self.dynamic_limits:
+            result = self._rewrite_dynamic(typed)
+        elif rewrite:
+            result = self.rewriter.rewrite(typed)
+        else:
+            result = RewriteResult(typed)
+        final, schema = typecheck(result.term, self.catalog)
+        return OptimizedQuery(
+            original=term,
+            typed=typed,
+            rewritten=result.term,
+            final=final,
+            schema=schema,
+            rewrite_result=result,
+        )
+
+    def _rewrite_dynamic(self, typed: Term) -> RewriteResult:
+        from repro.core.complexity import allocate_limits, assess
+        from repro.rules.control import RewriteEngine, Seq
+
+        allocation = allocate_limits(assess(typed))
+        if not allocation["enabled"]:
+            return RewriteResult(typed)
+        blocks = [
+            block.with_limit(allocation["semantic"])
+            if block.name == "semantic" else block
+            for block in self.rewriter.seq.blocks
+        ]
+        seq = Seq(blocks, passes=allocation["passes"])
+        engine = RewriteEngine(
+            seq, collect_trace=self.rewriter.collect_trace
+        )
+        return engine.rewrite(typed, self.rewriter.context())

@@ -1,0 +1,128 @@
+"""The query rewriter: the paper's primary artifact.
+
+:class:`QueryRewriter` bundles a block sequence, a constraint-predicate
+table and a method registry into the "generated optimizer" of section
+4.2, and rewrites LERA terms against a catalog.  Everything is
+reconfigurable -- adding a rule, a block, a method or a predicate
+regenerates the optimizer, which is the extensibility story the paper
+demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.engine.catalog import Catalog
+from repro.errors import RewriteError
+from repro.rules.constraints import ConstraintEvaluator
+from repro.rules.control import Block, RewriteEngine, RewriteResult, Seq
+from repro.rules.library import DEFAULT_SEMANTIC_LIMIT, standard_seq
+from repro.rules.methods import MethodRegistry, default_method_registry
+from repro.rules.rule import RuleContext
+from repro.terms.term import Term
+
+__all__ = ["QueryRewriter"]
+
+
+class QueryRewriter:
+    """A configured rewriter: sequence of blocks + extension points.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog rules consult (schemas, types, functions).
+    seq:
+        The block sequence; defaults to the standard program of
+        :mod:`repro.rules.library` with the catalog's integrity
+        constraints installed in the semantic block.
+    semantic_limit:
+        Budget of the semantic block when the default sequence is used
+        (the conclusion's tunable trade-off).
+    """
+
+    def __init__(self, catalog: Catalog, seq: Optional[Seq] = None,
+                 semantic_limit: Optional[int] = DEFAULT_SEMANTIC_LIMIT,
+                 collect_trace: bool = True):
+        self.catalog = catalog
+        self.constraint_evaluator = ConstraintEvaluator()
+        self.methods = default_method_registry()
+        if seq is None:
+            seq = standard_seq(
+                integrity_constraints=catalog.integrity_constraints,
+                semantic_limit=semantic_limit,
+            )
+        self.seq = seq
+        self.collect_trace = collect_trace
+
+    @classmethod
+    def from_program(cls, catalog: Catalog, program: str,
+                     extra_rules: Iterable = ()) -> "QueryRewriter":
+        """Generate an optimizer from a section 4.2 meta-rule program.
+
+        ``program`` is ``block({rules}, limit)`` / ``seq((blocks), n)``
+        text; rule names resolve against the built-in library plus
+        ``extra_rules`` and the catalog's integrity constraints.
+        """
+        from repro.rules.meta import parse_program, standard_rule_library
+        library = standard_rule_library(
+            list(extra_rules) + list(catalog.integrity_constraints)
+        )
+        seq = parse_program(program, library)
+        return cls(catalog, seq=seq)
+
+    # -- extension points ----------------------------------------------------
+    def block(self, name: str) -> Block:
+        for b in self.seq.blocks:
+            if b.name == name:
+                return b
+        raise RewriteError(f"no block named {name!r}")
+
+    def add_rule(self, rule, block: str = "simplify",
+                 position: Optional[int] = None) -> None:
+        """Install a compiled rule into a block."""
+        target = self.block(block)
+        if position is None:
+            target.rules.append(rule)
+        else:
+            target.rules.insert(position, rule)
+
+    def add_block(self, block: Block,
+                  before: Optional[str] = None) -> None:
+        if before is None:
+            self.seq.blocks.append(block)
+            return
+        for i, b in enumerate(self.seq.blocks):
+            if b.name == before:
+                self.seq.blocks.insert(i, block)
+                return
+        raise RewriteError(f"no block named {before!r}")
+
+    def set_block_limit(self, name: str, limit: Optional[int]) -> None:
+        for i, b in enumerate(self.seq.blocks):
+            if b.name == name:
+                self.seq.blocks[i] = b.with_limit(limit)
+                return
+        raise RewriteError(f"no block named {name!r}")
+
+    def add_method(self, name: str, arity: int, impl) -> None:
+        self.methods.register(name, arity, impl)
+
+    def add_predicate(self, name: str, predicate) -> None:
+        self.constraint_evaluator.register(name, predicate)
+
+    # -- rewriting -------------------------------------------------------------
+    def context(self) -> RuleContext:
+        return RuleContext(
+            catalog=self.catalog,
+            constraint_evaluator=self.constraint_evaluator,
+            methods=self.methods,
+        )
+
+    def rewrite(self, term: Term) -> RewriteResult:
+        """Rewrite a LERA term through the configured sequence."""
+        engine = RewriteEngine(self.seq, collect_trace=self.collect_trace)
+        return engine.rewrite(term, self.context())
+
+    def rule_inventory(self) -> dict[str, list[str]]:
+        """Block name -> rule names, for introspection and docs."""
+        return {b.name: b.rule_names() for b in self.seq.blocks}

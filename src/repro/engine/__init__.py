@@ -1,0 +1,13 @@
+"""Execution engine: catalog, storage and the LERA evaluator."""
+
+from repro.engine.catalog import Catalog, ViewDef
+from repro.engine.evaluate import Evaluator, Result, evaluate
+from repro.engine.stats import EvalStats
+from repro.engine.storage import BaseRelation, coerce_row, coerce_value
+
+__all__ = [
+    "Catalog", "ViewDef",
+    "Evaluator", "Result", "evaluate",
+    "EvalStats",
+    "BaseRelation", "coerce_row", "coerce_value",
+]

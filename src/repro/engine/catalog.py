@@ -1,0 +1,139 @@
+"""The catalog: types, relations, views and integrity constraints.
+
+The single source of truth shared by the ESQL translator, the rewriter
+(through rule constraints and methods) and the evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.adt.functions import default_registry
+from repro.adt.registry import FunctionRegistry
+from repro.adt.types import DataType, TypeSystem
+from repro.adt.values import ObjectRef, ObjectStore
+from repro.engine.storage import BaseRelation
+from repro.errors import CatalogError
+from repro.lera.schema import Schema
+from repro.terms.term import Term
+
+__all__ = ["Catalog", "ViewDef"]
+
+
+@dataclass
+class ViewDef:
+    """A stored view: its LERA term (a FIX term when recursive)."""
+
+    name: str
+    term: Term
+    schema: Schema
+    recursive: bool = False
+    source: str = ""
+
+
+class Catalog:
+    """Types, relations, views, integrity constraints and functions."""
+
+    def __init__(self,
+                 type_system: Optional[TypeSystem] = None,
+                 registry: Optional[FunctionRegistry] = None,
+                 objects: Optional[ObjectStore] = None):
+        self.type_system = type_system or TypeSystem()
+        self.registry = registry or default_registry()
+        self.objects = objects or ObjectStore()
+        self._relations: dict[str, BaseRelation] = {}
+        self._views: dict[str, ViewDef] = {}
+        # integrity constraints are stored as rewrite rules (section 6.1);
+        # the list holds whatever rule objects repro.rules produces.
+        self.integrity_constraints: list = []
+
+    # -- relations ---------------------------------------------------------
+    def define_table(self, name: str,
+                     columns: Sequence[tuple[str, DataType]],
+                     primary_key: Sequence[str] = ()) -> BaseRelation:
+        key = name.upper()
+        if key in self._relations or key in self._views:
+            raise CatalogError(f"relation {name!r} already exists")
+        schema = Schema(columns)
+        key_positions = tuple(
+            schema.index_of(column) for column in primary_key
+        )
+        rel = BaseRelation(key, schema, key_positions)
+        self._relations[key] = rel
+        return rel
+
+    def primary_key_of(self, name: str) -> tuple[int, ...]:
+        """The declared key positions of a base table (empty if none)."""
+        if not self.is_table(name):
+            return ()
+        return self.table(name).key
+
+    def drop_table(self, name: str) -> None:
+        key = name.upper()
+        if key not in self._relations:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._relations[key]
+
+    def table(self, name: str) -> BaseRelation:
+        try:
+            return self._relations[name.upper()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def is_table(self, name: str) -> bool:
+        return name.upper() in self._relations
+
+    def insert(self, name: str, row: Sequence[Any]) -> tuple:
+        return self.table(name).insert(row, self.objects)
+
+    def insert_many(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.table(name).insert_many(rows, self.objects)
+
+    def rows(self, name: str) -> list[tuple]:
+        return self.table(name).rows
+
+    def new_object(self, type_name: str, value: Any) -> ObjectRef:
+        """Create an object instance of a declared object type."""
+        dtype = self.type_system.lookup(type_name)
+        from repro.adt.types import ObjectType
+        if not isinstance(dtype, ObjectType):
+            raise CatalogError(f"{type_name!r} is not an object type")
+        from repro.engine.storage import coerce_value
+        coerced = coerce_value(value, dtype.value_type, self.objects)
+        return self.objects.create(dtype.name, coerced)
+
+    # -- views ---------------------------------------------------------------
+    def define_view(self, view: ViewDef) -> ViewDef:
+        key = view.name.upper()
+        if key in self._relations or key in self._views:
+            raise CatalogError(f"relation {view.name!r} already exists")
+        self._views[key] = view
+        return view
+
+    def drop_view(self, name: str) -> None:
+        key = name.upper()
+        if key not in self._views:
+            raise CatalogError(f"unknown view {name!r}")
+        del self._views[key]
+
+    def view(self, name: str) -> Optional[ViewDef]:
+        return self._views.get(name.upper())
+
+    def is_view(self, name: str) -> bool:
+        return name.upper() in self._views
+
+    # -- schema lookup (duck-typed interface used by repro.lera) -----------
+    def relation_schema(self, name: str) -> Schema:
+        key = name.upper()
+        if key in self._relations:
+            return self._relations[key].schema
+        if key in self._views:
+            return self._views[key].schema
+        raise CatalogError(f"unknown relation {name!r}")
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def view_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._views))

@@ -1,0 +1,159 @@
+"""The Database facade: the end-to-end entry point of the library.
+
+Wires the ESQL front end, the extensible rewriter and the evaluator
+around one catalog::
+
+    db = Database()
+    db.execute("TABLE EDGE (Src : NUMERIC, Dst : NUMERIC)")
+    db.execute("INSERT INTO EDGE VALUES (1, 2), (2, 3)")
+    result = db.query("SELECT Dst FROM EDGE WHERE Src = 1")
+
+Rewriting defaults on; every query can opt out (``rewrite=False``) --
+that is the baseline the benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.explain import explain_text
+from repro.core.extension import Extension
+from repro.core.optimizer import OptimizedQuery, Optimizer
+from repro.core.rewriter import QueryRewriter
+from repro.engine.catalog import Catalog
+from repro.engine.evaluate import Evaluator, Result
+from repro.engine.stats import EvalStats
+from repro.errors import TranslationError
+from repro.esql.parser import parse_script
+from repro.esql.translate import Translator
+from repro.rules.library import DEFAULT_SEMANTIC_LIMIT
+from repro.rules.semantic import compile_integrity_constraint
+from repro.terms.term import Term
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory extensible DBMS instance."""
+
+    def __init__(self, rewrite: bool = True,
+                 semantic_limit: Optional[int] = DEFAULT_SEMANTIC_LIMIT,
+                 semi_naive: bool = True,
+                 hash_joins: bool = False,
+                 dynamic_limits: bool = False):
+        self.catalog = Catalog()
+        self.translator = Translator(self.catalog)
+        self.rewrite_default = rewrite
+        self.semantic_limit = semantic_limit
+        self.semi_naive = semi_naive
+        self.hash_joins = hash_joins
+        self.dynamic_limits = dynamic_limits
+        self._optimizer: Optional[Optimizer] = None
+
+    # -- optimizer lifecycle ---------------------------------------------------
+    @property
+    def optimizer(self) -> Optimizer:
+        """The optimizer, regenerated after any extension change."""
+        if self._optimizer is None:
+            rewriter = QueryRewriter(
+                self.catalog, semantic_limit=self.semantic_limit
+            )
+            self._optimizer = Optimizer(
+                self.catalog, rewriter,
+                dynamic_limits=self.dynamic_limits,
+            )
+        return self._optimizer
+
+    def regenerate_optimizer(self) -> None:
+        self._optimizer = None
+
+    # -- statements ------------------------------------------------------------
+    def execute(self, script: str) -> list[Result]:
+        """Run an ESQL script; returns the results of any queries."""
+        results = []
+        for statement in parse_script(script):
+            term = self.translator.execute(statement)
+            if term is not None:
+                results.append(self._run(term, self.rewrite_default)[0])
+        return results
+
+    def query(self, source: str, rewrite: Optional[bool] = None,
+              stats: Optional[EvalStats] = None) -> Result:
+        """Run one SELECT and return its result."""
+        return self._query_term(
+            self._translate_single(source), rewrite, stats
+        )
+
+    def query_with_stats(
+        self, source: str, rewrite: Optional[bool] = None,
+    ) -> tuple[Result, EvalStats, OptimizedQuery]:
+        """Run one SELECT, returning work counters and the optimization."""
+        stats = EvalStats()
+        term = self._translate_single(source)
+        use_rewrite = self.rewrite_default if rewrite is None else rewrite
+        optimized = self.optimizer.optimize(term, rewrite=use_rewrite)
+        result = Evaluator(
+            self.catalog, stats=stats, semi_naive=self.semi_naive,
+            hash_joins=self.hash_joins,
+        ).evaluate(optimized.final)
+        return result, stats, optimized
+
+    def optimize(self, source: str,
+                 rewrite: bool = True) -> OptimizedQuery:
+        """Optimize one SELECT without executing it."""
+        return self.optimizer.optimize(
+            self._translate_single(source), rewrite=rewrite
+        )
+
+    def explain(self, source: str, verbose: bool = False) -> str:
+        return explain_text(self.optimize(source), verbose=verbose)
+
+    # -- extensions -------------------------------------------------------------
+    def add_integrity_constraint(self, source: str) -> None:
+        """Declare a Figure 10 integrity constraint (rule-language text)."""
+        rule = compile_integrity_constraint(source)
+        self.catalog.integrity_constraints.append(rule)
+        self.regenerate_optimizer()
+
+    def install(self, extension: Extension) -> None:
+        """Install a DBI extension bundle; regenerates the optimizer."""
+        from repro.rules.rule import rule_from_text
+        for fdef in extension.functions:
+            self.catalog.registry.register(fdef, replace=True)
+        for source in extension.integrity_constraints:
+            self.catalog.integrity_constraints.append(
+                compile_integrity_constraint(source)
+            )
+        self.regenerate_optimizer()
+        optimizer = self.optimizer  # force rebuild, then decorate it
+        for block, source in extension.rule_texts:
+            optimizer.rewriter.add_rule(rule_from_text(source), block)
+        for name, arity, impl in extension.methods:
+            optimizer.rewriter.add_method(name, arity, impl)
+        for name, impl in extension.predicates:
+            optimizer.rewriter.add_predicate(name, impl)
+
+    # -- plumbing ---------------------------------------------------------------
+    def _translate_single(self, source: str) -> Term:
+        statements = parse_script(source)
+        if len(statements) != 1:
+            raise TranslationError("expected exactly one statement")
+        term = self.translator.execute(statements[0])
+        if term is None:
+            raise TranslationError("the statement is not a query")
+        return term
+
+    def _query_term(self, term: Term, rewrite: Optional[bool],
+                    stats: Optional[EvalStats]) -> Result:
+        use_rewrite = self.rewrite_default if rewrite is None else rewrite
+        return self._run(term, use_rewrite, stats)[0]
+
+    def _run(self, term: Term, rewrite: bool,
+             stats: Optional[EvalStats] = None,
+             ) -> tuple[Result, OptimizedQuery]:
+        optimized = self.optimizer.optimize(term, rewrite=rewrite)
+        evaluator = Evaluator(
+            self.catalog, stats=stats, semi_naive=self.semi_naive,
+            hash_joins=self.hash_joins,
+        )
+        return evaluator.evaluate(optimized.final), optimized

@@ -1,0 +1,645 @@
+"""The LERA evaluator: executes algebra terms against the catalog.
+
+This is the execution substrate that makes rewriting *measurable*.  The
+physical strategy is deliberately simple and deterministic:
+
+* SEARCH / JOIN build the nested-loop product of their inputs in the
+  given order, applying each conjunct of the qualification as soon as
+  all the relations it references are bound (so a merged qualification
+  filters early -- the benefit merging rules expose);
+* UNION / INTERSECTION / DIFFERENCE use set semantics, SEARCH /
+  PROJECTION keep bags (ESQL's default collection is a bag);
+* FIX is computed by *semi-naive* iteration by default (delta rules per
+  occurrence of the recursive relation, which also covers the non-linear
+  case), with naive recomputation available as the A3 ablation baseline.
+
+Work counters (see :mod:`repro.engine.stats`) are updated throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.stats import EvalStats
+from repro.errors import EvaluationError
+from repro.lera import ops
+from repro.lera.schema import Schema, schema_of
+from repro.terms.term import (AttrRef, Const, Fun, Term, conjuncts, is_fun,
+                              mk_fun, sym)
+
+__all__ = ["Evaluator", "Result", "evaluate"]
+
+_MAX_DEFAULT_ITERATIONS = 100_000
+
+
+class Result:
+    """Evaluation result: rows plus the output schema."""
+
+    __slots__ = ("rows", "schema")
+
+    def __init__(self, rows: list[tuple], schema: Schema):
+        self.rows = rows
+        self.schema = schema
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def as_dicts(self) -> list[dict]:
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def to_table(self, max_rows: int = 50) -> str:
+        """Render the result as an aligned text table."""
+        from repro.adt.values import value_repr
+        names = list(self.schema.names)
+        shown = self.rows[:max_rows]
+        cells = [[value_repr(v) if isinstance(v, (str, bool)) or v is None
+                  else repr(v) for v in row] for row in shown]
+        widths = [
+            max([len(n)] + [len(row[i]) for row in cells])
+            for i, n in enumerate(names)
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in cells:
+            lines.append(" | ".join(
+                c.ljust(w) for c, w in zip(row, widths)
+            ))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more)")
+        lines.append(f"({len(self.rows)} row"
+                     f"{'' if len(self.rows) == 1 else 's'})")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Result({len(self.rows)} rows, schema={self.schema!r})"
+
+
+def _dedupe(rows: Sequence[tuple]) -> list[tuple]:
+    return list(dict.fromkeys(rows))
+
+
+class Evaluator:
+    """Evaluates LERA terms.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog holding relations, types, functions and objects.
+    stats:
+        Optional :class:`EvalStats` receiving work counters.
+    semi_naive:
+        Fixpoint strategy; False selects naive recomputation (ablation A3).
+    max_fix_iterations:
+        Safety bound on fixpoint rounds.
+    """
+
+    def __init__(self, catalog: Catalog,
+                 stats: Optional[EvalStats] = None,
+                 semi_naive: bool = True,
+                 hash_joins: bool = False,
+                 max_fix_iterations: int = _MAX_DEFAULT_ITERATIONS):
+        self.catalog = catalog
+        self.stats = stats if stats is not None else EvalStats()
+        self.semi_naive = semi_naive
+        self.hash_joins = hash_joins
+        self.max_fix_iterations = max_fix_iterations
+
+    # registry implementations receive the evaluator as their context
+    @property
+    def objects(self):
+        return self.catalog.objects
+
+    @property
+    def type_system(self):
+        return self.catalog.type_system
+
+    # -- public API ---------------------------------------------------------
+    def evaluate(self, term: Term) -> Result:
+        self._cache: dict[Term, list[tuple]] = {}
+        rows = self._eval_rel(term, {}, {})
+        schema = schema_of(term, self.catalog)
+        return Result(rows, schema)
+
+    # -- relation evaluation ------------------------------------------------
+    def _eval_rel(self, term: Term, fix_rows: dict,
+                  fix_env: dict) -> list[tuple]:
+        # Common-subexpression cache: a compound subterm that does not
+        # reference any in-scope fixpoint relation always evaluates to the
+        # same rows within one query; the Alexander rewrite relies on this
+        # (the inlined magic fixpoint is shared by every specialized
+        # branch and must be computed once).
+        cache = getattr(self, "_cache", None)
+        cacheable = (
+            cache is not None
+            and isinstance(term, Fun)
+            and term.name in ("FIX", "UNION", "SEARCH", "JOIN", "NEST")
+            and not (fix_rows and _free_symbols(term) & set(fix_rows))
+        )
+        if cacheable and term in cache:
+            return cache[term]
+        rows = self._eval_rel_inner(term, fix_rows, fix_env)
+        if cacheable:
+            cache[term] = rows
+        return rows
+
+    def _eval_rel_inner(self, term: Term, fix_rows: dict,
+                        fix_env: dict) -> list[tuple]:
+        self.stats.incr("operators_evaluated")
+
+        if ops.is_relation_name(term):
+            name = str(term.value)  # type: ignore[union-attr]
+            if name in fix_rows:
+                rows = fix_rows[name]
+            elif self.catalog.is_table(name):
+                rows = self.catalog.rows(name)
+            elif self.catalog.is_view(name):
+                # views are normally expanded at translation time; keep a
+                # fallback so hand-built plans can reference them
+                view = self.catalog.view(name)
+                return self._eval_rel(view.term, fix_rows, fix_env)
+            else:
+                raise EvaluationError(f"unknown relation {name!r}")
+            self.stats.incr("tuples_scanned", len(rows))
+            return list(rows)
+
+        if not isinstance(term, Fun):
+            raise EvaluationError(f"not a LERA term: {term!r}")
+
+        handler = getattr(self, f"_eval_{term.name.lower()}", None)
+        if handler is None:
+            raise EvaluationError(
+                f"cannot evaluate operator {term.name!r}"
+            )
+        return handler(term, fix_rows, fix_env)
+
+    def _eval_search(self, term: Fun, fix_rows: dict,
+                     fix_env: dict) -> list[tuple]:
+        inputs, qual, items = ops.search_parts(term)
+        exprs = [ops.item_expr(i) for i in items]
+        out: list[tuple] = []
+        for env in self._combinations(inputs, qual, fix_rows, fix_env):
+            out.append(tuple(self._eval_expr(e, env) for e in exprs))
+        self.stats.incr("tuples_output", len(out))
+        return out
+
+    def _eval_join(self, term: Fun, fix_rows: dict,
+                   fix_env: dict) -> list[tuple]:
+        inputs = ops.rel_list(term)
+        qual = term.args[1]
+        out: list[tuple] = []
+        for env in self._combinations(inputs, qual, fix_rows, fix_env):
+            row: tuple = ()
+            for part in env:
+                row += part
+            out.append(row)
+        self.stats.incr("tuples_output", len(out))
+        return out
+
+    def _combinations(self, inputs, qual, fix_rows, fix_env):
+        """Nested-loop product with eager conjunct application.
+
+        The compound SEARCH gives the system "the necessary degrees of
+        freedom to physically optimize" (section 3.1): the loop order is
+        chosen greedily so that each next input makes as many conjuncts
+        evaluable as possible -- the textual input order carries no
+        physical meaning.
+        """
+        from repro.lera.analysis import rels_referenced
+        n = len(inputs)
+        conj_refs: list[tuple[Term, frozenset]] = []
+        for c in conjuncts(qual):
+            refs = frozenset(rels_referenced(c))
+            if refs and max(refs) > n:
+                raise EvaluationError(
+                    f"qualification references input {max(refs)} but "
+                    f"the operator has {n} inputs"
+                )
+            conj_refs.append((c, refs))
+
+        # constant conjuncts: decide once, before touching any input
+        for c, refs in conj_refs:
+            if not refs:
+                self.stats.incr("qual_evaluations")
+                if not self._truthy(self._eval_expr(c, [])):
+                    return
+
+        order = self._greedy_order(n, [refs for __, refs in conj_refs])
+
+        # conjuncts grouped by the loop depth at which they close
+        depth_of: dict[int, int] = {
+            pos: depth for depth, pos in enumerate(order)
+        }
+        by_depth: list[list[Term]] = [[] for __ in range(n)]
+        for c, refs in conj_refs:
+            if refs:
+                by_depth[max(depth_of[r] for r in refs)].append(c)
+
+        relations = [self._eval_rel(r, fix_rows, fix_env) for r in inputs]
+        env: list = [None] * n
+
+        # optional hash joins: for each loop depth > 0 pick one
+        # equi-conjunct linking the incoming input to an already-bound
+        # one and index the input on it (ablation A6)
+        hash_probe: list = [None] * n
+        indexes: list = [None] * n
+        if self.hash_joins:
+            for depth in range(1, n):
+                pos = order[depth]
+                bound = {order[d] for d in range(depth)}
+                for c in by_depth[depth]:
+                    probe = _equi_probe(c, pos, bound)
+                    if probe is not None:
+                        hash_probe[depth] = probe
+                        break
+
+        def extend(depth: int):
+            if depth == n:
+                yield list(env)
+                return
+            pos = order[depth]
+            probe = hash_probe[depth]
+            if probe is not None:
+                own_col, other_ref = probe
+                if indexes[depth] is None:
+                    index: dict = {}
+                    for row in relations[pos - 1]:
+                        index.setdefault(row[own_col - 1], []).append(row)
+                    indexes[depth] = index
+                key = env[other_ref.rel - 1][other_ref.pos - 1]
+                candidates = indexes[depth].get(key, ())
+            else:
+                candidates = relations[pos - 1]
+            for row in candidates:
+                if depth == 0:
+                    self.stats.incr("tuples_scanned")
+                else:
+                    self.stats.incr("join_pairs")
+                env[pos - 1] = row
+                ok = True
+                for c in by_depth[depth]:
+                    self.stats.incr("qual_evaluations")
+                    if not self._truthy(self._eval_expr(c, env)):
+                        ok = False
+                        break
+                if ok:
+                    yield from extend(depth + 1)
+            env[pos - 1] = None
+
+        yield from extend(0)
+
+    @staticmethod
+    def _greedy_order(n: int, conj_refs: list) -> list[int]:
+        """Loop order (1-based input positions): each step picks the
+        input closing the most not-yet-applied conjuncts, ties broken
+        by textual position."""
+        remaining = list(range(1, n + 1))
+        bound: set[int] = set()
+        pending = [refs for refs in conj_refs if refs]
+        order: list[int] = []
+        while remaining:
+            def score(pos: int) -> int:
+                probe = bound | {pos}
+                return sum(1 for refs in pending if refs <= probe)
+            best = max(remaining, key=lambda pos: (score(pos), -pos))
+            order.append(best)
+            remaining.remove(best)
+            bound.add(best)
+            pending = [refs for refs in pending if not refs <= bound]
+        return order
+
+    def _eval_filter(self, term: Fun, fix_rows: dict,
+                     fix_env: dict) -> list[tuple]:
+        rows = self._eval_rel(term.args[0], fix_rows, fix_env)
+        qual = term.args[1]
+        out = []
+        for row in rows:
+            self.stats.incr("qual_evaluations")
+            if self._truthy(self._eval_expr(qual, [row])):
+                out.append(row)
+        self.stats.incr("tuples_output", len(out))
+        return out
+
+    def _eval_projection(self, term: Fun, fix_rows: dict,
+                         fix_env: dict) -> list[tuple]:
+        rows = self._eval_rel(term.args[0], fix_rows, fix_env)
+        exprs = [ops.item_expr(i) for i in ops.proj_items(term)]
+        out = [
+            tuple(self._eval_expr(e, [row]) for e in exprs)
+            for row in rows
+        ]
+        self.stats.incr("tuples_output", len(out))
+        return out
+
+    def _eval_empty(self, term: Fun, fix_rows: dict,
+                    fix_env: dict) -> list[tuple]:
+        return []
+
+    def _eval_distinct(self, term: Fun, fix_rows: dict,
+                       fix_env: dict) -> list[tuple]:
+        return _dedupe(self._eval_rel(term.args[0], fix_rows, fix_env))
+
+    def _eval_semijoin(self, term: Fun, fix_rows: dict,
+                       fix_env: dict) -> list[tuple]:
+        return self._eval_existential(term, fix_rows, fix_env, keep=True)
+
+    def _eval_antijoin(self, term: Fun, fix_rows: dict,
+                       fix_env: dict) -> list[tuple]:
+        return self._eval_existential(term, fix_rows, fix_env, keep=False)
+
+    def _eval_existential(self, term: Fun, fix_rows: dict,
+                          fix_env: dict, keep: bool) -> list[tuple]:
+        left = self._eval_rel(term.args[0], fix_rows, fix_env)
+        right = self._eval_rel(term.args[1], fix_rows, fix_env)
+        qual = term.args[2]
+        out = []
+        for row in left:
+            self.stats.incr("tuples_scanned")
+            found = False
+            for partner in right:
+                self.stats.incr("join_pairs")
+                self.stats.incr("qual_evaluations")
+                if self._truthy(self._eval_expr(qual, [row, partner])):
+                    found = True
+                    break
+            if found == keep:
+                out.append(row)
+        self.stats.incr("tuples_output", len(out))
+        return out
+
+    def _eval_values(self, term: Fun, fix_rows: dict,
+                     fix_env: dict) -> list[tuple]:
+        rows_list = term.args[0]
+        out = []
+        for row_term in rows_list.args:  # type: ignore[union-attr]
+            out.append(tuple(
+                self._eval_expr(cell, []) for cell in row_term.args
+            ))
+        return out
+
+    def _eval_union(self, term: Fun, fix_rows: dict,
+                    fix_env: dict) -> list[tuple]:
+        out: list[tuple] = []
+        for r in ops.relation_inputs(term):
+            out.extend(self._eval_rel(r, fix_rows, fix_env))
+        return _dedupe(out)
+
+    def _eval_intersection(self, term: Fun, fix_rows: dict,
+                           fix_env: dict) -> list[tuple]:
+        inputs = ops.relation_inputs(term)
+        out = _dedupe(self._eval_rel(inputs[0], fix_rows, fix_env))
+        for r in inputs[1:]:
+            keep = set(self._eval_rel(r, fix_rows, fix_env))
+            out = [row for row in out if row in keep]
+        return out
+
+    def _eval_difference(self, term: Fun, fix_rows: dict,
+                         fix_env: dict) -> list[tuple]:
+        left = _dedupe(self._eval_rel(term.args[0], fix_rows, fix_env))
+        right = set(self._eval_rel(term.args[1], fix_rows, fix_env))
+        return [row for row in left if row not in right]
+
+    # -- fixpoint -------------------------------------------------------------
+    def _eval_fix(self, term: Fun, fix_rows: dict,
+                  fix_env: dict) -> list[tuple]:
+        rel_const, body = term.args
+        name = str(rel_const.value)  # type: ignore[union-attr]
+        schema = schema_of(term, self.catalog, fix_env)
+        inner_env = dict(fix_env)
+        inner_env[name] = schema
+
+        if self.semi_naive:
+            return self._fix_semi_naive(name, body, fix_rows, inner_env)
+        return self._fix_naive(name, body, fix_rows, inner_env)
+
+    def _fix_naive(self, name: str, body: Term, fix_rows: dict,
+                   fix_env: dict) -> list[tuple]:
+        total: dict[tuple, None] = {}
+        for iteration in range(self.max_fix_iterations):
+            self.stats.incr("fix_iterations")
+            inner_rows = dict(fix_rows)
+            inner_rows[name] = list(total)
+            produced = self._eval_rel(body, inner_rows, fix_env)
+            before = len(total)
+            for row in produced:
+                total.setdefault(row, None)
+            if len(total) == before:
+                return list(total)
+        raise EvaluationError(
+            f"fixpoint {name} did not converge within "
+            f"{self.max_fix_iterations} iterations"
+        )
+
+    def _fix_semi_naive(self, name: str, body: Term, fix_rows: dict,
+                        fix_env: dict) -> list[tuple]:
+        delta_name = f"{name}$DELTA"
+        inner_env = dict(fix_env)
+        inner_env[delta_name] = inner_env[name]
+
+        if is_fun(body, "UNION"):
+            branches = list(ops.relation_inputs(body))
+        else:
+            branches = [body]
+
+        base_branches = [b for b in branches
+                         if _count_symbol(b, name) == 0]
+        rec_branches = [b for b in branches
+                        if _count_symbol(b, name) > 0]
+
+        total: dict[tuple, None] = {}
+        for b in base_branches:
+            self.stats.incr("fix_iterations")
+            for row in self._eval_rel(b, fix_rows, inner_env):
+                total.setdefault(row, None)
+        delta = list(total)
+
+        # delta rules: one variant per occurrence of the recursive
+        # relation (covers the non-linear case: at least one occurrence
+        # reads the delta, the others the running total).
+        variants: list[Term] = []
+        for b in rec_branches:
+            occurrences = _count_symbol(b, name)
+            for i in range(occurrences):
+                variants.append(_replace_nth_symbol(b, name, i, delta_name))
+
+        guard = 0
+        while delta:
+            guard += 1
+            if guard > self.max_fix_iterations:
+                raise EvaluationError(
+                    f"fixpoint {name} did not converge within "
+                    f"{self.max_fix_iterations} iterations"
+                )
+            self.stats.incr("fix_iterations")
+            inner_rows = dict(fix_rows)
+            inner_rows[name] = list(total)
+            inner_rows[delta_name] = delta
+            produced: list[tuple] = []
+            for v in variants:
+                produced.extend(self._eval_rel(v, inner_rows, inner_env))
+            delta = []
+            for row in _dedupe(produced):
+                if row not in total:
+                    total[row] = None
+                    delta.append(row)
+        return list(total)
+
+    # -- nest / unnest ----------------------------------------------------------
+    def _eval_nest(self, term: Fun, fix_rows: dict,
+                   fix_env: dict) -> list[tuple]:
+        from repro.adt.values import (ArrayValue, BagValue, ListValue,
+                                      SetValue, TupleValue)
+        ctors = {"SET": SetValue, "BAG": BagValue,
+                 "LIST": ListValue, "ARRAY": ArrayValue}
+
+        input_term, nested_list, spec = term.args
+        rows = self._eval_rel(input_term, fix_rows, fix_env)
+        input_schema = schema_of(input_term, self.catalog, fix_env)
+
+        positions = [a.pos for a in nested_list.args]  # type: ignore
+        kind = str(spec.args[1].value)  # type: ignore[union-attr]
+        kept = [p for p in range(1, len(input_schema) + 1)
+                if p not in positions]
+        nested_names = [input_schema.attr_name(p) for p in positions]
+
+        groups: dict[tuple, list] = {}
+        for row in rows:
+            key = tuple(row[p - 1] for p in kept)
+            if len(positions) == 1:
+                item = row[positions[0] - 1]
+            else:
+                item = TupleValue(zip(
+                    nested_names, (row[p - 1] for p in positions)
+                ))
+            groups.setdefault(key, []).append(item)
+
+        ctor = ctors[kind]
+        out = [key + (ctor(items),) for key, items in groups.items()]
+        self.stats.incr("tuples_output", len(out))
+        return out
+
+    def _eval_unnest(self, term: Fun, fix_rows: dict,
+                     fix_env: dict) -> list[tuple]:
+        from repro.adt.values import CollectionValue
+        input_term, attr = term.args
+        rows = self._eval_rel(input_term, fix_rows, fix_env)
+        pos = attr.pos  # type: ignore[union-attr]
+        out = []
+        for row in rows:
+            coll = row[pos - 1]
+            if not isinstance(coll, CollectionValue):
+                raise EvaluationError(
+                    f"UNNEST attribute {pos} is not a collection: {coll!r}"
+                )
+            for element in coll:
+                out.append(row[:pos - 1] + (element,) + row[pos:])
+        self.stats.incr("tuples_output", len(out))
+        return out
+
+    # -- scalar expressions ----------------------------------------------------
+    def _eval_expr(self, expr: Term, env: Sequence[tuple]) -> Any:
+        if isinstance(expr, Const):
+            if expr.kind == "symbol":
+                return str(expr.value)
+            return expr.value
+
+        if isinstance(expr, AttrRef):
+            if expr.rel - 1 >= len(env):
+                raise EvaluationError(
+                    f"attribute reference #{expr.rel}.{expr.pos} exceeds "
+                    f"the {len(env)} bound relation(s)"
+                )
+            row = env[expr.rel - 1]
+            if expr.pos - 1 >= len(row):
+                raise EvaluationError(
+                    f"attribute reference #{expr.rel}.{expr.pos} exceeds "
+                    f"the row width {len(row)}"
+                )
+            return row[expr.pos - 1]
+
+        if isinstance(expr, Fun):
+            name = expr.name
+            if name == "AND":
+                return all(
+                    self._truthy(self._eval_expr(a, env))
+                    for a in expr.args
+                )
+            if name == "OR":
+                return any(
+                    self._truthy(self._eval_expr(a, env))
+                    for a in expr.args
+                )
+            if name == "NOT":
+                return not self._truthy(self._eval_expr(expr.args[0], env))
+            if name == "AS":
+                return self._eval_expr(expr.args[0], env)
+            args = [self._eval_expr(a, env) for a in expr.args]
+            return self.catalog.registry.call(name, args, self)
+
+        raise EvaluationError(f"cannot evaluate expression {expr!r}")
+
+    @staticmethod
+    def _truthy(value: Any) -> bool:
+        return bool(value)
+
+
+def _equi_probe(conjunct: Term, pos: int, bound: set):
+    """(own column, other AttrRef) when ``conjunct`` is an equality
+    linking input ``pos`` to a bound input; None otherwise."""
+    if not (is_fun(conjunct, "=") and len(conjunct.args) == 2):
+        return None
+    left, right = conjunct.args  # type: ignore[union-attr]
+    if not (isinstance(left, AttrRef) and isinstance(right, AttrRef)):
+        return None
+    for own, other in ((left, right), (right, left)):
+        if own.rel == pos and other.rel in bound:
+            return own.pos, other
+    return None
+
+
+def _free_symbols(term: Term) -> set[str]:
+    from repro.terms.term import walk
+    return {
+        str(t.value) for t in walk(term)
+        if isinstance(t, Const) and t.kind == "symbol"
+    }
+
+
+def _count_symbol(term: Term, name: str) -> int:
+    from repro.terms.term import walk
+    return sum(
+        1 for t in walk(term)
+        if isinstance(t, Const) and t.kind == "symbol"
+        and str(t.value) == name
+    )
+
+
+def _replace_nth_symbol(term: Term, name: str, n: int,
+                        replacement: str) -> Term:
+    """Replace the n-th (0-based) occurrence of symbol ``name``."""
+    counter = [0]
+
+    def rec(t: Term) -> Term:
+        if isinstance(t, Const) and t.kind == "symbol" \
+                and str(t.value) == name:
+            index = counter[0]
+            counter[0] += 1
+            if index == n:
+                return sym(replacement)
+            return t
+        if isinstance(t, Fun):
+            return mk_fun(t.name, [rec(a) for a in t.args])
+        return t
+
+    return rec(term)
+
+
+def evaluate(term: Term, catalog: Catalog,
+             stats: Optional[EvalStats] = None, **options) -> Result:
+    """Convenience wrapper: evaluate ``term`` against ``catalog``."""
+    return Evaluator(catalog, stats=stats, **options).evaluate(term)

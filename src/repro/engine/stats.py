@@ -1,0 +1,55 @@
+"""Work counters for the evaluator.
+
+Benchmarks compare plans by *work done*, not only wall-clock time:
+``tuples_scanned`` counts every tuple read from a stored or intermediate
+relation, ``join_pairs`` every partial combination extended inside a
+SEARCH/JOIN, ``fix_iterations`` the rounds of a fixpoint.  The counters
+are deliberately deterministic so the paper-shape assertions in
+EXPERIMENTS.md are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["EvalStats"]
+
+
+class EvalStats:
+    """Mutable evaluation counters."""
+
+    TRACKED = (
+        "tuples_scanned", "tuples_output", "join_pairs",
+        "fix_iterations", "qual_evaluations", "operators_evaluated",
+    )
+
+    def __init__(self):
+        self.counters: Counter = Counter()
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self.counters[key] += amount
+
+    def __getattr__(self, key: str) -> int:
+        if key in EvalStats.TRACKED:
+            return self.counters[key]
+        raise AttributeError(key)
+
+    def merge(self, other: "EvalStats") -> "EvalStats":
+        self.counters.update(other.counters)
+        return self
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+    def snapshot(self) -> dict:
+        return {key: self.counters[key] for key in self.TRACKED}
+
+    @property
+    def total_work(self) -> int:
+        """A single scalar summary: scans plus join extensions."""
+        return (self.counters["tuples_scanned"]
+                + self.counters["join_pairs"])
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={self.counters[k]}" for k in self.TRACKED)
+        return f"EvalStats({inner})"

@@ -1,0 +1,190 @@
+"""In-memory relation storage.
+
+The EDS server stored relations on a parallel store; the rewriter only
+needs a substrate that can *execute* LERA plans so rewriting effects are
+measurable, so relations are lists of tuples in memory.  Value coercion
+turns plain Python containers into the ADT runtime values declared by
+the relation schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.adt.types import (AtomicType, CollectionType, DataType,
+                             EnumerationType, ObjectType, TupleType)
+from repro.adt.values import (ArrayValue, BagValue, CollectionValue,
+                              ListValue, ObjectRef, ObjectStore, SetValue,
+                              TupleValue)
+from repro.errors import ValueError_
+from repro.lera.schema import Schema
+
+__all__ = ["BaseRelation", "coerce_value", "coerce_row"]
+
+_COLLECTION_CTORS = {
+    "SET": SetValue,
+    "BAG": BagValue,
+    "LIST": ListValue,
+    "ARRAY": ArrayValue,
+}
+
+
+def coerce_value(value: Any, dtype: DataType, objects: ObjectStore) -> Any:
+    """Convert a plain Python value to the runtime value for ``dtype``.
+
+    Lists/tuples/sets become the declared collection ADT, dicts become
+    tuple values, strings are checked against enumerations, and object
+    references are validated against the store.
+    """
+    if isinstance(dtype, CollectionType):
+        if isinstance(value, CollectionValue):
+            elems = value.elements
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            elems = tuple(value)
+        else:
+            raise ValueError_(
+                f"expected a collection for {dtype.name}, got {value!r}"
+            )
+        ctor = _COLLECTION_CTORS.get(dtype.kind, BagValue)
+        return ctor(coerce_value(e, dtype.element, objects) for e in elems)
+
+    if isinstance(dtype, TupleType):
+        if isinstance(value, TupleValue):
+            items = list(value.items())
+        elif isinstance(value, dict):
+            items = list(value.items())
+        elif isinstance(value, (list, tuple)) and \
+                len(value) == len(dtype.fields):
+            items = list(zip(dtype.field_names, value))
+        else:
+            raise ValueError_(
+                f"expected a tuple value for {dtype.name}, got {value!r}"
+            )
+        coerced = []
+        for name, v in items:
+            ftype = dtype.field_type(name)
+            coerced.append((name, coerce_value(v, ftype, objects)))
+        return TupleValue(coerced)
+
+    if isinstance(dtype, ObjectType):
+        if isinstance(value, ObjectRef):
+            if value not in objects:
+                raise ValueError_(f"dangling reference {value!r}")
+            return value
+        raise ValueError_(
+            f"expected an object reference of type {dtype.name}, "
+            f"got {value!r}"
+        )
+
+    if isinstance(dtype, EnumerationType):
+        if not isinstance(value, str) or not dtype.contains(value):
+            raise ValueError_(
+                f"{value!r} is not a literal of enumeration {dtype.name} "
+                f"{list(dtype.literals)}"
+            )
+        return value
+
+    if isinstance(dtype, AtomicType):
+        name = dtype.name
+        if name == "BOOLEAN":
+            if not isinstance(value, bool):
+                raise ValueError_(f"expected a boolean, got {value!r}")
+            return value
+        if name == "INT":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError_(f"expected an int, got {value!r}")
+            return value
+        if name == "REAL":
+            if isinstance(value, bool) or \
+                    not isinstance(value, (int, float)):
+                raise ValueError_(f"expected a real, got {value!r}")
+            return float(value)
+        if name == "NUMERIC":
+            if isinstance(value, bool) or \
+                    not isinstance(value, (int, float)):
+                raise ValueError_(f"expected a number, got {value!r}")
+            return value
+        if name == "CHAR":
+            if not isinstance(value, str):
+                raise ValueError_(f"expected a string, got {value!r}")
+            return value
+
+    # ANY and user types without dedicated handling: pass through
+    return value
+
+
+def coerce_row(row: Sequence[Any], schema: Schema,
+               objects: ObjectStore) -> tuple:
+    if len(row) != len(schema):
+        raise ValueError_(
+            f"row has {len(row)} values, schema has {len(schema)} "
+            f"attributes ({list(schema.names)})"
+        )
+    return tuple(
+        coerce_value(v, schema.attr_type(i), objects)
+        for i, v in enumerate(row, start=1)
+    )
+
+
+class BaseRelation:
+    """A stored relation: a schema plus a list of tuples (bag semantics).
+
+    ``key`` holds the declared PRIMARY KEY positions (1-based);
+    uniqueness is enforced on insert, which is what makes the
+    redundant-self-join elimination rule sound.
+    """
+
+    def __init__(self, name: str, schema: Schema,
+                 key: Sequence[int] = ()):
+        self.name = name
+        self.schema = schema
+        self.rows: list[tuple] = []
+        self.key = tuple(key)
+        self._key_index: set = set()
+
+    def _key_of(self, row: tuple) -> tuple:
+        return tuple(row[p - 1] for p in self.key)
+
+    def insert(self, row: Sequence[Any], objects: ObjectStore) -> tuple:
+        coerced = coerce_row(row, self.schema, objects)
+        if self.key:
+            key_value = self._key_of(coerced)
+            if key_value in self._key_index:
+                raise ValueError_(
+                    f"duplicate primary key {key_value!r} in "
+                    f"{self.name}"
+                )
+            self._key_index.add(key_value)
+        self.rows.append(coerced)
+        return coerced
+
+    def rebuild_key_index(self) -> None:
+        """Recompute the key index (after DELETE/UPDATE)."""
+        if self.key:
+            self._key_index = {self._key_of(r) for r in self.rows}
+            if len(self._key_index) != len(self.rows):
+                raise ValueError_(
+                    f"primary key violated in {self.name}"
+                )
+
+    def insert_many(self, rows: Iterable[Sequence[Any]],
+                    objects: ObjectStore) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row, objects)
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        self.rows.clear()
+        self._key_index.clear()
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"BaseRelation({self.name}, {len(self.rows)} rows)"

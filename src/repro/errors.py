@@ -1,0 +1,92 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class TypeSystemError(ReproError):
+    """Raised for invalid type definitions or failed type lookups."""
+
+
+class TypeCheckError(ReproError):
+    """Raised when an expression cannot be typed against a schema."""
+
+
+class ValueError_(ReproError):
+    """Raised for malformed runtime values (bad field, bad element type)."""
+
+
+class FunctionError(ReproError):
+    """Raised when an ADT function is applied to unsupported arguments."""
+
+
+class UnknownFunctionError(FunctionError):
+    """Raised when a function name is not present in the registry."""
+
+
+class TermError(ReproError):
+    """Raised for structurally invalid terms."""
+
+
+class ParseError(ReproError):
+    """Raised by the rule-language and ESQL parsers.
+
+    Attributes
+    ----------
+    message:
+        Human readable description of the problem.
+    line, column:
+        1-based position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+
+
+class RuleError(ReproError):
+    """Raised for malformed rewrite rules (unbound rhs variables, ...)."""
+
+
+class MethodError(ReproError):
+    """Raised when a rule method call fails or is unknown."""
+
+
+class ConstraintError(ReproError):
+    """Raised when a rule constraint cannot be evaluated."""
+
+
+class SchemaError(ReproError):
+    """Raised when a LERA term has no consistent output schema."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown relations/views/types or duplicate definitions."""
+
+
+class EvaluationError(ReproError):
+    """Raised when the execution engine cannot evaluate a LERA term."""
+
+
+class TranslationError(ReproError):
+    """Raised when an ESQL statement cannot be translated to LERA."""
+
+
+class RewriteError(ReproError):
+    """Raised by the rewrite engine for internal inconsistencies."""

@@ -1,0 +1,249 @@
+"""Abstract syntax for the ESQL subset (paper section 2).
+
+Covers everything the paper's figures use: TYPE definitions
+(enumerations, tuples, object tuples with subtyping and method
+declarations, named collections), TABLE definitions, possibly recursive
+CREATE VIEW, INSERT with complex-value literals and object creation
+(NEW), and SELECT with ADT function calls, MEMBER / ALL / EXIST,
+GROUP BY with collection constructors, and UNION.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "TypeExpr", "NamedType", "CollectionOf", "TupleOf",
+    "EnumTypeDef", "TupleTypeDef", "CollTypeDef",
+    "TableDef", "ViewDef", "InsertStmt", "Statement",
+    "Expr", "NumberLit", "StringLit", "BoolLit", "ColumnRef", "FnCall",
+    "BinOp", "NotExpr", "AndExpr", "OrExpr", "NewObject", "CollectionLit",
+    "TupleLit", "SelectItem", "FromItem", "Select", "UnionSelect", "Query",
+    "InSubquery", "ExistsSubquery", "InList",
+    "DeleteStmt", "UpdateStmt", "Star", "DropStmt",
+]
+
+
+# -- type expressions -------------------------------------------------------
+
+class TypeExpr:
+    """Base of type expressions appearing after ':' in declarations."""
+
+
+@dataclass(frozen=True)
+class NamedType(TypeExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class CollectionOf(TypeExpr):
+    kind: str            # SET | BAG | LIST | ARRAY
+    element: TypeExpr
+
+
+@dataclass(frozen=True)
+class TupleOf(TypeExpr):
+    fields: tuple  # of (name, TypeExpr)
+
+
+# -- DDL --------------------------------------------------------------------
+
+@dataclass
+class EnumTypeDef:
+    name: str
+    literals: tuple[str, ...]
+
+
+@dataclass
+class TupleTypeDef:
+    name: str
+    fields: tuple            # of (name, TypeExpr)
+    is_object: bool = False
+    supertype: Optional[str] = None
+    functions: tuple = ()    # declared method names (FUNCTION ...)
+
+
+@dataclass
+class CollTypeDef:
+    name: str
+    kind: str
+    element: TypeExpr
+
+
+@dataclass
+class TableDef:
+    name: str
+    columns: tuple           # of (name, TypeExpr)
+    primary_key: tuple = ()  # of column names
+
+
+@dataclass
+class ViewDef:
+    name: str
+    columns: tuple[str, ...]  # may be empty (inferred)
+    query: "Query"
+
+
+@dataclass
+class InsertStmt:
+    table: str
+    rows: tuple              # of tuple of Expr
+
+
+@dataclass
+class DropStmt:
+    kind: str                # "TABLE" or "VIEW"
+    name: str
+
+
+@dataclass
+class DeleteStmt:
+    table: str
+    where: Optional["Expr"] = None
+
+
+@dataclass
+class UpdateStmt:
+    table: str
+    assignments: tuple       # of (column name, Expr)
+    where: Optional["Expr"] = None
+
+
+# -- expressions -----------------------------------------------------------
+
+class Expr:
+    """Base of scalar expressions."""
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``SELECT *``: every column of every FROM relation, in order."""
+
+
+@dataclass(frozen=True)
+class NumberLit(Expr):
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    value: str
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    qualifier: Optional[str] = None   # table name or alias
+
+
+@dataclass(frozen=True)
+class FnCall(Expr):
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str                  # = <> < > <= >= + - * /
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class NotExpr(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class AndExpr(Expr):
+    operands: tuple
+
+
+@dataclass(frozen=True)
+class OrExpr(Expr):
+    operands: tuple
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)`` -- flattened to a semi/anti join."""
+    expr: Expr
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsSubquery(Expr):
+    """``EXISTS (SELECT ...)`` -- possibly correlated."""
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)`` -- sugar for MEMBER/MAKESET."""
+    expr: Expr
+    values: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class NewObject(Expr):
+    """``NEW TypeName(arg, ...)``: create an object, yield its reference."""
+    type_name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class CollectionLit(Expr):
+    """``SET(...)`` / ``BAG(...)`` / ``LIST(...)`` / ``ARRAY(...)``."""
+    kind: str
+    elements: tuple
+
+
+@dataclass(frozen=True)
+class TupleLit(Expr):
+    """``TUPLE(v1, v2, ...)`` -- positional against the declared type."""
+    values: tuple
+
+
+# -- queries ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FromItem:
+    relation: str
+    alias: Optional[str] = None
+
+
+@dataclass
+class Select:
+    items: tuple             # of SelectItem
+    from_items: tuple        # of FromItem
+    where: Optional[Expr] = None
+    group_by: tuple = ()     # of ColumnRef
+    having: Optional[Expr] = None  # over the grouped output columns
+    distinct: bool = False
+
+
+@dataclass
+class UnionSelect:
+    selects: tuple           # of Select
+
+
+Query = Union[Select, UnionSelect]
+
+Statement = Union[
+    EnumTypeDef, TupleTypeDef, CollTypeDef, TableDef, ViewDef,
+    InsertStmt, Select, UnionSelect,
+]

@@ -1,0 +1,32 @@
+"""LERA: the extended relational algebra of section 3.
+
+Operator constructors over terms, schema computation, type checking with
+generic-function inference, attribute-reference analysis and plan
+printing.
+"""
+
+from repro.lera.analysis import (attrefs_of, map_attrefs, max_rel_index,
+                                 refers_only_to, rels_referenced,
+                                 rename_single_rel, shift_rel_indices)
+from repro.lera.ops import (LERA_OPERATORS, as_item, difference, filter_,
+                            fix, intersection, is_lera_operator,
+                            is_relation_name, item_expr, item_name, join,
+                            nest, proj_items, projection, rel_list,
+                            relation, relation_inputs, search, search_parts,
+                            union, unnest)
+from repro.lera.printer import plan_to_str
+from repro.lera.schema import Schema, infer_type, item_output_name, schema_of
+from repro.lera.typecheck import normalize_expression, typecheck
+
+__all__ = [
+    "LERA_OPERATORS", "as_item", "difference", "filter_", "fix",
+    "intersection", "is_lera_operator", "is_relation_name", "item_expr",
+    "item_name", "join", "nest", "proj_items", "projection", "rel_list",
+    "relation", "relation_inputs", "search", "search_parts", "union",
+    "unnest",
+    "Schema", "infer_type", "item_output_name", "schema_of",
+    "normalize_expression", "typecheck",
+    "attrefs_of", "map_attrefs", "max_rel_index", "refers_only_to",
+    "rels_referenced", "rename_single_rel", "shift_rel_indices",
+    "plan_to_str",
+]

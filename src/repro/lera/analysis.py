@@ -1,0 +1,87 @@
+"""Attribute-reference analysis and renumbering over LERA terms.
+
+The merging and permutation rules of section 5 move expressions between
+operators whose inputs are numbered; their method calls (``SUBSTITUTE``,
+``REFER``, ``SCHEMA``) are implemented on top of these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.terms.term import (AttrRef, Fun, Term, mk_fun, walk)
+
+__all__ = [
+    "attrefs_of", "rels_referenced", "max_rel_index",
+    "shift_rel_indices", "map_attrefs", "refers_only_to",
+    "rename_single_rel",
+]
+
+
+def attrefs_of(term: Term) -> tuple[AttrRef, ...]:
+    """Every attribute reference in ``term``, in traversal order."""
+    return tuple(t for t in walk(term) if isinstance(t, AttrRef))
+
+
+def rels_referenced(term: Term) -> set[int]:
+    """The set of input-relation indices referenced by ``term``."""
+    return {a.rel for a in attrefs_of(term)}
+
+
+def max_rel_index(term: Term) -> int:
+    """The highest input-relation index referenced (0 when none)."""
+    rels = rels_referenced(term)
+    return max(rels) if rels else 0
+
+
+def map_attrefs(term: Term,
+                fn: Callable[[AttrRef], Optional[Term]]) -> Term:
+    """Rebuild ``term`` replacing each AttrRef ``a`` by ``fn(a)``.
+
+    ``fn`` returning None keeps the reference unchanged.
+    """
+    if isinstance(term, AttrRef):
+        replacement = fn(term)
+        return term if replacement is None else replacement
+    if isinstance(term, Fun):
+        return mk_fun(term.name, [map_attrefs(a, fn) for a in term.args])
+    return term
+
+
+def shift_rel_indices(term: Term, delta: int,
+                      only_at_or_above: int = 1) -> Term:
+    """Renumber relation indices: add ``delta`` to every reference whose
+    index is >= ``only_at_or_above``."""
+    def shift(a: AttrRef) -> Optional[Term]:
+        if a.rel >= only_at_or_above:
+            return AttrRef(a.rel + delta, a.pos)
+        return None
+    return map_attrefs(term, shift)
+
+
+def rename_single_rel(term: Term, source: int, target: int) -> Term:
+    """Renumber references to relation ``source`` as ``target``."""
+    def rename(a: AttrRef) -> Optional[Term]:
+        if a.rel == source:
+            return AttrRef(target, a.pos)
+        return None
+    return map_attrefs(term, rename)
+
+
+def refers_only_to(term: Term, rel: int,
+                   positions: Optional[Iterable[int]] = None) -> bool:
+    """True when every attribute reference in ``term`` points at input
+    ``rel`` (and, if given, at one of ``positions``).
+
+    This is the REFER external Boolean function of Figure 8.
+    """
+    allowed = None if positions is None else set(positions)
+    refs = attrefs_of(term)
+    if not refs:
+        return True
+    for a in refs:
+        if a.rel != rel:
+            return False
+        if allowed is not None and a.pos not in allowed:
+            return False
+    return True

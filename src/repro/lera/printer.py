@@ -1,0 +1,74 @@
+"""Indented tree rendering of LERA plans (used by EXPLAIN)."""
+
+from __future__ import annotations
+
+from repro.lera import ops
+from repro.terms.printer import term_to_str
+from repro.terms.term import Fun, Term
+
+__all__ = ["plan_to_str"]
+
+
+def plan_to_str(term: Term, indent: int = 0) -> str:
+    """Render a LERA term as an indented operator tree."""
+    pad = "  " * indent
+    if ops.is_relation_name(term):
+        return f"{pad}{term.value}"  # type: ignore[union-attr]
+    if not isinstance(term, Fun) or term.name not in ops.LERA_OPERATORS:
+        return f"{pad}{term_to_str(term)}"
+
+    name = term.name
+    lines = []
+    if name == "SEARCH":
+        inputs, qual, items = ops.search_parts(term)
+        head = f"{pad}SEARCH [{term_to_str(qual)}] -> " \
+               f"({', '.join(term_to_str(i) for i in items)})"
+        lines.append(head)
+        for r in inputs:
+            lines.append(plan_to_str(r, indent + 1))
+    elif name == "JOIN":
+        lines.append(f"{pad}JOIN [{term_to_str(term.args[1])}]")
+        for r in ops.rel_list(term):
+            lines.append(plan_to_str(r, indent + 1))
+    elif name == "FILTER":
+        lines.append(f"{pad}FILTER [{term_to_str(term.args[1])}]")
+        lines.append(plan_to_str(term.args[0], indent + 1))
+    elif name == "PROJECTION":
+        items = ops.proj_items(term)
+        lines.append(
+            f"{pad}PROJECTION "
+            f"({', '.join(term_to_str(i) for i in items)})"
+        )
+        lines.append(plan_to_str(term.args[0], indent + 1))
+    elif name in ("UNION", "INTERSECTION"):
+        lines.append(f"{pad}{name}")
+        for r in ops.relation_inputs(term):
+            lines.append(plan_to_str(r, indent + 1))
+    elif name == "DIFFERENCE":
+        lines.append(f"{pad}DIFFERENCE")
+        lines.append(plan_to_str(term.args[0], indent + 1))
+        lines.append(plan_to_str(term.args[1], indent + 1))
+    elif name == "FIX":
+        lines.append(f"{pad}FIX {term.args[0].value}")  # type: ignore
+        lines.append(plan_to_str(term.args[1], indent + 1))
+    elif name == "NEST":
+        nested = term_to_str(term.args[1])
+        spec = term_to_str(term.args[2])
+        lines.append(f"{pad}NEST {nested} AS {spec}")
+        lines.append(plan_to_str(term.args[0], indent + 1))
+    elif name == "UNNEST":
+        lines.append(f"{pad}UNNEST {term_to_str(term.args[1])}")
+        lines.append(plan_to_str(term.args[0], indent + 1))
+    elif name == "VALUES":
+        rows = term.args[0].args  # type: ignore[union-attr]
+        lines.append(f"{pad}VALUES ({len(rows)} rows)")
+    elif name == "EMPTY":
+        lines.append(f"{pad}EMPTY ({term.args[0].value} columns)")
+    elif name == "DISTINCT":
+        lines.append(f"{pad}DISTINCT")
+        lines.append(plan_to_str(term.args[0], indent + 1))
+    elif name in ("SEMIJOIN", "ANTIJOIN"):
+        lines.append(f"{pad}{name} [{term_to_str(term.args[2])}]")
+        lines.append(plan_to_str(term.args[0], indent + 1))
+        lines.append(plan_to_str(term.args[1], indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Type checking and generic-function inference over LERA terms.
+
+Section 5 of the paper lists "type checking function rules" as the first
+syntactic-rewriting activity: the rewriter "correctly infers types and
+adds the necessary conversion functions".  The canonical example (section
+3.3): the ESQL condition ``Salary(Refactor) > 1000`` becomes
+``PROJECT(VALUE(Refactor), Salary) > 1000`` in LERA -- the attribute name
+applied as a function is resolved to a tuple projection, behind an object
+dereference when the operand is an object reference.
+
+:func:`typecheck` walks a LERA term bottom-up, computes every operator's
+input schemas, rewrites attribute-as-function calls into explicit
+``PROJECT`` / ``VALUE`` chains (broadcasting through collections), and
+validates attribute references and function names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adt.types import CollectionType, DataType, ObjectType, TupleType
+from repro.errors import TypeCheckError
+from repro.lera import ops
+from repro.lera.schema import Schema, infer_type, schema_of
+from repro.terms.term import (AttrRef, Const, Fun, Term, is_fun, mk_fun,
+                              string)
+
+__all__ = ["typecheck", "normalize_expression"]
+
+
+def typecheck(term: Term, catalog,
+              fix_env: Optional[dict] = None) -> tuple[Term, Schema]:
+    """Normalise function calls in ``term`` and return it with its schema."""
+    fix_env = fix_env or {}
+
+    if ops.is_relation_name(term):
+        return term, schema_of(term, catalog, fix_env)
+
+    if not isinstance(term, Fun):
+        raise TypeCheckError(f"not a LERA term: {term!r}")
+
+    name = term.name
+
+    if name == "SEARCH":
+        inputs, qual, items = ops.search_parts(term)
+        new_inputs, schemas = _check_inputs(inputs, catalog, fix_env)
+        new_qual = normalize_expression(qual, schemas, catalog)
+        _require_valid(new_qual, schemas, catalog)
+        new_items = tuple(
+            _normalize_item(i, schemas, catalog) for i in items
+        )
+        new_term = ops.search(new_inputs, new_qual, new_items)
+        return new_term, schema_of(new_term, catalog, fix_env)
+
+    if name == "PROJECTION":
+        new_input, schema = typecheck(term.args[0], catalog, fix_env)
+        items = ops.proj_items(term)
+        new_items = tuple(
+            _normalize_item(i, [schema], catalog) for i in items
+        )
+        new_term = ops.projection(new_input, new_items)
+        return new_term, schema_of(new_term, catalog, fix_env)
+
+    if name == "FILTER":
+        new_input, schema = typecheck(term.args[0], catalog, fix_env)
+        new_qual = normalize_expression(term.args[1], [schema], catalog)
+        _require_valid(new_qual, [schema], catalog)
+        return ops.filter_(new_input, new_qual), schema
+
+    if name == "JOIN":
+        inputs = ops.rel_list(term)
+        new_inputs, schemas = _check_inputs(inputs, catalog, fix_env)
+        new_qual = normalize_expression(term.args[1], schemas, catalog)
+        _require_valid(new_qual, schemas, catalog)
+        new_term = ops.join(new_inputs, new_qual)
+        return new_term, schema_of(new_term, catalog, fix_env)
+
+    if name in ("UNION", "INTERSECTION"):
+        inputs = ops.relation_inputs(term)
+        new_inputs, schemas = _check_inputs(inputs, catalog, fix_env)
+        builder = ops.union if name == "UNION" else ops.intersection
+        new_term = builder(new_inputs)
+        return new_term, schema_of(new_term, catalog, fix_env)
+
+    if name == "DIFFERENCE":
+        new_left, left_schema = typecheck(term.args[0], catalog, fix_env)
+        new_right, __ = typecheck(term.args[1], catalog, fix_env)
+        return ops.difference(new_left, new_right), left_schema
+
+    if name in ("SEMIJOIN", "ANTIJOIN"):
+        new_left, left_schema = typecheck(term.args[0], catalog, fix_env)
+        new_right, right_schema = typecheck(term.args[1], catalog, fix_env)
+        new_qual = normalize_expression(
+            term.args[2], [left_schema, right_schema], catalog
+        )
+        _require_valid(new_qual, [left_schema, right_schema], catalog)
+        return mk_fun(name, [new_left, new_right, new_qual]), left_schema
+
+    if name == "FIX":
+        rel_const, body = term.args
+        schema = schema_of(term, catalog, fix_env)
+        inner_env = dict(fix_env)
+        inner_env[str(rel_const.value)] = schema  # type: ignore[union-attr]
+        new_body, __ = typecheck(body, catalog, inner_env)
+        new_term = mk_fun("FIX", [rel_const, new_body])
+        return new_term, schema
+
+    if name in ("VALUES", "EMPTY"):
+        return term, schema_of(term, catalog, fix_env)
+
+    if name == "DISTINCT":
+        new_input, schema = typecheck(term.args[0], catalog, fix_env)
+        return mk_fun("DISTINCT", [new_input]), schema
+
+    if name in ("NEST", "UNNEST"):
+        new_input, __ = typecheck(term.args[0], catalog, fix_env)
+        new_term = mk_fun(name, (new_input,) + term.args[1:])
+        return new_term, schema_of(new_term, catalog, fix_env)
+
+    raise TypeCheckError(f"unknown LERA operator {name!r}")
+
+
+def _check_inputs(inputs, catalog, fix_env) -> tuple[list[Term], list[Schema]]:
+    new_inputs: list[Term] = []
+    schemas: list[Schema] = []
+    for r in inputs:
+        new_r, s = typecheck(r, catalog, fix_env)
+        new_inputs.append(new_r)
+        schemas.append(s)
+    return new_inputs, schemas
+
+
+def _normalize_item(item: Term, schemas: list[Schema], catalog) -> Term:
+    if is_fun(item, "AS"):
+        expr, name_const = item.args  # type: ignore[union-attr]
+        new_expr = normalize_expression(expr, schemas, catalog)
+        _require_valid(new_expr, schemas, catalog)
+        return mk_fun("AS", [new_expr, name_const])
+    new_expr = normalize_expression(item, schemas, catalog)
+    _require_valid(new_expr, schemas, catalog)
+    return new_expr
+
+
+def _require_valid(expr: Term, schemas: list[Schema], catalog) -> None:
+    # forces attribute-range and typing errors to surface here
+    infer_type(expr, schemas, catalog)
+
+
+def normalize_expression(expr: Term, input_schemas: list[Schema],
+                         catalog) -> Term:
+    """Rewrite attribute-as-function calls to PROJECT / VALUE chains."""
+    if isinstance(expr, (Const, AttrRef)):
+        return expr
+    if not isinstance(expr, Fun):
+        raise TypeCheckError(f"cannot type-check {expr!r}")
+
+    if expr.name == "AS":
+        inner = normalize_expression(expr.args[0], input_schemas, catalog)
+        return mk_fun("AS", [inner, expr.args[1]])
+
+    if expr.name == "PROJECT" and len(expr.args) == 2:
+        base = normalize_expression(expr.args[0], input_schemas, catalog)
+        return mk_fun("PROJECT", [base, expr.args[1]])
+
+    args = [normalize_expression(a, input_schemas, catalog)
+            for a in expr.args]
+
+    if len(args) == 1:
+        arg_type = infer_type(args[0], input_schemas, catalog)
+        rewritten = _field_access(expr.name, args[0], arg_type)
+        if rewritten is not None:
+            return rewritten
+
+    registry = catalog.registry
+    if registry.knows(expr.name):
+        return mk_fun(expr.name, args)
+
+    raise TypeCheckError(
+        f"unknown function {expr.name!r}: it is neither a registered ADT "
+        f"function nor an attribute of its operand's type"
+    )
+
+
+def _field_access(name: str, arg: Term,
+                  arg_type: DataType) -> Optional[Term]:
+    """Build PROJECT(VALUE(arg), 'Field') when ``name`` is a field."""
+    if isinstance(arg_type, TupleType) and arg_type.has_field(name):
+        return mk_fun("PROJECT", [arg, string(_declared(arg_type, name))])
+    if isinstance(arg_type, ObjectType) and \
+            arg_type.value_type.has_field(name):
+        field = _declared(arg_type.value_type, name)
+        return mk_fun("PROJECT", [mk_fun("VALUE", [arg]), string(field)])
+    if isinstance(arg_type, CollectionType):
+        # broadcast: the same rewrite applies element-wise at runtime
+        return _field_access(name, arg, arg_type.element)
+    return None
+
+
+def _declared(tuple_type: TupleType, name: str) -> str:
+    for field, __ in tuple_type.fields:
+        if field.upper() == name.upper():
+            return field
+    return name

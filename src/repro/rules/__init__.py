@@ -1,0 +1,43 @@
+"""The rule system: rules, constraints, methods, control and libraries."""
+
+from repro.rules.constraints import (ConstraintEvaluator, isa_predicate,
+                                     nonempty_predicate, refer_predicate)
+from repro.rules.control import (Block, RewriteEngine, RewriteResult, Seq,
+                                 TraceEntry)
+from repro.rules.methods import (MethodRegistry, default_method_registry,
+                                 value_to_term)
+from repro.rules.keys import (SelfJoinEliminationRule,
+                              SemijoinProjectionPruningRule)
+from repro.rules.native import (ConstantFoldingRule, DomainConstraintRule,
+                                NativeRule)
+from repro.rules.rule import (RewriteRule, RuleContext, compile_rule,
+                              rule_from_text)
+from repro.rules.semantic import (compile_integrity_constraint,
+                                  figure10_constraints,
+                                  implicit_knowledge_rules,
+                                  simplification_rules)
+from repro.rules.syntactic import (canonicalization_rules, fixpoint_rules,
+                                   merging_rules, or_split_rules,
+                                   permutation_rules, pruning_rules,
+                                   semijoin_rules)
+from repro.rules.library import (DEFAULT_SEMANTIC_LIMIT, standard_blocks,
+                                 standard_seq)
+from repro.rules.meta import (parse_program, program_to_text,
+                              standard_rule_library)
+
+__all__ = [
+    "ConstraintEvaluator", "isa_predicate", "nonempty_predicate",
+    "refer_predicate",
+    "Block", "RewriteEngine", "RewriteResult", "Seq", "TraceEntry",
+    "MethodRegistry", "default_method_registry", "value_to_term",
+    "ConstantFoldingRule", "DomainConstraintRule", "NativeRule",
+    "SelfJoinEliminationRule", "SemijoinProjectionPruningRule",
+    "RewriteRule", "RuleContext", "compile_rule", "rule_from_text",
+    "compile_integrity_constraint", "figure10_constraints",
+    "implicit_knowledge_rules", "simplification_rules",
+    "canonicalization_rules", "fixpoint_rules", "merging_rules",
+    "or_split_rules", "permutation_rules", "pruning_rules",
+    "semijoin_rules",
+    "DEFAULT_SEMANTIC_LIMIT", "standard_blocks", "standard_seq",
+    "parse_program", "program_to_text", "standard_rule_library",
+]

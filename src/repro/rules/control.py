@@ -1,0 +1,291 @@
+"""Control strategy: blocks of rules and sequences of blocks (section 4.2).
+
+The paper's meta-rule language::
+
+    block({rules}, value)   -- a set of rules run up to ``value``
+                               applications (an infinite limit means
+                               saturation)
+    seq((blocks), value)    -- blocks applied in order, the whole list
+                               up to ``value`` times
+
+"Any optimizer generated with the rule language is a sequence of blocks
+of rules which can be applied multiple times.  Changing block
+definitions or the list of blocks in the sequence meta-rule may
+completely change the generated optimizer."
+
+The engine applies rules outermost-first: it scans the term top-down,
+tries each rule of the block at each position, applies the first
+application that *changes* the term, and restarts the scan.  A block
+finishes when its budget is exhausted or the term is saturated.
+
+The paper describes the limit both as "the maximum number of rule
+applications" and as decremented "each time a rule condition is
+checked"; both accountings are implemented (``count`` = "applications"
+or "checks") and compared in the A1/A2 ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ReproError, RewriteError
+from repro.lera import ops
+from repro.lera.schema import Schema, schema_of
+from repro.rules.rule import RewriteRule, RuleContext
+from repro.terms.term import Const, Fun, Term, is_fun, replace_at
+
+__all__ = ["Block", "Seq", "RewriteEngine", "RewriteResult", "TraceEntry"]
+
+_SAFETY_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded rule application."""
+
+    block: str
+    rule: str
+    path: tuple
+    before: Term
+    after: Term
+
+    def __str__(self) -> str:
+        return (f"[{self.block}/{self.rule}] at {list(self.path)}: "
+                f"{self.before!r}  ==>  {self.after!r}")
+
+
+@dataclass
+class RewriteResult:
+    """The outcome of running a rewrite program."""
+
+    term: Term
+    trace: list[TraceEntry] = field(default_factory=list)
+    applications: int = 0
+    checks: int = 0
+    passes: int = 0
+
+    def rules_fired(self) -> list[str]:
+        return [entry.rule for entry in self.trace]
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Per-block histograms of rule firings."""
+        out: dict[str, dict[str, int]] = {}
+        for entry in self.trace:
+            block = out.setdefault(entry.block, {})
+            block[entry.rule] = block.get(entry.rule, 0) + 1
+        return out
+
+
+class Block:
+    """``block({rules}, value)``: rules plus an application budget.
+
+    ``limit=None`` means saturation (the paper's infinite limit).
+    ``count`` selects the budget unit: rule *applications* (default) or
+    rule-condition *checks* (the paper's stricter reading).
+    """
+
+    def __init__(self, name: str, rules: Iterable[RewriteRule],
+                 limit: Optional[int] = None, count: str = "applications"):
+        if count not in ("applications", "checks"):
+            raise RewriteError(
+                f"block {name!r}: count must be 'applications' or "
+                f"'checks', got {count!r}"
+            )
+        self.name = name
+        self.rules = list(rules)
+        self.limit = limit
+        self.count = count
+
+    def with_limit(self, limit: Optional[int]) -> "Block":
+        return Block(self.name, self.rules, limit, self.count)
+
+    def rule_names(self) -> list[str]:
+        return [r.name for r in self.rules]
+
+    def __repr__(self) -> str:
+        limit = "inf" if self.limit is None else self.limit
+        return f"Block({self.name}, {len(self.rules)} rules, limit={limit})"
+
+
+class Seq:
+    """``seq((blocks), value)``: an ordered block list applied up to
+    ``value`` full passes (stopping early at global saturation)."""
+
+    def __init__(self, blocks: Sequence[Block], passes: int = 1):
+        if passes < 0:
+            raise RewriteError("seq passes must be >= 0")
+        self.blocks = list(blocks)
+        self.passes = passes
+
+    def __repr__(self) -> str:
+        names = ", ".join(b.name for b in self.blocks)
+        return f"Seq([{names}], passes={self.passes})"
+
+
+class RewriteEngine:
+    """Runs a :class:`Seq` over a term, producing a rewrite trace."""
+
+    def __init__(self, seq: Seq, safety_limit: int = _SAFETY_LIMIT,
+                 collect_trace: bool = True):
+        self.seq = seq
+        self.safety_limit = safety_limit
+        self.collect_trace = collect_trace
+
+    def rewrite(self, term: Term, ctx: RuleContext) -> RewriteResult:
+        result = RewriteResult(term)
+        self._schema_cache: dict = {}
+        for __ in range(self.seq.passes):
+            changed = False
+            result.passes += 1
+            for block in self.seq.blocks:
+                before = result.term
+                self._run_block(block, result, ctx)
+                if result.term != before:
+                    changed = True
+            if not changed:
+                break
+        return result
+
+    # -- one block ----------------------------------------------------------
+    def _run_block(self, block: Block, result: RewriteResult,
+                   ctx: RuleContext) -> None:
+        budget = block.limit
+        while budget is None or budget > 0:
+            application = self._find_application(block, result, ctx, budget)
+            if application is None:
+                return
+            path, before, after, rule_name, spent_checks, new_term = \
+                application
+            if block.count == "checks":
+                if budget is not None:
+                    budget -= spent_checks
+                    if budget < 0:
+                        return  # the budget ran out mid-scan
+            else:
+                if budget is not None:
+                    budget -= 1
+            result.term = new_term
+            result.applications += 1
+            self._schema_cache.clear()
+            if self.collect_trace:
+                result.trace.append(TraceEntry(
+                    block.name, rule_name, path, before, after,
+                ))
+            if result.applications > self.safety_limit:
+                raise RewriteError(
+                    f"rewrite exceeded the safety limit of "
+                    f"{self.safety_limit} applications (a rule set may "
+                    f"be non-terminating)"
+                )
+
+    def _find_application(self, block: Block, result: RewriteResult,
+                          ctx: RuleContext, budget: Optional[int]):
+        """First (position, rule) application that changes the term."""
+        checks_this_scan = 0
+        for path, subterm, schemas, fix_env in _positions(
+                result.term, ctx, self._schema_cache):
+            for rule in block.rules:
+                if not rule.quick_applicable(subterm):
+                    continue
+                checks_this_scan += 1
+                result.checks += 1
+                if block.count == "checks" and budget is not None and \
+                        checks_this_scan > budget:
+                    return None
+                local_ctx = RuleContext(
+                    catalog=ctx.catalog,
+                    schemas=schemas,
+                    constraint_evaluator=ctx.constraint_evaluator,
+                    methods=ctx.methods,
+                    fix_env=fix_env,
+                )
+                application = rule.apply(subterm, local_ctx)
+                if application is not None:
+                    after, __ = application
+                    new_term = replace_at(result.term, path, after)
+                    if new_term == result.term:
+                        # a no-op once re-normalised at the parent (AC
+                        # deduplication): not an application at all
+                        continue
+                    return (path, subterm, after, rule.name,
+                            checks_this_scan, new_term)
+        return None
+
+
+def _positions(term: Term, ctx: RuleContext, cache: dict):
+    """Pre-order traversal yielding (path, subterm, schemas, fix_env).
+
+    ``schemas`` carries the input schemas of the nearest enclosing
+    operator when the position lies inside a qualification or a
+    projection list, so ISA constraints can type attribute references.
+    """
+    def input_schemas(rels, fix_env) -> Optional[list[Schema]]:
+        if ctx.catalog is None:
+            return None
+        out = []
+        for r in rels:
+            key = (r, tuple(sorted(fix_env.items(), key=lambda kv: kv[0])))
+            if key not in cache:
+                try:
+                    cache[key] = schema_of(r, ctx.catalog, fix_env)
+                except ReproError:
+                    cache[key] = None
+            if cache[key] is None:
+                return None
+            out.append(cache[key])
+        return out
+
+    def rec(t: Term, path: tuple, schemas, fix_env):
+        yield path, t, schemas, fix_env
+        if not isinstance(t, Fun):
+            return
+
+        if t.name == "SEARCH":
+            rels = ops.rel_list(t)
+            inner = input_schemas(rels, fix_env)
+            rel_holder = t.args[0]
+            for i, r in enumerate(rel_holder.args):  # type: ignore
+                yield from rec(r, path + (0, i), None, fix_env)
+            yield from rec(t.args[1], path + (1,), inner, fix_env)
+            yield from rec(t.args[2], path + (2,), inner, fix_env)
+            return
+
+        if t.name == "JOIN":
+            rels = ops.rel_list(t)
+            inner = input_schemas(rels, fix_env)
+            rel_holder = t.args[0]
+            for i, r in enumerate(rel_holder.args):  # type: ignore
+                yield from rec(r, path + (0, i), None, fix_env)
+            yield from rec(t.args[1], path + (1,), inner, fix_env)
+            return
+
+        if t.name in ("FILTER", "PROJECTION"):
+            inner = input_schemas([t.args[0]], fix_env)
+            yield from rec(t.args[0], path + (0,), None, fix_env)
+            yield from rec(t.args[1], path + (1,), inner, fix_env)
+            return
+
+        if t.name in ("SEMIJOIN", "ANTIJOIN"):
+            inner = input_schemas([t.args[0], t.args[1]], fix_env)
+            yield from rec(t.args[0], path + (0,), None, fix_env)
+            yield from rec(t.args[1], path + (1,), None, fix_env)
+            yield from rec(t.args[2], path + (2,), inner, fix_env)
+            return
+
+        if t.name == "FIX":
+            rel_const = t.args[0]
+            name = str(rel_const.value)  # type: ignore[union-attr]
+            inner_env = dict(fix_env)
+            if ctx.catalog is not None:
+                try:
+                    inner_env[name] = schema_of(t, ctx.catalog, fix_env)
+                except ReproError:
+                    pass
+            yield from rec(t.args[1], path + (1,), None, inner_env)
+            return
+
+        for i, a in enumerate(t.args):
+            yield from rec(a, path + (i,), schemas, fix_env)
+
+    yield from rec(term, (), None, dict(ctx.fix_env or {}))

@@ -1,0 +1,207 @@
+"""Rewrite rules: ``lhs / constraints --> rhs / methods`` (section 4.1).
+
+A rule is compiled from its parsed form (:class:`ParsedRule`) into a
+:class:`RewriteRule` that can be applied at a term position:
+
+1. the left term is matched against the subject (all bindings are
+   enumerated, with backtracking);
+2. the constraints are evaluated under the binding -- all must hold;
+3. the method calls run in order, each computing bindings for its
+   *output* variables (the argument variables not yet bound);
+4. the right term is instantiated; an application that reproduces the
+   subject is a no-op and the next binding is tried.
+
+AC extension: when the left term is a conjunction/disjunction the
+compiler appends a fresh collection variable to it and reattaches the
+matched remainder around the right term, so a rule like
+``f AND false --> false`` applies inside any larger conjunction -- the
+standard trick that makes the Figure 11/12 rules work on real
+qualifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import RuleError
+from repro.rules.constraints import ConstraintEvaluator
+from repro.rules.methods import MethodRegistry
+from repro.terms.match import match
+from repro.terms.parser import ParsedRule, parse_rule_text
+from repro.terms.subst import collvar_key, instantiate
+from repro.terms.term import (CollVar, Fun, Term, collvars_of, is_fun,
+                              mk_fun, variables_of, walk)
+
+__all__ = ["RewriteRule", "RuleContext", "compile_rule", "rule_from_text"]
+
+_REST_VAR = "rest_ac"
+
+
+@dataclass
+class RuleContext:
+    """Everything constraint and method evaluation may need.
+
+    ``schemas`` carries the input schemas of the enclosing operator when
+    the rule is being tried inside a qualification or projection list
+    (set by the rewrite engine during traversal); it is None elsewhere.
+    """
+
+    catalog: object = None
+    schemas: Optional[list] = None
+    constraint_evaluator: Optional[ConstraintEvaluator] = None
+    methods: Optional[MethodRegistry] = None
+    fix_env: dict = field(default_factory=dict)
+
+    def evaluator(self) -> ConstraintEvaluator:
+        if self.constraint_evaluator is None:
+            self.constraint_evaluator = ConstraintEvaluator()
+        return self.constraint_evaluator
+
+    def method_registry(self) -> MethodRegistry:
+        if self.methods is None:
+            from repro.rules.methods import default_method_registry
+            self.methods = default_method_registry()
+        return self.methods
+
+
+class RewriteRule:
+    """A compiled rewrite rule."""
+
+    def __init__(self, name: str, lhs: Term, constraints: tuple,
+                 rhs: Term, methods: tuple, source: str = ""):
+        self.name = name
+        self.lhs = lhs
+        self.constraints = constraints
+        self.rhs = rhs
+        self.methods = methods
+        self.source = source
+        from repro.terms.term import FUNVARS
+        self._root_name = (
+            lhs.name
+            if isinstance(lhs, Fun) and lhs.name not in FUNVARS
+            else None
+        )
+        self._validate()
+
+    def _validate(self) -> None:
+        from repro.terms.term import FUNVARS, Var
+        bound = variables_of(self.lhs) | {
+            collvar_key(n) for n in collvars_of(self.lhs)
+        }
+        funvars = _funvars_of(self.lhs)
+        # method outputs: argument variables not bound before the call
+        for call in self.methods:
+            if not isinstance(call, Fun):
+                raise RuleError(
+                    f"rule {self.name!r}: method call must be a function "
+                    f"application, got {call!r}"
+                )
+            for arg in call.args:
+                for sub in walk(arg):
+                    if isinstance(sub, Var):
+                        bound.add(sub.name)
+                    elif isinstance(sub, CollVar):
+                        bound.add(collvar_key(sub.name))
+        missing = variables_of(self.rhs) - {
+            v for v in bound if not v.startswith("*")
+        }
+        missing_cv = {
+            collvar_key(n) for n in collvars_of(self.rhs)
+        } - bound
+        missing_fv = _funvars_of(self.rhs) - funvars
+        if missing or missing_cv or missing_fv:
+            names = sorted(missing) + sorted(
+                m.lstrip("*") + "*" for m in missing_cv
+            ) + sorted(missing_fv)
+            raise RuleError(
+                f"rule {self.name!r}: right-hand side uses unbound "
+                f"variables {names}"
+            )
+
+    # -- application ----------------------------------------------------------
+    def quick_applicable(self, subject: Term) -> bool:
+        """Root-symbol discriminator, used by the engine to skip cheaply."""
+        if self._root_name is None:
+            return True
+        return is_fun(subject, self._root_name)
+
+    def applications(self, subject: Term,
+                     ctx: RuleContext) -> Iterator[tuple[Term, dict]]:
+        """Yield (result, binding) for every successful application."""
+        if not self.quick_applicable(subject):
+            return
+        evaluator = ctx.evaluator()
+        registry = ctx.method_registry()
+        for binding in match(self.lhs, subject):
+            if not all(
+                evaluator.holds(c, binding, ctx) for c in self.constraints
+            ):
+                continue
+            full = self._run_methods(binding, ctx, registry)
+            if full is None:
+                continue
+            result = instantiate(self.rhs, full)
+            if result == subject:
+                continue  # no-op: saturation reached for this binding
+            yield result, full
+
+    def apply(self, subject: Term,
+              ctx: RuleContext) -> Optional[tuple[Term, dict]]:
+        """First successful application, or None."""
+        for result in self.applications(subject, ctx):
+            return result
+        return None
+
+    def _run_methods(self, binding: dict, ctx: RuleContext,
+                     registry: MethodRegistry) -> Optional[dict]:
+        full = dict(binding)
+        for call in self.methods:
+            outputs = registry.invoke(call, full, ctx)
+            if outputs is None:
+                return None
+            for key, value in outputs.items():
+                if key in full and full[key] != value:
+                    raise RuleError(
+                        f"rule {self.name!r}: method {call.name} rebinds "
+                        f"{key!r}"
+                    )
+                full[key] = value
+        return full
+
+    def __repr__(self) -> str:
+        return f"RewriteRule({self.name})"
+
+
+def _funvars_of(term: Term) -> set[str]:
+    from repro.terms.term import FUNVARS
+    return {
+        t.name for t in walk(term)
+        if isinstance(t, Fun) and t.name in FUNVARS
+    }
+
+
+_ANONYMOUS = [0]
+
+
+def compile_rule(parsed: ParsedRule, source: str = "") -> RewriteRule:
+    """Compile a parsed rule, applying the AC extension."""
+    name = parsed.name
+    if name is None:
+        _ANONYMOUS[0] += 1
+        name = f"rule_{_ANONYMOUS[0]}"
+
+    lhs, rhs = parsed.lhs, parsed.rhs
+    if isinstance(lhs, Fun) and lhs.name in ("AND", "OR"):
+        has_collvar = any(isinstance(a, CollVar) for a in lhs.args)
+        if not has_collvar:
+            rest = CollVar(_REST_VAR)
+            lhs = Fun(lhs.name, lhs.args + (rest,))
+            rhs = mk_fun(lhs.name, [rhs, rest])
+    return RewriteRule(name, lhs, parsed.constraints, rhs,
+                       parsed.methods, source)
+
+
+def rule_from_text(source: str) -> RewriteRule:
+    """Parse and compile one rule from text."""
+    return compile_rule(parse_rule_text(source), source)

@@ -1,0 +1,30 @@
+"""Term substrate: the rewriting formalism of section 4.
+
+Terms, matching with collection variables, substitutions, and the
+parser / printer pair for the Figure 6 rule language.
+"""
+
+from repro.terms.match import match, match_first, matches
+from repro.terms.parser import (ParsedRule, parse_rule_text, parse_rules_text,
+                                parse_term, tokenize)
+from repro.terms.printer import term_to_str
+from repro.terms.subst import (Binding, collvar_key, instantiate,
+                               instantiate_spliceable, merge_bindings)
+from repro.terms.term import (AC_FUNS, FALSE, TRUE, AttrRef, CollVar, Const,
+                              Fun, Seq, Term, Var, boolean, collvars_of, conj,
+                              conjuncts, disj, disjuncts, is_fun, is_ground,
+                              mk_fun, num, replace_at, string, subterms, sym,
+                              term_size, term_sort_key, variables_of, walk)
+
+__all__ = [
+    "AC_FUNS", "FALSE", "TRUE", "AttrRef", "CollVar", "Const", "Fun",
+    "Seq", "Term", "Var",
+    "boolean", "collvars_of", "conj", "conjuncts", "disj", "disjuncts",
+    "is_fun", "is_ground", "mk_fun", "num", "replace_at", "string",
+    "subterms", "sym", "term_size", "term_sort_key", "variables_of", "walk",
+    "match", "match_first", "matches",
+    "ParsedRule", "parse_rule_text", "parse_rules_text", "parse_term",
+    "tokenize", "term_to_str",
+    "Binding", "collvar_key", "instantiate", "instantiate_spliceable",
+    "merge_bindings",
+]

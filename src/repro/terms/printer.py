@@ -1,0 +1,68 @@
+"""Pretty printer for terms, round-tripping with the rule-language parser.
+
+The syntax follows Figure 6 of the paper with three small divergences
+forced by plain-text round-tripping:
+
+* attribute references are written ``#1.2`` (the paper writes ``1.2``,
+  ambiguous with real literals);
+* conjunction / disjunction are written with the keywords ``AND`` /
+  ``OR`` (the paper typesets the logical wedge);
+* infix comparison and arithmetic operators print infix, everything else
+  prefix.
+"""
+
+from __future__ import annotations
+
+from repro.terms.term import (AttrRef, CollVar, Const, Fun, Seq, Term, Var)
+
+__all__ = ["term_to_str"]
+
+_INFIX = {"=", "<>", "<", ">", "<=", ">=", "+", "-", "*", "/"}
+_CONNECTIVES = {"AND", "OR"}
+
+
+def _needs_parens(term: Term) -> bool:
+    return isinstance(term, Fun) and (
+        term.name in _CONNECTIVES or term.name in _INFIX
+    )
+
+
+def term_to_str(term) -> str:
+    """Render a term (or a Seq binding) in rule-language syntax."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, CollVar):
+        return term.display
+    if isinstance(term, AttrRef):
+        return f"#{term.rel}.{term.pos}"
+    if isinstance(term, Const):
+        if term.kind == "string":
+            escaped = str(term.value).replace("'", "''")
+            return f"'{escaped}'"
+        if term.kind == "bool":
+            return "true" if term.value else "false"
+        return str(term.value)
+    if isinstance(term, Seq):
+        return "<" + ", ".join(term_to_str(t) for t in term.items) + ">"
+    if isinstance(term, Fun):
+        if term.name in _CONNECTIVES and term.args:
+            sep = f" {term.name} "
+            parts = []
+            for a in term.args:
+                rendered = term_to_str(a)
+                if _needs_parens(a):
+                    rendered = f"({rendered})"
+                parts.append(rendered)
+            return sep.join(parts)
+        if term.name in _INFIX and len(term.args) == 2:
+            left, right = term.args
+            lhs = term_to_str(left)
+            rhs = term_to_str(right)
+            if _needs_parens(left):
+                lhs = f"({lhs})"
+            if _needs_parens(right):
+                rhs = f"({rhs})"
+            return f"{lhs} {term.name} {rhs}"
+        inner = ", ".join(term_to_str(a) for a in term.args)
+        return f"{term.name}({inner})"
+    raise TypeError(f"cannot print {term!r}")

@@ -1,0 +1,88 @@
+"""Substitutions: bindings produced by matching, applied to build terms.
+
+A binding maps variable names to terms and collection-variable names to
+:class:`~repro.terms.term.Seq` sequences.  Instantiation rebuilds function
+nodes through :func:`~repro.terms.term.mk_fun`, so collection variables
+splice into argument lists and AC nodes re-normalise.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from repro.errors import RuleError
+from repro.terms.term import (FUNVARS, AttrRef, CollVar, Const, Fun, Seq,
+                              Term, Var, mk_fun)
+
+__all__ = ["Binding", "instantiate", "instantiate_spliceable", "merge_bindings"]
+
+# variable name -> Term; collection variable name (no star) -> Seq
+Binding = Mapping[str, Union[Term, Seq]]
+
+_COLLVAR_PREFIX = "*"
+
+
+def collvar_key(name: str) -> str:
+    """Binding key for a collection variable (kept distinct from vars)."""
+    return _COLLVAR_PREFIX + name
+
+
+def instantiate_spliceable(term: Term, binding: Binding,
+                           strict: bool = True) -> Union[Term, Seq]:
+    """Instantiate ``term``; a bare collection variable yields a Seq."""
+    if isinstance(term, Var):
+        value = binding.get(term.name)
+        if value is None:
+            if strict:
+                raise RuleError(f"unbound variable {term.name!r}")
+            return term
+        return value
+    if isinstance(term, CollVar):
+        value = binding.get(collvar_key(term.name))
+        if value is None:
+            if strict:
+                raise RuleError(f"unbound collection variable {term.display}")
+            return term
+        return value
+    if isinstance(term, (Const, AttrRef)):
+        return term
+    if isinstance(term, Fun):
+        name = term.name
+        if name in FUNVARS:
+            bound_name = binding.get("§" + name)
+            if bound_name is None:
+                if strict:
+                    raise RuleError(
+                        f"unbound generic function symbol {name}"
+                    )
+            else:
+                name = bound_name
+        return mk_fun(
+            name,
+            [instantiate_spliceable(a, binding, strict) for a in term.args],
+        )
+    raise RuleError(f"cannot instantiate {term!r}")
+
+
+def instantiate(term: Term, binding: Binding, strict: bool = True) -> Term:
+    """Instantiate ``term`` under ``binding``; the result must be a term.
+
+    With ``strict=False`` unbound variables are left in place (useful for
+    partial instantiation in tests and in method implementations).
+    """
+    result = instantiate_spliceable(term, binding, strict)
+    if isinstance(result, Seq):
+        raise RuleError(
+            "a collection variable cannot stand alone at the top level"
+        )
+    return result
+
+
+def merge_bindings(base: dict, extra: Binding) -> dict:
+    """Merge ``extra`` into a copy of ``base``; conflicts raise RuleError."""
+    merged = dict(base)
+    for key, value in extra.items():
+        if key in merged and merged[key] != value:
+            raise RuleError(f"conflicting binding for {key!r}")
+        merged[key] = value
+    return merged

@@ -1,0 +1,275 @@
+"""Unit tests for the built-in ADT function library."""
+
+import pytest
+
+from repro.adt.functions import default_registry
+from repro.adt.types import TypeSystem
+from repro.adt.values import (ArrayValue, BagValue, ListValue, ObjectStore,
+                              SetValue, TupleValue)
+from repro.errors import FunctionError, UnknownFunctionError
+
+
+class Ctx:
+    def __init__(self):
+        self.objects = ObjectStore()
+        self.type_system = TypeSystem()
+
+
+@pytest.fixture
+def reg():
+    return default_registry()
+
+
+@pytest.fixture
+def ctx():
+    return Ctx()
+
+
+def call(reg, ctx, name, *args):
+    return reg.call(name, list(args), ctx)
+
+
+class TestCollectionRoot:
+    def test_convert_bag_to_set(self, reg, ctx):
+        out = call(reg, ctx, "CONVERT", BagValue([1, 1, 2]), "SET")
+        assert out == SetValue([1, 2])
+
+    def test_convert_bad_target(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "CONVERT", BagValue([1]), "HEAP")
+
+    def test_isempty(self, reg, ctx):
+        assert call(reg, ctx, "ISEMPTY", SetValue([])) is True
+        assert call(reg, ctx, "ISEMPTY", SetValue([1])) is False
+
+    def test_equal(self, reg, ctx):
+        assert call(reg, ctx, "EQUAL", SetValue([1, 2]), SetValue([2, 1]))
+        assert not call(reg, ctx, "EQUAL", SetValue([1]), SetValue([2]))
+
+    def test_insert_remove(self, reg, ctx):
+        s = call(reg, ctx, "INSERT", 3, SetValue([1, 2]))
+        assert s == SetValue([1, 2, 3])
+        s2 = call(reg, ctx, "REMOVE", 1, s)
+        assert s2 == SetValue([2, 3])
+
+    def test_remove_absent_is_noop(self, reg, ctx):
+        assert call(reg, ctx, "REMOVE", 9, SetValue([1])) == SetValue([1])
+
+    def test_count(self, reg, ctx):
+        assert call(reg, ctx, "COUNT", BagValue([1, 1, 2])) == 3
+
+    def test_collection_expected(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "ISEMPTY", 42)
+
+
+class TestSetFunctions:
+    def test_makeset(self, reg, ctx):
+        assert call(reg, ctx, "MAKESET", 1, 2, 2) == SetValue([1, 2])
+
+    def test_member(self, reg, ctx):
+        assert call(reg, ctx, "MEMBER", "Adventure",
+                    SetValue(["Comedy", "Adventure"]))
+        assert not call(reg, ctx, "MEMBER", "Cartoon",
+                        SetValue(["Comedy"]))
+
+    def test_choice_deterministic(self, reg, ctx):
+        assert call(reg, ctx, "CHOICE", ListValue([7, 8])) == 7
+
+    def test_choice_empty(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "CHOICE", SetValue([]))
+
+    def test_union(self, reg, ctx):
+        out = call(reg, ctx, "UNION", SetValue([1]), SetValue([2]))
+        assert out == SetValue([1, 2])
+
+    def test_union_kind_mismatch(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "UNION", SetValue([1]), BagValue([2]))
+
+    def test_intersection_set(self, reg, ctx):
+        out = call(reg, ctx, "INTERSECTION", SetValue([1, 2, 3]),
+                   SetValue([2, 3, 4]))
+        assert out == SetValue([2, 3])
+
+    def test_intersection_bag_multiplicity(self, reg, ctx):
+        out = call(reg, ctx, "INTERSECTION", BagValue([1, 1, 2]),
+                   BagValue([1, 2, 2]))
+        assert out == BagValue([1, 2])
+
+    def test_difference_set(self, reg, ctx):
+        out = call(reg, ctx, "DIFFERENCE", SetValue([1, 2, 3]),
+                   SetValue([2]))
+        assert out == SetValue([1, 3])
+
+    def test_difference_bag_multiplicity(self, reg, ctx):
+        out = call(reg, ctx, "DIFFERENCE", BagValue([1, 1, 2]),
+                   BagValue([1]))
+        assert out == BagValue([1, 2])
+
+    def test_include(self, reg, ctx):
+        outer = SetValue(["a", "b", "c"])
+        assert call(reg, ctx, "INCLUDE", outer, SetValue(["a", "c"]))
+        assert not call(reg, ctx, "INCLUDE", outer, SetValue(["z"]))
+
+    def test_all_exist(self, reg, ctx):
+        assert call(reg, ctx, "ALL", SetValue([True, True]))
+        assert not call(reg, ctx, "ALL", SetValue([True, False]))
+        assert call(reg, ctx, "EXIST", SetValue([False, True]))
+        assert not call(reg, ctx, "EXIST", SetValue([False]))
+
+    def test_all_on_empty_is_true(self, reg, ctx):
+        assert call(reg, ctx, "ALL", SetValue([]))
+        assert not call(reg, ctx, "EXIST", SetValue([]))
+
+
+class TestListArrayFunctions:
+    def test_makelist_order(self, reg, ctx):
+        assert list(call(reg, ctx, "MAKELIST", 3, 1, 2)) == [3, 1, 2]
+
+    def test_append(self, reg, ctx):
+        out = call(reg, ctx, "APPEND", ListValue([1]), 2)
+        assert list(out) == [1, 2]
+
+    def test_append_non_list(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "APPEND", SetValue([1]), 2)
+
+    def test_concat(self, reg, ctx):
+        out = call(reg, ctx, "CONCAT", ListValue([1]), ListValue([2]))
+        assert list(out) == [1, 2]
+
+    def test_first_last(self, reg, ctx):
+        assert call(reg, ctx, "FIRST", ListValue([5, 6])) == 5
+        assert call(reg, ctx, "LAST", ListValue([5, 6])) == 6
+
+    def test_first_empty(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "FIRST", ListValue([]))
+
+    def test_sublist(self, reg, ctx):
+        out = call(reg, ctx, "SUBLIST", ListValue([1, 2, 3, 4]), 1, 3)
+        assert list(out) == [2, 3]
+
+    def test_at(self, reg, ctx):
+        assert call(reg, ctx, "AT", ArrayValue([9, 8]), 1) == 8
+
+    def test_setat(self, reg, ctx):
+        out = call(reg, ctx, "SETAT", ArrayValue([1, 2]), 0, 7)
+        assert list(out) == [7, 2]
+
+
+class TestTupleAndObject:
+    def test_maketuple(self, reg, ctx):
+        out = call(reg, ctx, "MAKETUPLE", "A", 1, "B", 2)
+        assert out == TupleValue({"A": 1, "B": 2})
+
+    def test_maketuple_odd_args(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "MAKETUPLE", "A")
+
+    def test_project(self, reg, ctx):
+        tv = TupleValue({"Name": "Quinn"})
+        assert call(reg, ctx, "PROJECT", tv, "Name") == "Quinn"
+
+    def test_project_broadcasts_over_set(self, reg, ctx):
+        """Paper: projection over a set of tuples = set of projections."""
+        s = SetValue([TupleValue({"S": 1}), TupleValue({"S": 2})])
+        assert call(reg, ctx, "PROJECT", s, "S") == SetValue([1, 2])
+
+    def test_project_non_tuple(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "PROJECT", 42, "X")
+
+    def test_value_dereferences(self, reg, ctx):
+        ref = ctx.objects.create("T", TupleValue({"A": 1}))
+        assert call(reg, ctx, "VALUE", ref) == TupleValue({"A": 1})
+
+    def test_value_on_value_is_identity(self, reg, ctx):
+        assert call(reg, ctx, "VALUE", 42) == 42
+
+    def test_value_broadcasts(self, reg, ctx):
+        r1 = ctx.objects.create("T", 1)
+        r2 = ctx.objects.create("T", 2)
+        assert call(reg, ctx, "VALUE", SetValue([r1, r2])) == SetValue([1, 2])
+
+
+class TestScalarOperators:
+    def test_comparisons(self, reg, ctx):
+        assert call(reg, ctx, "=", 1, 1)
+        assert call(reg, ctx, "<>", 1, 2)
+        assert call(reg, ctx, "<", 1, 2)
+        assert call(reg, ctx, ">=", 2, 2)
+
+    def test_comparison_broadcasts(self, reg, ctx):
+        """Figure 4: Salary(Actors) > 10000 over a set yields a set of
+        booleans for the ALL quantifier."""
+        out = call(reg, ctx, ">", SetValue([5, 20]), 10)
+        assert out == SetValue([False, True])
+
+    def test_arithmetic(self, reg, ctx):
+        assert call(reg, ctx, "+", 2, 3) == 5
+        assert call(reg, ctx, "-", 2, 3) == -1
+        assert call(reg, ctx, "*", 2, 3) == 6
+        assert call(reg, ctx, "/", 6, 3) == 2
+
+    def test_division_stays_exact_for_ints(self, reg, ctx):
+        assert call(reg, ctx, "/", 7, 2) == 3.5
+
+    def test_division_by_zero(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "/", 1, 0)
+
+    def test_incompatible_operands(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "+", 1, "a")
+
+    def test_boolean_connectives(self, reg, ctx):
+        assert call(reg, ctx, "NOT", False)
+        assert call(reg, ctx, "AND", True, True, True)
+        assert not call(reg, ctx, "AND", True, False)
+        assert call(reg, ctx, "OR", False, True)
+
+
+class TestAggregates:
+    def test_sum_min_max_avg(self, reg, ctx):
+        bag = BagValue([1, 2, 3])
+        assert call(reg, ctx, "SUM", bag) == 6
+        assert call(reg, ctx, "MIN", bag) == 1
+        assert call(reg, ctx, "MAX", bag) == 3
+        assert call(reg, ctx, "AVG", bag) == 2
+
+    def test_aggregate_empty(self, reg, ctx):
+        for fn in ("MIN", "MAX", "AVG"):
+            with pytest.raises(FunctionError):
+                call(reg, ctx, fn, SetValue([]))
+
+
+class TestRegistryDispatch:
+    def test_unknown_function(self, reg, ctx):
+        with pytest.raises(UnknownFunctionError):
+            call(reg, ctx, "NOPE", 1)
+
+    def test_wrong_arity(self, reg, ctx):
+        with pytest.raises(FunctionError):
+            call(reg, ctx, "MEMBER", 1)
+
+    def test_figure1_inventory(self, reg, ctx):
+        """F1: the Figure 1 function inventory is registered, grouped by
+        its ADT in the hierarchy."""
+        expectations = {
+            "collection": ["CONVERT", "ISEMPTY", "EQUAL", "INSERT",
+                           "REMOVE"],
+            "set": ["MAKESET", "MEMBER", "CHOICE", "UNION",
+                    "INTERSECTION", "DIFFERENCE", "ALL", "EXIST"],
+            "bag": ["MAKEBAG"],
+            "list": ["MAKELIST", "APPEND", "FIRST", "LAST", "SUBLIST"],
+            "array": ["MAKEARRAY", "AT", "SETAT"],
+        }
+        for adt, names in expectations.items():
+            for name in names:
+                assert reg.knows(name), f"{name} missing"
+                defs = list(reg._defs[name.upper()].values())
+                assert any(d.adt == adt for d in defs), \
+                    f"{name} should belong to {adt}"

@@ -1,0 +1,101 @@
+"""Unit tests for the extensible function registry."""
+
+import pytest
+
+from repro.adt.registry import FunctionDef, FunctionRegistry
+from repro.errors import FunctionError, UnknownFunctionError
+
+
+def _fdef(name, arity=None, result=0):
+    return FunctionDef(name, lambda args, ctx: result, arity)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        reg = FunctionRegistry()
+        reg.register(_fdef("F", 2))
+        assert reg.lookup("f", 2).name == "F"
+
+    def test_case_insensitive(self):
+        reg = FunctionRegistry()
+        reg.register(_fdef("MyFunc", 1))
+        assert reg.knows("MYFUNC")
+        assert reg.knows("myfunc")
+
+    def test_duplicate_rejected(self):
+        reg = FunctionRegistry()
+        reg.register(_fdef("F", 1))
+        with pytest.raises(FunctionError):
+            reg.register(_fdef("F", 1))
+
+    def test_replace_allowed(self):
+        reg = FunctionRegistry()
+        reg.register(_fdef("F", 1))
+        reg.register(FunctionDef("F", lambda a, c: 99, 1), replace=True)
+        assert reg.call("F", [0], None) == 99
+
+    def test_define_convenience(self):
+        reg = FunctionRegistry()
+        reg.define("G", lambda a, c: 7, 0)
+        assert reg.call("G", [], None) == 7
+
+
+class TestArityOverloading:
+    def test_same_name_different_arities(self):
+        reg = FunctionRegistry()
+        reg.register(FunctionDef("F", lambda a, c: "two", 2))
+        reg.register(FunctionDef("F", lambda a, c: "three", 3))
+        assert reg.call("F", [1, 2], None) == "two"
+        assert reg.call("F", [1, 2, 3], None) == "three"
+
+    def test_variadic_fallback(self):
+        reg = FunctionRegistry()
+        reg.register(FunctionDef("F", lambda a, c: len(a), None))
+        reg.register(FunctionDef("F", lambda a, c: "exact", 2))
+        assert reg.call("F", [1, 2], None) == "exact"
+        assert reg.call("F", [1, 2, 3, 4], None) == 4
+
+    def test_missing_arity(self):
+        reg = FunctionRegistry()
+        reg.register(_fdef("F", 2))
+        with pytest.raises(FunctionError):
+            reg.lookup("F", 5)
+
+    def test_unknown_name(self):
+        reg = FunctionRegistry()
+        with pytest.raises(UnknownFunctionError):
+            reg.lookup("NOPE")
+        assert reg.lookup_or_none("NOPE") is None
+
+
+class TestCopyMerge:
+    def test_copy_is_independent(self):
+        reg = FunctionRegistry()
+        reg.register(_fdef("F", 1))
+        clone = reg.copy()
+        clone.register(_fdef("G", 1))
+        assert clone.knows("G")
+        assert not reg.knows("G")
+
+    def test_merge_later_wins(self):
+        a = FunctionRegistry()
+        a.register(FunctionDef("F", lambda x, c: "a", 1))
+        b = FunctionRegistry()
+        b.register(FunctionDef("F", lambda x, c: "b", 1))
+        a.merge(b)
+        assert a.call("F", [0], None) == "b"
+
+    def test_names_sorted(self):
+        reg = FunctionRegistry()
+        reg.register(_fdef("Z", 1))
+        reg.register(_fdef("A", 1))
+        assert reg.names() == ("A", "Z")
+
+
+class TestProperties:
+    def test_flags_stored(self):
+        fdef = FunctionDef("F", lambda a, c: 0, 2, commutative=True,
+                           associative=True, pure=False, adt="set")
+        assert fdef.commutative and fdef.associative
+        assert not fdef.pure
+        assert fdef.adt == "set"

@@ -1,0 +1,154 @@
+"""Unit tests for the type system and the ISA relation."""
+
+import pytest
+
+from repro.adt.types import (ANY, BOOLEAN, CHAR, INT, NUMERIC, REAL,
+                             CollectionType, EnumerationType, ObjectType,
+                             TupleType, TypeSystem)
+from repro.errors import TypeSystemError
+
+
+@pytest.fixture
+def ts() -> TypeSystem:
+    return TypeSystem()
+
+
+class TestDefinitions:
+    def test_builtins_present(self, ts):
+        for name in ("NUMERIC", "INT", "REAL", "CHAR", "BOOLEAN", "ANY"):
+            assert ts.is_defined(name)
+
+    def test_enumeration(self, ts):
+        cat = ts.define_enumeration("Category", ["Comedy", "Western"])
+        assert cat.contains("Comedy")
+        assert not cat.contains("Cartoon")
+
+    def test_enumeration_needs_literals(self, ts):
+        with pytest.raises(TypeSystemError):
+            ts.define_enumeration("Empty", [])
+
+    def test_enumeration_duplicate_literals(self, ts):
+        with pytest.raises(TypeSystemError):
+            ts.define_enumeration("Dup", ["a", "a"])
+
+    def test_tuple_type(self, ts):
+        pt = ts.define_tuple("Point", [("ABS", REAL), ("ORD", REAL)])
+        assert pt.field_type("abs") == REAL  # case-insensitive
+        assert pt.field_names == ("ABS", "ORD")
+
+    def test_tuple_unknown_field(self, ts):
+        pt = ts.define_tuple("Point", [("ABS", REAL)])
+        with pytest.raises(TypeSystemError):
+            pt.field_type("Z")
+
+    def test_tuple_duplicate_field(self, ts):
+        with pytest.raises(TypeSystemError):
+            TupleType("T", [("A", INT), ("a", INT)])
+
+    def test_collection_type(self, ts):
+        sc = ts.define_collection("Text", "LIST", CHAR)
+        assert sc.kind == "LIST"
+        assert sc.element == CHAR
+
+    def test_bad_collection_kind(self):
+        with pytest.raises(TypeSystemError):
+            CollectionType("HEAP", INT)
+
+    def test_duplicate_definition(self, ts):
+        ts.define_enumeration("E", ["x"])
+        with pytest.raises(TypeSystemError):
+            ts.define_enumeration("e", ["y"])  # case-insensitive clash
+
+    def test_unknown_lookup(self, ts):
+        with pytest.raises(TypeSystemError):
+            ts.lookup("Nope")
+        assert ts.lookup_or_none("Nope") is None
+
+
+class TestObjectTypes:
+    def test_subtype_inherits_fields(self, ts):
+        ts.define_object("Person", [("Name", CHAR)])
+        actor = ts.define_object("Actor", [("Salary", NUMERIC)],
+                                 supertype="Person")
+        assert actor.value_type.has_field("Name")
+        assert actor.value_type.has_field("Salary")
+
+    def test_field_override_keeps_one_slot(self, ts):
+        ts.define_object("Person", [("Name", CHAR)])
+        actor = ts.define_object("Actor", [("Name", CHAR), ("S", INT)],
+                                 supertype="Person")
+        assert actor.value_type.field_names.count("Name") == 1
+
+    def test_subtype_of_non_object_rejected(self, ts):
+        ts.define_tuple("Point", [("X", REAL)])
+        with pytest.raises(TypeSystemError):
+            ts.define_object("Sub", [("Y", REAL)], supertype="Point")
+
+    def test_methods_recorded(self, ts):
+        actor = ts.define_object("Actor", [("S", INT)],
+                                 methods=["IncreaseSalary"])
+        assert "IncreaseSalary" in actor.methods
+
+    def test_ancestors(self, ts):
+        ts.define_object("A", [("X", INT)])
+        ts.define_object("B", [("Y", INT)], supertype="A")
+        c = ts.define_object("C", [("Z", INT)], supertype="B")
+        assert [t.name for t in c.ancestors()] == ["C", "B", "A"]
+
+
+class TestIsa:
+    def test_reflexive(self, ts):
+        assert ts.isa(INT, INT)
+
+    def test_everything_isa_any(self, ts):
+        assert ts.isa(INT, ANY)
+        assert ts.isa(CollectionType("SET", CHAR), ANY)
+
+    def test_any_is_top_only(self, ts):
+        assert not ts.isa(ANY, INT)
+
+    def test_numeric_tower(self, ts):
+        assert ts.isa(INT, NUMERIC)
+        assert ts.isa(REAL, NUMERIC)
+        assert not ts.isa(NUMERIC, INT)
+        assert not ts.isa(INT, REAL)
+
+    def test_object_chain(self, ts):
+        ts.define_object("Person", [("Name", CHAR)])
+        ts.define_object("Actor", [("S", INT)], supertype="Person")
+        ts.define_object("Star", [("F", INT)], supertype="Actor")
+        assert ts.isa_name("Star", "Person")
+        assert ts.isa_name("Actor", "Person")
+        assert not ts.isa_name("Person", "Actor")
+
+    def test_collection_hierarchy_figure1(self, ts):
+        """Figure 1: set/bag/list/array are subtypes of collection."""
+        for kind in ("SET", "BAG", "LIST", "ARRAY"):
+            sub = CollectionType(kind, INT)
+            sup = CollectionType("COLLECTION", INT)
+            assert ts.isa(sub, sup)
+            assert not ts.isa(sup, sub)
+
+    def test_collections_covariant_in_element(self, ts):
+        assert ts.isa(CollectionType("SET", INT),
+                      CollectionType("SET", NUMERIC))
+        assert not ts.isa(CollectionType("SET", NUMERIC),
+                          CollectionType("SET", INT))
+
+    def test_different_kinds_unrelated(self, ts):
+        assert not ts.isa(CollectionType("SET", INT),
+                          CollectionType("LIST", INT))
+
+    def test_enumeration_isa_char(self, ts):
+        cat = ts.define_enumeration("Category", ["a"])
+        assert ts.isa(cat, CHAR)
+        assert not ts.isa(CHAR, cat)
+
+    def test_unrelated_types(self, ts):
+        pt = ts.define_tuple("Point", [("X", REAL)])
+        assert not ts.isa(pt, INT)
+        assert not ts.isa(INT, pt)
+
+    def test_collection_equality_structural(self):
+        assert CollectionType("SET", INT) == CollectionType("SET", INT)
+        assert CollectionType("SET", INT) != CollectionType("BAG", INT)

@@ -1,0 +1,208 @@
+"""Unit tests for runtime values (collections, tuples, objects)."""
+
+import pytest
+
+from repro.adt.values import (ArrayValue, BagValue, ListValue, ObjectRef,
+                              ObjectStore, SetValue, TupleValue, value_repr)
+from repro.errors import ValueError_
+
+
+class TestSetValue:
+    def test_deduplicates(self):
+        s = SetValue([1, 2, 2, 3, 1])
+        assert len(s) == 3
+
+    def test_order_insensitive_equality(self):
+        assert SetValue([1, 2, 3]) == SetValue([3, 1, 2])
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(SetValue([1, 2])) == hash(SetValue([2, 1]))
+
+    def test_membership(self):
+        assert 2 in SetValue([1, 2, 3])
+        assert 9 not in SetValue([1, 2, 3])
+
+    def test_membership_large_set_uses_hash_probe(self):
+        s = SetValue(range(100))
+        assert 99 in s
+        assert 100 not in s
+
+    def test_not_equal_to_bag(self):
+        assert SetValue([1]) != BagValue([1])
+
+    def test_is_empty(self):
+        assert SetValue([]).is_empty()
+        assert not SetValue([1]).is_empty()
+
+    def test_nested_sets(self):
+        inner = SetValue([1, 2])
+        outer = SetValue([inner, SetValue([2, 1])])
+        assert len(outer) == 1  # equal inner sets deduplicate
+
+
+class TestBagValue:
+    def test_keeps_duplicates(self):
+        assert len(BagValue([1, 1, 2])) == 3
+
+    def test_multiset_equality(self):
+        assert BagValue([1, 1, 2]) == BagValue([2, 1, 1])
+        assert BagValue([1, 2]) != BagValue([1, 1, 2])
+
+    def test_hash_multiset(self):
+        assert hash(BagValue([1, 2, 1])) == hash(BagValue([1, 1, 2]))
+
+
+class TestListValue:
+    def test_order_sensitive(self):
+        assert ListValue([1, 2]) != ListValue([2, 1])
+
+    def test_indexing_and_ends(self):
+        lst = ListValue(["a", "b", "c"])
+        assert lst[0] == "a"
+        assert lst.first() == "a"
+        assert lst.last() == "c"
+
+    def test_first_on_empty_raises(self):
+        with pytest.raises(ValueError_):
+            ListValue([]).first()
+
+    def test_last_on_empty_raises(self):
+        with pytest.raises(ValueError_):
+            ListValue([]).last()
+
+    def test_append_is_persistent(self):
+        a = ListValue([1])
+        b = a.append_element(2)
+        assert len(a) == 1
+        assert list(b) == [1, 2]
+
+    def test_concat(self):
+        assert list(ListValue([1]).concat(ListValue([2, 3]))) == [1, 2, 3]
+
+    def test_sublist(self):
+        assert list(ListValue([1, 2, 3, 4]).sublist(1, 3)) == [2, 3]
+
+
+class TestArrayValue:
+    def test_positional_access(self):
+        arr = ArrayValue([10, 20, 30])
+        assert arr[1] == 20
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError_):
+            ArrayValue([1])[5]
+
+    def test_set_at_is_persistent(self):
+        a = ArrayValue([1, 2, 3])
+        b = a.set_at(1, 99)
+        assert list(a) == [1, 2, 3]
+        assert list(b) == [1, 99, 3]
+
+    def test_set_at_out_of_range(self):
+        with pytest.raises(ValueError_):
+            ArrayValue([1]).set_at(3, 0)
+
+
+class TestConversions:
+    def test_bag_to_set_removes_duplicates(self):
+        assert BagValue([1, 1, 2]).to_set() == SetValue([1, 2])
+
+    def test_list_to_array_keeps_order(self):
+        assert list(ListValue([3, 1]).to_array()) == [3, 1]
+
+    def test_set_to_list(self):
+        assert sorted(SetValue([2, 1]).to_list()) == [1, 2]
+
+    def test_to_bag_roundtrip(self):
+        lst = ListValue([1, 1, 2])
+        assert lst.to_bag() == BagValue([1, 1, 2])
+
+
+class TestTupleValue:
+    def test_field_access(self):
+        tv = TupleValue({"Name": "Quinn", "Salary": 5})
+        assert tv["Name"] == "Quinn"
+        assert tv.project("Salary") == 5
+
+    def test_project_unknown_field(self):
+        with pytest.raises(ValueError_):
+            TupleValue({"A": 1}).project("B")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError_):
+            TupleValue([("A", 1), ("A", 2)])
+
+    def test_equality_is_ordered(self):
+        a = TupleValue([("X", 1), ("Y", 2)])
+        b = TupleValue([("Y", 2), ("X", 1)])
+        assert a != b
+
+    def test_replace(self):
+        tv = TupleValue({"A": 1, "B": 2})
+        tv2 = tv.replace("A", 9)
+        assert tv2["A"] == 9 and tv["A"] == 1
+
+    def test_replace_unknown_field(self):
+        with pytest.raises(ValueError_):
+            TupleValue({"A": 1}).replace("Z", 0)
+
+    def test_mapping_protocol(self):
+        tv = TupleValue({"A": 1, "B": 2})
+        assert list(tv) == ["A", "B"]
+        assert len(tv) == 2
+        assert tv.field_values == (1, 2)
+
+    def test_hashable(self):
+        assert TupleValue({"A": 1}) in {TupleValue({"A": 1})}
+
+
+class TestObjectStore:
+    def test_create_and_deref(self):
+        store = ObjectStore()
+        ref = store.create("Actor", TupleValue({"Name": "Quinn"}))
+        assert store.value_of(ref)["Name"] == "Quinn"
+        assert store.type_of(ref) == "Actor"
+
+    def test_identity_not_value_equality(self):
+        store = ObjectStore()
+        a = store.create("T", 1)
+        b = store.create("T", 1)
+        assert a != b  # distinct OIDs, same value
+
+    def test_shared_reference_sees_update(self):
+        store = ObjectStore()
+        ref = store.create("T", 1)
+        alias = ObjectRef(ref.oid, "T")
+        store.update(ref, 42)
+        assert store.value_of(alias) == 42
+
+    def test_dangling_reference(self):
+        store = ObjectStore()
+        with pytest.raises(ValueError_):
+            store.value_of(ObjectRef(999, "T"))
+
+    def test_update_dangling(self):
+        store = ObjectStore()
+        with pytest.raises(ValueError_):
+            store.update(ObjectRef(999, "T"), 0)
+
+    def test_contains_and_len(self):
+        store = ObjectStore()
+        ref = store.create("T", 1)
+        assert ref in store
+        assert len(store) == 1
+
+
+class TestValueRepr:
+    def test_strings_quoted(self):
+        assert value_repr("abc") == "'abc'"
+
+    def test_booleans_lowercase(self):
+        assert value_repr(True) == "true"
+        assert value_repr(False) == "false"
+
+    def test_null(self):
+        assert value_repr(None) == "null"
+
+    def test_collection_repr(self):
+        assert repr(SetValue([1])) == "set(1)"

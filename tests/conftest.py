@@ -1,0 +1,104 @@
+"""Shared fixtures: the paper's film database (Figure 2) and graph data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.engine.catalog import Catalog
+from repro.adt.types import NUMERIC
+
+
+FIGURE2_SCHEMA = """
+TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction',
+                              'Western');
+TYPE Point TUPLE (ABS : REAL, ORD : REAL);
+TYPE Person OBJECT TUPLE (Name : CHAR, Firstname : SET OF CHAR,
+                          Caricature : LIST OF Point);
+TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC)
+    FUNCTION IncreaseSalary(This Actor, Val NUMERIC);
+TYPE Text LIST OF CHAR;
+TYPE SetCategory SET OF Category;
+TYPE Pairs LIST OF TUPLE (Pros : INT, Cons : INT);
+TABLE FILM (Numf : NUMERIC, Title : Text, Categories : SetCategory);
+TABLE APPEARS_IN (Numf : NUMERIC, Refactor : Actor);
+TABLE DOMINATE (Numf : NUMERIC, Refactor1 : Actor, Refactor2 : Actor,
+                Score : Pairs)
+"""
+
+
+def make_film_db() -> Database:
+    """The Figure 2 schema with a small, deterministic data set."""
+    db = Database()
+    db.execute(FIGURE2_SCHEMA)
+    db.execute("""
+    INSERT INTO FILM VALUES
+      (1, LIST('Z','o','r','r','o'), SET('Adventure')),
+      (2, LIST('U','p'), SET('Comedy', 'Adventure')),
+      (3, LIST('N','o','v','a'), SET('Science Fiction'))
+    """)
+    # actors: Quinn(50k), Rich(20k), Bo(5k), Ann(30k)
+    db.execute("""
+    INSERT INTO APPEARS_IN VALUES
+      (1, NEW Actor('Quinn', SET('A'), LIST(), 50000)),
+      (1, NEW Actor('Rich', SET('R'), LIST(), 20000)),
+      (2, NEW Actor('Bo', SET('B'), LIST(), 5000)),
+      (2, NEW Actor('Quinn', SET('A'), LIST(), 50000)),
+      (3, NEW Actor('Ann', SET('A'), LIST(), 30000))
+    """)
+    return db
+
+
+def load_dominate_chain(db: Database, names: list[str]) -> None:
+    """DOMINATE rows forming a chain name[0] > name[1] > ... (one film).
+
+    Each actor is ONE shared object: object identity is what the
+    recursive BETTER_THAN join compares.
+    """
+    refs = {
+        name: db.catalog.new_object(
+            "Actor", (name, [name[0]], [], 1)
+        )
+        for name in names
+    }
+    for left, right in zip(names, names[1:]):
+        db.catalog.insert("DOMINATE", (1, refs[left], refs[right], []))
+
+
+@pytest.fixture
+def film_db() -> Database:
+    return make_film_db()
+
+
+def make_graph_db(edges: list[tuple[int, int]]) -> Database:
+    """A plain EDGE(Src, Dst) database with a recursive REACH view."""
+    db = Database()
+    db.execute("TABLE EDGE (Src : NUMERIC, Dst : NUMERIC)")
+    if edges:
+        rows = ", ".join(f"({a}, {b})" for a, b in edges)
+        db.execute(f"INSERT INTO EDGE VALUES {rows}")
+    db.execute("""
+    CREATE VIEW REACH (Src, Dst) AS
+    ( SELECT Src, Dst FROM EDGE
+      UNION
+      SELECT R.Src, E.Dst FROM REACH R, EDGE E WHERE R.Dst = E.Src )
+    """)
+    return db
+
+
+@pytest.fixture
+def chain_db() -> Database:
+    return make_graph_db([(i, i + 1) for i in range(1, 10)])
+
+
+@pytest.fixture
+def empty_catalog() -> Catalog:
+    return Catalog()
+
+
+@pytest.fixture
+def edge_catalog() -> Catalog:
+    cat = Catalog()
+    cat.define_table("EDGE", [("Src", NUMERIC), ("Dst", NUMERIC)])
+    cat.insert_many("EDGE", [(1, 2), (2, 3), (3, 4)])
+    return cat

@@ -1,0 +1,151 @@
+"""Shell tests (the CLI driver, exercised without a terminal)."""
+
+import pytest
+
+from repro.cli import Shell
+
+
+def run(shell, text):
+    return list(shell.run(text.strip().splitlines()))
+
+
+@pytest.fixture
+def shell():
+    s = Shell()
+    run(s, """
+    TABLE EDGE (Src : NUMERIC, Dst : NUMERIC, PRIMARY KEY (Src, Dst));
+    INSERT INTO EDGE VALUES (1, 2), (2, 3);
+    """)
+    return s
+
+
+class TestStatements:
+    def test_ddl_acknowledged(self):
+        shell = Shell()
+        out = run(shell, "TABLE T (A : INT);")
+        assert out == ["ok"]
+
+    def test_query_renders_table(self, shell):
+        (out,) = run(shell, "SELECT Dst FROM EDGE WHERE Src = 1;")
+        assert "Dst" in out
+        assert "(1 row)" in out
+
+    def test_multiline_statement(self, shell):
+        out = run(shell, "SELECT Dst\nFROM EDGE\nWHERE Src = 2;")
+        assert "(1 row)" in out[0]
+
+    def test_missing_semicolon_executes_at_eof(self, shell):
+        out = run(shell, "SELECT Dst FROM EDGE WHERE Src = 1")
+        assert "(1 row)" in out[0]
+
+    def test_error_reported_not_raised(self, shell):
+        (out,) = run(shell, "SELECT Nope FROM EDGE;")
+        assert out.startswith("error:")
+
+    def test_parse_error_reported(self, shell):
+        (out,) = run(shell, "SELEKT;")
+        assert out.startswith("error:")
+
+
+class TestDotCommands:
+    def test_schema_lists_tables_and_keys(self, shell):
+        out = run(shell, ".schema")
+        assert any("table EDGE" in line for line in out)
+        assert any("key" in line for line in out)
+
+    def test_schema_lists_views(self, shell):
+        run(shell, "CREATE VIEW V (S) AS SELECT Src FROM EDGE;")
+        out = run(shell, ".schema")
+        assert any(line.startswith("view V") for line in out)
+
+    def test_rules_inventory(self, shell):
+        out = run(shell, ".rules")
+        assert any("search_merge" in line for line in out)
+
+    def test_explain(self, shell):
+        out = run(shell, ".explain SELECT Dst FROM EDGE WHERE Src = 1")
+        assert "plan before rewriting" in out[0]
+
+    def test_stats(self, shell):
+        out = run(shell, ".stats SELECT Dst FROM EDGE WHERE Src = 1")
+        assert any("tuples_scanned" in line for line in out)
+
+    def test_rewrite_toggle(self, shell):
+        assert run(shell, ".rewrite off") == ["rewriting off"]
+        assert run(shell, ".rewrite") == ["rewriting is off"]
+        assert run(shell, ".rewrite on") == ["rewriting on"]
+
+    def test_unknown_command(self, shell):
+        (out,) = run(shell, ".warp")
+        assert "unknown command" in out
+
+    def test_help(self, shell):
+        (out,) = run(shell, ".help")
+        assert ".explain" in out
+
+    def test_quit_raises_system_exit(self, shell):
+        with pytest.raises(SystemExit):
+            run(shell, ".quit")
+
+
+class TestResultTable:
+    def test_to_table_alignment(self, shell):
+        result = shell.db.query("SELECT Src, Dst FROM EDGE")
+        table = result.to_table()
+        lines = table.splitlines()
+        assert lines[0].startswith("Src")
+        assert set(lines[1]) <= {"-", "+"}
+        assert "(2 rows)" in lines[-1]
+
+    def test_to_table_truncation(self, shell):
+        for i in range(3, 60):
+            shell.db.execute(f"INSERT INTO EDGE VALUES ({i}, {i + 1})")
+        table = shell.db.query("SELECT Src FROM EDGE").to_table(
+            max_rows=5
+        )
+        assert "more)" in table
+
+
+class TestScriptMode:
+    def test_main_with_file(self, tmp_path, capsys):
+        from repro.cli import main
+        script = tmp_path / "s.esql"
+        script.write_text(
+            "TABLE T (A : INT);\n"
+            "INSERT INTO T VALUES (1), (2);\n"
+            "SELECT A FROM T WHERE A = 2;\n"
+        )
+        assert main([str(script)]) == 0
+        captured = capsys.readouterr().out
+        assert "ok" in captured and "(1 row)" in captured
+
+
+class TestLoadCommand:
+    def test_load_runs_script(self, shell, tmp_path):
+        script = tmp_path / "more.esql"
+        script.write_text("INSERT INTO EDGE VALUES (9, 10);\n"
+                          "SELECT Dst FROM EDGE WHERE Src = 9;\n")
+        out = run(shell, f".load {script}")
+        assert out[0] == "ok"
+        assert "(1 row)" in out[1]
+
+    def test_load_missing_file(self, shell):
+        (out,) = run(shell, ".load /nope/missing.esql")
+        assert out.startswith("error:")
+
+    def test_load_without_argument(self, shell):
+        (out,) = run(shell, ".load")
+        assert out.startswith("usage:")
+
+
+class TestEngineCommand:
+    def test_engine_toggle(self, shell):
+        assert run(shell, ".engine hash") == ["join strategy: hash"]
+        assert shell.db.hash_joins is True
+        assert run(shell, ".engine") == ["join strategy: hash"]
+        assert run(shell, ".engine nested") == ["join strategy: nested"]
+
+    def test_queries_respect_engine_choice(self, shell):
+        run(shell, ".engine hash")
+        out = run(shell, "SELECT Dst FROM EDGE WHERE Src = 1;")
+        assert "(1 row)" in out[0]

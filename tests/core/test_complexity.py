@@ -1,0 +1,126 @@
+"""Dynamic limit allocation (section 7 proposal) tests."""
+
+import pytest
+
+from repro import Database
+from repro.core.complexity import allocate_limits, assess
+from repro.terms.parser import parse_term
+
+
+class TestAssessment:
+    def test_key_lookup_is_trivial(self):
+        c = assess(parse_term(
+            "SEARCH(LIST(R), #1.1 = 7, LIST(#1.2))"
+        ))
+        assert c.trivial
+        assert c.relations == 1 and c.conjuncts == 1
+
+    def test_join_not_trivial(self):
+        c = assess(parse_term(
+            "SEARCH(LIST(R, S), #1.1 = #2.1, LIST(#1.2))"
+        ))
+        assert not c.trivial
+        assert c.relations == 2
+
+    def test_fixpoint_counted(self):
+        c = assess(parse_term(
+            "SEARCH(LIST(FIX(T0, UNION(SET(E0, SEARCH(LIST(T0, E0), "
+            "#1.2 = #2.1, LIST(#1.1, #2.2)))))), #1.1 = 1, LIST(#1.2))"
+        ))
+        assert c.fixpoints == 1
+        assert c.unions == 1
+        assert not c.trivial
+
+    def test_predicate_and_disjunct_counting(self):
+        c = assess(parse_term(
+            "SEARCH(LIST(R), (#1.1 = 1 AND #1.2 = 2) OR #1.1 = 3, "
+            "LIST(#1.1))"
+        ))
+        assert c.conjuncts == 3  # three predicate leaves
+        assert c.disjuncts == 1
+
+    def test_score_monotone_in_structure(self):
+        simple = assess(parse_term(
+            "SEARCH(LIST(R), #1.1 = 7, LIST(#1.2))"
+        ))
+        complex_ = assess(parse_term(
+            "SEARCH(LIST(R, S, T0), #1.1 = #2.1 AND #2.2 = #3.1 AND "
+            "#1.2 > 5, LIST(#1.1))"
+        ))
+        assert complex_.score > simple.score
+
+
+class TestAllocation:
+    def test_trivial_disables_rewriting(self):
+        c = assess(parse_term("SEARCH(LIST(R), #1.1 = 7, LIST(#1.2))"))
+        allocation = allocate_limits(c)
+        assert not allocation["enabled"]
+        assert allocation["semantic"] == 0
+
+    def test_budget_monotone(self):
+        terms = [
+            "SEARCH(LIST(R, S), #1.1 = #2.1, LIST(#1.1))",
+            "SEARCH(LIST(R, S, T0), #1.1 = #2.1 AND #2.2 = #3.1 AND "
+            "#1.1 > 2 AND #3.2 < 9, LIST(#1.1))",
+            "SEARCH(LIST(FIX(X0, UNION(SET(E0, SEARCH(LIST(X0, E0), "
+            "#1.2 = #2.1, LIST(#1.1, #2.2))))), R, S), "
+            "#1.1 = 1 AND #1.2 = #2.1 AND #2.2 = #3.1 AND #3.2 > 4 "
+            "AND #2.1 < 8, LIST(#1.1))",
+        ]
+        budgets = [
+            allocate_limits(assess(parse_term(t)))["semantic"]
+            for t in terms
+        ]
+        assert budgets == sorted(budgets)
+        assert budgets[0] < budgets[-1]
+
+
+class TestEndToEnd:
+    def make_db(self, dynamic):
+        db = Database(dynamic_limits=dynamic)
+        db.execute("""
+        TYPE Status ENUMERATION OF ('open', 'closed');
+        TABLE TICKET (Id : NUMERIC, State : Status, Price : NUMERIC)
+        """)
+        db.add_integrity_constraint(
+            "ic: F(x) / ISA(x, Status) --> "
+            "F(x) AND MEMBER(x, MAKESET('open', 'closed')) /"
+        )
+        db.execute("INSERT INTO TICKET VALUES (1, 'open', 5), "
+                   "(2, 'closed', 9)")
+        return db
+
+    def test_trivial_query_skips_rewriting(self):
+        db = self.make_db(dynamic=True)
+        optimized = db.optimize("SELECT Price FROM TICKET WHERE Id = 1")
+        assert optimized.applications == 0
+
+    def test_complex_query_still_optimized(self):
+        db = self.make_db(dynamic=True)
+        # the join makes the query non-trivial; the impossible state is
+        # detected despite dynamic limits
+        result, stats, optimized = db.query_with_stats(
+            "SELECT A.Id FROM TICKET A, TICKET B "
+            "WHERE A.Id = B.Id AND A.State = 'lost'"
+        )
+        assert result.rows == []
+        assert stats.tuples_scanned == 0
+
+    def test_same_answers_as_static(self):
+        dynamic = self.make_db(dynamic=True)
+        static = self.make_db(dynamic=False)
+        for q in (
+            "SELECT Price FROM TICKET WHERE Id = 1",
+            "SELECT Id FROM TICKET WHERE State = 'open'",
+            "SELECT A.Id FROM TICKET A, TICKET B WHERE A.Id = B.Id",
+        ):
+            assert set(dynamic.query(q).rows) == set(static.query(q).rows)
+
+    def test_trivial_query_misses_semantic_win(self):
+        """The trade-off is real: a trivial-shaped inconsistent query
+        goes unoptimized under dynamic limits (and scans the table)."""
+        db = self.make_db(dynamic=True)
+        __, stats, ___ = db.query_with_stats(
+            "SELECT Id FROM TICKET WHERE State = 'lost'"
+        )
+        assert stats.tuples_scanned > 0

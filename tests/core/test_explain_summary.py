@@ -1,0 +1,70 @@
+"""Rewrite-trace summaries and assorted reporting surfaces."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("""
+    TABLE SALE (Shop : NUMERIC, Amount : NUMERIC);
+    CREATE VIEW BIG (Shop, Amount) AS
+      SELECT Shop, Amount FROM SALE WHERE Amount > 10;
+    CREATE VIEW HUGE (Shop, Amount) AS
+      SELECT Shop, Amount FROM BIG WHERE Amount > 20
+    """)
+    d.execute("INSERT INTO SALE VALUES (1, 5), (1, 15), (2, 25), (2, 40)")
+    return d
+
+
+class TestSummary:
+    def test_per_block_histogram(self, db):
+        optimized = db.optimize("SELECT Amount FROM HUGE WHERE Shop = 1")
+        summary = optimized.rewrite_result.summary()
+        assert summary["merge"]["search_merge"] == 2
+
+    def test_empty_summary_when_nothing_fires(self, db):
+        optimized = db.optimize("SELECT Shop FROM SALE")
+        assert optimized.rewrite_result.summary() == {}
+
+
+class TestStatsSurface:
+    def test_unknown_counter_attribute_raises(self):
+        from repro.engine.stats import EvalStats
+        stats = EvalStats()
+        with pytest.raises(AttributeError):
+            stats.nonexistent_counter
+
+    def test_repr_lists_counters(self):
+        from repro.engine.stats import EvalStats
+        stats = EvalStats()
+        stats.incr("tuples_scanned", 3)
+        assert "tuples_scanned=3" in repr(stats)
+
+
+class TestOptimizedQuerySurface:
+    def test_stage_terms_distinct(self, db):
+        optimized = db.optimize("SELECT Amount FROM HUGE WHERE Shop = 1")
+        assert optimized.original is not None
+        assert optimized.typed is not None
+        assert optimized.rewritten != optimized.typed
+        assert optimized.applications == len(optimized.trace)
+
+    def test_schema_matches_result(self, db):
+        optimized = db.optimize(
+            "SELECT Amount AS Big FROM HUGE WHERE Shop = 2"
+        )
+        assert optimized.schema.names == ("Big",)
+
+
+class TestExplainRendering:
+    def test_summary_section_present(self, db):
+        text = db.explain("SELECT Amount FROM HUGE WHERE Shop = 1")
+        assert "per-block summary" in text
+        assert "search_merge x2" in text
+
+    def test_no_summary_without_applications(self, db):
+        text = db.explain("SELECT Shop FROM SALE")
+        assert "per-block summary" not in text

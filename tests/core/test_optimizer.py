@@ -1,0 +1,81 @@
+"""Optimizer pipeline tests."""
+
+import pytest
+
+from repro.adt.types import NUMERIC
+from repro.core.explain import explain_text
+from repro.core.optimizer import Optimizer
+from repro.engine.catalog import Catalog
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("R", [("A", NUMERIC), ("B", NUMERIC)])
+    return c
+
+
+class TestPipeline:
+    def test_stages_recorded(self, cat):
+        optimizer = Optimizer(cat)
+        q = parse_term("SEARCH(LIST(R), #1.1 = 2 + 3, LIST(#1.2))")
+        out = optimizer.optimize(q)
+        assert out.original == q
+        assert "5" in term_to_str(out.final)
+
+    def test_rewrite_disabled_still_typechecks(self, cat):
+        optimizer = Optimizer(cat)
+        q = parse_term("SEARCH(LIST(R), #1.1 = 2 + 3, LIST(#1.2))")
+        out = optimizer.optimize(q, rewrite=False)
+        assert out.applications == 0
+        assert "2 + 3" in term_to_str(out.final)
+
+    def test_schema_computed(self, cat):
+        optimizer = Optimizer(cat)
+        q = parse_term("SEARCH(LIST(R), true, LIST(#1.2))")
+        out = optimizer.optimize(q)
+        assert out.schema.names == ("B",)
+
+    def test_final_pass_normalises_rule_additions(self, cat):
+        # a custom rule introduces user-syntax field access; the final
+        # typecheck pass must leave a valid, evaluable plan
+        from repro.adt.types import REAL
+        ts = cat.type_system
+        ts.define_tuple("Point", [("ABS", REAL)])
+        cat.define_table("M", [("P", ts.lookup("Point"))])
+        from repro.rules.semantic import compile_integrity_constraint
+        cat.integrity_constraints.append(compile_integrity_constraint(
+            "ic: F(x) / ISA(x, Point) --> F(x) AND ABS(x) > 0 /"
+        ))
+        optimizer = Optimizer(cat)
+        q = parse_term(
+            "SEARCH(LIST(M), PROJECT(#1.1, 'ABS') = 2, LIST(#1.1))"
+        )
+        out = optimizer.optimize(q)
+        # no bare ABS(...) call survives in the final plan
+        assert "ABS(#" not in term_to_str(out.final)
+
+
+class TestExplain:
+    def test_explain_sections(self, cat):
+        optimizer = Optimizer(cat)
+        q = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(R), #1.1 = 1, LIST(#1.1, #1.2))), "
+            "true, LIST(#1.2))"
+        )
+        out = optimizer.optimize(q)
+        text = explain_text(out)
+        assert "plan before rewriting" in text
+        assert "plan after rewriting" in text
+        assert "search_merge" in text
+
+    def test_explain_verbose(self, cat):
+        optimizer = Optimizer(cat)
+        q = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(R), #1.1 = 1, LIST(#1.1, #1.2))), "
+            "true, LIST(#1.2))"
+        )
+        text = explain_text(optimizer.optimize(q), verbose=True)
+        assert "==>" in text

@@ -1,0 +1,120 @@
+"""QueryRewriter facade tests: configuration and extension points."""
+
+import pytest
+
+from repro.adt.types import NUMERIC
+from repro.core.rewriter import QueryRewriter
+from repro.engine.catalog import Catalog
+from repro.errors import RewriteError
+from repro.rules.control import Block
+from repro.rules.rule import rule_from_text
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("R", [("A", NUMERIC), ("B", NUMERIC)])
+    return c
+
+
+class TestConfiguration:
+    def test_default_blocks_present(self, cat):
+        rewriter = QueryRewriter(cat)
+        inventory = rewriter.rule_inventory()
+        for name in ("canonicalize", "merge", "push", "fixpoint",
+                     "merge_again", "semantic", "simplify"):
+            assert name in inventory
+
+    def test_standard_rules_installed(self, cat):
+        inventory = QueryRewriter(cat).rule_inventory()
+        assert "search_merge" in inventory["merge"]
+        assert "fix_alexander" in inventory["fixpoint"]
+        assert "eq_transitivity" in inventory["semantic"]
+
+    def test_block_lookup(self, cat):
+        rewriter = QueryRewriter(cat)
+        assert rewriter.block("merge").name == "merge"
+        with pytest.raises(RewriteError):
+            rewriter.block("nope")
+
+
+class TestExtensionPoints:
+    def test_add_rule_to_block(self, cat):
+        rewriter = QueryRewriter(cat)
+        rewriter.add_rule(
+            rule_from_text("collapse: NOISE(x) --> x"), "simplify"
+        )
+        q = parse_term("SEARCH(LIST(R), NOISE(#1.1) = 1, LIST(#1.1))")
+        result = rewriter.rewrite(q)
+        assert "collapse" in result.rules_fired()
+
+    def test_add_rule_at_position(self, cat):
+        rewriter = QueryRewriter(cat)
+        rule = rule_from_text("first: NOISE(x) --> x")
+        rewriter.add_rule(rule, "simplify", position=0)
+        assert rewriter.block("simplify").rules[0] is rule
+
+    def test_add_rule_unknown_block(self, cat):
+        rewriter = QueryRewriter(cat)
+        with pytest.raises(RewriteError):
+            rewriter.add_rule(rule_from_text("r: P(x) --> x"), "nope")
+
+    def test_add_block(self, cat):
+        rewriter = QueryRewriter(cat)
+        rewriter.add_block(Block("mine", []), before="simplify")
+        names = [b.name for b in rewriter.seq.blocks]
+        assert names.index("mine") == names.index("simplify") - 1
+
+    def test_add_block_at_end(self, cat):
+        rewriter = QueryRewriter(cat)
+        rewriter.add_block(Block("tail", []))
+        assert rewriter.seq.blocks[-1].name == "tail"
+
+    def test_add_block_unknown_anchor(self, cat):
+        rewriter = QueryRewriter(cat)
+        with pytest.raises(RewriteError):
+            rewriter.add_block(Block("x", []), before="nope")
+
+    def test_set_block_limit(self, cat):
+        rewriter = QueryRewriter(cat)
+        rewriter.set_block_limit("semantic", 5)
+        assert rewriter.block("semantic").limit == 5
+
+    def test_add_method_and_predicate(self, cat):
+        from repro.terms.term import num
+        rewriter = QueryRewriter(cat)
+        rewriter.add_method(
+            "ANSWER", 1,
+            lambda inst, raw, b, ctx: {raw[0].name: num(42)},
+        )
+        rewriter.add_predicate("YES", lambda args, b, ctx: True)
+        rewriter.add_rule(
+            rule_from_text("deep: THOUGHT(x) / YES(x) --> a / ANSWER(a)"),
+            "simplify",
+        )
+        q = parse_term("SEARCH(LIST(R), #1.1 = THOUGHT(0), LIST(#1.1))")
+        result = rewriter.rewrite(q)
+        assert "42" in term_to_str(result.term)
+
+
+class TestRewriting:
+    def test_trace_collected_by_default(self, cat):
+        rewriter = QueryRewriter(cat)
+        q = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(R), #1.1 = 1, LIST(#1.1, #1.2))), "
+            "true, LIST(#1.2))"
+        )
+        result = rewriter.rewrite(q)
+        assert result.trace
+
+    def test_trace_disabled(self, cat):
+        rewriter = QueryRewriter(cat, collect_trace=False)
+        q = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(R), #1.1 = 1, LIST(#1.1, #1.2))), "
+            "true, LIST(#1.2))"
+        )
+        result = rewriter.rewrite(q)
+        assert not result.trace
+        assert result.applications > 0

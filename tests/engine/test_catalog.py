@@ -1,0 +1,85 @@
+"""Catalog tests."""
+
+import pytest
+
+from repro.adt.types import CHAR, INT, NUMERIC
+from repro.engine.catalog import Catalog, ViewDef
+from repro.errors import CatalogError
+from repro.lera.schema import Schema
+from repro.terms.term import sym
+
+
+@pytest.fixture
+def cat():
+    return Catalog()
+
+
+class TestTables:
+    def test_define_and_lookup(self, cat):
+        cat.define_table("R", [("A", INT)])
+        assert cat.is_table("r")
+        assert cat.relation_schema("R").names == ("A",)
+
+    def test_duplicate_rejected(self, cat):
+        cat.define_table("R", [("A", INT)])
+        with pytest.raises(CatalogError):
+            cat.define_table("r", [("B", INT)])
+
+    def test_unknown_table(self, cat):
+        with pytest.raises(CatalogError):
+            cat.table("NOPE")
+        with pytest.raises(CatalogError):
+            cat.relation_schema("NOPE")
+
+    def test_insert_and_rows(self, cat):
+        cat.define_table("R", [("A", INT)])
+        cat.insert("R", (1,))
+        cat.insert_many("R", [(2,), (3,)])
+        assert [r[0] for r in cat.rows("R")] == [1, 2, 3]
+
+    def test_drop_table(self, cat):
+        cat.define_table("R", [("A", INT)])
+        cat.drop_table("R")
+        assert not cat.is_table("R")
+        with pytest.raises(CatalogError):
+            cat.drop_table("R")
+
+    def test_relation_names_sorted(self, cat):
+        cat.define_table("Z", [("A", INT)])
+        cat.define_table("A", [("A", INT)])
+        assert cat.relation_names() == ("A", "Z")
+
+
+class TestViews:
+    def test_define_view(self, cat):
+        cat.define_table("R", [("A", INT)])
+        view = ViewDef("V", sym("R"), Schema([("A", INT)]))
+        cat.define_view(view)
+        assert cat.is_view("v")
+        assert cat.relation_schema("V").names == ("A",)
+
+    def test_view_name_clash_with_table(self, cat):
+        cat.define_table("R", [("A", INT)])
+        with pytest.raises(CatalogError):
+            cat.define_view(ViewDef("R", sym("R"), Schema([("A", INT)])))
+
+    def test_drop_view(self, cat):
+        cat.define_view(ViewDef("V", sym("R"), Schema([("A", INT)])))
+        cat.drop_view("V")
+        assert cat.view("V") is None
+        with pytest.raises(CatalogError):
+            cat.drop_view("V")
+
+
+class TestObjects:
+    def test_new_object(self, cat):
+        cat.type_system.define_object("Actor", [("Name", CHAR),
+                                                ("Salary", NUMERIC)])
+        ref = cat.new_object("Actor", ("Quinn", 100))
+        value = cat.objects.value_of(ref)
+        assert value["Name"] == "Quinn"
+
+    def test_new_object_requires_object_type(self, cat):
+        cat.type_system.define_tuple("Point", [("X", NUMERIC)])
+        with pytest.raises(CatalogError):
+            cat.new_object("Point", (1,))

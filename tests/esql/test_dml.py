@@ -1,0 +1,201 @@
+"""DELETE / UPDATE / SELECT * tests."""
+
+import pytest
+
+from repro import Database
+from repro.errors import TranslationError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("""
+    TYPE Category ENUMERATION OF ('a', 'b');
+    TABLE T (Id : NUMERIC, Tag : CHAR, Cat : Category)
+    """)
+    d.execute("INSERT INTO T VALUES (1, 'x', 'a'), (2, 'y', 'b'), "
+              "(3, 'z', 'a')")
+    return d
+
+
+class TestDelete:
+    def test_delete_with_predicate(self, db):
+        db.execute("DELETE FROM T WHERE Cat = 'a'")
+        assert [r[0] for r in db.catalog.rows("T")] == [2]
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM T")
+        assert db.catalog.rows("T") == []
+
+    def test_delete_nothing(self, db):
+        db.execute("DELETE FROM T WHERE Id > 100")
+        assert len(db.catalog.rows("T")) == 3
+
+    def test_delete_with_function_predicate(self, db):
+        db.execute("DELETE FROM T WHERE MEMBER(Tag, MAKESET('x', 'z'))")
+        assert [r[0] for r in db.catalog.rows("T")] == [2]
+
+    def test_delete_from_view_rejected(self, db):
+        db.execute("CREATE VIEW V (Id) AS SELECT Id FROM T")
+        with pytest.raises(TranslationError):
+            db.execute("DELETE FROM V")
+
+    def test_delete_unknown_column(self, db):
+        with pytest.raises(TranslationError):
+            db.execute("DELETE FROM T WHERE Nope = 1")
+
+
+class TestUpdate:
+    def test_update_single_column(self, db):
+        db.execute("UPDATE T SET Id = Id + 10 WHERE Tag = 'y'")
+        assert sorted(r[0] for r in db.catalog.rows("T")) == [1, 3, 12]
+
+    def test_update_multiple_columns(self, db):
+        db.execute("UPDATE T SET Id = 0, Tag = 'w' WHERE Id = 1")
+        row = [r for r in db.catalog.rows("T") if r[1] == "w"]
+        assert row == [(0, "w", "a")]
+
+    def test_update_all_rows(self, db):
+        db.execute("UPDATE T SET Id = Id * 2")
+        assert sorted(r[0] for r in db.catalog.rows("T")) == [2, 4, 6]
+
+    def test_update_enforces_types(self, db):
+        with pytest.raises(Exception):
+            db.execute("UPDATE T SET Cat = 'zz' WHERE Id = 1")
+
+    def test_update_view_rejected(self, db):
+        db.execute("CREATE VIEW V (Id) AS SELECT Id FROM T")
+        with pytest.raises(TranslationError):
+            db.execute("UPDATE V SET Id = 1")
+
+    def test_update_field_access_expression(self, db):
+        db.execute("UPDATE T SET Tag = Cat WHERE Id = 1")
+        assert [r for r in db.catalog.rows("T") if r[0] == 1][0][1] == "a"
+
+
+class TestSelectStar:
+    def test_star_single_table(self, db):
+        rows = db.query("SELECT * FROM T WHERE Id = 2").rows
+        assert rows == [(2, "y", "b")]
+
+    def test_star_schema_names(self, db):
+        result = db.query("SELECT * FROM T WHERE Id = 2")
+        assert result.schema.names == ("Id", "Tag", "Cat")
+
+    def test_star_over_join(self, db):
+        db.execute("TABLE U (Ref : NUMERIC)")
+        db.execute("INSERT INTO U VALUES (1), (3)")
+        rows = db.query("SELECT * FROM T, U WHERE Id = Ref").rows
+        assert sorted(rows) == [(1, "x", "a", 1), (3, "z", "a", 3)]
+
+    def test_star_mixed_with_expressions(self, db):
+        rows = db.query("SELECT Id + 100, * FROM T WHERE Id = 1").rows
+        assert rows == [(101, 1, "x", "a")]
+
+    def test_star_respects_rewriting(self, db):
+        q = "SELECT * FROM T WHERE Id = 1 AND Id = 1"
+        assert db.query(q, rewrite=True).rows == \
+            db.query(q, rewrite=False).rows
+
+
+class TestHaving:
+    @pytest.fixture
+    def gdb(self):
+        d = Database()
+        d.execute("TABLE E (Src : NUMERIC, Dst : NUMERIC)")
+        d.execute("INSERT INTO E VALUES (1,2),(1,3),(1,4),(2,5),(3,6),"
+                  "(3,7)")
+        return d
+
+    def test_having_on_aliased_aggregate(self, gdb):
+        rows = gdb.query("SELECT Src, COUNT(Dst) AS N FROM E "
+                         "GROUP BY Src HAVING N > 1").rows
+        assert sorted(rows) == [(1, 3), (3, 2)]
+
+    def test_having_on_derived_name(self, gdb):
+        rows = gdb.query("SELECT Src, COUNT(Dst) FROM E GROUP BY Src "
+                         "HAVING Count > 2").rows
+        assert rows == [(1, 3)]
+
+    def test_having_on_group_column(self, gdb):
+        rows = gdb.query("SELECT Src, SUM(Dst) FROM E GROUP BY Src "
+                         "HAVING Src > 1").rows
+        assert sorted(rows) == [(2, 5), (3, 13)]
+
+    def test_having_with_collection_predicate(self, gdb):
+        rows = gdb.query("SELECT Src, MakeSet(Dst) AS Ds FROM E "
+                         "GROUP BY Src HAVING MEMBER(5, Ds)").rows
+        assert [r[0] for r in rows] == [2]
+
+    def test_having_requires_group_by(self, gdb):
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            gdb.query("SELECT Src FROM E HAVING Src > 1")
+
+    def test_having_rewrite_equivalence(self, gdb):
+        q = ("SELECT Src, COUNT(Dst) AS N FROM E GROUP BY Src "
+             "HAVING N > 1 AND Src < 3")
+        assert set(gdb.query(q, rewrite=True).rows) == \
+            set(gdb.query(q, rewrite=False).rows)
+
+    def test_having_on_group_column_pushes_below_nest(self, gdb):
+        """Rule interplay: HAVING over a grouping column becomes a
+        filter that the permutation rules push below the NEST."""
+        optimized = gdb.optimize(
+            "SELECT Src, MakeSet(Dst) AS Ds FROM E GROUP BY Src "
+            "HAVING Src > 2"
+        )
+        fired = optimized.rewrite_result.rules_fired()
+        assert any(n.startswith("search_nest_push") for n in fired)
+        from repro.terms.printer import term_to_str
+        rendered = term_to_str(optimized.final).replace(" ", "")
+        assert "NEST(SEARCH" in rendered
+
+
+class TestDrop:
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE T")
+        assert not db.catalog.is_table("T")
+
+    def test_drop_view(self, db):
+        db.execute("CREATE VIEW V (Id) AS SELECT Id FROM T")
+        db.execute("DROP VIEW V")
+        assert not db.catalog.is_view("V")
+
+    def test_drop_unknown(self, db):
+        from repro.errors import CatalogError
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE NOPE")
+
+    def test_drop_requires_kind(self, db):
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            db.execute("DROP INDEX I")
+
+    def test_name_reusable_after_drop(self, db):
+        db.execute("DROP TABLE T")
+        db.execute("TABLE T (X : INT)")
+        assert db.catalog.relation_schema("T").names == ("X",)
+
+
+class TestCountStar:
+    @pytest.fixture
+    def cdb(self):
+        d = Database()
+        d.execute("TABLE E (Src : NUMERIC, Dst : NUMERIC)")
+        d.execute("INSERT INTO E VALUES (1,2),(1,3),(2,5)")
+        return d
+
+    def test_count_star_groups(self, cdb):
+        rows = cdb.query("SELECT Src, COUNT(*) FROM E GROUP BY Src").rows
+        assert sorted(rows) == [(1, 2), (2, 1)]
+
+    def test_count_star_with_having(self, cdb):
+        rows = cdb.query("SELECT Src, COUNT(*) AS N FROM E "
+                         "GROUP BY Src HAVING N > 1").rows
+        assert rows == [(1, 2)]
+
+    def test_star_only_for_count(self, cdb):
+        from repro.errors import TranslationError
+        with pytest.raises(TranslationError):
+            cdb.query("SELECT Src, SUM(*) FROM E GROUP BY Src")

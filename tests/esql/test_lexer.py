@@ -1,0 +1,57 @@
+"""ESQL lexer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.esql.lexer import tokenize_sql
+
+
+def kinds(source):
+    return [t.kind for t in tokenize_sql(source)]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select From WHERE")[:3] == \
+            ["SELECT", "FROM", "WHERE"]
+
+    def test_identifier_keeps_case(self):
+        tok = tokenize_sql("FilmActors")[0]
+        assert tok.kind == "IDENT" and tok.text == "FilmActors"
+
+    def test_numbers(self):
+        toks = tokenize_sql("42 3.5")
+        assert [t.text for t in toks[:2]] == ["42", "3.5"]
+
+    def test_string_with_escape(self):
+        tok = tokenize_sql("'o''brien'")[0]
+        assert tok.text == "o'brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize_sql("'oops")
+
+    def test_comment(self):
+        assert kinds("a -- comment\n b") == ["IDENT", "IDENT", "EOF"]
+
+    def test_operators(self):
+        toks = tokenize_sql("<= >= <> = < > + - * /")
+        assert [t.kind for t in toks[:-1]] == \
+            ["OP"] * 8 + ["STAR", "OP"]
+
+    def test_punctuation(self):
+        assert kinds("( ) , ; . :") == \
+            ["LPAREN", "RPAREN", "COMMA", "SEMI", "DOT", "COLON", "EOF"]
+
+    def test_collection_keywords(self):
+        assert kinds("SET BAG LIST ARRAY")[:4] == \
+            ["SET", "BAG", "LIST", "ARRAY"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize_sql("@")
+
+    def test_position_tracking(self):
+        toks = tokenize_sql("a\n  bb")
+        assert toks[1].line == 2
+        assert toks[1].column == 3

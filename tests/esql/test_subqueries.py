@@ -1,0 +1,183 @@
+"""IN/EXISTS subquery flattening (the intro's "select migration")."""
+
+import pytest
+
+from repro import Database
+from repro.errors import TranslationError
+from repro.terms.printer import term_to_str
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("""
+    TABLE CUSTOMER (Cid : NUMERIC, Region : NUMERIC);
+    TABLE ORDERS (Oid : NUMERIC, Cust : NUMERIC, Total : NUMERIC)
+    """)
+    d.execute("INSERT INTO CUSTOMER VALUES (1, 10), (2, 10), (3, 20), "
+              "(4, 20)")
+    d.execute("INSERT INTO ORDERS VALUES (100, 1, 50), (101, 1, 9), "
+              "(102, 3, 70), (103, 4, 5)")
+    return d
+
+
+def both(db, query):
+    on = set(db.query(query, rewrite=True).rows)
+    off = set(db.query(query, rewrite=False).rows)
+    assert on == off, query
+    return on
+
+
+class TestInSubquery:
+    def test_uncorrelated_in(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER WHERE Cid IN "
+                        "(SELECT Cust FROM ORDERS WHERE Total > 20)")
+        assert rows == {(1,), (3,)}
+
+    def test_not_in(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER WHERE Cid NOT IN "
+                        "(SELECT Cust FROM ORDERS)")
+        assert rows == {(2,)}
+
+    def test_in_with_expression_left(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER WHERE Cid + 0 IN "
+                        "(SELECT Cust FROM ORDERS WHERE Total > 60)")
+        assert rows == {(3,)}
+
+    def test_in_over_union_subquery(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER WHERE Cid IN "
+                        "(SELECT Cust FROM ORDERS WHERE Total > 60 "
+                        "UNION SELECT Cust FROM ORDERS WHERE Total < 8)")
+        assert rows == {(3,), (4,)}
+
+    def test_plan_shape_is_semijoin(self, db):
+        optimized = db.optimize(
+            "SELECT Cid FROM CUSTOMER WHERE Cid IN "
+            "(SELECT Cust FROM ORDERS)"
+        )
+        assert "SEMIJOIN" in term_to_str(optimized.final)
+
+    def test_not_in_plan_is_antijoin(self, db):
+        optimized = db.optimize(
+            "SELECT Cid FROM CUSTOMER WHERE Cid NOT IN "
+            "(SELECT Cust FROM ORDERS)"
+        )
+        assert "ANTIJOIN" in term_to_str(optimized.final)
+
+
+class TestExists:
+    def test_correlated_exists(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER C WHERE EXISTS "
+                        "(SELECT Oid FROM ORDERS O "
+                        "WHERE O.Cust = C.Cid AND O.Total > 20)")
+        assert rows == {(1,), (3,)}
+
+    def test_correlated_not_exists(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER C WHERE NOT EXISTS "
+                        "(SELECT Oid FROM ORDERS O WHERE O.Cust = C.Cid)")
+        assert rows == {(2,)}
+
+    def test_uncorrelated_exists_all_or_nothing(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER WHERE EXISTS "
+                        "(SELECT Oid FROM ORDERS WHERE Total > 1000)")
+        assert rows == set()
+        rows = both(db, "SELECT Cid FROM CUSTOMER WHERE EXISTS "
+                        "(SELECT Oid FROM ORDERS WHERE Total > 60)")
+        assert len(rows) == 4
+
+    def test_correlation_with_expression(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER C WHERE EXISTS "
+                        "(SELECT Oid FROM ORDERS O "
+                        "WHERE O.Cust + 0 = C.Cid AND O.Total < 10)")
+        assert rows == {(1,), (4,)}
+
+    def test_exists_combined_with_plain_conjunct(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER C WHERE Region = 20 "
+                        "AND EXISTS (SELECT Oid FROM ORDERS O "
+                        "WHERE O.Cust = C.Cid)")
+        assert rows == {(3,), (4,)}
+
+    def test_two_subqueries(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER C "
+                        "WHERE EXISTS (SELECT Oid FROM ORDERS O "
+                        "WHERE O.Cust = C.Cid) "
+                        "AND Cid NOT IN (SELECT Cust FROM ORDERS "
+                        "WHERE Total > 60)")
+        assert rows == {(1,), (4,)}
+
+
+class TestInList:
+    def test_in_literal_list(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER WHERE Region IN "
+                        "(10, 30)")
+        assert rows == {(1,), (2,)}
+
+    def test_not_in_literal_list(self, db):
+        rows = both(db, "SELECT Cid FROM CUSTOMER WHERE Region NOT IN "
+                        "(10, 30)")
+        assert rows == {(3,), (4,)}
+
+    def test_in_list_becomes_member(self, db):
+        optimized = db.optimize(
+            "SELECT Cid FROM CUSTOMER WHERE Region IN (10, 30)"
+        )
+        assert "MEMBER" in term_to_str(optimized.final)
+
+    def test_impossible_in_list_folds(self, db):
+        optimized = db.optimize(
+            "SELECT Cid FROM CUSTOMER WHERE 5 IN (1, 2, 3)"
+        )
+        assert term_to_str(optimized.final) == "EMPTY(1)"
+
+
+class TestRestrictions:
+    def test_subquery_under_or_rejected(self, db):
+        with pytest.raises(TranslationError):
+            db.query("SELECT Cid FROM CUSTOMER WHERE Region = 10 OR "
+                     "Cid IN (SELECT Cust FROM ORDERS)")
+
+    def test_subquery_in_select_items_rejected(self, db):
+        with pytest.raises(TranslationError):
+            db.query("SELECT EXISTS (SELECT Oid FROM ORDERS) "
+                     "FROM CUSTOMER")
+
+    def test_group_by_with_subquery_rejected(self, db):
+        with pytest.raises(TranslationError):
+            db.query("SELECT Region, COUNT(Cid) FROM CUSTOMER "
+                     "WHERE Cid IN (SELECT Cust FROM ORDERS) "
+                     "GROUP BY Region")
+
+    def test_unknown_column_still_reported(self, db):
+        with pytest.raises(TranslationError):
+            db.query("SELECT Cid FROM CUSTOMER C WHERE EXISTS "
+                     "(SELECT Oid FROM ORDERS O WHERE O.Nope = C.Cid)")
+
+
+class TestRewriterInterplay:
+    def test_selection_pushed_below_semijoin(self, db):
+        optimized = db.optimize(
+            "SELECT Cid FROM CUSTOMER C WHERE Region = 10 AND Cid IN "
+            "(SELECT Cust FROM ORDERS)"
+        )
+        rendered = term_to_str(optimized.final)
+        # the region filter sits in the core search, below the semijoin
+        semijoin_pos = rendered.find("SEMIJOIN")
+        filter_pos = rendered.find("10")
+        assert semijoin_pos != -1 and filter_pos > semijoin_pos
+
+    def test_contradiction_inside_subquery_prunes(self, db):
+        result, stats, optimized = db.query_with_stats(
+            "SELECT Cid FROM CUSTOMER WHERE Cid IN "
+            "(SELECT Cust FROM ORDERS WHERE Total > 5 AND Total < 2)"
+        )
+        assert result.rows == []
+        assert "EMPTY" in term_to_str(optimized.final)
+        assert stats.tuples_scanned == 0
+
+    def test_not_in_with_empty_subquery_keeps_everything(self, db):
+        result, __, optimized = db.query_with_stats(
+            "SELECT Cid FROM CUSTOMER WHERE Cid NOT IN "
+            "(SELECT Cust FROM ORDERS WHERE Total > 5 AND Total < 2)"
+        )
+        assert len(result.rows) == 4
+        assert "ANTIJOIN" not in term_to_str(optimized.final)

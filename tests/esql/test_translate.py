@@ -1,0 +1,228 @@
+"""Translator tests: ESQL AST to LERA terms and catalog actions."""
+
+import pytest
+
+from repro import Database
+from repro.errors import TranslationError
+from repro.terms.printer import term_to_str
+from repro.terms.term import is_fun
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("""
+    TABLE EDGE (Src : NUMERIC, Dst : NUMERIC);
+    TABLE NODE (Id : NUMERIC, Label : CHAR)
+    """)
+    return d
+
+
+def lera(db, query):
+    return db.translator.execute(
+        __import__("repro.esql.parser", fromlist=["parse_statement"])
+        .parse_statement(query)
+    )
+
+
+class TestSelectTranslation:
+    def test_simple_select_is_search(self, db):
+        t = lera(db, "SELECT Dst FROM EDGE WHERE Src = 1")
+        assert is_fun(t, "SEARCH")
+        rendered = term_to_str(t)
+        assert "EDGE" in rendered and "#1.1" in rendered
+
+    def test_column_resolution_case_insensitive(self, db):
+        t = lera(db, "SELECT dst FROM EDGE WHERE src = 1")
+        assert is_fun(t, "SEARCH")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(TranslationError):
+            lera(db, "SELECT Nope FROM EDGE")
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises(TranslationError):
+            lera(db, "SELECT Src FROM EDGE E1, EDGE E2")
+
+    def test_alias_qualification(self, db):
+        t = lera(db, "SELECT E2.Dst FROM EDGE E1, EDGE E2 "
+                     "WHERE E1.Dst = E2.Src")
+        assert "#2.2" in term_to_str(t)
+
+    def test_unknown_alias(self, db):
+        with pytest.raises(TranslationError):
+            lera(db, "SELECT Z.Dst FROM EDGE E1")
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(TranslationError):
+            lera(db, "SELECT A FROM NOPE")
+
+    def test_output_names_from_aliases(self, db):
+        t = lera(db, "SELECT Dst AS Target FROM EDGE")
+        assert "'Target'" in term_to_str(t)
+
+    def test_missing_where_is_true(self, db):
+        t = lera(db, "SELECT Dst FROM EDGE")
+        assert t.args[1] == __import__(
+            "repro.terms.term", fromlist=["TRUE"]
+        ).TRUE
+
+    def test_expression_items(self, db):
+        t = lera(db, "SELECT Src + Dst FROM EDGE")
+        assert "#1.1 + #1.2" in term_to_str(t)
+
+    def test_union_query(self, db):
+        t = lera(db, "SELECT Src FROM EDGE UNION SELECT Id FROM NODE")
+        assert is_fun(t, "UNION")
+
+    def test_union_width_mismatch(self, db):
+        with pytest.raises(TranslationError):
+            lera(db, "SELECT Src, Dst FROM EDGE UNION "
+                     "SELECT Id FROM NODE")
+
+
+class TestViewExpansion:
+    def test_view_inlined(self, db):
+        db.execute("CREATE VIEW BIG (Src, Dst) AS "
+                   "SELECT Src, Dst FROM EDGE WHERE Src > 5")
+        t = lera(db, "SELECT Dst FROM BIG WHERE Src = 9")
+        rendered = term_to_str(t)
+        # the view body appears inside the query (query modification)
+        assert rendered.count("SEARCH") == 2
+        assert "BIG" not in rendered
+
+    def test_view_column_renaming(self, db):
+        db.execute("CREATE VIEW R2 (X, Y) AS SELECT Src, Dst FROM EDGE")
+        t = lera(db, "SELECT Y FROM R2 WHERE X = 1")
+        assert is_fun(t, "SEARCH")
+
+    def test_view_width_mismatch(self, db):
+        with pytest.raises(TranslationError):
+            db.execute("CREATE VIEW BAD (A) AS SELECT Src, Dst FROM EDGE")
+
+    def test_recursive_view_becomes_fix(self, db):
+        db.execute("""
+        CREATE VIEW REACH (Src, Dst) AS
+        ( SELECT Src, Dst FROM EDGE
+          UNION
+          SELECT R.Src, E.Dst FROM REACH R, EDGE E WHERE R.Dst = E.Src )
+        """)
+        view = db.catalog.view("REACH")
+        assert view.recursive
+        assert is_fun(view.term, "FIX")
+
+    def test_fully_recursive_view_rejected(self, db):
+        with pytest.raises(TranslationError):
+            db.execute("""
+            CREATE VIEW LOOP (A, B) AS
+            SELECT L.A, L.B FROM LOOP L
+            """)
+
+
+class TestGroupByTranslation:
+    def test_single_collection_aggregate_is_nest(self, db):
+        t = lera(db, "SELECT Src, MakeSet(Dst) FROM EDGE GROUP BY Src")
+        assert is_fun(t, "NEST")
+        assert "'SET'" in term_to_str(t) or "SET" in term_to_str(t)
+
+    def test_makelist_nest_kind(self, db):
+        t = lera(db, "SELECT Src, MakeList(Dst) FROM EDGE GROUP BY Src")
+        assert "LIST" in term_to_str(t.args[2])
+
+    def test_scalar_aggregate_projection(self, db):
+        t = lera(db, "SELECT Src, COUNT(Dst) FROM EDGE GROUP BY Src")
+        assert is_fun(t, "PROJECTION")
+        assert "COUNT" in term_to_str(t)
+
+    def test_multiple_aggregates(self, db):
+        t = lera(db, "SELECT Src, SUM(Dst), MAX(Dst) FROM EDGE "
+                     "GROUP BY Src")
+        rendered = term_to_str(t)
+        assert "SUM" in rendered and "MAX" in rendered
+
+    def test_selected_nongrouped_column_rejected(self, db):
+        with pytest.raises(TranslationError):
+            lera(db, "SELECT Src, Dst, MakeSet(Dst) FROM EDGE "
+                     "GROUP BY Src")
+
+    def test_group_by_without_aggregate_rejected(self, db):
+        with pytest.raises(TranslationError):
+            lera(db, "SELECT Src FROM EDGE GROUP BY Src")
+
+    def test_unselected_group_column_rejected(self, db):
+        with pytest.raises(TranslationError):
+            lera(db, "SELECT MakeSet(Dst) FROM EDGE GROUP BY Src")
+
+    def test_non_aggregate_expression_rejected(self, db):
+        with pytest.raises(TranslationError):
+            lera(db, "SELECT Src + 1, MakeSet(Dst) FROM EDGE "
+                     "GROUP BY Src")
+
+
+class TestGroupByExecution:
+    def test_makeset_groups(self, db):
+        db.execute("INSERT INTO EDGE VALUES (1, 2), (1, 3), (2, 4)")
+        rows = db.query(
+            "SELECT Src, MakeSet(Dst) FROM EDGE GROUP BY Src"
+        ).rows
+        from repro.adt.values import SetValue
+        as_dict = dict(rows)
+        assert as_dict[1] == SetValue([2, 3])
+        assert as_dict[2] == SetValue([4])
+
+    def test_count_groups(self, db):
+        db.execute("INSERT INTO EDGE VALUES (1, 2), (1, 3), (2, 4)")
+        rows = db.query(
+            "SELECT Src, COUNT(Dst) FROM EDGE GROUP BY Src"
+        ).rows
+        assert dict(rows) == {1: 2, 2: 1}
+
+    def test_sum_and_max_together(self, db):
+        db.execute("INSERT INTO EDGE VALUES (1, 2), (1, 3), (2, 4)")
+        rows = db.query(
+            "SELECT Src, SUM(Dst), MAX(Dst) FROM EDGE GROUP BY Src"
+        ).rows
+        assert sorted(rows) == [(1, 5, 3), (2, 4, 4)]
+
+    def test_makeset_with_scalar_aggregate(self, db):
+        db.execute("INSERT INTO EDGE VALUES (1, 2), (1, 2), (1, 3)")
+        rows = db.query(
+            "SELECT Src, MakeSet(Dst), COUNT(Dst) FROM EDGE GROUP BY Src"
+        ).rows
+        from repro.adt.values import SetValue
+        assert rows == [(1, SetValue([2, 3]), 3)]
+
+
+class TestInsertTranslation:
+    def test_coerced_values(self, db):
+        db.execute("INSERT INTO NODE VALUES (1, 'a')")
+        assert db.catalog.rows("NODE") == [(1, "a")]
+
+    def test_bad_literal(self, db):
+        with pytest.raises(Exception):
+            db.execute("INSERT INTO NODE VALUES (Src, 'a')")
+
+
+class TestArrayLiterals:
+    def test_array_literal_round_trip(self, db):
+        db.execute("TABLE GRID (Id : NUMERIC, Cells : ARRAY OF NUMERIC)")
+        db.execute("INSERT INTO GRID VALUES (1, ARRAY(9, 8, 7))")
+        from repro.adt.values import ArrayValue
+        (row,) = db.catalog.rows("GRID")
+        assert row[1] == ArrayValue([9, 8, 7])
+
+    def test_array_indexing_in_query(self, db):
+        db.execute("TABLE GRID2 (Id : NUMERIC, Cells : ARRAY OF NUMERIC)")
+        db.execute("INSERT INTO GRID2 VALUES (1, ARRAY(9, 8)), "
+                   "(2, ARRAY(5, 6))")
+        rows = db.query(
+            "SELECT Id FROM GRID2 WHERE AT(Cells, 0) = 9"
+        ).rows
+        assert rows == [(1,)]
+
+    def test_bag_literal(self, db):
+        db.execute("TABLE BG (Id : NUMERIC, Vals : BAG OF NUMERIC)")
+        db.execute("INSERT INTO BG VALUES (1, BAG(3, 3, 4))")
+        from repro.adt.values import BagValue
+        (row,) = db.catalog.rows("BG")
+        assert row[1] == BagValue([3, 3, 4])

@@ -1,0 +1,211 @@
+"""End-to-end scenarios: rewrite-on vs rewrite-off equivalence.
+
+The formal model of the rewriter is set semantics (the paper's
+deductive setting), so equivalence assertions compare row sets.
+"""
+
+import random
+
+import pytest
+
+from repro import Database, EvalStats
+
+
+def graph_db(edges):
+    db = Database()
+    db.execute("TABLE EDGE (Src : NUMERIC, Dst : NUMERIC)")
+    for a, b in edges:
+        db.execute(f"INSERT INTO EDGE VALUES ({a}, {b})")
+    return db
+
+
+def rows_set(db, query, rewrite):
+    return set(db.query(query, rewrite=rewrite).rows)
+
+
+def assert_equivalent(db, query):
+    assert rows_set(db, query, True) == rows_set(db, query, False)
+
+
+class TestViewStacks:
+    def make_db(self):
+        db = Database()
+        db.execute("""
+        TABLE SALE (Shop : NUMERIC, Item : NUMERIC, Amount : NUMERIC);
+        CREATE VIEW BIG_SALE (Shop, Item, Amount) AS
+          SELECT Shop, Item, Amount FROM SALE WHERE Amount > 10;
+        CREATE VIEW BIG_SHOP1 (Item, Amount) AS
+          SELECT Item, Amount FROM BIG_SALE WHERE Shop = 1
+        """)
+        rng = random.Random(3)
+        for __ in range(60):
+            db.execute(
+                f"INSERT INTO SALE VALUES ({rng.randint(1, 4)}, "
+                f"{rng.randint(1, 20)}, {rng.randint(1, 40)})"
+            )
+        return db
+
+    def test_stacked_views_equivalent(self):
+        db = self.make_db()
+        assert_equivalent(db, "SELECT Item FROM BIG_SHOP1 WHERE Amount > 30")
+
+    def test_stacked_views_merge_to_one_search(self):
+        db = self.make_db()
+        opt = db.optimize("SELECT Item FROM BIG_SHOP1 WHERE Amount > 30")
+        from repro.terms.printer import term_to_str
+        assert term_to_str(opt.final).count("SEARCH") == 1
+
+    def test_merging_reduces_intermediate_results(self):
+        db = self.make_db()
+        q = "SELECT Item FROM BIG_SHOP1 WHERE Amount > 30"
+        __, stats_opt, ___ = db.query_with_stats(q, rewrite=True)
+        __, stats_plain, ___ = db.query_with_stats(q, rewrite=False)
+        assert stats_opt.tuples_output <= stats_plain.tuples_output
+
+
+class TestUnionScenarios:
+    def make_db(self):
+        db = Database()
+        db.execute("""
+        TABLE OLD_SALE (Shop : NUMERIC, Amount : NUMERIC);
+        TABLE NEW_SALE (Shop : NUMERIC, Amount : NUMERIC);
+        CREATE VIEW ALL_SALE (Shop, Amount) AS
+          SELECT Shop, Amount FROM OLD_SALE
+          UNION
+          SELECT Shop, Amount FROM NEW_SALE
+        """)
+        rng = random.Random(5)
+        for table in ("OLD_SALE", "NEW_SALE"):
+            for __ in range(40):
+                db.execute(
+                    f"INSERT INTO {table} VALUES "
+                    f"({rng.randint(1, 5)}, {rng.randint(1, 100)})"
+                )
+        return db
+
+    def test_selection_over_union_equivalent(self):
+        db = self.make_db()
+        assert_equivalent(db, "SELECT Amount FROM ALL_SALE WHERE Shop = 2")
+
+    def test_join_with_union_view_equivalent(self):
+        db = self.make_db()
+        assert_equivalent(
+            db,
+            "SELECT A.Amount, B.Amount FROM ALL_SALE A, OLD_SALE B "
+            "WHERE A.Shop = B.Shop AND A.Amount > 90",
+        )
+
+
+class TestRecursionScenarios:
+    def reach_db(self, edges):
+        db = graph_db(edges)
+        db.execute("""
+        CREATE VIEW REACH (Src, Dst) AS
+        ( SELECT Src, Dst FROM EDGE
+          UNION
+          SELECT R.Src, E.Dst FROM REACH R, EDGE E WHERE R.Dst = E.Src )
+        """)
+        return db
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_graph_bound_query(self, seed):
+        rng = random.Random(seed)
+        edges = list({(rng.randint(1, 15), rng.randint(1, 15))
+                      for __ in range(30)})
+        db = self.reach_db(edges)
+        assert_equivalent(db, "SELECT Dst FROM REACH WHERE Src = 3")
+
+    def test_bound_second_column(self):
+        db = self.reach_db([(i, i + 1) for i in range(1, 12)])
+        assert_equivalent(db, "SELECT Src FROM REACH WHERE Dst = 9")
+
+    def test_magic_does_less_work_on_chains(self):
+        db = self.reach_db([(i, i + 1) for i in range(1, 30)])
+        q = "SELECT Dst FROM REACH WHERE Src = 25"
+        __, opt_stats, optimized = db.query_with_stats(q, rewrite=True)
+        __, plain_stats, ___ = db.query_with_stats(q, rewrite=False)
+        assert "fix_alexander" in optimized.rewrite_result.rules_fired()
+        assert opt_stats.total_work < plain_stats.total_work
+
+    def test_unbound_query_unchanged(self):
+        db = self.reach_db([(1, 2), (2, 3)])
+        assert_equivalent(db, "SELECT Src, Dst FROM REACH")
+
+    def test_cyclic_graph(self):
+        db = self.reach_db([(1, 2), (2, 3), (3, 1), (3, 4)])
+        assert_equivalent(db, "SELECT Dst FROM REACH WHERE Src = 1")
+
+
+class TestSemanticScenarios:
+    def make_db(self):
+        db = Database()
+        db.execute("""
+        TYPE Status ENUMERATION OF ('open', 'closed', 'void');
+        TABLE TICKET (Id : NUMERIC, State : Status, Price : NUMERIC)
+        """)
+        db.add_integrity_constraint(
+            "ic_status: F(x) / ISA(x, Status) --> "
+            "F(x) AND MEMBER(x, MAKESET('open', 'closed', 'void')) /"
+        )
+        db.add_integrity_constraint(
+            "ic_price: F(x) / ISA(x, Numeric) --> F(x) AND x >= 0 /"
+            .replace("Numeric", "NUMERIC")
+        )
+        for i in range(20):
+            state = ["open", "closed", "void"][i % 3]
+            db.execute(
+                f"INSERT INTO TICKET VALUES ({i}, '{state}', {i * 3})"
+            )
+        return db
+
+    def test_impossible_state_answers_empty_without_scanning(self):
+        db = self.make_db()
+        result, stats, optimized = db.query_with_stats(
+            "SELECT Id FROM TICKET WHERE State = 'lost'"
+        )
+        assert result.rows == []
+        assert stats.tuples_scanned == 0
+
+    def test_possible_state_unaffected(self):
+        db = self.make_db()
+        assert_equivalent(db, "SELECT Id FROM TICKET WHERE State = 'open'")
+
+    def test_negative_price_contradicts_constraint(self):
+        db = self.make_db()
+        result, stats, __ = db.query_with_stats(
+            "SELECT Id FROM TICKET WHERE Price < 0"
+        )
+        assert result.rows == []
+
+
+class TestComplexObjects:
+    def test_quantifiers_after_rewrite(self):
+        db = Database()
+        db.execute("""
+        TABLE TEAM (Tid : NUMERIC, Scores : SET OF NUMERIC)
+        """)
+        db.execute("INSERT INTO TEAM VALUES (1, SET(10, 20)), "
+                   "(2, SET(1, 50)), (3, SET(30))")
+        q = "SELECT Tid FROM TEAM WHERE ALL(Scores > 5)"
+        assert rows_set(db, q, True) == {(1,), (3,)}
+        assert_equivalent(db, q)
+
+    def test_exist_quantifier(self):
+        db = Database()
+        db.execute("TABLE TEAM (Tid : NUMERIC, Scores : SET OF NUMERIC)")
+        db.execute("INSERT INTO TEAM VALUES (1, SET(10, 20)), (2, SET(1))")
+        q = "SELECT Tid FROM TEAM WHERE EXIST(Scores > 15)"
+        assert rows_set(db, q, True) == {(1,)}
+
+    def test_nested_group_query_equivalence(self):
+        db = Database()
+        db.execute("TABLE SALE (Shop : NUMERIC, Amount : NUMERIC)")
+        for i in range(30):
+            db.execute(f"INSERT INTO SALE VALUES ({i % 5}, {i})")
+        db.execute("""
+        CREATE VIEW PER_SHOP (Shop, Amounts) AS
+        SELECT Shop, MakeSet(Amount) FROM SALE GROUP BY Shop
+        """)
+        assert_equivalent(
+            db, "SELECT Shop FROM PER_SHOP WHERE Shop > 2"
+        )

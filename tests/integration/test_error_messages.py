@@ -1,0 +1,70 @@
+"""Error-message quality: common mistakes produce actionable text."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("TABLE EDGE (Src : NUMERIC, Dst : NUMERIC)")
+    return d
+
+
+def message_of(db, statement):
+    with pytest.raises(ReproError) as err:
+        db.execute(statement)
+    return str(err.value)
+
+
+class TestMessages:
+    def test_unknown_column_lists_candidates(self, db):
+        msg = message_of(db, "SELECT Nope FROM EDGE")
+        assert "Nope" in msg
+
+    def test_unknown_qualified_column_lists_schema(self, db):
+        msg = message_of(db, "SELECT E.Nope FROM EDGE E")
+        assert "Src" in msg and "Dst" in msg
+
+    def test_unknown_relation_named(self, db):
+        msg = message_of(db, "SELECT A FROM GHOST")
+        assert "GHOST" in msg
+
+    def test_ambiguous_column_suggests_qualifying(self, db):
+        msg = message_of(db, "SELECT Src FROM EDGE A, EDGE B")
+        assert "qualify" in msg.lower()
+
+    def test_unknown_function_explains(self, db):
+        msg = message_of(db, "SELECT WARP(Src) FROM EDGE")
+        assert "WARP" in msg
+        assert "attribute" in msg or "function" in msg
+
+    def test_parse_error_reports_position(self, db):
+        msg = message_of(db, "SELECT FROM EDGE")
+        assert "line 1" in msg
+
+    def test_duplicate_table(self, db):
+        msg = message_of(db, "TABLE EDGE (X : INT)")
+        assert "EDGE" in msg and "exists" in msg
+
+    def test_enumeration_value_rejected_on_insert(self, db):
+        db.execute("TYPE G ENUMERATION OF ('a', 'b')")
+        db.execute("TABLE K (V : G)")
+        msg = message_of(db, "INSERT INTO K VALUES ('z')")
+        assert "'z'" in msg and "G" in msg
+
+    def test_union_width_mismatch_states_widths(self, db):
+        msg = message_of(
+            db, "SELECT Src, Dst FROM EDGE UNION SELECT Src FROM EDGE"
+        )
+        assert "width" in msg.lower()
+
+    def test_subquery_position_restriction_explained(self, db):
+        msg = message_of(
+            db,
+            "SELECT Src FROM EDGE WHERE Src = 1 OR "
+            "Src IN (SELECT Dst FROM EDGE)",
+        )
+        assert "top-level" in msg

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(script):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(script), run_name="__main__")
+    output = buffer.getvalue()
+    assert output.strip(), f"{script.name} printed nothing"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart", "film_catalog", "recursive_reachability",
+        "extensibility", "semantic_optimization", "custom_optimizer",
+    } <= names
+
+
+def test_reachability_example_reports_speedup():
+    buffer = io.StringIO()
+    script = [p for p in EXAMPLES if p.stem == "recursive_reachability"]
+    with redirect_stdout(buffer):
+        runpy.run_path(str(script[0]), run_name="__main__")
+    assert "less work" in buffer.getvalue()

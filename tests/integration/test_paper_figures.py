@@ -1,0 +1,215 @@
+"""Integration tests reproducing the paper's figures executably.
+
+F2 -- the Figure 2 schema; F3 -- the Figure 3 query and its section 3.1
+compound-search form; F4 -- the Figure 4 nested view with the ALL
+quantifier; F5 -- the Figure 5 recursive view and its section 3.2
+fixpoint form.
+"""
+
+import pytest
+
+from repro.adt.types import CollectionType, ObjectType
+from repro.adt.values import ListValue, SetValue
+from repro.terms.printer import term_to_str
+from repro.terms.term import is_fun
+
+from tests.conftest import make_film_db, load_dominate_chain
+
+
+@pytest.fixture
+def db():
+    return make_film_db()
+
+
+class TestFigure2Schema:
+    def test_types_defined(self, db):
+        ts = db.catalog.type_system
+        for name in ("Category", "Point", "Person", "Actor", "Text",
+                     "SetCategory", "Pairs"):
+            assert ts.is_defined(name)
+
+    def test_actor_subtype_of_person(self, db):
+        ts = db.catalog.type_system
+        assert ts.isa_name("Actor", "Person")
+
+    def test_actor_value_includes_inherited_fields(self, db):
+        actor = db.catalog.type_system.lookup("Actor")
+        assert isinstance(actor, ObjectType)
+        names = set(actor.value_type.field_names)
+        assert {"Name", "Firstname", "Caricature", "Salary"} <= names
+
+    def test_actor_method_recorded(self, db):
+        actor = db.catalog.type_system.lookup("Actor")
+        assert "IncreaseSalary" in actor.methods
+
+    def test_tables_defined(self, db):
+        for name in ("FILM", "APPEARS_IN", "DOMINATE"):
+            assert db.catalog.is_table(name)
+
+    def test_film_attribute_types(self, db):
+        schema = db.catalog.relation_schema("FILM")
+        title = schema.attr_type(schema.index_of("Title"))
+        cats = schema.attr_type(schema.index_of("Categories"))
+        assert isinstance(title, CollectionType) and title.kind == "LIST"
+        assert isinstance(cats, CollectionType) and cats.kind == "SET"
+
+    def test_values_stored_as_adts(self, db):
+        row = db.catalog.rows("FILM")[0]
+        assert isinstance(row[1], ListValue)
+        assert isinstance(row[2], SetValue)
+
+
+FIGURE3_QUERY = """
+SELECT Title, Categories, Salary(Refactor)
+FROM FILM, APPEARS_IN
+WHERE FILM.Numf = APPEARS_IN.Numf
+AND Name(Refactor) = 'Quinn'
+AND MEMBER('Adventure', Categories)
+"""
+
+
+class TestFigure3:
+    def test_translates_to_single_search(self, db):
+        """Section 3.1: the query maps to one compound search over
+        (FILM, APPEARS_IN)."""
+        optimized = db.optimize(FIGURE3_QUERY)
+        final = optimized.final
+        assert is_fun(final, "SEARCH")
+        rendered = term_to_str(final)
+        assert rendered.count("SEARCH") == 1
+        assert "FILM" in rendered and "APPEARS_IN" in rendered
+
+    def test_section31_search_components(self, db):
+        """The compound search of section 3.1, piece by piece:
+        search((APPEARS_IN, FILM), [join ^ name = 'Quinn' ^ member],
+               (Title, Categories, salary))."""
+        from repro.lera import ops
+        from repro.terms.term import conjuncts
+        optimized = db.optimize(FIGURE3_QUERY)
+        inputs, qual, items = ops.search_parts(optimized.final)
+        # two base relations, no intermediate operators
+        assert {term_to_str(r) for r in inputs} == \
+            {"FILM", "APPEARS_IN"}
+        # the three conjunct families of the paper's qualification
+        rendered = [term_to_str(c) for c in conjuncts(qual)]
+        assert any("MEMBER('Adventure'" in c for c in rendered)
+        assert any("'Quinn'" in c and "'Name'" in c for c in rendered)
+        assert any("#1.1" in c and "#2.1" in c for c in rendered)
+        # three projections: Title, Categories, salary(Refactor)
+        assert len(items) == 3
+        item_strs = [term_to_str(i) for i in items]
+        assert any("'Salary'" in s for s in item_strs)
+
+    def test_conversion_functions_inserted(self, db):
+        """Section 3.3: Salary(Refactor) becomes
+        PROJECT(VALUE(Refactor), Salary)."""
+        optimized = db.optimize(FIGURE3_QUERY)
+        rendered = term_to_str(optimized.final)
+        assert "PROJECT(VALUE(" in rendered
+        assert "'Salary'" in rendered
+        assert "'Name'" in rendered
+
+    def test_query_answers(self, db):
+        rows = db.query(FIGURE3_QUERY).rows
+        # Quinn appears in films 1 (Adventure) and 2 (Comedy+Adventure)
+        assert len(rows) == 2
+        for title, cats, salary in rows:
+            assert salary == 50000
+            assert "Adventure" in cats
+
+    def test_rewrite_preserves_answers(self, db):
+        plain = db.query(FIGURE3_QUERY, rewrite=False).rows
+        opt = db.query(FIGURE3_QUERY, rewrite=True).rows
+        assert sorted(map(repr, plain)) == sorted(map(repr, opt))
+
+
+FIGURE4_VIEW = """
+CREATE VIEW FilmActors (Title, Categories, Actors) AS
+SELECT Title, Categories, MakeSet(Refactor)
+FROM FILM, APPEARS_IN
+WHERE FILM.Numf = APPEARS_IN.Numf
+GROUP BY Title, Categories
+"""
+
+FIGURE4_QUERY = """
+SELECT Title FROM FilmActors
+WHERE MEMBER('Adventure', Categories)
+AND ALL(Salary(Actors) > 10000)
+"""
+
+
+class TestFigure4:
+    def test_view_is_nest_shaped(self, db):
+        db.execute(FIGURE4_VIEW)
+        view = db.catalog.view("FILMACTORS")
+        assert is_fun(view.term, "NEST")
+        assert view.schema.names == ("Title", "Categories", "Actors")
+
+    def test_actors_attribute_is_a_set(self, db):
+        db.execute(FIGURE4_VIEW)
+        view = db.catalog.view("FILMACTORS")
+        actors = view.schema.attr_type(3)
+        assert isinstance(actors, CollectionType)
+        assert actors.kind == "SET"
+
+    def test_query_result(self, db):
+        """Only Zorro qualifies: Up has Bo at 5000."""
+        db.execute(FIGURE4_VIEW)
+        rows = db.query(FIGURE4_QUERY).rows
+        assert rows == [(ListValue("Zorro"),)]
+
+    def test_rewrite_preserves_answers(self, db):
+        db.execute(FIGURE4_VIEW)
+        plain = db.query(FIGURE4_QUERY, rewrite=False).rows
+        opt = db.query(FIGURE4_QUERY, rewrite=True).rows
+        assert plain == opt
+
+
+FIGURE5_VIEW = """
+CREATE VIEW BETTER_THAN (Refactor1, Refactor2) AS
+( SELECT Refactor1, Refactor2 FROM DOMINATE
+  UNION
+  SELECT B1.Refactor1, B2.Refactor2
+  FROM BETTER_THAN B1, BETTER_THAN B2
+  WHERE B1.Refactor2 = B2.Refactor1 )
+"""
+
+
+class TestFigure5:
+    def setup_chain(self, db):
+        load_dominate_chain(db, ["Alma", "Bela", "Cleo", "Dana", "Quinn"])
+        db.execute(FIGURE5_VIEW)
+
+    def test_view_is_fix_shaped(self, db):
+        """Section 3.2: the recursive view maps to
+        fix(BETTER_THAN, union({DOMINATE-part, search(...)}))."""
+        self.setup_chain(db)
+        view = db.catalog.view("BETTER_THAN")
+        assert view.recursive
+        assert is_fun(view.term, "FIX")
+        body = view.term.args[1]
+        assert is_fun(body, "UNION")
+
+    def test_query_dominators_of_quinn(self, db):
+        self.setup_chain(db)
+        rows = db.query(
+            "SELECT Name(Refactor1) FROM BETTER_THAN "
+            "WHERE Name(Refactor2) = 'Quinn'"
+        ).rows
+        names = {r[0] for r in rows}
+        assert names == {"Alma", "Bela", "Cleo", "Dana"}
+
+    def test_rewrite_preserves_answers(self, db):
+        self.setup_chain(db)
+        q = ("SELECT Name(Refactor1) FROM BETTER_THAN "
+             "WHERE Name(Refactor2) = 'Quinn'")
+        assert sorted(db.query(q, rewrite=False).rows) == \
+            sorted(db.query(q, rewrite=True).rows)
+
+    def test_nonlinear_view_linearized_by_rewriter(self, db):
+        self.setup_chain(db)
+        opt = db.optimize(
+            "SELECT Name(Refactor1) FROM BETTER_THAN "
+            "WHERE Name(Refactor2) = 'Quinn'"
+        )
+        assert "fix_linearize" in opt.rewrite_result.rules_fired()

@@ -1,0 +1,65 @@
+"""Attribute-reference analysis tests."""
+
+from repro.lera.analysis import (attrefs_of, map_attrefs, max_rel_index,
+                                 refers_only_to, rels_referenced,
+                                 rename_single_rel, shift_rel_indices)
+from repro.terms.parser import parse_term
+from repro.terms.term import AttrRef, num
+
+
+class TestCollection:
+    def test_attrefs_of(self):
+        t = parse_term("#1.1 = #2.3 AND MEMBER('x', #2.1)")
+        refs = set(attrefs_of(t))
+        assert refs == {AttrRef(1, 1), AttrRef(2, 3), AttrRef(2, 1)}
+
+    def test_rels_referenced(self):
+        t = parse_term("#1.1 = #3.2")
+        assert rels_referenced(t) == {1, 3}
+
+    def test_max_rel_index_empty(self):
+        assert max_rel_index(parse_term("1 = 2")) == 0
+
+    def test_max_rel_index(self):
+        assert max_rel_index(parse_term("#2.1 = #5.9")) == 5
+
+
+class TestRewriting:
+    def test_shift_all(self):
+        t = parse_term("#1.1 = #2.2")
+        out = shift_rel_indices(t, 3)
+        assert set(attrefs_of(out)) == {AttrRef(4, 1), AttrRef(5, 2)}
+
+    def test_shift_threshold(self):
+        t = parse_term("#1.1 = #2.2")
+        out = shift_rel_indices(t, 10, only_at_or_above=2)
+        assert set(attrefs_of(out)) == {AttrRef(1, 1), AttrRef(12, 2)}
+
+    def test_rename_single(self):
+        t = parse_term("#1.1 = #2.2")
+        out = rename_single_rel(t, 2, 7)
+        assert set(attrefs_of(out)) == {AttrRef(1, 1), AttrRef(7, 2)}
+
+    def test_map_attrefs_with_replacement_term(self):
+        t = parse_term("#1.1 + 1")
+        out = map_attrefs(t, lambda a: num(9) if a.rel == 1 else None)
+        assert out == parse_term("9 + 1")
+
+    def test_map_attrefs_none_keeps(self):
+        t = parse_term("#1.1")
+        assert map_attrefs(t, lambda a: None) == t
+
+
+class TestRefersOnly:
+    def test_single_relation(self):
+        t = parse_term("#2.1 = 5 AND #2.3 > 0")
+        assert refers_only_to(t, 2)
+        assert not refers_only_to(t, 1)
+
+    def test_positions_filter(self):
+        t = parse_term("#2.1 = 5")
+        assert refers_only_to(t, 2, positions=[1, 2])
+        assert not refers_only_to(t, 2, positions=[3])
+
+    def test_no_refs_is_vacuous(self):
+        assert refers_only_to(parse_term("1 = 1"), 4)

@@ -1,0 +1,136 @@
+"""LERA operator constructor and accessor tests."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.lera import ops
+from repro.terms.parser import parse_term
+from repro.terms.term import AttrRef, TRUE, is_fun, num, sym
+
+
+class TestConstructors:
+    def test_relation(self):
+        assert ops.relation("edge") == sym("EDGE")
+        assert ops.is_relation_name(ops.relation("EDGE"))
+
+    def test_search_shape(self):
+        t = ops.search([sym("A"), sym("B")], TRUE, [AttrRef(1, 1)])
+        inputs, qual, items = ops.search_parts(t)
+        assert inputs == (sym("A"), sym("B"))
+        assert qual == TRUE
+        assert items == (AttrRef(1, 1),)
+
+    def test_search_needs_input(self):
+        with pytest.raises(TermError):
+            ops.search([], TRUE, [])
+
+    def test_join_needs_two(self):
+        with pytest.raises(TermError):
+            ops.join([sym("A")], TRUE)
+
+    def test_union_dedupes_branches(self):
+        t = ops.union([sym("A"), sym("A"), sym("B")])
+        assert len(ops.relation_inputs(t)) == 2
+
+    def test_union_needs_input(self):
+        with pytest.raises(TermError):
+            ops.union([])
+
+    def test_fix(self):
+        t = ops.fix("TC", sym("EDGE"))
+        assert is_fun(t, "FIX")
+        assert t.args[0] == sym("TC")
+
+    def test_nest_spec(self):
+        t = ops.nest(sym("A"), [AttrRef(1, 2)], "Actors", kind="SET")
+        assert is_fun(t, "NEST")
+        spec = t.args[2]
+        assert spec.args[0].value == "Actors"
+        assert spec.args[1] == sym("SET")
+
+    def test_nest_bad_kind(self):
+        with pytest.raises(TermError):
+            ops.nest(sym("A"), [AttrRef(1, 1)], "X", kind="HEAP")
+
+    def test_nest_needs_attrs(self):
+        with pytest.raises(TermError):
+            ops.nest(sym("A"), [], "X")
+
+    def test_values_rel(self):
+        t = ops.values_rel([[num(1), num(2)], [num(3), num(4)]])
+        assert is_fun(t, "VALUES")
+
+    def test_values_width_check(self):
+        with pytest.raises(TermError):
+            ops.values_rel([[num(1)], [num(2), num(3)]])
+
+    def test_values_needs_rows(self):
+        with pytest.raises(TermError):
+            ops.values_rel([])
+
+
+class TestItems:
+    def test_as_item_roundtrip(self):
+        item = ops.as_item(AttrRef(1, 2), "Title")
+        assert ops.item_expr(item) == AttrRef(1, 2)
+        assert ops.item_name(item) == "Title"
+
+    def test_bare_item(self):
+        assert ops.item_expr(AttrRef(1, 1)) == AttrRef(1, 1)
+        assert ops.item_name(AttrRef(1, 1)) is None
+        assert ops.item_name(AttrRef(1, 1), "dflt") == "dflt"
+
+
+class TestAccessors:
+    def test_proj_items_of_projection(self):
+        t = ops.projection(sym("A"), [AttrRef(1, 1)])
+        assert ops.proj_items(t) == (AttrRef(1, 1),)
+
+    def test_proj_items_wrong_operator(self):
+        with pytest.raises(TermError):
+            ops.proj_items(sym("A"))
+
+    def test_rel_list_wrong_operator(self):
+        with pytest.raises(TermError):
+            ops.rel_list(ops.filter_(sym("A"), TRUE))
+
+    def test_relation_inputs_all_operators(self):
+        a, b = sym("A"), sym("B")
+        assert ops.relation_inputs(ops.filter_(a, TRUE)) == (a,)
+        assert ops.relation_inputs(ops.difference(a, b)) == (a, b)
+        assert ops.relation_inputs(ops.join([a, b], TRUE)) == (a, b)
+        assert set(ops.relation_inputs(ops.union([a, b]))) == {a, b}
+        assert ops.relation_inputs(ops.unnest(a, AttrRef(1, 1))) == (a,)
+        assert ops.relation_inputs(a) == ()
+
+    def test_is_lera_operator(self):
+        assert ops.is_lera_operator(ops.filter_(sym("A"), TRUE))
+        assert not ops.is_lera_operator(parse_term("MEMBER(x, y)"))
+        assert not ops.is_lera_operator(sym("A"))
+
+
+class TestNewOperators:
+    def test_distinct(self):
+        t = ops.distinct(sym("A"))
+        assert is_fun(t, "DISTINCT")
+        assert ops.relation_inputs(t) == (sym("A"),)
+
+    def test_semijoin_antijoin(self):
+        q = parse_term("#1.1 = #2.1")
+        s = ops.semijoin(sym("A"), sym("B"), q)
+        a = ops.antijoin(sym("A"), sym("B"), q)
+        assert is_fun(s, "SEMIJOIN") and is_fun(a, "ANTIJOIN")
+        assert ops.relation_inputs(s) == (sym("A"), sym("B"))
+
+    def test_empty_rel(self):
+        t = ops.empty_rel(3)
+        assert ops.empty_width(t) == 3
+        assert ops.relation_inputs(t) == ()
+
+    def test_empty_needs_positive_width(self):
+        with pytest.raises(TermError):
+            ops.empty_rel(0)
+
+    def test_empty_width_on_other_term(self):
+        with pytest.raises(TermError):
+            ops.empty_width(sym("A"))

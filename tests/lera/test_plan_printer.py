@@ -1,0 +1,89 @@
+"""Plan pretty-printer coverage: every operator renders."""
+
+import pytest
+
+from repro.lera.printer import plan_to_str
+from repro.terms.parser import parse_term
+
+
+CASES = {
+    "base relation": ("EDGE", ["EDGE"]),
+    "search": (
+        # note: '=' operands are canonically ordered (constant first)
+        "SEARCH(LIST(EDGE), #1.1 = 1, LIST(#1.2))",
+        ["SEARCH", "1 = #1.1", "EDGE"],
+    ),
+    "join": (
+        "JOIN(LIST(EDGE, NODE), #1.2 = #2.1)",
+        ["JOIN", "EDGE", "NODE"],
+    ),
+    "filter": (
+        "FILTER(EDGE, #1.1 > 2)",
+        ["FILTER", "#1.1 > 2"],
+    ),
+    "projection": (
+        "PROJECTION(EDGE, LIST(#1.1))",
+        ["PROJECTION", "#1.1"],
+    ),
+    "union": (
+        "UNION(SET(EDGE, NODE))",
+        ["UNION", "EDGE", "NODE"],
+    ),
+    "intersection": (
+        "INTERSECTION(SET(EDGE, NODE))",
+        ["INTERSECTION"],
+    ),
+    "difference": (
+        "DIFFERENCE(EDGE, NODE)",
+        ["DIFFERENCE", "EDGE", "NODE"],
+    ),
+    "fix": (
+        "FIX(TC, UNION(SET(EDGE, SEARCH(LIST(TC, EDGE), #1.2 = #2.1, "
+        "LIST(#1.1, #2.2)))))",
+        ["FIX TC", "UNION", "SEARCH"],
+    ),
+    "nest": (
+        "NEST(EDGE, LIST(#1.2), LIST('Dsts', SET))",
+        ["NEST", "Dsts"],
+    ),
+    "unnest": (
+        "UNNEST(EDGE, #1.2)",
+        ["UNNEST", "#1.2"],
+    ),
+    "values": (
+        "VALUES(LIST(LIST(1, 2), LIST(3, 4)))",
+        ["VALUES (2 rows)"],
+    ),
+    "empty": ("EMPTY(3)", ["EMPTY (3 columns)"]),
+    "semijoin": (
+        "SEMIJOIN(EDGE, NODE, #1.1 = #2.1)",
+        ["SEMIJOIN", "EDGE", "NODE"],
+    ),
+    "antijoin": (
+        "ANTIJOIN(EDGE, NODE, #1.1 = #2.1)",
+        ["ANTIJOIN"],
+    ),
+}
+
+
+@pytest.mark.parametrize("label", list(CASES))
+def test_renders(label):
+    source, fragments = CASES[label]
+    rendered = plan_to_str(parse_term(source))
+    for fragment in fragments:
+        assert fragment in rendered, (label, rendered)
+
+
+def test_indentation_reflects_nesting():
+    rendered = plan_to_str(parse_term(
+        "SEARCH(LIST(UNION(SET(EDGE, NODE))), true, LIST(#1.1))"
+    ))
+    lines = rendered.splitlines()
+    assert lines[0].startswith("SEARCH")
+    assert lines[1].startswith("  UNION")
+    assert lines[2].startswith("    ")
+
+
+def test_non_lera_term_falls_back_to_term_syntax():
+    rendered = plan_to_str(parse_term("MEMBER(1, #1.1)"))
+    assert rendered == "MEMBER(1, #1.1)"

@@ -1,0 +1,182 @@
+"""Schema computation tests."""
+
+import pytest
+
+from repro.adt.types import (BOOLEAN, CHAR, CollectionType, INT, NUMERIC,
+                             REAL, TupleType)
+from repro.engine.catalog import Catalog
+from repro.errors import SchemaError
+from repro.lera import ops
+from repro.lera.schema import Schema, infer_type, schema_of
+from repro.terms.parser import parse_term
+from repro.terms.term import AttrRef, TRUE, mk_fun, num, string, sym
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("EDGE", [("Src", NUMERIC), ("Dst", NUMERIC)])
+    c.define_table("NODE", [("Id", NUMERIC), ("Label", CHAR)])
+    return c
+
+
+class TestSchemaBasics:
+    def test_positional_access(self):
+        s = Schema([("A", INT), ("B", CHAR)])
+        assert s.attr_name(1) == "A"
+        assert s.attr_type(2) == CHAR
+
+    def test_out_of_range(self):
+        s = Schema([("A", INT)])
+        with pytest.raises(SchemaError):
+            s.attr_type(2)
+
+    def test_index_of_case_insensitive(self):
+        s = Schema([("Src", INT)])
+        assert s.index_of("SRC") == 1
+        assert s.has_attr("src")
+
+    def test_index_of_unknown(self):
+        with pytest.raises(SchemaError):
+            Schema([("A", INT)]).index_of("Z")
+
+    def test_concat_and_project(self):
+        s = Schema([("A", INT)]).concat(Schema([("B", CHAR)]))
+        assert s.names == ("A", "B")
+        assert s.project([2]).names == ("B",)
+
+
+class TestOperatorSchemas:
+    def test_base_relation(self, cat):
+        s = schema_of(sym("EDGE"), cat)
+        assert s.names == ("Src", "Dst")
+
+    def test_unknown_relation(self, cat):
+        with pytest.raises(Exception):
+            schema_of(sym("NOPE"), cat)
+
+    def test_search_schema_names_from_as(self, cat):
+        t = ops.search([sym("EDGE")], TRUE,
+                       [ops.as_item(AttrRef(1, 2), "Target")])
+        assert schema_of(t, cat).names == ("Target",)
+
+    def test_search_schema_names_inherited(self, cat):
+        t = ops.search([sym("EDGE")], TRUE, [AttrRef(1, 2)])
+        assert schema_of(t, cat).names == ("Dst",)
+
+    def test_search_duplicate_names_uniquified(self, cat):
+        t = ops.search([sym("EDGE")], TRUE,
+                       [AttrRef(1, 1), AttrRef(1, 1)])
+        names = schema_of(t, cat).names
+        assert len(set(names)) == 2
+
+    def test_join_concatenates(self, cat):
+        t = ops.join([sym("EDGE"), sym("NODE")], TRUE)
+        assert schema_of(t, cat).names == ("Src", "Dst", "Id", "Label")
+
+    def test_filter_passthrough(self, cat):
+        t = ops.filter_(sym("NODE"), TRUE)
+        assert schema_of(t, cat).names == ("Id", "Label")
+
+    def test_union_width_check(self, cat):
+        bad = ops.union([
+            sym("EDGE"),
+            ops.search([sym("NODE")], TRUE, [AttrRef(1, 1)]),
+        ])
+        with pytest.raises(SchemaError):
+            schema_of(bad, cat)
+
+    def test_difference_width_check(self, cat):
+        bad = ops.difference(
+            sym("EDGE"), ops.search([sym("NODE")], TRUE, [AttrRef(1, 1)])
+        )
+        with pytest.raises(SchemaError):
+            schema_of(bad, cat)
+
+    def test_values_schema(self, cat):
+        t = ops.values_rel([[num(1), string("a")]])
+        s = schema_of(t, cat)
+        assert s.names == ("V1", "V2")
+        assert s.attr_type(1) == INT
+        assert s.attr_type(2) == CHAR
+
+    def test_fix_schema_from_anchor(self, cat):
+        body = ops.union([
+            sym("EDGE"),
+            ops.search([sym("TC"), sym("EDGE")],
+                       parse_term("#1.2 = #2.1"),
+                       [AttrRef(1, 1), AttrRef(2, 2)]),
+        ])
+        s = schema_of(ops.fix("TC", body), cat)
+        assert len(s) == 2
+
+    def test_fix_without_anchor(self, cat):
+        body = ops.search([sym("TC")], TRUE, [AttrRef(1, 1)])
+        with pytest.raises(SchemaError):
+            schema_of(ops.fix("TC", body), cat)
+
+    def test_nest_schema(self, cat):
+        t = ops.nest(sym("EDGE"), [AttrRef(1, 2)], "Targets", kind="SET")
+        s = schema_of(t, cat)
+        assert s.names == ("Src", "Targets")
+        assert isinstance(s.attr_type(2), CollectionType)
+        assert s.attr_type(2).kind == "SET"
+
+    def test_nest_multi_attr_schema(self, cat):
+        t = ops.nest(sym("NODE"), [AttrRef(1, 1), AttrRef(1, 2)],
+                     "Pairs", kind="BAG")
+        s = schema_of(t, cat)
+        element = s.attr_type(1).element
+        assert isinstance(element, TupleType)
+        assert element.field_names == ("Id", "Label")
+
+    def test_unnest_schema(self, cat):
+        nested = ops.nest(sym("EDGE"), [AttrRef(1, 2)], "Ts", kind="SET")
+        t = ops.unnest(nested, AttrRef(1, 2))
+        s = schema_of(t, cat)
+        assert s.names == ("Src", "Ts")
+        assert s.attr_type(2) == NUMERIC
+
+
+class TestInferType:
+    def test_attref(self, cat):
+        s = schema_of(sym("NODE"), cat)
+        assert infer_type(AttrRef(1, 2), [s], cat) == CHAR
+
+    def test_attref_out_of_inputs(self, cat):
+        with pytest.raises(SchemaError):
+            infer_type(AttrRef(3, 1), [schema_of(sym("NODE"), cat)], cat)
+
+    def test_constants(self, cat):
+        assert infer_type(num(1), [], cat) == INT
+        assert infer_type(num(1.5), [], cat) == REAL
+        assert infer_type(string("a"), [], cat) == CHAR
+        assert infer_type(TRUE, [], cat) == BOOLEAN
+
+    def test_comparison_boolean(self, cat):
+        s = schema_of(sym("EDGE"), cat)
+        t = parse_term("#1.1 = #1.2")
+        assert infer_type(t, [s], cat) == BOOLEAN
+
+    def test_comparison_broadcast_over_collection(self, cat):
+        coll = CollectionType("SET", NUMERIC)
+        s = Schema([("Salaries", coll)])
+        t = parse_term("#1.1 > 10")
+        out = infer_type(t, [s], cat)
+        assert isinstance(out, CollectionType)
+        assert out.element == BOOLEAN
+
+    def test_project_resolves_field(self, cat):
+        pt = TupleType("Point", [("ABS", REAL)])
+        s = Schema([("P", pt)])
+        t = mk_fun("PROJECT", [AttrRef(1, 1), string("ABS")])
+        assert infer_type(t, [s], cat) == REAL
+
+    def test_makeset_type(self, cat):
+        t = parse_term("MAKESET(1, 2)")
+        out = infer_type(t, [], cat)
+        assert isinstance(out, CollectionType) and out.kind == "SET"
+
+    def test_unknown_function_types_any(self, cat):
+        from repro.adt.types import ANY
+        assert infer_type(parse_term("MYSTERY(1)"), [], cat) == ANY

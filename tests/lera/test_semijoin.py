@@ -1,0 +1,85 @@
+"""SEMIJOIN / ANTIJOIN operator tests (schema + evaluation)."""
+
+import pytest
+
+from repro.adt.types import CHAR, NUMERIC
+from repro.engine.catalog import Catalog
+from repro.engine.evaluate import evaluate
+from repro.engine.stats import EvalStats
+from repro.lera import ops
+from repro.lera.schema import schema_of
+from repro.lera.typecheck import typecheck
+from repro.terms.parser import parse_term
+from repro.terms.term import TRUE, sym
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("CUSTOMER", [("Cid", NUMERIC), ("Name", CHAR)])
+    c.insert_many("CUSTOMER", [(1, "ann"), (2, "bob"), (3, "cyd")])
+    c.define_table("ORDERS", [("Cust", NUMERIC), ("Total", NUMERIC)])
+    c.insert_many("ORDERS", [(1, 10), (1, 20), (3, 5)])
+    return c
+
+
+class TestSchema:
+    def test_output_is_left_schema(self, cat):
+        t = ops.semijoin(sym("CUSTOMER"), sym("ORDERS"),
+                         parse_term("#1.1 = #2.1"))
+        assert schema_of(t, cat).names == ("Cid", "Name")
+
+    def test_antijoin_same(self, cat):
+        t = ops.antijoin(sym("CUSTOMER"), sym("ORDERS"), TRUE)
+        assert schema_of(t, cat).names == ("Cid", "Name")
+
+    def test_typecheck_walks_qual(self, cat):
+        t = ops.semijoin(sym("CUSTOMER"), sym("ORDERS"),
+                         parse_term("#1.1 = #2.1 AND #2.2 > 0"))
+        checked, schema = typecheck(t, cat)
+        assert schema.names == ("Cid", "Name")
+
+
+class TestEvaluation:
+    def test_semijoin_keeps_matching_left_rows(self, cat):
+        t = ops.semijoin(sym("CUSTOMER"), sym("ORDERS"),
+                         parse_term("#1.1 = #2.1"))
+        rows = evaluate(t, cat).rows
+        assert sorted(r[0] for r in rows) == [1, 3]
+
+    def test_semijoin_no_duplication(self, cat):
+        # customer 1 has two orders but appears once
+        t = ops.semijoin(sym("CUSTOMER"), sym("ORDERS"),
+                         parse_term("#1.1 = #2.1"))
+        rows = evaluate(t, cat).rows
+        assert len([r for r in rows if r[0] == 1]) == 1
+
+    def test_antijoin_keeps_unmatched(self, cat):
+        t = ops.antijoin(sym("CUSTOMER"), sym("ORDERS"),
+                         parse_term("#1.1 = #2.1"))
+        rows = evaluate(t, cat).rows
+        assert [r[0] for r in rows] == [2]
+
+    def test_qual_over_both_sides(self, cat):
+        t = ops.semijoin(sym("CUSTOMER"), sym("ORDERS"),
+                         parse_term("#1.1 = #2.1 AND #2.2 > 15"))
+        rows = evaluate(t, cat).rows
+        assert [r[0] for r in rows] == [1]
+
+    def test_true_qual_is_nonempty_test(self, cat):
+        t = ops.semijoin(sym("CUSTOMER"), sym("ORDERS"), TRUE)
+        assert len(evaluate(t, cat)) == 3
+        cat.table("ORDERS").clear()
+        assert len(evaluate(t, cat)) == 0
+
+    def test_early_exit_counts(self, cat):
+        # the probe stops at the first partner: customer 1 must not
+        # scan past its first order
+        stats = EvalStats()
+        t = ops.semijoin(sym("CUSTOMER"), sym("ORDERS"),
+                         parse_term("#1.1 = #2.1"))
+        from repro.engine.evaluate import Evaluator
+        Evaluator(cat, stats=stats).evaluate(t)
+        # worst case would be 3*3 = 9 pairs; early exit saves at least
+        # the pairs after customer 1's first match
+        assert stats.join_pairs < 9

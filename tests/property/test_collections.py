@@ -1,0 +1,118 @@
+"""Property-based tests on collection ADT algebraic laws (Figure 1)."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.adt.functions import default_registry
+from repro.adt.types import TypeSystem
+from repro.adt.values import (BagValue, ListValue, ObjectStore, SetValue)
+
+
+class _Ctx:
+    objects = ObjectStore()
+    type_system = TypeSystem()
+
+
+_REG = default_registry()
+
+
+def call(name, *args):
+    return _REG.call(name, list(args), _Ctx())
+
+
+_elems = st.lists(st.integers(-20, 20), max_size=10)
+
+
+class TestSetLaws:
+    @given(_elems, _elems)
+    def test_union_commutative(self, a, b):
+        x, y = SetValue(a), SetValue(b)
+        assert call("UNION", x, y) == call("UNION", y, x)
+
+    @given(_elems, _elems, _elems)
+    def test_union_associative(self, a, b, c):
+        x, y, z = SetValue(a), SetValue(b), SetValue(c)
+        assert call("UNION", call("UNION", x, y), z) == \
+            call("UNION", x, call("UNION", y, z))
+
+    @given(_elems)
+    def test_union_idempotent(self, a):
+        x = SetValue(a)
+        assert call("UNION", x, x) == x
+
+    @given(_elems, _elems)
+    def test_intersection_commutative(self, a, b):
+        x, y = SetValue(a), SetValue(b)
+        assert call("INTERSECTION", x, y) == call("INTERSECTION", y, x)
+
+    @given(_elems, _elems)
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        x, y = SetValue(a), SetValue(b)
+        diff = call("DIFFERENCE", x, y)
+        assert all(e not in y for e in diff)
+
+    @given(_elems, _elems)
+    def test_inclusion_of_intersection(self, a, b):
+        x, y = SetValue(a), SetValue(b)
+        inter = call("INTERSECTION", x, y)
+        assert call("INCLUDE", x, inter)
+        assert call("INCLUDE", y, inter)
+
+    @given(_elems, st.integers(-20, 20))
+    def test_insert_then_member(self, a, e):
+        x = SetValue(a)
+        assert call("MEMBER", e, call("INSERT", e, x))
+
+    @given(_elems, st.integers(-20, 20))
+    def test_remove_then_not_member(self, a, e):
+        x = SetValue(a)
+        assert not call("MEMBER", e, call("REMOVE", e, x))
+
+
+class TestConversionLaws:
+    @given(_elems)
+    def test_bag_to_set_loses_only_multiplicity(self, a):
+        bag = BagValue(a)
+        as_set = call("CONVERT", bag, "SET")
+        assert set(as_set.elements) == set(bag.elements)
+
+    @given(_elems)
+    def test_list_to_bag_preserves_count(self, a):
+        lst = ListValue(a)
+        assert call("COUNT", call("CONVERT", lst, "BAG")) == len(a)
+
+    @given(_elems)
+    def test_set_roundtrip_through_list(self, a):
+        s = SetValue(a)
+        back = call("CONVERT", call("CONVERT", s, "LIST"), "SET")
+        assert back == s
+
+
+class TestListLaws:
+    @given(_elems, _elems)
+    def test_concat_length(self, a, b):
+        out = call("CONCAT", ListValue(a), ListValue(b))
+        assert len(out) == len(a) + len(b)
+
+    @given(_elems, st.integers(-20, 20))
+    def test_append_last(self, a, e):
+        out = call("APPEND", ListValue(a), e)
+        assert call("LAST", out) == e
+
+    @given(st.lists(st.integers(), min_size=1, max_size=10))
+    def test_first_last_consistent_with_at(self, a):
+        lst = ListValue(a)
+        assert call("FIRST", lst) == call("AT", lst, 0)
+        assert call("LAST", lst) == call("AT", lst, len(a) - 1)
+
+
+class TestAggregateLaws:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=10))
+    def test_min_le_avg_le_max(self, a):
+        bag = BagValue(a)
+        assert call("MIN", bag) <= call("AVG", bag) <= call("MAX", bag)
+
+    @given(_elems)
+    def test_sum_of_empty_parts(self, a):
+        bag = BagValue(a)
+        assert call("SUM", bag) == sum(a)

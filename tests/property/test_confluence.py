@@ -1,0 +1,98 @@
+"""Confluence-flavoured properties of the rule library.
+
+Design choice 1 in DESIGN.md: the engine applies the first matching
+rule at the outermost position, so rule *order* inside a block and
+enumeration order of collection-variable splits could in principle
+steer the result.  For the simplification library the result must not
+depend on either: random qualifications simplified under shuffled rule
+orders reach the same normal form, and simplification is idempotent.
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.adt.types import NUMERIC
+from repro.engine.catalog import Catalog
+from repro.engine.evaluate import evaluate
+from repro.rules.control import Block, RewriteEngine, Seq
+from repro.rules.rule import RuleContext
+from repro.rules.semantic import simplification_rules
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+from repro.terms.term import mk_fun
+
+
+_CATALOG = Catalog()
+_CATALOG.define_table("R", [("A", NUMERIC), ("B", NUMERIC)])
+_CATALOG.insert_many("R", [(i, (i * 7) % 5) for i in range(9)])
+
+
+# random qualification fragments over R
+_atoms = st.sampled_from([
+    "#1.1 = 1", "#1.1 > 2", "#1.2 >= #1.1", "#1.1 <> 3",
+    "#1.2 = #1.1", "#1.1 > #1.2", "2 > 1", "1 > 2", "true", "false",
+    "#1.1 = 2 + 1",
+]).map(parse_term)
+
+_quals = st.recursive(
+    _atoms,
+    lambda children: st.one_of(
+        st.builds(lambda parts: mk_fun("AND", parts),
+                  st.lists(children, min_size=2, max_size=3)),
+        st.builds(lambda parts: mk_fun("OR", parts),
+                  st.lists(children, min_size=2, max_size=3)),
+        st.builds(lambda inner: mk_fun("NOT", [inner]), children),
+    ),
+    max_leaves=8,
+)
+
+
+def _simplify(qual, rules):
+    term = mk_fun("SEARCH", [
+        parse_term("LIST(R)"), qual, parse_term("LIST(#1.1)"),
+    ])
+    engine = RewriteEngine(Seq([Block("simplify", rules)]))
+    return engine.rewrite(term, RuleContext(catalog=_CATALOG)).term
+
+
+class TestSimplificationConfluence:
+    @given(_quals, st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_rule_order_does_not_matter(self, qual, seed):
+        base = simplification_rules()
+        shuffled = list(base)
+        random.Random(seed).shuffle(shuffled)
+        assert _simplify(qual, base) == _simplify(qual, shuffled)
+
+    @given(_quals)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, qual):
+        """Simplifying an already-simplified plan changes nothing."""
+        rules = simplification_rules()
+        result = _simplify(qual, rules)
+        engine = RewriteEngine(Seq([Block("simplify", rules)]))
+        again = engine.rewrite(result, RuleContext(catalog=_CATALOG))
+        assert again.term == result
+        assert again.applications == 0
+
+    @given(_quals)
+    @settings(max_examples=60, deadline=None)
+    def test_simplification_preserves_answers(self, qual):
+        term = mk_fun("SEARCH", [
+            parse_term("LIST(R)"), qual, parse_term("LIST(#1.1)"),
+        ])
+        simplified = _simplify(qual, simplification_rules())
+        assert set(evaluate(term, _CATALOG).rows) == \
+            set(evaluate(simplified, _CATALOG).rows)
+
+    @given(_quals)
+    @settings(max_examples=60, deadline=None)
+    def test_never_grows(self, qual):
+        from repro.terms.term import term_size
+        term = mk_fun("SEARCH", [
+            parse_term("LIST(R)"), qual, parse_term("LIST(#1.1)"),
+        ])
+        simplified = _simplify(qual, simplification_rules())
+        assert term_size(simplified) <= term_size(term)

@@ -1,0 +1,71 @@
+"""Parser robustness: arbitrary input never crashes with anything but
+a library error (ParseError et al.)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.errors import ReproError
+from repro.esql.parser import parse_script
+from repro.terms.parser import parse_rule_text, parse_term
+
+_junk = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=80,
+)
+
+_fragments = st.lists(
+    st.sampled_from([
+        "SELECT", "FROM", "WHERE", "(", ")", ",", ";", "=", "*",
+        "T", "A", "1", "'x'", "AND", "OR", "NOT", "GROUP", "BY",
+        "UNION", "IN", "EXISTS", "INSERT", "INTO", "VALUES",
+        "CREATE", "VIEW", "TABLE", "TYPE", "SET", "OF",
+    ]),
+    max_size=15,
+).map(" ".join)
+
+
+class TestEsqlParserFuzz:
+    @given(_junk)
+    @settings(max_examples=200, deadline=None)
+    def test_random_text(self, text):
+        try:
+            parse_script(text)
+        except ReproError:
+            pass  # the only acceptable failure mode
+
+    @given(_fragments)
+    @settings(max_examples=200, deadline=None)
+    def test_keyword_soup(self, text):
+        try:
+            parse_script(text)
+        except ReproError:
+            pass
+
+
+class TestRuleParserFuzz:
+    @given(_junk)
+    @settings(max_examples=200, deadline=None)
+    def test_random_term_text(self, text):
+        try:
+            parse_term(text)
+        except ReproError:
+            pass
+
+    @given(_junk)
+    @settings(max_examples=200, deadline=None)
+    def test_random_rule_text(self, text):
+        try:
+            parse_rule_text(text)
+        except ReproError:
+            pass
+
+    @given(st.lists(st.sampled_from(
+        ["P(x)", "-->", "/", "ISA(x, T)", ",", "x*", "AND", "F(x)",
+         "SEARCH", "(", ")", "1", "'s'"]
+    ), max_size=12).map(" ".join))
+    @settings(max_examples=200, deadline=None)
+    def test_rule_fragment_soup(self, text):
+        try:
+            parse_rule_text(text)
+        except ReproError:
+            pass

@@ -1,0 +1,95 @@
+"""Plan-level soundness net: random LERA plans survive the rewriter.
+
+A recursive strategy builds random width-2 LERA plans (searches,
+unions, differences, intersections, semijoins, nests under unnests)
+over two base tables; the full standard rewriter must preserve the
+evaluated row set of every one of them.  This is the widest net against
+unsound rules: any rule firing somewhere it should not shows up here.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.adt.types import NUMERIC
+from repro.core.rewriter import QueryRewriter
+from repro.engine.catalog import Catalog
+from repro.engine.evaluate import evaluate
+from repro.lera import ops
+from repro.terms.parser import parse_term
+from repro.terms.term import AttrRef, TRUE, sym
+
+
+def _catalog() -> Catalog:
+    cat = Catalog()
+    cat.define_table("P", [("A", NUMERIC), ("B", NUMERIC)])
+    cat.define_table("Q", [("A", NUMERIC), ("B", NUMERIC)])
+    cat.insert_many("P", [(i % 4, (i * 3) % 5) for i in range(8)])
+    cat.insert_many("Q", [(i % 5, (i * 2) % 4) for i in range(7)])
+    return cat
+
+
+_CATALOG = _catalog()
+_REWRITER = QueryRewriter(_CATALOG)
+
+_quals = st.sampled_from([
+    "true", "#1.1 = 1", "#1.1 > 1", "#1.2 <> 2", "#1.1 = #1.2",
+    "#1.1 > 1 AND #1.2 < 4", "#1.1 = 1 OR #1.2 = 3",
+    "NOT(#1.1 = 2)", "#1.1 > 1 AND #1.1 < 1",
+]).map(parse_term)
+
+_join_quals = st.sampled_from([
+    "#1.1 = #2.1", "#1.2 = #2.2 AND #1.1 > 0", "#1.1 = #2.2",
+]).map(parse_term)
+
+_bases = st.sampled_from([sym("P"), sym("Q")])
+
+
+def _search(child, qual):
+    return ops.search([child], qual, [AttrRef(1, 1), AttrRef(1, 2)])
+
+
+def _nest_unnest(child):
+    nested = ops.nest(child, [AttrRef(1, 2)], "Bs", kind="SET")
+    return ops.unnest(nested, AttrRef(1, 2))
+
+
+# width-2 plans all the way down
+_plans = st.recursive(
+    _bases,
+    lambda children: st.one_of(
+        st.builds(_search, children, _quals),
+        st.builds(lambda a, b: ops.union([a, b]), children, children),
+        st.builds(ops.difference, children, children),
+        st.builds(lambda a, b: ops.intersection([a, b]),
+                  children, children),
+        st.builds(lambda a, b, q: ops.semijoin(a, b, q),
+                  children, children, _join_quals),
+        st.builds(lambda a, b, q: ops.antijoin(a, b, q),
+                  children, children, _join_quals),
+        st.builds(_nest_unnest, children),
+        st.builds(
+            lambda a, b, q: ops.search(
+                [a, b], q, [AttrRef(1, 1), AttrRef(2, 2)]
+            ),
+            children, children, _join_quals,
+        ),
+    ),
+    max_leaves=6,
+)
+
+
+class TestRandomPlanEquivalence:
+    @given(_plans)
+    @settings(max_examples=120, deadline=None)
+    def test_rewriter_preserves_row_sets(self, plan):
+        rewritten = _REWRITER.rewrite(plan).term
+        assert set(evaluate(plan, _CATALOG).rows) == \
+            set(evaluate(rewritten, _CATALOG).rows)
+
+    @given(_plans)
+    @settings(max_examples=60, deadline=None)
+    def test_rewriting_is_stable(self, plan):
+        """Rewriting a rewritten plan changes nothing further."""
+        once = _REWRITER.rewrite(plan).term
+        again = _REWRITER.rewrite(once)
+        assert again.term == once

@@ -1,0 +1,135 @@
+"""Property-based equivalence: rewriting never changes query answers.
+
+Random schemas, data and qualifications are generated; the optimized
+plan must produce the same row set as the unoptimized one.  This is the
+library's central soundness property.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import Database
+
+
+def _build_db(edge_rows, node_rows):
+    db = Database()
+    db.execute("TABLE EDGE (Src : NUMERIC, Dst : NUMERIC)")
+    db.execute("TABLE NODE (Id : NUMERIC, W : NUMERIC)")
+    for a, b in edge_rows:
+        db.execute(f"INSERT INTO EDGE VALUES ({a}, {b})")
+    for a, b in node_rows:
+        db.execute(f"INSERT INTO NODE VALUES ({a}, {b})")
+    return db
+
+
+_small_int = st.integers(1, 6)
+_edges = st.lists(st.tuples(_small_int, _small_int), min_size=0,
+                  max_size=12)
+_nodes = st.lists(st.tuples(_small_int, st.integers(0, 30)), min_size=0,
+                  max_size=8)
+
+# random qualification fragments over EDGE (1) and NODE (2)
+_conjuncts = st.lists(
+    st.sampled_from([
+        "Src = {k}", "Dst = {k}", "Src > {k}", "Dst < {k}",
+        "Src = Dst", "W > {k}", "Id = {k}", "Src = Id",
+        "Src + 1 = Dst", "W = {k} * 2",
+    ]),
+    min_size=1, max_size=3,
+)
+
+
+class TestSelectEquivalence:
+    @given(_edges, _nodes, _conjuncts, _small_int)
+    @settings(max_examples=60, deadline=None)
+    def test_join_queries(self, edge_rows, node_rows, templates, k):
+        db = _build_db(edge_rows, node_rows)
+        qual = " AND ".join(t.format(k=k) for t in templates)
+        query = (f"SELECT Src, Dst, W FROM EDGE, NODE "
+                 f"WHERE {qual}")
+        assert set(db.query(query, rewrite=True).rows) == \
+            set(db.query(query, rewrite=False).rows)
+
+    @given(_edges, _small_int)
+    @settings(max_examples=40, deadline=None)
+    def test_view_stacking(self, edge_rows, k):
+        db = _build_db(edge_rows, [])
+        db.execute(f"""
+        CREATE VIEW V1 (Src, Dst) AS
+          SELECT Src, Dst FROM EDGE WHERE Src > 1;
+        CREATE VIEW V2 (Src, Dst) AS
+          SELECT Src, Dst FROM V1 WHERE Dst < 6
+        """)
+        query = f"SELECT Src FROM V2 WHERE Dst = {k}"
+        assert set(db.query(query, rewrite=True).rows) == \
+            set(db.query(query, rewrite=False).rows)
+
+    @given(_edges, _small_int)
+    @settings(max_examples=40, deadline=None)
+    def test_union_views(self, edge_rows, k):
+        db = _build_db(edge_rows, [])
+        db.execute("""
+        CREATE VIEW BOTH_WAYS (A, B) AS
+          SELECT Src, Dst FROM EDGE
+          UNION
+          SELECT Dst, Src FROM EDGE
+        """)
+        query = f"SELECT B FROM BOTH_WAYS WHERE A = {k}"
+        assert set(db.query(query, rewrite=True).rows) == \
+            set(db.query(query, rewrite=False).rows)
+
+
+class TestRecursiveEquivalence:
+    @given(_edges, _small_int)
+    @settings(max_examples=30, deadline=None)
+    def test_reachability_bound_first(self, edge_rows, k):
+        db = _build_db(edge_rows, [])
+        db.execute("""
+        CREATE VIEW REACH (Src, Dst) AS
+        ( SELECT Src, Dst FROM EDGE
+          UNION
+          SELECT R.Src, E.Dst FROM REACH R, EDGE E WHERE R.Dst = E.Src )
+        """)
+        query = f"SELECT Dst FROM REACH WHERE Src = {k}"
+        assert set(db.query(query, rewrite=True).rows) == \
+            set(db.query(query, rewrite=False).rows)
+
+    @given(_edges, _small_int)
+    @settings(max_examples=30, deadline=None)
+    def test_nonlinear_better_than_style(self, edge_rows, k):
+        db = _build_db(edge_rows, [])
+        db.execute("""
+        CREATE VIEW BT (A, B) AS
+        ( SELECT Src, Dst FROM EDGE
+          UNION
+          SELECT B1.A, B2.B FROM BT B1, BT B2 WHERE B1.B = B2.A )
+        """)
+        query = f"SELECT A FROM BT WHERE B = {k}"
+        assert set(db.query(query, rewrite=True).rows) == \
+            set(db.query(query, rewrite=False).rows)
+
+
+class TestGroupingEquivalence:
+    @given(_edges, _small_int)
+    @settings(max_examples=30, deadline=None)
+    def test_nest_under_selection(self, edge_rows, k):
+        db = _build_db(edge_rows, [])
+        db.execute("""
+        CREATE VIEW FANOUT (Src, Dsts) AS
+        SELECT Src, MakeSet(Dst) FROM EDGE GROUP BY Src
+        """)
+        query = f"SELECT Dsts FROM FANOUT WHERE Src = {k}"
+        assert set(db.query(query, rewrite=True).rows) == \
+            set(db.query(query, rewrite=False).rows)
+
+    @given(_edges, _small_int)
+    @settings(max_examples=30, deadline=None)
+    def test_count_under_selection(self, edge_rows, k):
+        db = _build_db(edge_rows, [])
+        db.execute("""
+        CREATE VIEW FAN (Src, N) AS
+        SELECT Src, COUNT(Dst) FROM EDGE GROUP BY Src
+        """)
+        query = f"SELECT N FROM FAN WHERE Src > {k}"
+        assert set(db.query(query, rewrite=True).rows) == \
+            set(db.query(query, rewrite=False).rows)

@@ -1,0 +1,172 @@
+"""Property-based tests on the term substrate (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.terms.match import match, match_first
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+from repro.terms.subst import instantiate
+from repro.terms.term import (AttrRef, Const, Fun, Term, Var, conj,
+                              conjuncts, mk_fun, num, replace_at, string,
+                              subterms, sym, term_size, term_sort_key,
+                              walk)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+_atoms = st.one_of(
+    st.integers(-50, 50).map(num),
+    st.sampled_from("abcdef").map(string),
+    st.sampled_from(["REL1", "REL2", "POINT"]).map(sym),
+    st.tuples(st.integers(1, 3), st.integers(1, 4)).map(
+        lambda p: AttrRef(*p)
+    ),
+    st.sampled_from(["x", "y", "z"]).map(Var),
+)
+
+_fun_names = st.sampled_from(["P", "Q", "MEMBER", "AND", "OR", "LIST",
+                              "SET"])
+
+
+def _terms(max_depth=3):
+    return st.recursive(
+        _atoms,
+        lambda children: st.one_of(
+            st.builds(
+                lambda name, args: mk_fun(name, args),
+                _fun_names,
+                st.lists(children, min_size=1, max_size=3),
+            ),
+            st.builds(
+                lambda left, right: mk_fun("=", [left, right]),
+                children, children,
+            ),
+        ),
+        max_leaves=12,
+    )
+
+
+_ground_terms = st.recursive(
+    st.one_of(
+        st.integers(-50, 50).map(num),
+        st.sampled_from("abc").map(string),
+    ),
+    lambda children: st.builds(
+        lambda name, args: mk_fun(name, args),
+        st.sampled_from(["P", "Q", "LIST", "SET", "AND", "OR"]),
+        st.lists(children, min_size=1, max_size=3),
+    ),
+    max_leaves=10,
+)
+
+
+# ---------------------------------------------------------------------------
+# constructor invariants
+# ---------------------------------------------------------------------------
+
+class TestConstructorInvariants:
+    @given(_terms())
+    @settings(max_examples=200)
+    def test_printer_parser_roundtrip(self, term):
+        assert parse_term(term_to_str(term)) == term
+
+    @given(_terms())
+    def test_hash_consistent_with_equality(self, term):
+        clone = parse_term(term_to_str(term))
+        assert hash(clone) == hash(term)
+
+    @given(st.lists(_terms(), min_size=0, max_size=5))
+    def test_conj_idempotent(self, parts):
+        once = conj(parts)
+        twice = conj(conjuncts(once))
+        assert once == twice
+
+    @given(st.lists(_terms(), min_size=2, max_size=5))
+    def test_conj_order_insensitive(self, parts):
+        assert conj(parts) == conj(list(reversed(parts)))
+
+    @given(st.lists(_terms(), min_size=1, max_size=4))
+    def test_and_never_nested(self, parts):
+        built = conj(parts + [conj(parts)])
+        for sub in walk(built):
+            if isinstance(sub, Fun) and sub.name == "AND":
+                assert all(
+                    not (isinstance(a, Fun) and a.name == "AND")
+                    for a in sub.args
+                )
+
+    @given(_terms(), _terms())
+    def test_sort_key_total(self, a, b):
+        ka, kb = term_sort_key(a), term_sort_key(b)
+        assert (ka < kb) or (kb < ka) or (ka == kb)
+        if a == b:
+            assert ka == kb
+
+
+class TestTraversalInvariants:
+    @given(_terms())
+    def test_subterm_paths_resolve(self, term):
+        for path, sub in subterms(term):
+            probe = term
+            for index in path:
+                probe = probe.args[index]
+            assert probe == sub
+
+    @given(_terms())
+    def test_replace_with_self_at_any_path_is_stable(self, term):
+        for path, sub in subterms(term):
+            assert replace_at(term, path, sub) == term
+
+    @given(_terms())
+    def test_term_size_positive(self, term):
+        assert term_size(term) >= 1
+
+
+# ---------------------------------------------------------------------------
+# match / instantiate laws
+# ---------------------------------------------------------------------------
+
+class TestMatchingLaws:
+    @given(_ground_terms)
+    def test_everything_matches_itself(self, term):
+        assert match_first(term, term) == {}
+
+    @given(_ground_terms)
+    def test_variable_matches_and_instantiates_back(self, term):
+        binding = match_first(Var("x"), term)
+        assert binding is not None
+        assert instantiate(Var("x"), binding) == term
+
+    @given(_ground_terms)
+    @settings(max_examples=100)
+    def test_match_then_instantiate_reproduces_subject(self, term):
+        # P(x, term) against P(term, term): instantiation of the
+        # pattern under any returned binding rebuilds the subject
+        pattern = mk_fun("P", [Var("x"), term])
+        subject = mk_fun("P", [term, term])
+        for binding in match(pattern, subject):
+            assert instantiate(pattern, binding) == subject
+
+    @given(_ground_terms, _ground_terms)
+    @settings(max_examples=100)
+    def test_match_is_syntactic_on_ground_terms(self, a, b):
+        if a == b:
+            assert match_first(a, b) is not None
+        else:
+            assert match_first(a, b) is None
+
+
+class TestCollVarLaws:
+    @given(st.lists(_ground_terms, min_size=0, max_size=4))
+    @settings(max_examples=100)
+    def test_seq_splits_cover_the_list(self, items):
+        from repro.terms.term import CollVar
+        pattern = mk_fun("LIST", [CollVar("a"), CollVar("b")])
+        subject = mk_fun("LIST", items)
+        splits = list(match(pattern, subject))
+        assert len(splits) == len(items) + 1
+        for binding in splits:
+            rebuilt = instantiate(pattern, binding)
+            assert rebuilt == subject

@@ -1,0 +1,133 @@
+"""Constraint-evaluation tests: ISA, REFER, NONEMPTY, ground terms."""
+
+import pytest
+
+from repro.adt.types import CHAR, NUMERIC, REAL
+from repro.engine.catalog import Catalog
+from repro.lera.schema import Schema
+from repro.rules.constraints import (ConstraintEvaluator, isa_predicate,
+                                     nonempty_predicate)
+from repro.rules.rule import RuleContext
+from repro.terms.parser import parse_term
+from repro.terms.term import Seq, num, string, sym
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    ts = c.type_system
+    ts.define_enumeration("Category", ["Comedy", "Western"])
+    ts.define_tuple("Point", [("ABS", REAL), ("ORD", REAL)])
+    ts.define_collection("SetCategory", "SET", ts.lookup("Category"))
+    c.define_table("FILM", [
+        ("Numf", NUMERIC), ("Cat", ts.lookup("Category")),
+        ("Cats", ts.lookup("SetCategory")),
+    ])
+    return c
+
+
+def ctx_with_schemas(cat):
+    return RuleContext(catalog=cat,
+                       schemas=[cat.relation_schema("FILM")])
+
+
+@pytest.fixture
+def ev():
+    return ConstraintEvaluator()
+
+
+class TestIsa:
+    def test_constant(self, ev):
+        assert ev.holds(parse_term("ISA(x, CONSTANT)"),
+                        {"x": num(3)}, None)
+        assert ev.holds(parse_term("ISA(x, CONSTANT)"),
+                        {"x": string("a")}, None)
+
+    def test_symbol_is_not_constant(self, ev):
+        assert not ev.holds(parse_term("ISA(x, CONSTANT)"),
+                            {"x": sym("REL")}, None)
+
+    def test_fun_is_not_constant(self, ev):
+        assert not ev.holds(parse_term("ISA(x, CONSTANT)"),
+                            {"x": parse_term("P(1)")}, None)
+
+    def test_attref_typed_through_schemas(self, ev, cat):
+        ctx = ctx_with_schemas(cat)
+        assert ev.holds(parse_term("ISA(x, Category)"),
+                        {"x": parse_term("#1.2")}, ctx)
+        assert not ev.holds(parse_term("ISA(x, Category)"),
+                            {"x": parse_term("#1.1")}, ctx)
+
+    def test_collection_kinds(self, ev, cat):
+        ctx = ctx_with_schemas(cat)
+        binding = {"x": parse_term("#1.3")}
+        assert ev.holds(parse_term("ISA(x, Set)"), binding, ctx)
+        assert ev.holds(parse_term("ISA(x, Collection)"), binding, ctx)
+        assert not ev.holds(parse_term("ISA(x, List)"), binding, ctx)
+
+    def test_numeric_tower(self, ev, cat):
+        ctx = ctx_with_schemas(cat)
+        assert ev.holds(parse_term("ISA(x, Numeric)"),
+                        {"x": num(3)}, ctx)
+
+    def test_no_schemas_makes_attref_untypable(self, ev, cat):
+        ctx = RuleContext(catalog=cat, schemas=None)
+        assert not ev.holds(parse_term("ISA(x, Category)"),
+                            {"x": parse_term("#1.2")}, ctx)
+
+    def test_unknown_type_is_false(self, ev, cat):
+        ctx = ctx_with_schemas(cat)
+        assert not ev.holds(parse_term("ISA(x, Martian)"),
+                            {"x": num(1)}, ctx)
+
+    def test_unbound_variable_is_false(self, ev, cat):
+        assert not ev.holds(parse_term("ISA(x, CONSTANT)"), {}, None)
+
+
+class TestNonempty:
+    def test_seq_lengths(self):
+        assert nonempty_predicate([Seq([num(1)])], {}, None)
+        assert not nonempty_predicate([Seq([])], {}, None)
+
+    def test_single_term_counts(self):
+        assert nonempty_predicate([num(1)], {}, None)
+
+
+class TestGroundComparisons:
+    def test_ground_true(self, ev):
+        assert ev.holds(parse_term("y >= z"),
+                        {"y": num(5), "z": num(3)}, None)
+
+    def test_ground_false(self, ev):
+        assert not ev.holds(parse_term("y >= z"),
+                            {"y": num(1), "z": num(3)}, None)
+
+    def test_non_ground_is_false(self, ev):
+        assert not ev.holds(parse_term("y >= z"), {"y": num(1)}, None)
+
+    def test_ground_function_through_registry(self, ev):
+        assert ev.holds(parse_term("MEMBER(x, MAKESET(1, 2))"),
+                        {"x": num(2)}, None)
+
+    def test_connectives(self, ev):
+        b = {"y": num(5), "z": num(3)}
+        assert ev.holds(parse_term("y > z AND y > 0"), b, None)
+        assert ev.holds(parse_term("y < z OR y > 0"), b, None)
+        assert ev.holds(parse_term("NOT(y < z)"), b, None)
+
+    def test_boolean_constants(self, ev):
+        assert ev.holds(parse_term("true"), {}, None)
+        assert not ev.holds(parse_term("false"), {}, None)
+
+
+class TestCustomPredicates:
+    def test_register_and_use(self, ev):
+        ev.register("ALWAYS", lambda args, binding, ctx: True)
+        assert ev.knows("always")
+        assert ev.holds(parse_term("ALWAYS(x)"), {"x": num(1)}, None)
+
+    def test_predicate_sees_instantiated_args(self, ev):
+        seen = []
+        ev.register("SPY", lambda args, b, c: seen.append(args) or True)
+        ev.holds(parse_term("SPY(x)"), {"x": num(7)}, None)
+        assert seen[0][0] == num(7)

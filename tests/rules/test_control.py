@@ -1,0 +1,144 @@
+"""Control-strategy tests: blocks, limits, sequences (section 4.2)."""
+
+import pytest
+
+from repro.errors import RewriteError
+from repro.rules.control import Block, RewriteEngine, Seq
+from repro.rules.rule import RuleContext, rule_from_text
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+
+
+def engine_for(rules, limit=None, passes=1, count="applications"):
+    block = Block("b", rules, limit=limit, count=count)
+    return RewriteEngine(Seq([block], passes=passes))
+
+
+SHRINK = rule_from_text("shrink: P(P(x)) --> P(x)")
+GROW = rule_from_text("grow: Q(x) --> Q(P(x))")
+
+
+class TestBlocks:
+    def test_saturation_default(self):
+        engine = engine_for([SHRINK])
+        deep = parse_term("P(P(P(P(Z))))")
+        result = engine.rewrite(deep, RuleContext())
+        assert result.term == parse_term("P(Z)")
+        assert result.applications == 3
+
+    def test_limit_caps_applications(self):
+        engine = engine_for([SHRINK], limit=2)
+        deep = parse_term("P(P(P(P(Z))))")
+        result = engine.rewrite(deep, RuleContext())
+        assert result.term == parse_term("P(P(Z))")
+        assert result.applications == 2
+
+    def test_zero_limit_is_noop(self):
+        engine = engine_for([SHRINK], limit=0)
+        deep = parse_term("P(P(Z))")
+        result = engine.rewrite(deep, RuleContext())
+        assert result.term == deep
+        assert result.applications == 0
+
+    def test_checks_mode_counts_condition_checks(self):
+        engine = engine_for([SHRINK], limit=1, count="checks")
+        deep = parse_term("P(P(P(Z)))")
+        result = engine.rewrite(deep, RuleContext())
+        # one check budget: the first application consumes it
+        assert result.applications <= 1
+
+    def test_checks_counted_in_result(self):
+        engine = engine_for([SHRINK])
+        result = engine.rewrite(parse_term("P(P(Z))"), RuleContext())
+        assert result.checks >= 1
+
+    def test_invalid_count_mode(self):
+        with pytest.raises(RewriteError):
+            Block("b", [], count="time")
+
+    def test_with_limit_copies(self):
+        b = Block("b", [SHRINK], limit=None)
+        b2 = b.with_limit(3)
+        assert b2.limit == 3 and b.limit is None
+        assert b2.rule_names() == ["shrink"]
+
+    def test_growing_rule_capped_by_limit(self):
+        engine = engine_for([GROW], limit=5)
+        result = engine.rewrite(parse_term("Q(Z)"), RuleContext())
+        assert result.applications == 5
+        assert term_to_str(result.term).count("P(") == 5
+
+    def test_safety_limit_stops_runaway(self):
+        block = Block("b", [GROW])
+        engine = RewriteEngine(Seq([block]), safety_limit=10)
+        with pytest.raises(RewriteError):
+            engine.rewrite(parse_term("Q(Z)"), RuleContext())
+
+
+class TestSequences:
+    def test_blocks_run_in_order(self):
+        to_q = rule_from_text("a: P(x) --> Q(x)")
+        to_r = rule_from_text("b: Q(x) --> R(x)")
+        seq = Seq([Block("first", [to_q]), Block("second", [to_r])])
+        result = RewriteEngine(seq).rewrite(parse_term("P(1)"),
+                                            RuleContext())
+        assert result.term == parse_term("R(1)")
+
+    def test_single_pass_misses_feedback(self):
+        # second block produces material for the first; one pass cannot
+        # see it, two passes can
+        to_q = rule_from_text("a: P(x) --> Q(x)")
+        back = rule_from_text("b: Q(x) --> DONE(x)")
+        make_p = rule_from_text("c: SEED(x) --> P(x)")
+        seq1 = Seq([Block("ab", [to_q, back]), Block("c", [make_p])],
+                   passes=1)
+        seq2 = Seq([Block("ab", [to_q, back]), Block("c", [make_p])],
+                   passes=2)
+        start = parse_term("SEED(1)")
+        one = RewriteEngine(seq1).rewrite(start, RuleContext()).term
+        two = RewriteEngine(seq2).rewrite(start, RuleContext()).term
+        assert one == parse_term("P(1)")
+        assert two == parse_term("DONE(1)")
+
+    def test_stops_early_at_global_saturation(self):
+        seq = Seq([Block("b", [SHRINK])], passes=10)
+        result = RewriteEngine(seq).rewrite(parse_term("P(P(Z))"),
+                                            RuleContext())
+        assert result.passes <= 2  # second pass sees no change and stops
+
+    def test_negative_passes_rejected(self):
+        with pytest.raises(RewriteError):
+            Seq([], passes=-1)
+
+
+class TestTrace:
+    def test_trace_records_rule_and_path(self):
+        engine = engine_for([SHRINK])
+        result = engine.rewrite(parse_term("R(P(P(Z)))"), RuleContext())
+        entry = result.trace[0]
+        assert entry.rule == "shrink"
+        assert entry.block == "b"
+        assert entry.path == (0,)
+        assert "shrink" in str(entry)
+
+    def test_trace_disabled(self):
+        block = Block("b", [SHRINK])
+        engine = RewriteEngine(Seq([block]), collect_trace=False)
+        result = engine.rewrite(parse_term("P(P(Z))"), RuleContext())
+        assert result.trace == []
+        assert result.applications == 1
+
+    def test_rules_fired_helper(self):
+        engine = engine_for([SHRINK])
+        result = engine.rewrite(parse_term("P(P(P(Z)))"), RuleContext())
+        assert result.rules_fired() == ["shrink", "shrink"]
+
+
+class TestOutermostStrategy:
+    def test_outermost_position_preferred(self):
+        rule = rule_from_text("peel: W(x) --> x")
+        engine = engine_for([rule], limit=1)
+        result = engine.rewrite(parse_term("W(W(Z))"), RuleContext())
+        # one application at the root, not the inner position
+        assert result.term == parse_term("W(Z)")
+        assert result.trace[0].path == ()

@@ -1,0 +1,226 @@
+"""F9 -- Figure 9 fixpoint reduction: linearization + Alexander/magic."""
+
+import pytest
+
+from repro.adt.types import NUMERIC
+from repro.engine.catalog import Catalog
+from repro.engine.evaluate import Evaluator, evaluate
+from repro.engine.stats import EvalStats
+from repro.rules.fixpoint import Adornment, adorn, build_alexander
+from repro.core.rewriter import QueryRewriter
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+from repro.terms.term import num
+
+
+def edge_cat(edges):
+    cat = Catalog()
+    cat.define_table("EDGE", [("Src", NUMERIC), ("Dst", NUMERIC)])
+    cat.insert_many("EDGE", edges)
+    return cat
+
+
+RIGHT_LINEAR = (
+    "FIX(TC, UNION(SET(EDGE, SEARCH(LIST(EDGE, TC), #1.2 = #2.1, "
+    "LIST(#1.1, #2.2)))))"
+)
+LEFT_LINEAR = (
+    "FIX(TC, UNION(SET(EDGE, SEARCH(LIST(TC, EDGE), #1.2 = #2.1, "
+    "LIST(#1.1, #2.2)))))"
+)
+NON_LINEAR = (
+    "FIX(TC, UNION(SET(EDGE, SEARCH(LIST(TC, TC), #1.2 = #2.1, "
+    "LIST(#1.1, #2.2)))))"
+)
+
+
+def bound_query(fix_text, qual):
+    return parse_term(
+        f"SEARCH(LIST({fix_text}), {qual}, LIST(#1.1, #1.2))"
+    )
+
+
+class TestAdornment:
+    def test_detects_bound_first_column(self):
+        fix = parse_term(RIGHT_LINEAR)
+        adornment = adorn(fix, parse_term("#1.1 = 1"), 1)
+        assert adornment is not None
+        assert adornment.bound == (1,)
+        assert adornment.constants == (num(1),)
+
+    def test_detects_bound_second_column(self):
+        fix = parse_term(LEFT_LINEAR)
+        adornment = adorn(fix, parse_term("#1.2 = 5"), 1)
+        assert adornment is not None
+        assert adornment.bound == (2,)
+
+    def test_no_constant_no_adornment(self):
+        fix = parse_term(RIGHT_LINEAR)
+        assert adorn(fix, parse_term("#1.1 = #1.2"), 1) is None
+
+    def test_wrong_position_ignored(self):
+        fix = parse_term(RIGHT_LINEAR)
+        assert adorn(fix, parse_term("#2.1 = 1"), 1) is None
+
+    def test_non_linear_refused(self):
+        fix = parse_term(NON_LINEAR)
+        assert adorn(fix, parse_term("#1.1 = 1"), 1) is None
+
+    def test_already_reduced_refused(self):
+        fix = parse_term(RIGHT_LINEAR.replace("TC", "TC$BOUND1"))
+        assert adorn(fix, parse_term("#1.1 = 1"), 1) is None
+
+    def test_signature_roundtrip(self):
+        a = Adornment([1, 2], [num(3), num(4)])
+        assert Adornment.from_term(a.to_term()).bound == (1, 2)
+
+
+class TestAlexanderConstruction:
+    @pytest.mark.parametrize("fix_text,qual", [
+        (RIGHT_LINEAR, "#1.1 = 1"),
+        (LEFT_LINEAR, "#1.1 = 1"),
+        (RIGHT_LINEAR, "#1.2 = 5"),
+        (LEFT_LINEAR, "#1.2 = 5"),
+    ], ids=["right-b1", "left-b1", "right-b2", "left-b2"])
+    def test_reduced_fixpoint_equivalent_under_selection(self, fix_text,
+                                                         qual):
+        edges = [(i, i + 1) for i in range(1, 12)] + [(3, 7), (2, 9)]
+        cat = edge_cat(edges)
+        fix = parse_term(fix_text)
+        adornment = adorn(fix, parse_term(qual), 1, cat)
+        assert adornment is not None
+        reduced = build_alexander(fix, adornment, cat)
+        query_plain = bound_query(fix_text, qual)
+        query_opt = parse_term(
+            f"SEARCH(LIST({term_to_str(reduced)}), {qual}, "
+            f"LIST(#1.1, #1.2))"
+        )
+        assert set(evaluate(query_plain, cat).rows) == \
+            set(evaluate(query_opt, cat).rows)
+
+    def test_reduced_plan_does_less_work(self):
+        edges = [(i, i + 1) for i in range(1, 40)]
+        cat = edge_cat(edges)
+        fix = parse_term(LEFT_LINEAR)
+        adornment = adorn(fix, parse_term("#1.1 = 35"), 1, cat)
+        reduced = build_alexander(fix, adornment, cat)
+        plain, opt = EvalStats(), EvalStats()
+        Evaluator(cat, stats=plain).evaluate(
+            bound_query(LEFT_LINEAR, "#1.1 = 35")
+        )
+        Evaluator(cat, stats=opt).evaluate(parse_term(
+            f"SEARCH(LIST({term_to_str(reduced)}), #1.1 = 35, "
+            f"LIST(#1.1, #1.2))"
+        ))
+        assert opt.total_work < plain.total_work
+
+    def test_magic_fixpoint_inlined_and_shared(self):
+        cat = edge_cat([(1, 2), (2, 3)])
+        fix = parse_term(RIGHT_LINEAR)
+        adornment = adorn(fix, parse_term("#1.1 = 1"), 1, cat)
+        reduced = build_alexander(fix, adornment, cat)
+        rendered = term_to_str(reduced)
+        assert "$MAGIC" in rendered
+        assert "$BOUND" in rendered
+
+
+class TestEndToEndRule:
+    def make_rewriter(self, cat):
+        return QueryRewriter(cat)
+
+    def test_alexander_rule_fires_on_linear_fix(self):
+        cat = edge_cat([(1, 2), (2, 3), (3, 4)])
+        rewriter = self.make_rewriter(cat)
+        result = rewriter.rewrite(bound_query(RIGHT_LINEAR, "#1.1 = 1"))
+        assert "fix_alexander" in result.rules_fired()
+
+    def test_linearize_then_alexander_on_nonlinear(self):
+        cat = edge_cat([(1, 2), (2, 3), (3, 4)])
+        rewriter = self.make_rewriter(cat)
+        result = rewriter.rewrite(bound_query(NON_LINEAR, "#1.1 = 1"))
+        fired = result.rules_fired()
+        assert "fix_linearize" in fired
+        assert "fix_alexander" in fired
+
+    def test_rule_does_not_fire_without_selection(self):
+        cat = edge_cat([(1, 2)])
+        rewriter = self.make_rewriter(cat)
+        result = rewriter.rewrite(bound_query(RIGHT_LINEAR, "true"))
+        assert "fix_alexander" not in result.rules_fired()
+
+    def test_rule_does_not_refire_on_reduced_plan(self):
+        cat = edge_cat([(1, 2), (2, 3)])
+        rewriter = self.make_rewriter(cat)
+        once = rewriter.rewrite(bound_query(RIGHT_LINEAR, "#1.1 = 1"))
+        again = rewriter.rewrite(once.term)
+        assert "fix_alexander" not in again.rules_fired()
+
+    def test_full_pipeline_equivalence_on_random_graph(self):
+        import random
+        rng = random.Random(7)
+        edges = list({(rng.randint(1, 25), rng.randint(1, 25))
+                      for __ in range(60)})
+        cat = edge_cat(edges)
+        rewriter = self.make_rewriter(cat)
+        q = bound_query(NON_LINEAR, "#1.1 = 3")
+        rewritten = rewriter.rewrite(q).term
+        assert set(evaluate(q, cat).rows) == \
+            set(evaluate(rewritten, cat).rows)
+
+    def test_linearized_only_when_tc_shape(self):
+        cat = edge_cat([(1, 2)])
+        # same-generation style recursion: projection is (#1.1, #2.2)
+        # but the join condition is different -> not the TC shape
+        other = (
+            "FIX(SG, UNION(SET(EDGE, SEARCH(LIST(SG, SG), "
+            "#1.1 = #2.2, LIST(#1.1, #2.2)))))"
+        )
+        rewriter = self.make_rewriter(cat)
+        result = rewriter.rewrite(bound_query(other, "#1.1 = 1"))
+        assert "fix_linearize" not in result.rules_fired()
+
+
+class TestMultiColumnBinding:
+    def test_both_columns_bound(self):
+        """B = {1, 2}: the magic seed carries both constants."""
+        cat = edge_cat([(i, i + 1) for i in range(1, 15)])
+        fix = parse_term(RIGHT_LINEAR)
+        adornment = adorn(fix, parse_term("#1.1 = 2 AND #1.2 = 9"), 1,
+                          cat)
+        assert adornment is not None
+        assert adornment.bound == (1, 2)
+        reduced = build_alexander(fix, adornment, cat)
+        query_plain = bound_query(RIGHT_LINEAR,
+                                  "#1.1 = 2 AND #1.2 = 9")
+        query_opt = parse_term(
+            f"SEARCH(LIST({term_to_str(reduced)}), "
+            f"#1.1 = 2 AND #1.2 = 9, LIST(#1.1, #1.2))"
+        )
+        assert set(evaluate(query_plain, cat).rows) == \
+            set(evaluate(query_opt, cat).rows) == {(2, 9)}
+
+    def test_multi_bound_end_to_end(self):
+        """Both columns bound: the rule fires and stays correct.
+
+        (The guard joins over a two-column magic set can cost more than
+        they save on short chains -- a genuine crossover, so no work
+        assertion here; the single-column wins are asserted above.)
+        """
+        cat = edge_cat([(i, i + 1) for i in range(1, 25)])
+        db_q = "#1.1 = 3 AND #1.2 = 20"
+        rewriter = QueryRewriter(cat)
+        q = bound_query(RIGHT_LINEAR, db_q)
+        result = rewriter.rewrite(q)
+        assert "fix_alexander" in result.rules_fired()
+        assert set(evaluate(result.term, cat).rows) == \
+            set(evaluate(q, cat).rows) == {(3, 20)}
+
+    def test_conflicting_constants_empty(self):
+        """Two different constants on the same column still evaluate
+        correctly (adornment picks a consistent pair or none)."""
+        cat = edge_cat([(1, 2), (2, 3)])
+        rewriter = QueryRewriter(cat)
+        q = bound_query(RIGHT_LINEAR, "#1.1 = 1 AND #1.1 = 2")
+        result = rewriter.rewrite(q)
+        assert set(evaluate(result.term, cat).rows) == \
+            set(evaluate(q, cat).rows) == set()

@@ -1,0 +1,134 @@
+"""F11 -- Figure 11 implicit semantic knowledge."""
+
+import pytest
+
+from repro.adt.types import NUMERIC
+from repro.engine.catalog import Catalog
+from repro.core.rewriter import QueryRewriter
+from repro.rules.control import Block, RewriteEngine, Seq
+from repro.rules.rule import RuleContext
+from repro.rules.semantic import (implicit_knowledge_rules,
+                                  simplification_rules)
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("R", [("A", NUMERIC), ("B", NUMERIC), ("C", NUMERIC)])
+    return c
+
+
+def semantic_engine(limit=64):
+    return RewriteEngine(Seq([
+        Block("semantic", implicit_knowledge_rules(), limit=limit),
+        Block("simplify", simplification_rules()),
+    ], passes=2))
+
+
+def rewrite_qual(qual_text, cat):
+    q = parse_term(f"SEARCH(LIST(R), {qual_text}, LIST(#1.1))")
+    engine = semantic_engine()
+    result = engine.rewrite(q, RuleContext(catalog=cat))
+    return result, term_to_str(result.term.args[1])
+
+
+class TestTransitivity:
+    def test_equality_transitivity_adds_conjunct(self, cat):
+        result, qual = rewrite_qual(
+            "#1.1 = #1.2 AND #1.2 = #1.3", cat
+        )
+        assert "eq_transitivity" in result.rules_fired()
+        assert "#1.1 = #1.3" in qual
+
+    def test_gt_transitivity(self, cat):
+        __, qual = rewrite_qual("#1.1 > #1.2 AND #1.2 > #1.3", cat)
+        assert "#1.1 > #1.3" in qual
+
+    def test_transitivity_saturates(self, cat):
+        # a chain of equalities closes without looping forever
+        result, qual = rewrite_qual(
+            "#1.1 = #1.2 AND #1.2 = #1.3 AND #1.3 = 5", cat
+        )
+        assert result.applications < 64
+
+    def test_include_transitivity_needs_collections(self, cat):
+        # over NUMERIC columns the ISA(Collection) constraints fail
+        result, __ = rewrite_qual(
+            "INCLUDE(#1.1, #1.2) AND INCLUDE(#1.2, #1.3)", cat
+        )
+        assert "include_transitivity" not in result.rules_fired()
+
+    def test_include_transitivity_on_sets(self):
+        c = Catalog()
+        ts = c.type_system
+        setnum = ts.define_collection("SetNum", "SET", NUMERIC)
+        c.define_table("S", [("X", setnum), ("Y", setnum), ("Z", setnum)])
+        q = parse_term(
+            "SEARCH(LIST(S), INCLUDE(#1.1, #1.2) AND "
+            "INCLUDE(#1.2, #1.3), LIST(#1.1))"
+        )
+        result = semantic_engine().rewrite(q, RuleContext(catalog=c))
+        assert "include_transitivity" in result.rules_fired()
+        assert "INCLUDE(#1.1, #1.3)" in term_to_str(result.term)
+
+
+class TestEqualitySubstitution:
+    def test_constant_propagates_into_comparison(self, cat):
+        # A = 5 and A > B entails 5 > B
+        __, qual = rewrite_qual("#1.1 = 5 AND #1.1 > #1.2", cat)
+        assert "5 > #1.2" in qual
+
+    def test_exposes_contradiction_through_constants(self, cat):
+        # A = 5 and A > 7 -> 5 > 7 -> false
+        __, qual = rewrite_qual("#1.1 = 5 AND #1.1 > 7", cat)
+        assert qual == "false"
+
+    def test_equal_columns_share_predicates(self, cat):
+        __, qual = rewrite_qual("#1.1 = #1.2 AND #1.1 > 3", cat)
+        assert "#1.2 > 3" in qual
+
+    def test_substitution_in_second_argument(self, cat):
+        __, qual = rewrite_qual("#1.1 = 5 AND #1.2 > #1.1", cat)
+        assert "#1.2 > 5" in qual
+
+
+class TestMemberInclude:
+    def test_membership_propagates(self):
+        c = Catalog()
+        ts = c.type_system
+        setnum = ts.define_collection("SetNum", "SET", NUMERIC)
+        c.define_table("S", [("X", setnum)])
+        q = parse_term(
+            "SEARCH(LIST(S), MEMBER(3, #1.1) AND "
+            "INCLUDE(MAKESET(1, 2), #1.1), LIST(#1.1))"
+        )
+        result = semantic_engine().rewrite(q, RuleContext(catalog=c))
+        # MEMBER(3, {1,2}) folds to false -> the qualification collapses
+        assert term_to_str(result.term.args[1]) == "false"
+
+
+class TestBudget:
+    def test_zero_budget_blocks_semantics(self, cat):
+        q = parse_term(
+            "SEARCH(LIST(R), #1.1 = 5 AND #1.1 > 7, LIST(#1.1))"
+        )
+        engine = RewriteEngine(Seq([
+            Block("semantic", implicit_knowledge_rules(), limit=0),
+            Block("simplify", simplification_rules()),
+        ]))
+        result = engine.rewrite(q, RuleContext(catalog=cat))
+        assert "false" not in term_to_str(result.term)
+
+    def test_additions_bounded_by_budget(self, cat):
+        # a long equality chain wants many additions; the budget caps it
+        chain = " AND ".join(
+            f"#1.1 + {i} = #1.2 + {i}" for i in range(6)
+        )
+        q = parse_term(f"SEARCH(LIST(R), {chain}, LIST(#1.1))")
+        engine = RewriteEngine(Seq([
+            Block("semantic", implicit_knowledge_rules(), limit=3),
+        ]))
+        result = engine.rewrite(q, RuleContext(catalog=cat))
+        assert result.applications <= 3

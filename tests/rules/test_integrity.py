@@ -1,0 +1,200 @@
+"""F10 -- Figure 10 integrity constraints: declaration and addition."""
+
+import pytest
+
+from repro.adt.types import NUMERIC, REAL
+from repro.engine.catalog import Catalog
+from repro.engine.stats import EvalStats
+from repro.errors import RuleError
+from repro.core.rewriter import QueryRewriter
+from repro.rules.semantic import (compile_integrity_constraint,
+                                  figure10_constraints)
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    ts = c.type_system
+    ts.define_enumeration("Category",
+                          ["Comedy", "Adventure", "Science Fiction",
+                           "Western"])
+    ts.define_collection("SetCategory", "SET", ts.lookup("Category"))
+    ts.define_tuple("Point", [("ABS", REAL), ("ORD", REAL)])
+    ts.define_collection("Text", "LIST", ts.lookup("CHAR"))
+    c.define_table("FILM", [
+        ("Numf", NUMERIC), ("Title", ts.lookup("Text")),
+        ("Categories", ts.lookup("SetCategory")),
+    ])
+    c.define_table("MARK", [("Id", NUMERIC), ("P", ts.lookup("Point"))])
+    return c
+
+
+def rewriter_with(cat, constraints):
+    cat.integrity_constraints.extend(constraints)
+    return QueryRewriter(cat)
+
+
+class TestCompilation:
+    def test_figure10_point_rule_compiles(self):
+        rule = compile_integrity_constraint(
+            "ic: F(x) / ISA(x, Point) --> F(x) AND ABS(x) > 0 /"
+        )
+        assert rule.type_name == "POINT"
+        assert rule.hole == "x"
+
+    def test_name_defaults_from_type(self):
+        rule = compile_integrity_constraint(
+            "F(x) / ISA(x, Point) --> F(x) AND ABS(x) > 0 /"
+        )
+        assert rule.name == "ic_point"
+
+    def test_shape_enforced_lhs(self):
+        with pytest.raises(RuleError):
+            compile_integrity_constraint(
+                "P(x) / ISA(x, Point) --> P(x) AND ABS(x) > 0 /"
+            )
+
+    def test_isa_condition_required(self):
+        with pytest.raises(RuleError):
+            compile_integrity_constraint("F(x) / --> F(x) AND x > 0 /")
+
+    def test_rhs_must_extend_lhs(self):
+        with pytest.raises(RuleError):
+            compile_integrity_constraint(
+                "F(x) / ISA(x, Point) --> ABS(x) > 0 /"
+            )
+
+    def test_figure10_library_builds(self):
+        rules = figure10_constraints()
+        assert {r.type_name for r in rules} >= {"POINT", "CATEGORY",
+                                                "SETCATEGORY"}
+
+
+class TestInconsistencyDetection:
+    def test_cartoon_query_becomes_false(self, cat):
+        """The paper's example: MEMBER('Cartoon', Categories) is
+        inconsistent with the Category enumeration constraint."""
+        rewriter = rewriter_with(cat, figure10_constraints())
+        q = parse_term(
+            "SEARCH(LIST(FILM), MEMBER('Cartoon', #1.3), LIST(#1.2))"
+        )
+        result = rewriter.rewrite(q)
+        # the false qualification is pruned to the empty relation
+        assert term_to_str(result.term) == "EMPTY(1)"
+
+    def test_consistent_member_query_survives(self, cat):
+        rewriter = rewriter_with(cat, figure10_constraints())
+        q = parse_term(
+            "SEARCH(LIST(FILM), MEMBER('Adventure', #1.3), LIST(#1.2))"
+        )
+        result = rewriter.rewrite(q)
+        assert "MEMBER('Adventure', #1.3)" in term_to_str(result.term)
+        assert "false" not in term_to_str(result.term)
+
+    def test_false_plan_reads_no_data(self, cat):
+        from repro.engine.evaluate import Evaluator
+        cat.insert_many("FILM", [])
+        rewriter = rewriter_with(cat, figure10_constraints())
+        q = parse_term(
+            "SEARCH(LIST(FILM), MEMBER('Cartoon', #1.3), LIST(#1.2))"
+        )
+        rewritten = rewriter.rewrite(q).term
+        stats = EvalStats()
+        Evaluator(cat, stats=stats).evaluate(rewritten)
+        assert stats.tuples_scanned == 0
+
+    def test_point_constraint_contradiction(self, cat):
+        rewriter = rewriter_with(cat, figure10_constraints())
+        # ABS(P) = -5 contradicts ABS(x) > 0; the LERA form uses PROJECT
+        q = parse_term(
+            "SEARCH(LIST(MARK), PROJECT(#1.2, 'ABS') = -5, LIST(#1.1))"
+        )
+        result = rewriter.rewrite(q)
+        # the constraint ABS(x) > 0 joined the qualification; the
+        # contradiction -5 > 0 folds to false and the plan is pruned
+        assert term_to_str(result.term) == "EMPTY(1)"
+
+    def test_scalar_enum_equality_contradiction(self, cat):
+        cat.define_table("ONECAT", [
+            ("Id", NUMERIC),
+            ("Cat", cat.type_system.lookup("Category")),
+        ])
+        rewriter = rewriter_with(cat, figure10_constraints())
+        q = parse_term(
+            "SEARCH(LIST(ONECAT), #1.2 = 'Cartoon', LIST(#1.1))"
+        )
+        result = rewriter.rewrite(q)
+        assert term_to_str(result.term) == "EMPTY(1)"
+
+
+class TestBoundedAddition:
+    def test_semantic_block_limit_respected(self, cat):
+        cat.integrity_constraints.extend(figure10_constraints())
+        rewriter = QueryRewriter(cat, semantic_limit=0)
+        q = parse_term(
+            "SEARCH(LIST(FILM), MEMBER('Cartoon', #1.3), LIST(#1.2))"
+        )
+        result = rewriter.rewrite(q)
+        # with a zero budget the inconsistency is never exposed
+        assert "false" not in term_to_str(result.term)
+
+    def test_constraint_not_added_outside_matching_type(self, cat):
+        rewriter = rewriter_with(cat, figure10_constraints())
+        q = parse_term("SEARCH(LIST(MARK), #1.1 = 3, LIST(#1.1))")
+        result = rewriter.rewrite(q)
+        # Numf is NUMERIC; no Point/Category constraint applies to the
+        # conjunct... the Point-typed column is not referenced at all
+        assert "ABS" not in term_to_str(result.term)
+
+
+class TestSubclassSubstitution:
+    """Figure 11 (3): a predicate declared on a supertype applies to
+    subtype instances -- here realised through the ISA check of the
+    domain-constraint rules."""
+
+    def make_catalog(self):
+        c = Catalog()
+        ts = c.type_system
+        ts.define_object("Person", [("Age", NUMERIC)])
+        ts.define_object("Actor", [("Salary", NUMERIC)],
+                         supertype="Person")
+        c.define_table("CAST0", [
+            ("Numf", NUMERIC), ("Who", ts.lookup("Actor")),
+        ])
+        return c
+
+    def test_supertype_constraint_reaches_subtype(self):
+        cat = self.make_catalog()
+        ic = compile_integrity_constraint(
+            "ic_person_age: F(x) / ISA(x, Person) --> "
+            "F(x) AND AGE(x) >= 0 /"
+        )
+        cat.integrity_constraints.append(ic)
+        rewriter = QueryRewriter(cat)
+        # Who is Actor-typed; Actor ISA Person, so the Person
+        # constraint is added and the contradiction detected
+        q = parse_term(
+            "SEARCH(LIST(CAST0), "
+            "PROJECT(VALUE(#1.2), 'Age') = -3, LIST(#1.1))"
+        )
+        result = rewriter.rewrite(q)
+        assert term_to_str(result.term) == "EMPTY(1)"
+
+    def test_sibling_type_not_affected(self):
+        cat = self.make_catalog()
+        ts = cat.type_system
+        ts.define_object("Robot", [("Serial", NUMERIC)])
+        cat.define_table("BOTS", [
+            ("Id", NUMERIC), ("Unit", ts.lookup("Robot")),
+        ])
+        ic = compile_integrity_constraint(
+            "ic_person_age: F(x) / ISA(x, Person) --> "
+            "F(x) AND AGE(x) >= 0 /"
+        )
+        cat.integrity_constraints.append(ic)
+        rewriter = QueryRewriter(cat)
+        q = parse_term("SEARCH(LIST(BOTS), #1.1 = 1, LIST(#1.1))")
+        result = rewriter.rewrite(q)
+        assert "AGE" not in term_to_str(result.term)

@@ -1,0 +1,183 @@
+"""Primary keys: enforcement + redundant self-join elimination."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ValueError_
+from repro.terms.printer import term_to_str
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("TABLE ACCT (Id : NUMERIC, Owner : CHAR, Bal : NUMERIC, "
+              "PRIMARY KEY (Id))")
+    d.execute("INSERT INTO ACCT VALUES (1, 'a', 10), (2, 'b', 20), "
+              "(3, 'c', 30)")
+    d.execute("TABLE NOTE (Id : NUMERIC, Txt : CHAR)")  # no key
+    d.execute("INSERT INTO NOTE VALUES (1, 'x'), (1, 'y')")
+    return d
+
+
+class TestEnforcement:
+    def test_duplicate_key_rejected(self, db):
+        with pytest.raises(ValueError_):
+            db.execute("INSERT INTO ACCT VALUES (1, 'z', 0)")
+
+    def test_composite_key(self):
+        d = Database()
+        d.execute("TABLE M (A : NUMERIC, B : NUMERIC, C : CHAR, "
+                  "PRIMARY KEY (A, B))")
+        d.execute("INSERT INTO M VALUES (1, 1, 'x'), (1, 2, 'y')")
+        with pytest.raises(ValueError_):
+            d.execute("INSERT INTO M VALUES (1, 2, 'z')")
+
+    def test_delete_frees_key(self, db):
+        db.execute("DELETE FROM ACCT WHERE Id = 1")
+        db.execute("INSERT INTO ACCT VALUES (1, 'again', 5)")
+        assert len(db.catalog.rows("ACCT")) == 3
+
+    def test_update_rechecks_key(self, db):
+        with pytest.raises(ValueError_):
+            db.execute("UPDATE ACCT SET Id = 2 WHERE Id = 1")
+
+    def test_unknown_key_column_rejected(self):
+        d = Database()
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            d.execute("TABLE T (A : INT, PRIMARY KEY (Z))")
+
+
+class TestSelfJoinElimination:
+    def test_key_join_collapses(self, db):
+        q = ("SELECT A.Owner, B.Bal FROM ACCT A, ACCT B "
+             "WHERE A.Id = B.Id AND A.Bal > 15")
+        optimized = db.optimize(q)
+        assert "key_self_join" in optimized.rewrite_result.rules_fired()
+        assert term_to_str(optimized.final).count("ACCT") == 1
+
+    def test_equivalence(self, db):
+        q = ("SELECT A.Owner, B.Bal FROM ACCT A, ACCT B "
+             "WHERE A.Id = B.Id AND A.Bal > 15")
+        assert set(db.query(q, rewrite=True).rows) == \
+            set(db.query(q, rewrite=False).rows)
+
+    def test_work_reduction(self, db):
+        q = ("SELECT A.Owner, B.Bal FROM ACCT A, ACCT B "
+             "WHERE A.Id = B.Id")
+        __, opt, ___ = db.query_with_stats(q, rewrite=True)
+        __, plain, ___ = db.query_with_stats(q, rewrite=False)
+        assert opt.join_pairs < plain.join_pairs
+
+    def test_keyless_table_not_collapsed(self, db):
+        q = ("SELECT A.Txt, B.Txt FROM NOTE A, NOTE B "
+             "WHERE A.Id = B.Id")
+        optimized = db.optimize(q)
+        assert "key_self_join" not in \
+            optimized.rewrite_result.rules_fired()
+        # a keyless self-join genuinely multiplies rows: must not touch
+        assert len(db.query(q).rows) == 4
+
+    def test_partial_key_match_not_collapsed(self):
+        d = Database()
+        d.execute("TABLE M (A : NUMERIC, B : NUMERIC, "
+                  "PRIMARY KEY (A, B))")
+        d.execute("INSERT INTO M VALUES (1, 1), (1, 2)")
+        q = "SELECT X.B, Y.B FROM M X, M Y WHERE X.A = Y.A"
+        optimized = d.optimize(q)
+        assert "key_self_join" not in \
+            optimized.rewrite_result.rules_fired()
+        assert len(d.query(q).rows) == 4
+
+    def test_three_way_collapse(self, db):
+        q = ("SELECT A.Owner FROM ACCT A, ACCT B, ACCT C "
+             "WHERE A.Id = B.Id AND B.Id = C.Id")
+        optimized = db.optimize(q)
+        fired = optimized.rewrite_result.rules_fired()
+        assert fired.count("key_self_join") == 2
+        assert term_to_str(optimized.final).count("ACCT") == 1
+        assert set(db.query(q, rewrite=True).rows) == \
+            set(db.query(q, rewrite=False).rows)
+
+
+class TestUnnestNest:
+    def test_identity_fires(self, db):
+        from repro.terms.parser import parse_term
+        t = parse_term(
+            "UNNEST(NEST(ACCT, LIST(#1.3), LIST('Bals', SET)), #1.3)"
+        )
+        result = db.optimizer.rewriter.rewrite(t)
+        assert "unnest_nest" in result.rules_fired()
+        assert term_to_str(result.term) == "ACCT"
+
+    def test_non_trailing_nest_untouched(self, db):
+        from repro.terms.parser import parse_term
+        # nesting a non-trailing column reorders attributes: not identity
+        t = parse_term(
+            "UNNEST(NEST(ACCT, LIST(#1.1), LIST('Ids', SET)), #1.3)"
+        )
+        result = db.optimizer.rewriter.rewrite(t)
+        assert "unnest_nest" not in result.rules_fired()
+
+    def test_wrong_unnest_attr_untouched(self, db):
+        from repro.terms.parser import parse_term
+        t = parse_term(
+            "UNNEST(NEST(ACCT, LIST(#1.3), LIST('Bals', SET)), #1.1)"
+        )
+        result = db.optimizer.rewriter.rewrite(t)
+        assert "unnest_nest" not in result.rules_fired()
+
+
+class TestSemijoinProjectionPruning:
+    @pytest.fixture
+    def sdb(self):
+        d = Database()
+        d.execute("""
+        TABLE CUSTOMER (Cid : NUMERIC, Region : NUMERIC, Name : CHAR,
+                        Notes : CHAR);
+        TABLE ORDERS (Oid : NUMERIC, Cust : NUMERIC, Total : NUMERIC)
+        """)
+        d.execute("INSERT INTO CUSTOMER VALUES (1, 10, 'a', 'x'), "
+                  "(2, 10, 'b', 'y'), (3, 20, 'c', 'z')")
+        d.execute("INSERT INTO ORDERS VALUES (100, 1, 50), (102, 3, 70)")
+        return d
+
+    QUERY = ("SELECT Name FROM CUSTOMER C WHERE EXISTS "
+             "(SELECT Oid FROM ORDERS O WHERE O.Cust = C.Cid)")
+
+    def test_core_narrowed(self, sdb):
+        optimized = sdb.optimize(self.QUERY)
+        fired = optimized.rewrite_result.rules_fired()
+        assert "semijoin_prune" in fired
+        # the pruned core projects only Cid and Name (2 of 4 columns)
+        from repro.lera.ops import proj_items
+        from repro.terms.term import walk, Fun
+        cores = [t for t in walk(optimized.final)
+                 if isinstance(t, Fun) and t.name == "SEARCH"
+                 and "CUSTOMER" in term_to_str(t)]
+        inner = min(cores, key=lambda t: len(term_to_str(t)))
+        assert len(proj_items(inner)) == 2
+
+    def test_equivalence(self, sdb):
+        assert set(sdb.query(self.QUERY, rewrite=True).rows) == \
+            set(sdb.query(self.QUERY, rewrite=False).rows)
+
+    def test_fires_once(self, sdb):
+        optimized = sdb.optimize(self.QUERY)
+        fired = optimized.rewrite_result.rules_fired()
+        assert fired.count("semijoin_prune") == 1
+
+    def test_all_columns_used_no_pruning(self, sdb):
+        q = ("SELECT * FROM CUSTOMER C WHERE EXISTS "
+             "(SELECT Oid FROM ORDERS O WHERE O.Cust = C.Cid)")
+        optimized = sdb.optimize(q)
+        assert "semijoin_prune" not in \
+            optimized.rewrite_result.rules_fired()
+
+    def test_antijoin_pruned_too(self, sdb):
+        q = ("SELECT Name FROM CUSTOMER C WHERE NOT EXISTS "
+             "(SELECT Oid FROM ORDERS O WHERE O.Cust = C.Cid)")
+        optimized = sdb.optimize(q)
+        assert "semijoin_prune" in optimized.rewrite_result.rules_fired()
+        assert set(sdb.query(q, rewrite=True).rows) == \
+            set(sdb.query(q, rewrite=False).rows)

@@ -1,0 +1,32 @@
+"""Every text-based rule in the shipped library round-trips.
+
+The rules are written in the Figure 6 language; their stored source
+must re-parse and re-compile to an equivalent rule (same name, same
+left/right terms, same constraints and methods).
+"""
+
+import pytest
+
+from repro.rules.meta import standard_rule_library
+from repro.rules.rule import RewriteRule, rule_from_text
+
+_TEXT_RULES = [
+    rule for rule in standard_rule_library().values()
+    if isinstance(rule, RewriteRule) and rule.source
+]
+
+
+@pytest.mark.parametrize("rule", _TEXT_RULES,
+                         ids=[r.name for r in _TEXT_RULES])
+def test_source_round_trips(rule):
+    again = rule_from_text(rule.source)
+    assert again.name == rule.name
+    assert again.lhs == rule.lhs
+    assert again.rhs == rule.rhs
+    assert again.constraints == rule.constraints
+    assert again.methods == rule.methods
+
+
+def test_library_size_sanity():
+    # the shipped library keeps growing; guard against accidental loss
+    assert len(_TEXT_RULES) >= 50

@@ -1,0 +1,225 @@
+"""F7 -- Figure 7 merging rules: search merging, union merging."""
+
+import pytest
+
+from repro.adt.types import CHAR, NUMERIC
+from repro.engine.catalog import Catalog
+from repro.engine.evaluate import evaluate
+from repro.rules.control import Block, RewriteEngine, Seq
+from repro.rules.rule import RuleContext
+from repro.rules.syntactic import canonicalization_rules, merging_rules
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+from repro.terms.term import is_fun
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("EDGE", [("Src", NUMERIC), ("Dst", NUMERIC)])
+    c.insert_many("EDGE", [(1, 2), (2, 3), (3, 4), (2, 4)])
+    c.define_table("NODE", [("Id", NUMERIC), ("Label", CHAR)])
+    c.insert_many("NODE", [(1, "a"), (2, "b"), (3, "c"), (4, "d")])
+    return c
+
+
+def merge_engine():
+    return RewriteEngine(Seq([
+        Block("canonicalize", canonicalization_rules()),
+        Block("merge", merging_rules()),
+    ]))
+
+
+def rewrite(term, cat):
+    return merge_engine().rewrite(term, RuleContext(catalog=cat))
+
+
+class TestSearchMerging:
+    def test_two_stacked_searches_collapse(self, cat):
+        t = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(EDGE), #1.1 = 2, "
+            "LIST(#1.1, #1.2))), #1.2 > 2, LIST(#1.2))"
+        )
+        result = rewrite(t, cat)
+        assert result.rules_fired().count("search_merge") == 1
+        out = result.term
+        assert is_fun(out, "SEARCH")
+        # a single search remains over the base relation
+        assert term_to_str(out).count("SEARCH") == 1
+
+    def test_merged_plan_is_equivalent(self, cat):
+        t = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(EDGE), #1.1 = 2, "
+            "LIST(#1.1, #1.2))), #1.2 > 2, LIST(#1.2))"
+        )
+        merged = rewrite(t, cat).term
+        assert sorted(evaluate(t, cat).rows) == \
+            sorted(evaluate(merged, cat).rows)
+
+    def test_projection_expressions_inlined(self, cat):
+        # the inner search projects an expression; the outer reference
+        # to it must be replaced by the expression itself
+        t = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(EDGE), true, "
+            "LIST(#1.1 + #1.2))), #1.1 > 4, LIST(#1.1))"
+        )
+        merged = rewrite(t, cat).term
+        assert "#1.1 + #1.2" in term_to_str(merged)
+        assert sorted(evaluate(t, cat).rows) == \
+            sorted(evaluate(merged, cat).rows)
+
+    def test_merge_with_surrounding_relations(self, cat):
+        # inner search sits between two other inputs; indices of the
+        # following relations must shift down
+        t = parse_term(
+            "SEARCH(LIST(NODE, SEARCH(LIST(EDGE), #1.1 = 2, "
+            "LIST(#1.1, #1.2)), NODE), "
+            "#1.1 = #2.1 AND #2.2 = #3.1, LIST(#3.2))"
+        )
+        result = rewrite(t, cat)
+        merged = result.term
+        assert "search_merge" in result.rules_fired()
+        assert sorted(evaluate(t, cat).rows) == \
+            sorted(evaluate(merged, cat).rows)
+
+    def test_deep_stack_merges_fully(self, cat):
+        t = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(SEARCH(LIST(EDGE), #1.1 > 0, "
+            "LIST(#1.1, #1.2))), #1.1 > 1, LIST(#1.1, #1.2))), "
+            "#1.2 > 2, LIST(#1.1))"
+        )
+        result = rewrite(t, cat)
+        assert result.rules_fired().count("search_merge") == 2
+        assert term_to_str(result.term).count("SEARCH") == 1
+        assert sorted(evaluate(t, cat).rows) == \
+            sorted(evaluate(result.term, cat).rows)
+
+    def test_qualifications_anded_together(self, cat):
+        t = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(EDGE), #1.1 = 2, "
+            "LIST(#1.1, #1.2))), #1.2 = 3, LIST(#1.1))"
+        )
+        merged = rewrite(t, cat).term
+        qual = term_to_str(merged.args[1])
+        assert "AND" in qual
+
+    def test_plan_node_count_shrinks(self, cat):
+        t = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(EDGE), #1.1 = 2, "
+            "LIST(#1.1, #1.2))), #1.2 > 2, LIST(#1.2))"
+        )
+        from repro.terms.term import term_size
+        merged = rewrite(t, cat).term
+        assert term_size(merged) < term_size(t)
+
+
+class TestUnionMerging:
+    def test_nested_unions_flatten(self, cat):
+        t = parse_term("UNION(SET(EDGE, UNION(SET(NODE, EDGE))))")
+        result = rewrite(t, cat)
+        assert "union_merge" in result.rules_fired()
+        out = result.term
+        inner = out.args[0]
+        assert all(not is_fun(b, "UNION") for b in inner.args)
+
+    def test_union_merge_equivalent(self, cat):
+        t = parse_term("UNION(SET(EDGE, UNION(SET(EDGE))))")
+        merged = rewrite(t, cat).term
+        assert sorted(evaluate(t, cat).rows) == \
+            sorted(evaluate(merged, cat).rows)
+
+
+class TestCanonicalization:
+    def test_filter_becomes_search(self, cat):
+        t = parse_term("FILTER(EDGE, #1.1 = 2)")
+        result = rewrite(t, cat)
+        assert "filter_to_search" in result.rules_fired()
+        assert is_fun(result.term, "SEARCH")
+        assert sorted(evaluate(t, cat).rows) == \
+            sorted(evaluate(result.term, cat).rows)
+
+    def test_projection_becomes_search(self, cat):
+        t = parse_term("PROJECTION(EDGE, LIST(#1.2))")
+        result = rewrite(t, cat)
+        assert is_fun(result.term, "SEARCH")
+
+    def test_join_becomes_search(self, cat):
+        t = parse_term("JOIN(LIST(EDGE, NODE), #1.2 = #2.1)")
+        result = rewrite(t, cat)
+        assert is_fun(result.term, "SEARCH")
+        assert sorted(evaluate(t, cat).rows) == \
+            sorted(evaluate(result.term, cat).rows)
+
+    def test_filter_over_join_merges_into_one_search(self, cat):
+        t = parse_term(
+            "FILTER(JOIN(LIST(EDGE, NODE), #1.2 = #2.1), #1.1 = 1)"
+        )
+        result = rewrite(t, cat)
+        assert term_to_str(result.term).count("SEARCH") == 1
+        assert sorted(evaluate(t, cat).rows) == \
+            sorted(evaluate(result.term, cat).rows)
+
+    def test_singleton_union_unwrapped(self, cat):
+        t = parse_term("UNION(SET(EDGE))")
+        result = rewrite(t, cat)
+        assert result.term == parse_term("EDGE")
+
+
+class TestUnionFactoring:
+    def test_shared_shape_branches_factor(self, cat):
+        t = parse_term(
+            "UNION(SET("
+            "SEARCH(LIST(EDGE), #1.1 = 1, LIST(#1.1, #1.2)), "
+            "SEARCH(LIST(EDGE), #1.1 = 3, LIST(#1.1, #1.2))))"
+        )
+        result = rewrite(t, cat)
+        assert "union_factor" in result.rules_fired()
+        out = term_to_str(result.term)
+        assert out.count("SEARCH") == 1
+        assert "OR" in out
+        assert set(evaluate(t, cat).rows) == \
+            set(evaluate(result.term, cat).rows)
+
+    def test_three_branches_factor_fully(self, cat):
+        t = parse_term(
+            "UNION(SET("
+            "SEARCH(LIST(EDGE), #1.1 = 1, LIST(#1.2)), "
+            "SEARCH(LIST(EDGE), #1.1 = 2, LIST(#1.2)), "
+            "SEARCH(LIST(EDGE), #1.1 = 3, LIST(#1.2))))"
+        )
+        result = rewrite(t, cat)
+        assert result.rules_fired().count("union_factor") == 2
+        assert set(evaluate(t, cat).rows) == \
+            set(evaluate(result.term, cat).rows)
+
+    def test_different_projections_not_factored(self, cat):
+        t = parse_term(
+            "UNION(SET("
+            "SEARCH(LIST(EDGE), #1.1 = 1, LIST(#1.1)), "
+            "SEARCH(LIST(EDGE), #1.1 = 3, LIST(#1.2))))"
+        )
+        result = rewrite(t, cat)
+        assert "union_factor" not in result.rules_fired()
+
+    def test_different_inputs_not_factored(self, cat):
+        t = parse_term(
+            "UNION(SET("
+            "SEARCH(LIST(EDGE), #1.1 = 1, LIST(#1.1)), "
+            "SEARCH(LIST(NODE), #1.1 = 1, LIST(#1.1))))"
+        )
+        result = rewrite(t, cat)
+        assert "union_factor" not in result.rules_fired()
+
+    def test_no_ping_pong_with_union_push(self, cat):
+        """union_factor and search_union_push must not cycle."""
+        from repro.core.rewriter import QueryRewriter
+        rewriter = QueryRewriter(cat)
+        t = parse_term(
+            "SEARCH(LIST(UNION(SET("
+            "SEARCH(LIST(EDGE), #1.1 = 1, LIST(#1.1, #1.2)), "
+            "SEARCH(LIST(EDGE), #1.1 = 3, LIST(#1.1, #1.2))))), "
+            "#1.2 > 2, LIST(#1.2))"
+        )
+        result = rewriter.rewrite(t)   # must terminate
+        assert set(evaluate(t, cat).rows) == \
+            set(evaluate(result.term, cat).rows)

@@ -1,0 +1,152 @@
+"""The section 4.2 meta-rule language: block(...) / seq(...)."""
+
+import pytest
+
+from repro.adt.types import NUMERIC
+from repro.engine.catalog import Catalog
+from repro.errors import ParseError, RewriteError
+from repro.core.rewriter import QueryRewriter
+from repro.rules.meta import (parse_program, program_to_text,
+                              standard_rule_library)
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+
+
+@pytest.fixture
+def library():
+    return standard_rule_library()
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("R", [("A", NUMERIC), ("B", NUMERIC)])
+    return c
+
+
+PROGRAM = """
+block(merge, {search_merge, union_merge}, inf)
+block(clean, {and_false, constant_folding}, 20);
+seq((merge, clean), 2)
+"""
+
+
+class TestParsing:
+    def test_blocks_and_limits(self, library):
+        seq = parse_program(PROGRAM, library)
+        assert [b.name for b in seq.blocks] == ["merge", "clean"]
+        assert seq.blocks[0].limit is None
+        assert seq.blocks[1].limit == 20
+        assert seq.passes == 2
+
+    def test_infinite_spellings(self, library):
+        seq = parse_program(
+            "block(b, {search_merge}, infinite) seq((b), 1)", library
+        )
+        assert seq.blocks[0].limit is None
+
+    def test_unknown_rule_lists_library(self, library):
+        with pytest.raises(RewriteError) as err:
+            parse_program("block(b, {warp_drive}, 1) seq((b), 1)",
+                          library)
+        assert "warp_drive" in str(err.value)
+        assert "search_merge" in str(err.value)
+
+    def test_seq_requires_defined_blocks(self, library):
+        with pytest.raises(RewriteError):
+            parse_program("block(b, {search_merge}, 1) seq((zz), 1)",
+                          library)
+
+    def test_seq_required(self, library):
+        with pytest.raises(RewriteError):
+            parse_program("block(b, {search_merge}, 1)", library)
+
+    def test_same_rule_in_two_blocks(self, library):
+        """The paper: 'the same rule may appear in different blocks'."""
+        seq = parse_program(
+            "block(b1, {search_merge}, inf)"
+            "block(b2, {search_merge}, inf)"
+            "seq((b1, b2), 1)",
+            library,
+        )
+        assert seq.blocks[0].rules[0] is seq.blocks[1].rules[0]
+
+    def test_same_block_twice_in_seq(self, library):
+        """...'and the same block may be executed several times'."""
+        seq = parse_program(
+            "block(b, {search_merge}, inf) seq((b, b), 1)", library
+        )
+        assert len(seq.blocks) == 2
+
+    def test_syntax_error(self, library):
+        with pytest.raises(ParseError):
+            parse_program("block b {search_merge} 1", library)
+
+    def test_bad_limit(self, library):
+        with pytest.raises(ParseError):
+            parse_program("block(b, {search_merge}, lots) seq((b), 1)",
+                          library)
+
+
+class TestRoundTrip:
+    def test_program_to_text_round_trips(self, library):
+        seq = parse_program(PROGRAM, library)
+        text = program_to_text(seq)
+        again = parse_program(text, library)
+        assert [b.name for b in again.blocks] == \
+            [b.name for b in seq.blocks]
+        assert [b.limit for b in again.blocks] == \
+            [b.limit for b in seq.blocks]
+        assert again.passes == seq.passes
+
+
+class TestGeneratedOptimizer:
+    def test_from_program(self, cat):
+        rewriter = QueryRewriter.from_program(cat, PROGRAM)
+        q = parse_term(
+            "SEARCH(LIST(SEARCH(LIST(R), #1.1 = 1, LIST(#1.1, #1.2))), "
+            "#1.2 = 2 + 3, LIST(#1.2))"
+        )
+        result = rewriter.rewrite(q)
+        assert "search_merge" in result.rules_fired()
+        assert "constant_folding" in result.rules_fired()
+        assert "5" in term_to_str(result.term)
+
+    def test_program_excludes_unlisted_rules(self, cat):
+        rewriter = QueryRewriter.from_program(cat, PROGRAM)
+        # the program has no simplification beyond the two rules: the
+        # contradiction below stays (gt_antisym is not installed)
+        q = parse_term(
+            "SEARCH(LIST(R), #1.1 > #1.2 AND #1.2 > #1.1, LIST(#1.1))"
+        )
+        result = rewriter.rewrite(q)
+        assert "false" not in term_to_str(result.term)
+
+    def test_integrity_constraints_in_library(self, cat):
+        from repro.rules.semantic import compile_integrity_constraint
+        ic = compile_integrity_constraint(
+            "ic_pos: F(x) / ISA(x, NUMERIC) --> F(x) AND x >= 0 /"
+        )
+        cat.integrity_constraints.append(ic)
+        rewriter = QueryRewriter.from_program(cat, """
+        block(sem, {ic_pos}, 8)
+        block(clean, {and_false, constant_folding, gt_tighten,
+                      ge_gt_clash, eq_subst_1x, eq_subst_2ax,
+                      eq_subst_2ay}, inf)
+        seq((sem, clean), 3)
+        """)
+        q = parse_term("SEARCH(LIST(R), #1.1 < 0, LIST(#1.1))")
+        # orientation rules are absent; write the oriented form directly
+        q = parse_term("SEARCH(LIST(R), 0 > #1.1, LIST(#1.1))")
+        result = rewriter.rewrite(q)
+        assert "false" in term_to_str(result.term)
+
+    def test_library_covers_all_builtin_rules(self):
+        library = standard_rule_library()
+        for expected in ("search_merge", "union_merge",
+                         "search_union_push", "fix_alexander",
+                         "fix_linearize", "eq_transitivity",
+                         "and_false", "constant_folding",
+                         "search_false", "semijoin_push",
+                         "search_or_split"):
+            assert expected in library

@@ -1,0 +1,132 @@
+"""Method-call tests: SUBSTITUTE, SHIFT, SCHEMA, EVALUATE dispatch."""
+
+import pytest
+
+from repro.adt.types import CHAR, NUMERIC
+from repro.engine.catalog import Catalog
+from repro.errors import MethodError
+from repro.rules.methods import (MethodRegistry, default_method_registry,
+                                 value_to_term)
+from repro.rules.rule import RuleContext
+from repro.terms.match import match_first
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+from repro.terms.term import Fun, boolean, mk_fun, num, string
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("A", [("A1", NUMERIC), ("A2", NUMERIC)])
+    c.define_table("B", [("B1", NUMERIC), ("B2", CHAR)])
+    c.define_table("C", [("C1", NUMERIC)])
+    return c
+
+
+@pytest.fixture
+def registry():
+    return default_method_registry()
+
+
+def ctx(cat):
+    return RuleContext(catalog=cat)
+
+
+class TestValueToTerm:
+    def test_scalars(self):
+        assert value_to_term(3) == num(3)
+        assert value_to_term(2.5) == num(2.5)
+        assert value_to_term("x") == string("x")
+        assert value_to_term(True) == boolean(True)
+
+    def test_unexpressible(self):
+        with pytest.raises(MethodError):
+            value_to_term(object())
+
+
+class TestEvaluate:
+    def test_folds_ground_call(self, registry, cat):
+        call = parse_term("EVALUATE(x, a)")
+        out = registry.invoke(call, {"x": parse_term("2 + 3")}, ctx(cat))
+        assert out == {"a": num(5)}
+
+    def test_non_ground_fails_soft(self, registry, cat):
+        call = parse_term("EVALUATE(x, a)")
+        out = registry.invoke(call, {"x": parse_term("z0 + 3")}, ctx(cat))
+        assert out is None
+
+    def test_unknown_method(self, registry, cat):
+        with pytest.raises(MethodError):
+            registry.invoke(parse_term("NOPE(x)"), {}, ctx(cat))
+
+
+class TestSchema:
+    def test_single_relation(self, registry, cat):
+        call = parse_term("SCHEMA(z, s)")
+        out = registry.invoke(call, {"z": parse_term("A")}, ctx(cat))
+        assert term_to_str(out["s"]) == "LIST(#1.1, #1.2)"
+
+    def test_relation_list(self, registry, cat):
+        call = parse_term("SCHEMA(z, s)")
+        out = registry.invoke(call, {"z": parse_term("LIST(A, C)")},
+                              ctx(cat))
+        assert term_to_str(out["s"]) == "LIST(#1.1, #1.2, #2.1)"
+
+
+class TestMergeSubstitute:
+    """SUBSTITUTE/3 and SHIFT/3 use the search-merging binding layout."""
+
+    def _binding(self):
+        # outer: SEARCH(LIST(A, SEARCH(LIST(B, C), g, b), A2?), f, a)
+        lhs = parse_term("SEARCH(LIST(x*, SEARCH(z, g, b), v*), f, a)")
+        subject = parse_term(
+            "SEARCH(LIST(A, SEARCH(LIST(B, C), #1.1 = #2.1, "
+            "LIST(#1.2, #2.1))), #1.1 = #2.2, LIST(#2.1))"
+        )
+        binding = match_first(lhs, subject)
+        assert binding is not None
+        return binding
+
+    def test_substitute_remaps_inner_position(self, registry, cat):
+        binding = self._binding()
+        call = parse_term("SUBSTITUTE(f, z, f2)")
+        out = registry.invoke(call, binding, ctx(cat))
+        # #2.2 (inner output 2) becomes the inner expr #2.1 shifted by
+        # k+l = 1 -> #3.1 ... wait: inner items are (#1.2, #2.1), item 2
+        # is #2.1, shifted by 1 -> #3.1
+        assert "#3.1" in term_to_str(out["f2"])
+
+    def test_substitute_keeps_outer_refs(self, registry, cat):
+        binding = self._binding()
+        out = registry.invoke(parse_term("SUBSTITUTE(f, z, f2)"),
+                              binding, ctx(cat))
+        assert "#1.1" in term_to_str(out["f2"])
+
+    def test_shift_renumbers_inner_qual(self, registry, cat):
+        binding = self._binding()
+        out = registry.invoke(parse_term("SHIFT(g, z, g2)"),
+                              binding, ctx(cat))
+        assert term_to_str(out["g2"]) == "#2.1 = #3.1"
+
+    def test_substitute_rejects_out_of_range(self, registry, cat):
+        binding = self._binding()
+        binding = dict(binding)
+        binding["f"] = parse_term("#2.9 = 1")  # inner has 2 outputs only
+        out = registry.invoke(parse_term("SUBSTITUTE(f, z, f2)"),
+                              binding, ctx(cat))
+        assert out is None  # soft failure: the rule does not fire
+
+
+class TestCustomMethods:
+    def test_register_and_invoke(self, cat):
+        registry = MethodRegistry()
+        registry.register(
+            "TWICE", 2,
+            lambda inst, raw, b, c: {raw[1].name: mk_fun(
+                "*", [inst[0], num(2)]
+            )},
+        )
+        assert registry.knows("twice", 2)
+        out = registry.invoke(parse_term("TWICE(x, y)"),
+                              {"x": num(5)}, ctx(cat))
+        assert out == {"y": parse_term("5 * 2")}

@@ -1,0 +1,99 @@
+"""Negation normal form, absorption and complement rules."""
+
+import pytest
+
+from repro.adt.types import NUMERIC
+from repro.engine.catalog import Catalog
+from repro.engine.evaluate import evaluate
+from repro.rules.control import Block, RewriteEngine, Seq
+from repro.rules.rule import RuleContext
+from repro.rules.semantic import simplification_rules
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("R", [("A", NUMERIC), ("B", NUMERIC)])
+    c.insert_many("R", [(i, i % 4) for i in range(12)])
+    return c
+
+
+def simplify(qual, cat):
+    q = parse_term(f"SEARCH(LIST(R), {qual}, LIST(#1.1))")
+    engine = RewriteEngine(Seq([
+        Block("simplify", simplification_rules()),
+    ]))
+    result = engine.rewrite(q, RuleContext(catalog=cat))
+    return result, term_to_str(result.term.args[1])
+
+
+class TestNegationNormalForm:
+    def test_not_over_and(self, cat):
+        __, out = simplify("NOT(#1.1 = 1 AND #1.2 = 2)", cat)
+        assert "NOT" not in out  # negated comparisons flipped away
+        assert "OR" in out
+
+    def test_not_over_or(self, cat):
+        __, out = simplify("NOT(#1.1 = 1 OR #1.2 = 2)", cat)
+        assert "<>" in out and "AND" in out
+
+    def test_comparison_flips(self, cat):
+        cases = {
+            "NOT(#1.1 > #1.2)": "#1.2 >= #1.1",
+            "NOT(#1.1 >= #1.2)": "#1.2 > #1.1",
+            "NOT(#1.1 = #1.2)": "#1.1 <> #1.2",
+            "NOT(#1.1 <> #1.2)": "#1.1 = #1.2",
+        }
+        for source, expected in cases.items():
+            __, out = simplify(source, cat)
+            assert out == expected, source
+
+    def test_deeply_nested_negation(self, cat):
+        __, out = simplify(
+            "NOT(NOT(NOT(#1.1 = 1 AND #1.2 = 2)))", cat
+        )
+        assert "NOT" not in out
+
+    def test_nnf_enables_contradiction_detection(self, cat):
+        # NOT(A <> 1) is A = 1; with A <> 1 alongside -> false
+        __, out = simplify("NOT(#1.1 <> 1) AND #1.1 <> 1", cat)
+        assert out == "false"
+
+    def test_semantics_preserved(self, cat):
+        source = "NOT(#1.1 > 4 AND (#1.2 = 1 OR #1.1 = 7))"
+        q = parse_term(f"SEARCH(LIST(R), {source}, LIST(#1.1))")
+        result, __ = simplify(source, cat)
+        assert sorted(evaluate(q, cat).rows) == \
+            sorted(evaluate(result.term, cat).rows)
+
+
+class TestAbsorptionAndComplements:
+    def test_or_absorption(self, cat):
+        __, out = simplify(
+            "#1.1 = 1 OR (#1.1 = 1 AND #1.2 = 2)", cat
+        )
+        assert out == "1 = #1.1"
+
+    def test_and_absorption(self, cat):
+        __, out = simplify(
+            "#1.1 = 1 AND (#1.1 = 1 OR #1.2 = 2)", cat
+        )
+        assert out == "1 = #1.1"
+
+    def test_and_complement(self, cat):
+        __, out = simplify("#1.1 = 1 AND NOT(#1.1 = 1)", cat)
+        assert out == "false"
+
+    def test_or_complement(self, cat):
+        __, out = simplify("#1.1 > 3 OR NOT(#1.1 > 3)", cat)
+        assert out == "true"
+
+    def test_complement_through_nnf(self, cat):
+        # the complement appears only after NOT-pushing
+        __, out = simplify(
+            "(#1.1 = 1 AND #1.2 = 2) AND NOT(#1.1 = 1 AND #1.2 = 2)",
+            cat,
+        )
+        assert out == "false"

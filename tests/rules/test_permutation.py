@@ -1,0 +1,195 @@
+"""F8 -- Figure 8 permutation rules: push searches toward the data."""
+
+import pytest
+
+from repro.adt.types import CHAR, NUMERIC
+from repro.engine.catalog import Catalog
+from repro.engine.evaluate import Evaluator, evaluate
+from repro.engine.stats import EvalStats
+from repro.rules.control import Block, RewriteEngine, Seq
+from repro.rules.rule import RuleContext
+from repro.rules.syntactic import (canonicalization_rules, merging_rules,
+                                   permutation_rules)
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+from repro.terms.term import is_fun
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("OLD_EDGE", [("Src", NUMERIC), ("Dst", NUMERIC)])
+    c.define_table("NEW_EDGE", [("Src", NUMERIC), ("Dst", NUMERIC)])
+    c.insert_many("OLD_EDGE", [(1, 2), (2, 3), (5, 6)])
+    c.insert_many("NEW_EDGE", [(1, 9), (7, 8)])
+    c.define_table("SALE", [("Shop", NUMERIC), ("Amount", NUMERIC)])
+    c.insert_many("SALE", [(1, 10), (1, 20), (2, 30), (3, 40), (3, 5)])
+    return c
+
+
+def push_engine():
+    return RewriteEngine(Seq([
+        Block("push", permutation_rules()),
+        Block("merge", merging_rules() + canonicalization_rules()),
+    ], passes=2))
+
+
+def rewrite(term, cat):
+    return push_engine().rewrite(term, RuleContext(catalog=cat))
+
+
+class TestSearchThroughUnion:
+    def test_selection_distributes(self, cat):
+        t = parse_term(
+            "SEARCH(LIST(UNION(SET(OLD_EDGE, NEW_EDGE))), "
+            "#1.1 = 1, LIST(#1.2))"
+        )
+        result = rewrite(t, cat)
+        assert "search_union_push" in result.rules_fired()
+        assert is_fun(result.term, "UNION")
+
+    def test_equivalence(self, cat):
+        t = parse_term(
+            "SEARCH(LIST(UNION(SET(OLD_EDGE, NEW_EDGE))), "
+            "#1.1 = 1, LIST(#1.2))"
+        )
+        pushed = rewrite(t, cat).term
+        assert set(evaluate(t, cat).rows) == set(evaluate(pushed, cat).rows)
+
+    def test_three_branch_union_fully_split(self, cat):
+        t = parse_term(
+            "SEARCH(LIST(UNION(SET(OLD_EDGE, NEW_EDGE, "
+            "SEARCH(LIST(OLD_EDGE), #1.1 > 4, LIST(#1.1, #1.2))))), "
+            "#1.2 > 1, LIST(#1.1))"
+        )
+        result = rewrite(t, cat)
+        # every branch ends up under its own search; no UNION inside a
+        # SEARCH remains
+        rendered = term_to_str(result.term)
+        assert result.rules_fired().count("search_union_push") >= 2
+        assert set(evaluate(t, cat).rows) == \
+            set(evaluate(result.term, cat).rows)
+
+    def test_union_with_join_partner(self, cat):
+        # the union is one input of a two-input search
+        t = parse_term(
+            "SEARCH(LIST(UNION(SET(OLD_EDGE, NEW_EDGE)), OLD_EDGE), "
+            "#1.2 = #2.1 AND #1.1 = 1, LIST(#1.1, #2.2))"
+        )
+        result = rewrite(t, cat)
+        assert set(evaluate(t, cat).rows) == \
+            set(evaluate(result.term, cat).rows)
+
+    def test_pushdown_reduces_work(self, cat):
+        # enlarge one branch so filtering early matters
+        cat.insert_many("OLD_EDGE", [(50 + i, 50 + i) for i in range(50)])
+        t = parse_term(
+            "SEARCH(LIST(UNION(SET(OLD_EDGE, NEW_EDGE)), OLD_EDGE), "
+            "#1.2 = #2.1 AND #1.1 = 1, LIST(#1.1, #2.2))"
+        )
+        pushed = rewrite(t, cat).term
+        plain, opt = EvalStats(), EvalStats()
+        Evaluator(cat, stats=plain).evaluate(t)
+        Evaluator(cat, stats=opt).evaluate(pushed)
+        assert set(evaluate(t, cat).rows) == \
+            set(evaluate(pushed, cat).rows)
+
+
+class TestSearchThroughNest:
+    def nest_term(self):
+        # NEST the sales per shop, then select a shop upstream
+        return parse_term(
+            "SEARCH(LIST(NEST(SALE, LIST(#1.2), "
+            "LIST('Amounts', SET))), #1.1 = 3, LIST(#1.1, #1.2))"
+        )
+
+    def test_conjunct_on_kept_attribute_pushes(self, cat):
+        result = rewrite(self.nest_term(), cat)
+        fired = result.rules_fired()
+        assert "search_nest_push_all" in fired or \
+            "search_nest_push" in fired
+        # the NEST input became a search
+        assert "NEST(SEARCH" in term_to_str(result.term).replace(" ", "")
+
+    def test_equivalence_after_nest_push(self, cat):
+        t = self.nest_term()
+        pushed = rewrite(t, cat).term
+        assert set(evaluate(t, cat).rows) == \
+            set(evaluate(pushed, cat).rows)
+
+    def test_condition_on_nested_attribute_blocks_push(self, cat):
+        t = parse_term(
+            "SEARCH(LIST(NEST(SALE, LIST(#1.2), "
+            "LIST('Amounts', SET))), MEMBER(30, #1.2), LIST(#1.1))"
+        )
+        result = rewrite(t, cat)
+        assert "search_nest_push" not in result.rules_fired()
+        assert "search_nest_push_all" not in result.rules_fired()
+
+    def test_mixed_qualification_splits(self, cat):
+        # one pushable conjunct, one on the nested collection
+        t = parse_term(
+            "SEARCH(LIST(NEST(SALE, LIST(#1.2), "
+            "LIST('Amounts', SET))), "
+            "#1.1 = 1 AND MEMBER(10, #1.2), LIST(#1.1))"
+        )
+        result = rewrite(t, cat)
+        assert "search_nest_push" in result.rules_fired()
+        pushed = result.term
+        assert set(evaluate(t, cat).rows) == \
+            set(evaluate(pushed, cat).rows)
+        # the nested-attribute conjunct stays above the NEST
+        outer_qual = term_to_str(pushed.args[1])
+        assert "MEMBER" in outer_qual
+
+    def test_push_reduces_nest_input(self, cat):
+        t = self.nest_term()
+        pushed = rewrite(t, cat).term
+        plain, opt = EvalStats(), EvalStats()
+        Evaluator(cat, stats=plain).evaluate(t)
+        Evaluator(cat, stats=opt).evaluate(pushed)
+        assert opt.tuples_output <= plain.tuples_output
+
+
+class TestSetOperatorPush:
+    @pytest.fixture
+    def setop_cat(self):
+        c = Catalog()
+        c.define_table("A1", [("X", NUMERIC), ("Y", NUMERIC)])
+        c.define_table("B1", [("X", NUMERIC), ("Y", NUMERIC)])
+        c.insert_many("A1", [(i, i % 5) for i in range(20)])
+        c.insert_many("B1", [(i, i % 5) for i in range(0, 20, 2)])
+        return c
+
+    def test_difference_push(self, setop_cat):
+        t = parse_term(
+            "SEARCH(LIST(DIFFERENCE(A1, B1)), #1.2 = 3, LIST(#1.1))"
+        )
+        result = rewrite(t, setop_cat)
+        assert "search_diff_push" in result.rules_fired()
+        assert set(evaluate(t, setop_cat).rows) == \
+            set(evaluate(result.term, setop_cat).rows)
+
+    def test_intersection_push(self, setop_cat):
+        t = parse_term(
+            "SEARCH(LIST(INTERSECTION(SET(A1, B1))), #1.2 = 3, "
+            "LIST(#1.1))"
+        )
+        result = rewrite(t, setop_cat)
+        assert "search_intersect_push" in result.rules_fired()
+        assert set(evaluate(t, setop_cat).rows) == \
+            set(evaluate(result.term, setop_cat).rows)
+
+    def test_push_does_not_loop(self, setop_cat):
+        t = parse_term(
+            "SEARCH(LIST(DIFFERENCE(A1, B1)), #1.2 = 3, LIST(#1.1))"
+        )
+        result = rewrite(t, setop_cat)
+        assert result.rules_fired().count("search_diff_push") == 1
+
+    def test_true_qualification_not_pushed(self, setop_cat):
+        t = parse_term(
+            "SEARCH(LIST(DIFFERENCE(A1, B1)), true, LIST(#1.1))"
+        )
+        result = rewrite(t, setop_cat)
+        assert "search_diff_push" not in result.rules_fired()

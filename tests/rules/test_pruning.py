@@ -1,0 +1,141 @@
+"""Empty-relation propagation rules (the prune block)."""
+
+import pytest
+
+from repro.adt.types import NUMERIC
+from repro.engine.catalog import Catalog
+from repro.engine.evaluate import evaluate
+from repro.core.rewriter import QueryRewriter
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("R", [("A", NUMERIC), ("B", NUMERIC)])
+    c.insert_many("R", [(1, 2), (3, 4)])
+    c.define_table("S", [("C", NUMERIC), ("D", NUMERIC)])
+    c.insert_many("S", [(5, 6)])
+    return c
+
+
+def rewrite(text, cat):
+    rewriter = QueryRewriter(cat)
+    result = rewriter.rewrite(parse_term(text))
+    return result, term_to_str(result.term)
+
+
+class TestSearchPruning:
+    def test_false_search_becomes_empty(self, cat):
+        __, out = rewrite("SEARCH(LIST(R), false, LIST(#1.1))", cat)
+        assert out == "EMPTY(1)"
+
+    def test_width_follows_projection(self, cat):
+        __, out = rewrite(
+            "SEARCH(LIST(R), false, LIST(#1.1, #1.2, #1.1))", cat
+        )
+        assert out == "EMPTY(3)"
+
+    def test_contradiction_then_pruned(self, cat):
+        __, out = rewrite(
+            "SEARCH(LIST(R), #1.1 > 5 AND #1.1 < 2, LIST(#1.1))", cat
+        )
+        assert out == "EMPTY(1)"
+
+    def test_empty_input_propagates(self, cat):
+        __, out = rewrite(
+            "SEARCH(LIST(R, EMPTY(2)), #1.1 = #2.1, LIST(#1.1))", cat
+        )
+        assert out == "EMPTY(1)"
+
+    def test_empty_plan_reads_nothing(self, cat):
+        result, __ = rewrite(
+            "SEARCH(LIST(R, S), #1.1 > 9 AND #1.1 < 1 AND #1.2 = #2.1, "
+            "LIST(#1.1, #2.2))", cat
+        )
+        from repro.engine.stats import EvalStats
+        from repro.engine.evaluate import Evaluator
+        stats = EvalStats()
+        rows = Evaluator(cat, stats=stats).evaluate(result.term)
+        assert rows.rows == []
+        assert stats.tuples_scanned == 0
+
+
+class TestSetOperatorPruning:
+    def test_union_drops_empty_branch(self, cat):
+        __, out = rewrite("UNION(SET(R, EMPTY(2)))", cat)
+        assert out == "R"
+
+    def test_union_of_two_empties(self, cat):
+        __, out = rewrite("UNION(SET(EMPTY(2), EMPTY(2)))", cat)
+        # the SET constructor deduplicates the identical branches and
+        # union_singleton unwraps
+        assert out == "EMPTY(2)"
+
+    def test_difference_empty_left(self, cat):
+        __, out = rewrite("DIFFERENCE(EMPTY(2), R)", cat)
+        assert out == "EMPTY(2)"
+
+    def test_difference_empty_right(self, cat):
+        __, out = rewrite("DIFFERENCE(R, EMPTY(2))", cat)
+        assert out == "R"
+
+    def test_intersection_with_empty(self, cat):
+        __, out = rewrite("INTERSECTION(SET(R, EMPTY(2)))", cat)
+        assert out == "EMPTY(2)"
+
+
+class TestStructuredPruning:
+    def test_nest_of_empty(self, cat):
+        __, out = rewrite(
+            "NEST(EMPTY(3), LIST(#1.3), LIST('Xs', SET))", cat
+        )
+        assert out == "EMPTY(3)"  # 3 - 1 nested + 1 collection
+
+    def test_unnest_of_empty(self, cat):
+        __, out = rewrite("UNNEST(EMPTY(2), #1.2)", cat)
+        assert out == "EMPTY(2)"
+
+    def test_fix_of_empty_body(self, cat):
+        __, out = rewrite("FIX(Z0, EMPTY(2))", cat)
+        assert out == "EMPTY(2)"
+
+    def test_recursive_fix_with_empty_base_prunes(self, cat):
+        # base branch false -> empty -> dropped; the recursive branch
+        # alone has no anchor and the whole fix collapses
+        result, out = rewrite(
+            "SEARCH(LIST(FIX(T0, UNION(SET("
+            "SEARCH(LIST(R), false, LIST(#1.1, #1.2)), "
+            "SEARCH(LIST(T0, R), #1.2 = #2.1, LIST(#1.1, #2.2)))))), "
+            "true, LIST(#1.1))", cat
+        )
+        rows = evaluate(result.term, cat)
+        assert rows.rows == []
+
+
+class TestSemijoinPruning:
+    def test_semijoin_empty_left(self, cat):
+        __, out = rewrite("SEMIJOIN(EMPTY(2), R, #1.1 = #2.1)", cat)
+        assert out == "EMPTY(2)"
+
+    def test_semijoin_empty_right(self, cat):
+        __, out = rewrite("SEMIJOIN(R, EMPTY(2), #1.1 = #2.1)", cat)
+        assert out == "EMPTY(2)"
+
+    def test_antijoin_empty_right_keeps_left(self, cat):
+        __, out = rewrite("ANTIJOIN(R, EMPTY(2), #1.1 = #2.1)", cat)
+        assert out == "R"
+
+    def test_antijoin_empty_left(self, cat):
+        __, out = rewrite("ANTIJOIN(EMPTY(2), R, #1.1 = #2.1)", cat)
+        assert out == "EMPTY(2)"
+
+    def test_selection_pushes_below_semijoin(self, cat):
+        result, out = rewrite(
+            "SEARCH(LIST(SEMIJOIN(R, S, #1.2 = #2.1)), #1.1 = 1, "
+            "LIST(#1.1))", cat
+        )
+        assert "semijoin_push" in result.rules_fired()
+        # the selection now sits on the left input, inside the semijoin
+        assert "SEMIJOIN(SEARCH" in out.replace(" ", "")

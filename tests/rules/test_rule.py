@@ -1,0 +1,159 @@
+"""Rule compilation and application tests."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.rules.rule import RuleContext, compile_rule, rule_from_text
+from repro.terms.parser import parse_rule_text, parse_term
+from repro.terms.printer import term_to_str
+from repro.terms.term import is_fun
+
+
+def apply_text(rule_text, subject_text, ctx=None):
+    rule = rule_from_text(rule_text)
+    result = rule.apply(parse_term(subject_text), ctx or RuleContext())
+    return None if result is None else result[0]
+
+
+class TestCompilation:
+    def test_names_generated_when_missing(self):
+        r1 = rule_from_text("P(x) --> Q(x)")
+        r2 = rule_from_text("P(x) --> Q(x)")
+        assert r1.name != r2.name
+
+    def test_named_rule(self):
+        assert rule_from_text("myrule: P(x) --> Q(x)").name == "myrule"
+
+    def test_unbound_rhs_variable_rejected(self):
+        with pytest.raises(RuleError):
+            rule_from_text("P(x) --> Q(y)")
+
+    def test_unbound_rhs_collvar_rejected(self):
+        with pytest.raises(RuleError):
+            rule_from_text("P(x) --> Q(y*)")
+
+    def test_method_output_counts_as_bound(self):
+        rule = rule_from_text("P(x) --> Q(y) / M(x, y)")
+        assert rule.name
+
+    def test_unbound_rhs_funvar_rejected(self):
+        with pytest.raises(RuleError):
+            rule_from_text("P(x) --> F(x)")
+
+    def test_funvar_bound_by_lhs(self):
+        rule = rule_from_text("F(x) / ISA(x, T) --> F(x) AND Q(x)")
+        assert rule.lhs.name == "F"
+
+    def test_ac_extension_applied(self):
+        rule = rule_from_text("f AND false --> false")
+        # lhs got a fresh collection variable, rhs reattaches it
+        from repro.terms.term import CollVar
+        assert any(isinstance(a, CollVar) for a in rule.lhs.args)
+        assert is_fun(rule.rhs, "AND")
+
+    def test_ac_extension_skipped_with_explicit_collvar(self):
+        rule = rule_from_text("AND(f, q*) --> AND(q*)")
+        assert len(rule.lhs.args) == 2
+
+
+class TestApplication:
+    def test_simple_rewrite(self):
+        out = apply_text("P(x) --> Q(x)", "P(1)")
+        assert out == parse_term("Q(1)")
+
+    def test_no_match_returns_none(self):
+        assert apply_text("P(x) --> Q(x)", "R(1)") is None
+
+    def test_noop_rejected(self):
+        # an identity rewrite must not count as an application
+        assert apply_text("P(x) --> P(x)", "P(1)") is None
+
+    def test_ac_rule_inside_conjunction(self):
+        out = apply_text("f AND false --> false",
+                         "(a1 = 1) AND (a2 = 2) AND false")
+        # one application removes one conjunct; the result still
+        # contains FALSE and fewer conjuncts
+        assert "false" in term_to_str(out)
+
+    def test_constraint_gates_application(self):
+        ok = apply_text("x > y / 2 > 1 --> TRAF(x, y)", "3 > 4")
+        assert ok is not None
+        blocked = apply_text("x > y / 1 > 2 --> TRAF(x, y)", "3 > 4")
+        assert blocked is None
+
+    def test_failed_method_blocks_application(self):
+        # EVALUATE on a non-ground argument fails -> no application
+        out = apply_text("P(x) --> Q(a) / EVALUATE(x, a)", "P(z0 + 1)")
+        assert out is None
+
+    def test_method_output_used_in_rhs(self):
+        out = apply_text("P(x) --> Q(a) / EVALUATE(x, a)", "P(1 + 2)")
+        assert out == parse_term("Q(3)")
+
+    def test_applications_enumerates_alternatives(self):
+        rule = rule_from_text("SET(x, v*) --> PICKED(x)")
+        results = list(rule.applications(
+            parse_term("SET(A, B)"), RuleContext()
+        ))
+        picked = {term_to_str(t) for t, __ in results}
+        assert picked == {"PICKED(A)", "PICKED(B)"}
+
+    def test_quick_applicable_discriminator(self):
+        rule = rule_from_text("SEARCH(a, b, c) --> FOO(a)")
+        assert rule.quick_applicable(parse_term("SEARCH(1, 2, 3)"))
+        assert not rule.quick_applicable(parse_term("UNION(x)"))
+
+    def test_funvar_rule_applies_to_any_function(self):
+        rule = rule_from_text("F(x, y) / --> F(y, x) /")
+        out = rule.apply(parse_term("PAIR(1, 2)"), RuleContext())
+        assert out[0] == parse_term("PAIR(2, 1)")
+
+    def test_second_application_binding_returned(self):
+        rule = rule_from_text("P(x) --> Q(x)")
+        result, binding = rule.apply(parse_term("P(7)"), RuleContext())
+        assert binding["x"] == parse_term("7")
+
+    def test_method_rebinding_conflict_detected(self):
+        from repro.rules.methods import MethodRegistry
+        from repro.terms.term import num
+        registry = MethodRegistry()
+        registry.register(
+            "CLASH", 1, lambda inst, raw, b, ctx: {"x": num(99)}
+        )
+        ctx = RuleContext(methods=registry)
+        rule = rule_from_text("P(x) --> Q(x) / CLASH(x)")
+        with pytest.raises(RuleError):
+            rule.apply(parse_term("P(1)"), ctx)
+
+
+class TestPaperSection41Example:
+    """The paper's own example rule (section 4.1):
+    F(SET(x*, G(y, f))) / MEMBER(y, x*), f = TRUE --> F(x*)
+    -- redundant set element removal under a membership constraint."""
+
+    RULE = ("paper41: F(SET(x*, G(y, f))) / MEMBER(y, x*), f = true "
+            "--> F(SET(x*)) /")
+
+    def test_fires_when_member_and_true(self):
+        rule = rule_from_text(self.RULE)
+        out = rule.apply(parse_term("P(SET(1, 2, Q(2, true)))"),
+                         RuleContext())
+        assert out is not None
+        assert out[0] == parse_term("P(SET(1, 2))")
+
+    def test_blocked_when_not_member(self):
+        rule = rule_from_text(self.RULE)
+        assert rule.apply(parse_term("P(SET(1, 2, Q(9, true)))"),
+                          RuleContext()) is None
+
+    def test_blocked_when_flag_false(self):
+        rule = rule_from_text(self.RULE)
+        assert rule.apply(parse_term("P(SET(1, 2, Q(2, false)))"),
+                          RuleContext()) is None
+
+    def test_generic_symbols_bind_any_names(self):
+        rule = rule_from_text(self.RULE)
+        out = rule.apply(parse_term("ZAP(SET(7, WIBBLE(7, true)))"),
+                         RuleContext())
+        assert out is not None
+        assert out[0] == parse_term("ZAP(SET(7))")

@@ -1,0 +1,147 @@
+"""F12 -- Figure 12 predicate simplification."""
+
+import pytest
+
+from repro.adt.types import NUMERIC
+from repro.engine.catalog import Catalog
+from repro.rules.control import Block, RewriteEngine, Seq
+from repro.rules.rule import RuleContext
+from repro.rules.semantic import simplification_rules
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+
+
+@pytest.fixture
+def cat():
+    c = Catalog()
+    c.define_table("R", [("A", NUMERIC), ("B", NUMERIC)])
+    return c
+
+
+def simplify(qual_text, cat):
+    q = parse_term(f"SEARCH(LIST(R), {qual_text}, LIST(#1.1))")
+    engine = RewriteEngine(Seq([
+        Block("simplify", simplification_rules()),
+    ]))
+    result = engine.rewrite(q, RuleContext(catalog=cat))
+    return term_to_str(result.term.args[1])
+
+
+class TestBooleanAbsorption:
+    def test_and_false(self, cat):
+        assert simplify("#1.1 = 1 AND false", cat) == "false"
+
+    def test_or_true(self, cat):
+        assert simplify("#1.1 = 1 OR true", cat) == "true"
+
+    def test_not_constants(self, cat):
+        assert simplify("NOT(true)", cat) == "false"
+        assert simplify("NOT(false)", cat) == "true"
+
+    def test_double_negation(self, cat):
+        assert simplify("NOT(NOT(#1.1 = 1))", cat) == "1 = #1.1"
+
+    def test_nested_false_collapses_everything(self, cat):
+        out = simplify("#1.1 = 1 AND (#1.2 = 2 AND (1 > 2))", cat)
+        assert out == "false"
+
+
+class TestReflexivity:
+    def test_gt_irreflexive(self, cat):
+        assert simplify("#1.1 > #1.1", cat) == "true" or \
+            simplify("#1.1 > #1.1", cat) == "false"
+        assert simplify("#1.1 > #1.1", cat) == "false"
+
+    def test_ge_reflexive(self, cat):
+        assert simplify("#1.1 >= #1.1 AND #1.2 = 2", cat) == "2 = #1.2"
+
+    def test_eq_reflexive(self, cat):
+        assert simplify("#1.1 = #1.1", cat) == "true"
+
+    def test_neq_irreflexive(self, cat):
+        assert simplify("#1.1 <> #1.1", cat) == "false"
+
+
+class TestOrientation:
+    def test_lt_flipped(self, cat):
+        assert simplify("1 < #1.1", cat) == "#1.1 > 1"
+
+    def test_le_flipped(self, cat):
+        assert simplify("1 <= #1.1", cat) == "#1.1 >= 1"
+
+
+class TestContradictions:
+    def test_gt_antisymmetry(self, cat):
+        assert simplify("#1.1 > #1.2 AND #1.2 > #1.1", cat) == "false"
+
+    def test_gt_vs_eq(self, cat):
+        assert simplify("#1.1 > #1.2 AND #1.1 = #1.2", cat) == "false"
+
+    def test_eq_vs_neq(self, cat):
+        assert simplify("#1.1 = #1.2 AND #1.1 <> #1.2", cat) == "false"
+
+    def test_ge_vs_gt(self, cat):
+        assert simplify("#1.1 >= #1.2 AND #1.2 > #1.1", cat) == "false"
+
+    def test_lt_gt_after_orientation(self, cat):
+        # x < y normalises to y > x, then clashes with x > y
+        assert simplify("#1.1 < #1.2 AND #1.1 > #1.2", cat) == "false"
+
+
+class TestStrengthening:
+    def test_ge_antisymmetry_to_eq(self, cat):
+        out = simplify("#1.1 >= #1.2 AND #1.2 >= #1.1", cat)
+        assert out == "#1.1 = #1.2"
+
+    def test_constant_bounds_tightened(self, cat):
+        out = simplify("#1.1 > 3 AND #1.1 > 7", cat)
+        assert out == "#1.1 > 7"
+
+    def test_minus_zero_normalises(self, cat):
+        out = simplify("#1.1 - #1.2 = 0", cat)
+        assert out == "#1.1 = #1.2"
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self, cat):
+        assert simplify("#1.1 = 2 + 3", cat) == "5 = #1.1"
+
+    def test_comparison_folds(self, cat):
+        assert simplify("2 > 5", cat) == "false"
+        assert simplify("2 > 5 OR #1.1 = 1", cat) == "1 = #1.1"
+
+    def test_member_of_literal_set_folds(self, cat):
+        assert simplify("MEMBER(3, MAKESET(1, 2))", cat) == "false"
+        assert simplify("MEMBER(1, MAKESET(1, 2))", cat) == "true"
+
+    def test_nested_folding(self, cat):
+        assert simplify("(2 + 3) * 2 = #1.1", cat) == "10 = #1.1"
+
+    def test_non_ground_untouched(self, cat):
+        out = simplify("#1.1 + 1 = 3", cat)
+        assert "#1.1 + 1" in out
+
+    def test_division_by_zero_not_folded(self, cat):
+        # folding must fail soft and leave the term for runtime
+        # (DIV is the rule-language spelling of division)
+        out = simplify("#1.1 = DIV(1, 0)", cat)
+        assert "DIV" in out
+
+
+class TestPaperExamples:
+    def test_figure12_composite(self, cat):
+        """x - y = 0 with constants: folds through to a truth value."""
+        assert simplify("5 - 5 = 0", cat) == "true"
+        assert simplify("5 - 4 = 0", cat) == "false"
+
+    def test_qualification_shrinks_not_grows(self, cat):
+        from repro.terms.term import term_size
+        q = parse_term(
+            "SEARCH(LIST(R), #1.1 > 3 AND #1.1 > 7 AND 1 = 1, "
+            "LIST(#1.1))"
+        )
+        engine = RewriteEngine(Seq([
+            Block("simplify", simplification_rules()),
+        ]))
+        result = engine.rewrite(q, RuleContext(catalog=cat))
+        assert term_size(result.term) < term_size(q)

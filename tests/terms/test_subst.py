@@ -1,0 +1,83 @@
+"""Substitution tests."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.terms.parser import parse_term
+from repro.terms.subst import (collvar_key, instantiate,
+                               instantiate_spliceable, merge_bindings)
+from repro.terms.term import Seq, mk_fun, num, sym
+
+
+class TestInstantiate:
+    def test_variable_replacement(self):
+        t = parse_term("P(x, y)")
+        out = instantiate(t, {"x": num(1), "y": sym("A")})
+        assert out == parse_term("P(1, A)")
+
+    def test_collvar_splices(self):
+        t = parse_term("LIST(x*, z)")
+        out = instantiate(t, {"*x": Seq([num(1), num(2)]), "z": num(3)})
+        assert out == parse_term("LIST(1, 2, 3)")
+
+    def test_collvar_empty_splice(self):
+        t = parse_term("P(x*, z)")
+        out = instantiate(t, {"*x": Seq([]), "z": num(3)})
+        assert out == parse_term("P(3)")
+
+    def test_strict_unbound_raises(self):
+        with pytest.raises(RuleError):
+            instantiate(parse_term("P(x)"), {})
+
+    def test_non_strict_keeps_variables(self):
+        out = instantiate(parse_term("P(x)"), {}, strict=False)
+        assert out == parse_term("P(x)")
+
+    def test_top_level_collvar_rejected(self):
+        from repro.terms.term import CollVar
+        with pytest.raises(RuleError):
+            instantiate(CollVar("x"), {"*x": Seq([num(1)])})
+
+    def test_funvar_instantiation(self):
+        t = parse_term("F(x)")
+        out = instantiate(t, {"§F": "MEMBER", "x": num(1)})
+        assert out == parse_term("MEMBER(1)")
+
+    def test_funvar_unbound_strict(self):
+        with pytest.raises(RuleError):
+            instantiate(parse_term("F(x)"), {"x": num(1)})
+
+    def test_constants_unchanged(self):
+        t = parse_term("P(1, 'a', #1.2)")
+        assert instantiate(t, {}) == t
+
+    def test_result_renormalises(self):
+        # instantiating an AND re-runs the constructor: duplicates merge
+        t = parse_term("x AND y")
+        out = instantiate(t, {"x": num(1) , "y": num(1)})
+        assert out == num(1)
+
+
+class TestSpliceable:
+    def test_bare_collvar_yields_seq(self):
+        out = instantiate_spliceable(
+            parse_term("LIST(x*)").args[0], {"*x": Seq([num(1)])}
+        )
+        assert out == Seq([num(1)])
+
+
+class TestMergeBindings:
+    def test_merge_disjoint(self):
+        merged = merge_bindings({"a": num(1)}, {"b": num(2)})
+        assert merged == {"a": num(1), "b": num(2)}
+
+    def test_merge_conflict(self):
+        with pytest.raises(RuleError):
+            merge_bindings({"a": num(1)}, {"a": num(2)})
+
+    def test_merge_agreeing(self):
+        merged = merge_bindings({"a": num(1)}, {"a": num(1)})
+        assert merged == {"a": num(1)}
+
+    def test_collvar_key(self):
+        assert collvar_key("x") == "*x"

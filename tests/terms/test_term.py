@@ -1,0 +1,210 @@
+"""Unit tests for terms and the normalising constructors."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.terms.term import (FALSE, TRUE, AttrRef, CollVar, Const, Fun,
+                              Seq, Var, boolean, collvars_of, conj,
+                              conjuncts, disj, disjuncts, is_fun,
+                              is_ground, mk_fun, num, replace_at, string,
+                              subterms, sym, term_size, term_sort_key,
+                              variables_of, walk)
+
+
+class TestTermBasics:
+    def test_var_equality(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_collvar_strips_star(self):
+        cv = CollVar("x*")
+        assert cv.name == "x"
+        assert cv.display == "x*"
+        assert CollVar("x") == CollVar("x*")
+
+    def test_const_kinds(self):
+        assert num(3).kind == "int"
+        assert num(3.5).kind == "real"
+        assert num(True).kind == "bool"  # bools are not ints here
+        assert string("a").kind == "string"
+        assert sym("REL").kind == "symbol"
+
+    def test_const_bad_kind(self):
+        with pytest.raises(TermError):
+            Const(1, "complex")
+
+    def test_const_distinguishes_kinds(self):
+        assert string("R") != sym("R")
+        assert num(1) != boolean(True)
+
+    def test_attref_one_based(self):
+        with pytest.raises(TermError):
+            AttrRef(0, 1)
+        with pytest.raises(TermError):
+            AttrRef(1, 0)
+
+    def test_fun_equality_structural(self):
+        a = mk_fun("F", [num(1), Var("x")])
+        b = mk_fun("F", [num(1), Var("x")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_fun_name_uppercased(self):
+        assert mk_fun("member", []).name == "MEMBER"
+
+
+class TestAndOrNormalisation:
+    def test_flattening(self):
+        inner = mk_fun("AND", [Var("a"), Var("b")])
+        outer = mk_fun("AND", [inner, Var("c")])
+        assert len(outer.args) == 3
+
+    def test_deduplication(self):
+        t = mk_fun("AND", [Var("a"), Var("a"), Var("b")])
+        assert len(t.args) == 2
+
+    def test_canonical_order(self):
+        ab = mk_fun("AND", [Var("a"), Var("b")])
+        ba = mk_fun("AND", [Var("b"), Var("a")])
+        assert ab == ba
+
+    def test_true_dropped_from_and(self):
+        t = mk_fun("AND", [Var("a"), TRUE])
+        assert t == Var("a")
+
+    def test_false_kept_in_and(self):
+        t = mk_fun("AND", [Var("a"), FALSE])
+        assert is_fun(t, "AND")
+        assert FALSE in t.args
+
+    def test_empty_and_is_true(self):
+        assert conj([]) == TRUE
+
+    def test_singleton_and_collapses(self):
+        assert conj([Var("a")]) == Var("a")
+
+    def test_singleton_and_collvar_survives(self):
+        t = mk_fun("AND", [CollVar("q")])
+        assert is_fun(t, "AND")  # patterns keep the wrapper
+
+    def test_false_dropped_from_or(self):
+        assert mk_fun("OR", [Var("a"), FALSE]) == Var("a")
+
+    def test_empty_or_is_false(self):
+        assert disj([]) == FALSE
+
+    def test_conjuncts_of_non_and(self):
+        assert conjuncts(Var("a")) == (Var("a"),)
+        assert conjuncts(TRUE) == ()
+
+    def test_disjuncts(self):
+        t = disj([Var("a"), Var("b")])
+        assert set(disjuncts(t)) == {Var("a"), Var("b")}
+        assert disjuncts(FALSE) == ()
+
+
+class TestSetNormalisation:
+    def test_set_dedupes_and_sorts(self):
+        a = mk_fun("SET", [sym("B"), sym("A"), sym("B")])
+        b = mk_fun("SET", [sym("A"), sym("B")])
+        assert a == b
+
+    def test_list_keeps_order_and_duplicates(self):
+        a = mk_fun("LIST", [sym("B"), sym("A"), sym("B")])
+        assert len(a.args) == 3
+        assert a != mk_fun("LIST", [sym("A"), sym("B"), sym("B")])
+
+
+class TestCommutativeComparisons:
+    def test_eq_args_sorted(self):
+        assert mk_fun("=", [Var("x"), num(1)]) == \
+            mk_fun("=", [num(1), Var("x")])
+
+    def test_neq_args_sorted(self):
+        assert mk_fun("<>", [Var("y"), Var("x")]) == \
+            mk_fun("<>", [Var("x"), Var("y")])
+
+    def test_lt_not_sorted(self):
+        assert mk_fun("<", [Var("y"), Var("x")]) != \
+            mk_fun("<", [Var("x"), Var("y")])
+
+
+class TestSplicers:
+    def test_seq_splices_into_fun(self):
+        t = mk_fun("F", [Seq([num(1), num(2)]), num(3)])
+        assert t.args == (num(1), num(2), num(3))
+
+    def test_append_splices_lists(self):
+        t = mk_fun("APPEND", [
+            Seq([sym("A")]),
+            mk_fun("LIST", [sym("B"), sym("C")]),
+        ])
+        assert is_fun(t, "LIST")
+        assert t.args == (sym("A"), sym("B"), sym("C"))
+
+    def test_append_runtime_form_preserved(self):
+        # APPEND over non-structural args stays a function call (the
+        # runtime list-append ADT function)
+        t = mk_fun("APPEND", [Var("l"), num(1)])
+        assert is_fun(t, "APPEND")
+
+    def test_set_union_splices(self):
+        t = mk_fun("SET_UNION", [
+            Seq([sym("A")]), mk_fun("SET", [sym("B")]),
+        ])
+        assert is_fun(t, "SET")
+        assert set(t.args) == {sym("A"), sym("B")}
+
+
+class TestTraversal:
+    def test_walk_counts_nodes(self):
+        t = mk_fun("F", [mk_fun("G", [Var("x")]), num(1)])
+        assert term_size(t) == 4
+
+    def test_subterms_paths(self):
+        t = mk_fun("F", [Var("x"), mk_fun("G", [num(1)])])
+        paths = dict(subterms(t))
+        assert paths[()] == t
+        assert paths[(0,)] == Var("x")
+        assert paths[(1, 0)] == num(1)
+
+    def test_replace_at_root(self):
+        assert replace_at(Var("x"), (), num(1)) == num(1)
+
+    def test_replace_at_nested(self):
+        t = mk_fun("F", [mk_fun("G", [Var("x")])])
+        out = replace_at(t, (0, 0), num(9))
+        assert out == mk_fun("F", [mk_fun("G", [num(9)])])
+
+    def test_replace_at_renormalises(self):
+        t = Fun("AND", (Var("a"), Var("b")))
+        out = replace_at(t, (0,), Var("b"))
+        assert out == Var("b")  # AND(b, b) collapses
+
+    def test_replace_at_bad_path(self):
+        with pytest.raises(TermError):
+            replace_at(Var("x"), (0,), num(1))
+        with pytest.raises(TermError):
+            replace_at(mk_fun("F", [Var("x")]), (5,), num(1))
+
+    def test_variable_collection(self):
+        t = mk_fun("F", [Var("x"), CollVar("y"), mk_fun("G", [Var("z")])])
+        assert variables_of(t) == {"x", "z"}
+        assert collvars_of(t) == {"y"}
+
+    def test_is_ground(self):
+        assert is_ground(mk_fun("F", [num(1), string("a")]))
+        assert not is_ground(mk_fun("F", [Var("x")]))
+        assert not is_ground(mk_fun("F", [CollVar("x")]))
+
+
+class TestSortKey:
+    def test_total_order_is_deterministic(self):
+        terms = [num(2), Var("a"), sym("R"), string("z"), TRUE,
+                 AttrRef(1, 2), mk_fun("F", [num(1)]), CollVar("c")]
+        once = sorted(terms, key=term_sort_key)
+        twice = sorted(list(reversed(terms)), key=term_sort_key)
+        assert once == twice
+
+    def test_constants_before_funs(self):
+        assert term_sort_key(num(1)) < term_sort_key(mk_fun("F", []))
