@@ -286,6 +286,53 @@ def a6_engine():
     print()
 
 
+def obs_telemetry():
+    """OBS -- ingest the machine-readable EXPLAIN (same schema as the
+    CLI's ``.profile`` mode; see docs/observability.md)."""
+    from repro.core.explain import validate_explain
+
+    db = sales_db(rows=150)
+    query = ("SELECT Item FROM REGION_SALE WHERE Region = 1 "
+             "AND Amount > 80")
+    report = db.explain_json(query, execute=True)
+    problems = validate_explain(report)
+    print("### OBS -- unified telemetry (stacked views, 150-row SALE)\n")
+    print(f"schema version {report['schema_version']}, "
+          f"violations: {problems or 'none'}\n")
+
+    profile = report["profile"]
+    ranked = sorted(
+        profile["rules"].items(),
+        key=lambda kv: (-kv[1].get("fired", 0),
+                        -kv[1].get("attempts", 0), kv[0]),
+    )
+    rows = []
+    for rule, row in ranked:
+        if not row.get("hits") and not row.get("attempts"):
+            continue
+        seconds = row.get("seconds", {})
+        rows.append([
+            rule, row.get("attempts", 0), row.get("hits", 0),
+            row.get("fired", 0),
+            f"{seconds.get('total', 0.0) * 1e3:.3f}",
+        ])
+    print(table(["rule", "attempts", "hits", "fired", "total ms"],
+                rows[:12]))
+    print()
+    rows = [
+        [block, row.get("applications", 0), row.get("checks", 0),
+         row.get("budget_consumed", 0)]
+        for block, row in sorted(profile["blocks"].items())
+    ]
+    print(table(["block", "applications", "checks", "budget consumed"],
+                rows))
+    print()
+    eval_counters = report["eval"] or {}
+    print(table(["eval counter", "value"],
+                [[k, v] for k, v in eval_counters.items()]))
+    print()
+
+
 def main() -> None:
     print("## Measured results (regenerate with "
           "`python -m benchmarks.report`)\n")
@@ -299,6 +346,7 @@ def main() -> None:
     a3_seminaive()
     a4_dynamic_limits()
     a6_engine()
+    obs_telemetry()
 
 
 if __name__ == "__main__":

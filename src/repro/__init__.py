@@ -35,6 +35,7 @@ from repro.engine.evaluate import Evaluator, Result, evaluate
 from repro.engine.stats import EvalStats
 from repro.errors import ReproError
 from repro.lera.printer import plan_to_str
+from repro.obs import EventBus, MetricsRegistry, Profiler, Tracer
 from repro.rules.rule import rule_from_text
 
 __version__ = "1.0.0"
@@ -43,5 +44,6 @@ __all__ = [
     "Database", "Catalog", "Evaluator", "Result", "evaluate", "EvalStats",
     "Extension", "OptimizedQuery", "Optimizer", "QueryRewriter",
     "ReproError", "rule_from_text", "plan_to_str",
+    "EventBus", "MetricsRegistry", "Profiler", "Tracer",
     "__version__",
 ]

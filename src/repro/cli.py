@@ -14,6 +14,8 @@ Statements end with ``;``.  Dot-commands:
 ``.schema``        list relations, views and their columns
 ``.rules``         show the generated optimizer's rule inventory
 ``.rewrite on``    toggle rewriting (also ``off``)
+``.profile on``    toggle profiling (also ``off``): ``.explain`` and
+                   ``.stats`` then include per-rule/per-block telemetry
 ``.stats <q>``     run a query and print the evaluator work counters
 ``.quit``          leave
 =================  =====================================================
@@ -43,6 +45,7 @@ class Shell:
     def __init__(self, db: Optional[Database] = None):
         self.db = db or Database()
         self.rewrite = True
+        self.profile = False
         self._buffer: list[str] = []
 
     # -- statement assembly -------------------------------------------------
@@ -97,6 +100,12 @@ class Shell:
                 return [f"rewriting {'on' if self.rewrite else 'off'}"]
             return [f"rewriting is "
                     f"{'on' if self.rewrite else 'off'}"]
+        if command == ".profile":
+            if argument.lower() in ("on", "off"):
+                self.profile = argument.lower() == "on"
+                return [f"profiling {'on' if self.profile else 'off'}"]
+            return [f"profiling is "
+                    f"{'on' if self.profile else 'off'}"]
         if command == ".schema":
             lines = []
             catalog = self.db.catalog
@@ -138,25 +147,46 @@ class Shell:
             if not argument:
                 return ["usage: .explain SELECT ..."]
             try:
-                return [self.db.explain(argument)]
+                return [self.db.explain(argument, profile=self.profile)]
             except ReproError as error:
                 return [f"error: {error}"]
         if command == ".stats":
             if not argument:
                 return ["usage: .stats SELECT ..."]
+            profiler = None
+            if self.profile:
+                from repro.obs.profile import Profiler
+                profiler = Profiler()
             try:
                 result, stats, optimized = self.db.query_with_stats(
-                    argument, rewrite=self.rewrite
+                    argument, rewrite=self.rewrite,
+                    obs=profiler.bus if profiler else None,
                 )
             except ReproError as error:
                 return [f"error: {error}"]
             fired = optimized.rewrite_result.rules_fired()
-            return [
+            lines = [
                 result.to_table(),
                 f"rules fired: {fired}" if fired else "rules fired: none",
                 ", ".join(f"{k}={v}"
                           for k, v in stats.snapshot().items()),
             ]
+            if profiler is not None:
+                profiler.absorb_eval_stats(stats)
+                for rule, row in sorted(profiler.rule_table().items()):
+                    lines.append(
+                        f"  rule {rule}: {row.get('attempts', 0)} "
+                        f"attempt(s), {row.get('hits', 0)} hit(s), "
+                        f"{row.get('fired', 0)} fired"
+                    )
+                for block, row in sorted(profiler.block_table().items()):
+                    lines.append(
+                        f"  block {block}: "
+                        f"{row.get('applications', 0)} application(s), "
+                        f"{row.get('checks', 0)} check(s), budget "
+                        f"consumed {row.get('budget_consumed', 0)}"
+                    )
+            return lines
         return [f"unknown command {command}; try .help"]
 
 

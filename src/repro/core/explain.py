@@ -1,16 +1,51 @@
-"""EXPLAIN output: plans before/after rewriting plus the rule trace."""
+"""EXPLAIN output: human text and the machine-readable JSON report.
+
+``explain_text`` renders plans, trace and (optionally) a profile
+section for humans; ``explain_json`` produces the structured report
+shared by the CLI, ``Database.explain_json`` and
+``benchmarks/report.py`` -- one schema for interactive EXPLAIN and
+benchmark ingestion (documented in ``docs/observability.md``).
+
+Top-level JSON shape (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "plans":   {"before": {"text", "nodes"}, "after": {"text", "nodes"}},
+      "rewrite": {"applications", "checks", "passes",
+                  "trace": [{"block","rule","path","before","after"}],
+                  "summary": {block: {rule: count}}},
+      "profile": <Profiler.report() or null>,
+      "eval":    <EvalStats.snapshot() or null>
+    }
+
+``validate_explain`` is the schema's executable documentation: it
+returns the list of violations (empty means valid) and is used by the
+tests and the benchmark harness.
+"""
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.optimizer import OptimizedQuery
 from repro.lera.printer import plan_to_str
+from repro.terms.printer import term_to_str
 from repro.terms.term import term_size
 
-__all__ = ["explain_text"]
+__all__ = ["explain_text", "explain_json", "validate_explain",
+           "EXPLAIN_SCHEMA_VERSION"]
+
+EXPLAIN_SCHEMA_VERSION = 1
 
 
-def explain_text(optimized: OptimizedQuery, verbose: bool = False) -> str:
-    """Render an optimization outcome for humans."""
+def explain_text(optimized: OptimizedQuery, verbose: bool = False,
+                 profile: Optional[dict] = None) -> str:
+    """Render an optimization outcome for humans.
+
+    ``profile`` is a :meth:`~repro.obs.profile.Profiler.report` dict;
+    when given (the CLI's ``.profile on`` mode) a profile section with
+    per-rule and per-block telemetry is appended.
+    """
     lines = [
         "== plan before rewriting "
         f"({term_size(optimized.typed)} nodes) ==",
@@ -20,15 +55,20 @@ def explain_text(optimized: OptimizedQuery, verbose: bool = False) -> str:
         f"({term_size(optimized.final)} nodes) ==",
         plan_to_str(optimized.final),
         "",
-        f"== {optimized.applications} rule application(s) ==",
     ]
-    for entry in optimized.trace:
-        if verbose:
-            lines.append(str(entry))
-        else:
-            lines.append(
-                f"  [{entry.block}] {entry.rule} at {list(entry.path)}"
-            )
+    if optimized.trace:
+        lines.append(
+            f"== {optimized.applications} rule application(s) =="
+        )
+        for entry in optimized.trace:
+            if verbose:
+                lines.append(str(entry))
+            else:
+                lines.append(
+                    f"  [{entry.block}] {entry.rule} at {list(entry.path)}"
+                )
+    else:
+        lines.append("(no rules fired)")
     summary = optimized.rewrite_result.summary()
     if summary:
         lines.append("")
@@ -38,4 +78,189 @@ def explain_text(optimized: OptimizedQuery, verbose: bool = False) -> str:
                 f"{rule} x{count}" for rule, count in sorted(rules.items())
             )
             lines.append(f"  {block}: {fired}")
+    if profile is not None:
+        lines.extend(_profile_section(profile))
     return "\n".join(lines)
+
+
+def _profile_section(profile: dict) -> list[str]:
+    lines = ["", "== profile =="]
+    rules = profile.get("rules", {})
+    if rules:
+        lines.append("  per-rule (attempts / hits / fired / total ms):")
+        for name, row in sorted(rules.items()):
+            seconds = row.get("seconds", {})
+            total_ms = seconds.get("total", 0.0) * 1e3 \
+                if isinstance(seconds, dict) else 0.0
+            lines.append(
+                f"    {name}: {row.get('attempts', 0)} / "
+                f"{row.get('hits', 0)} / {row.get('fired', 0)} / "
+                f"{total_ms:.3f}"
+            )
+    blocks = profile.get("blocks", {})
+    if blocks:
+        lines.append("  per-block (applications / checks / budget):")
+        for name, row in sorted(blocks.items()):
+            lines.append(
+                f"    {name}: {row.get('applications', 0)} / "
+                f"{row.get('checks', 0)} / "
+                f"{row.get('budget_consumed', 0)}"
+            )
+    constraints = profile.get("constraints")
+    if constraints:
+        lines.append(
+            f"  constraints: {constraints.get('checks', 0)} checked, "
+            f"{constraints.get('holds', 0)} held"
+        )
+    spans = profile.get("spans", [])
+    if spans:
+        lines.append("  spans:")
+        lines.extend(_render_spans(spans, depth=2))
+    return lines
+
+
+def _render_spans(spans: list[dict], depth: int,
+                  max_depth: int = 4) -> list[str]:
+    lines = []
+    if depth > max_depth:
+        return lines
+    for span in spans:
+        lines.append(
+            f"{'  ' * depth}{span['kind']}:{span['name']} "
+            f"({span['duration'] * 1e3:.3f} ms)"
+        )
+        lines.extend(
+            _render_spans(span.get("children", []), depth + 1, max_depth)
+        )
+    return lines
+
+
+def explain_json(optimized: OptimizedQuery,
+                 profile: Optional[dict] = None,
+                 eval_stats=None) -> dict:
+    """The machine-readable EXPLAIN report (see the module docstring).
+
+    ``profile`` is a :meth:`~repro.obs.profile.Profiler.report` dict
+    (or a Profiler, which is reported automatically); ``eval_stats`` an
+    :class:`~repro.engine.stats.EvalStats` from executing the plan.
+    """
+    if profile is not None and hasattr(profile, "report"):
+        profile = profile.report()
+    result = optimized.rewrite_result
+    return {
+        "schema_version": EXPLAIN_SCHEMA_VERSION,
+        "plans": {
+            "before": {
+                "text": plan_to_str(optimized.typed),
+                "nodes": term_size(optimized.typed),
+            },
+            "after": {
+                "text": plan_to_str(optimized.final),
+                "nodes": term_size(optimized.final),
+            },
+        },
+        "rewrite": {
+            "applications": result.applications,
+            "checks": result.checks,
+            "passes": result.passes,
+            "trace": [
+                {
+                    "block": entry.block,
+                    "rule": entry.rule,
+                    "path": list(entry.path),
+                    "before": term_to_str(entry.before),
+                    "after": term_to_str(entry.after),
+                }
+                for entry in result.trace
+            ],
+            "summary": result.summary(),
+        },
+        "profile": profile,
+        "eval": eval_stats.snapshot() if eval_stats is not None else None,
+    }
+
+
+def validate_explain(report: dict) -> list[str]:
+    """Check ``report`` against the documented schema; returns the
+    violations (an empty list means the report is valid)."""
+    problems: list[str] = []
+
+    def need(container, key, kind, where):
+        if not isinstance(container, dict) or key not in container:
+            problems.append(f"{where}: missing key {key!r}")
+            return None
+        value = container[key]
+        if kind is not None and not isinstance(value, kind):
+            problems.append(
+                f"{where}.{key}: expected {kind}, got {type(value)}"
+            )
+            return None
+        return value
+
+    if need(report, "schema_version", int, "report") not in (
+            None, EXPLAIN_SCHEMA_VERSION):
+        problems.append("report.schema_version: unknown version")
+    plans = need(report, "plans", dict, "report")
+    if plans is not None:
+        for side in ("before", "after"):
+            plan = need(plans, side, dict, "plans")
+            if plan is not None:
+                need(plan, "text", str, f"plans.{side}")
+                nodes = need(plan, "nodes", int, f"plans.{side}")
+                if nodes is not None and nodes <= 0:
+                    problems.append(f"plans.{side}.nodes: must be positive")
+    rewrite = need(report, "rewrite", dict, "report")
+    if rewrite is not None:
+        for key in ("applications", "checks", "passes"):
+            value = need(rewrite, key, int, "rewrite")
+            if value is not None and value < 0:
+                problems.append(f"rewrite.{key}: negative")
+        trace = need(rewrite, "trace", list, "rewrite")
+        need(rewrite, "summary", dict, "rewrite")
+        if trace is not None:
+            for i, entry in enumerate(trace):
+                for key in ("block", "rule", "path", "before", "after"):
+                    need(entry, key, None, f"rewrite.trace[{i}]")
+    if "profile" not in report:
+        problems.append("report: missing key 'profile'")
+    elif report["profile"] is not None:
+        profile = report["profile"]
+        for key in ("rules", "blocks", "methods", "spans", "metrics"):
+            need(profile, key, None, "profile")
+        for rule, row in profile.get("rules", {}).items():
+            attempts = row.get("attempts", 0)
+            hits = row.get("hits", 0)
+            if attempts < hits:
+                problems.append(
+                    f"profile.rules.{rule}: attempts < hits"
+                )
+        problems.extend(_validate_spans(profile.get("spans", []),
+                                        "profile.spans"))
+    if "eval" not in report:
+        problems.append("report: missing key 'eval'")
+    elif report["eval"] is not None:
+        for key, value in report["eval"].items():
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"eval.{key}: not a non-negative int")
+    return problems
+
+
+def _validate_spans(spans, where: str) -> list[str]:
+    problems = []
+    if not isinstance(spans, list):
+        return [f"{where}: not a list"]
+    for i, span in enumerate(spans):
+        here = f"{where}[{i}]"
+        if not isinstance(span, dict):
+            problems.append(f"{here}: not an object")
+            continue
+        for key in ("name", "kind", "duration", "children"):
+            if key not in span:
+                problems.append(f"{here}: missing key {key!r}")
+        duration = span.get("duration", 0.0)
+        if not isinstance(duration, (int, float)) or duration < 0:
+            problems.append(f"{here}.duration: negative or non-numeric")
+        problems.extend(
+            _validate_spans(span.get("children", []), here + ".children")
+        )
+    return problems

@@ -60,15 +60,44 @@ class Optimizer:
         self.rewriter = rewriter or QueryRewriter(catalog)
         self.dynamic_limits = dynamic_limits
 
-    def optimize(self, term: Term, rewrite: bool = True) -> OptimizedQuery:
-        typed, __ = typecheck(term, self.catalog)
-        if rewrite and self.dynamic_limits:
-            result = self._rewrite_dynamic(typed)
-        elif rewrite:
-            result = self.rewriter.rewrite(typed)
+    def optimize(self, term: Term, rewrite: bool = True,
+                 obs=None) -> OptimizedQuery:
+        """Run the pipeline; ``obs`` (an event bus) sees ``PhaseStart``
+        / ``PhaseEnd`` around each stage plus the engine's own events."""
+        bus = obs if obs else None
+        if bus is None:
+            typed, __ = typecheck(term, self.catalog)
+            if rewrite and self.dynamic_limits:
+                result = self._rewrite_dynamic(typed)
+            elif rewrite:
+                result = self.rewriter.rewrite(typed)
+            else:
+                result = RewriteResult(typed)
+            final, schema = typecheck(result.term, self.catalog)
         else:
-            result = RewriteResult(typed)
-        final, schema = typecheck(result.term, self.catalog)
+            from time import perf_counter
+
+            from repro.obs.events import PhaseEnd, PhaseStart
+            bus.emit(PhaseStart("optimize"))
+            t_opt = perf_counter()
+            bus.emit(PhaseStart("typecheck"))
+            t0 = perf_counter()
+            typed, __ = typecheck(term, self.catalog)
+            bus.emit(PhaseEnd("typecheck", perf_counter() - t0))
+            bus.emit(PhaseStart("rewrite"))
+            t0 = perf_counter()
+            if rewrite and self.dynamic_limits:
+                result = self._rewrite_dynamic(typed, bus)
+            elif rewrite:
+                result = self.rewriter.rewrite(typed, obs=bus)
+            else:
+                result = RewriteResult(typed)
+            bus.emit(PhaseEnd("rewrite", perf_counter() - t0))
+            bus.emit(PhaseStart("typecheck_final"))
+            t0 = perf_counter()
+            final, schema = typecheck(result.term, self.catalog)
+            bus.emit(PhaseEnd("typecheck_final", perf_counter() - t0))
+            bus.emit(PhaseEnd("optimize", perf_counter() - t_opt))
         return OptimizedQuery(
             original=term,
             typed=typed,
@@ -78,7 +107,7 @@ class Optimizer:
             rewrite_result=result,
         )
 
-    def _rewrite_dynamic(self, typed: Term) -> RewriteResult:
+    def _rewrite_dynamic(self, typed: Term, obs=None) -> RewriteResult:
         from repro.core.complexity import allocate_limits, assess
         from repro.rules.control import RewriteEngine, Seq
 
@@ -92,6 +121,6 @@ class Optimizer:
         ]
         seq = Seq(blocks, passes=allocation["passes"])
         engine = RewriteEngine(
-            seq, collect_trace=self.rewriter.collect_trace
+            seq, collect_trace=self.rewriter.collect_trace, obs=obs
         )
         return engine.rewrite(typed, self.rewriter.context())

@@ -118,9 +118,16 @@ class QueryRewriter:
             methods=self.methods,
         )
 
-    def rewrite(self, term: Term) -> RewriteResult:
-        """Rewrite a LERA term through the configured sequence."""
-        engine = RewriteEngine(self.seq, collect_trace=self.collect_trace)
+    def rewrite(self, term: Term, obs=None) -> RewriteResult:
+        """Rewrite a LERA term through the configured sequence.
+
+        ``obs`` is an optional :class:`~repro.obs.bus.EventBus`; the
+        engine emits block/pass/rule events on it (and constraint and
+        method evaluation emit theirs through the rule context).
+        """
+        engine = RewriteEngine(
+            self.seq, collect_trace=self.collect_trace, obs=obs
+        )
         return engine.rewrite(term, self.context())
 
     def rule_inventory(self) -> dict[str, list[str]]:

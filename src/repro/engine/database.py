@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.explain import explain_text
+from repro.core.explain import explain_json, explain_text
 from repro.core.extension import Extension
+from repro.obs.profile import Profiler
 from repro.core.optimizer import OptimizedQuery, Optimizer
 from repro.core.rewriter import QueryRewriter
 from repro.engine.catalog import Catalog
@@ -86,27 +87,66 @@ class Database:
 
     def query_with_stats(
         self, source: str, rewrite: Optional[bool] = None,
+        obs=None,
     ) -> tuple[Result, EvalStats, OptimizedQuery]:
         """Run one SELECT, returning work counters and the optimization."""
         stats = EvalStats()
         term = self._translate_single(source)
         use_rewrite = self.rewrite_default if rewrite is None else rewrite
-        optimized = self.optimizer.optimize(term, rewrite=use_rewrite)
+        optimized = self.optimizer.optimize(
+            term, rewrite=use_rewrite, obs=obs
+        )
         result = Evaluator(
             self.catalog, stats=stats, semi_naive=self.semi_naive,
-            hash_joins=self.hash_joins,
+            hash_joins=self.hash_joins, obs=obs,
         ).evaluate(optimized.final)
         return result, stats, optimized
 
     def optimize(self, source: str,
-                 rewrite: bool = True) -> OptimizedQuery:
+                 rewrite: bool = True, obs=None) -> OptimizedQuery:
         """Optimize one SELECT without executing it."""
         return self.optimizer.optimize(
-            self._translate_single(source), rewrite=rewrite
+            self._translate_single(source), rewrite=rewrite, obs=obs
         )
 
-    def explain(self, source: str, verbose: bool = False) -> str:
-        return explain_text(self.optimize(source), verbose=verbose)
+    def explain(self, source: str, verbose: bool = False,
+                profile: bool = False) -> str:
+        """Human-readable EXPLAIN; ``profile=True`` attaches a
+        :class:`~repro.obs.profile.Profiler` and appends its telemetry
+        section (the CLI's ``.profile on`` mode)."""
+        if not profile:
+            return explain_text(self.optimize(source), verbose=verbose)
+        profiler = Profiler()
+        optimized = self.optimize(source, obs=profiler.bus)
+        return explain_text(
+            optimized, verbose=verbose, profile=profiler.report()
+        )
+
+    def explain_json(self, source: str, execute: bool = False,
+                     rewrite: Optional[bool] = None) -> dict:
+        """The machine-readable EXPLAIN report (one schema for the CLI
+        and ``benchmarks/report.py``; see ``docs/observability.md``).
+
+        ``execute=True`` also runs the final plan, embedding the
+        evaluator's work counters (absorbed into the profile metrics as
+        ``eval.*``) and its per-operator events.
+        """
+        profiler = Profiler()
+        use_rewrite = self.rewrite_default if rewrite is None else rewrite
+        optimized = self.optimize(
+            source, rewrite=use_rewrite, obs=profiler.bus
+        )
+        stats = None
+        if execute:
+            stats = EvalStats()
+            Evaluator(
+                self.catalog, stats=stats, semi_naive=self.semi_naive,
+                hash_joins=self.hash_joins, obs=profiler.bus,
+            ).evaluate(optimized.final)
+            profiler.absorb_eval_stats(stats)
+        return explain_json(
+            optimized, profile=profiler, eval_stats=stats
+        )
 
     # -- extensions -------------------------------------------------------------
     def add_integrity_constraint(self, source: str) -> None:

@@ -97,18 +97,24 @@ class Evaluator:
         Fixpoint strategy; False selects naive recomputation (ablation A3).
     max_fix_iterations:
         Safety bound on fixpoint rounds.
+    obs:
+        Optional :class:`~repro.obs.bus.EventBus`; when it has
+        subscribers every evaluated operator emits an ``EvalOp`` event
+        (operator name, rows produced, monotonic duration).
     """
 
     def __init__(self, catalog: Catalog,
                  stats: Optional[EvalStats] = None,
                  semi_naive: bool = True,
                  hash_joins: bool = False,
-                 max_fix_iterations: int = _MAX_DEFAULT_ITERATIONS):
+                 max_fix_iterations: int = _MAX_DEFAULT_ITERATIONS,
+                 obs=None):
         self.catalog = catalog
         self.stats = stats if stats is not None else EvalStats()
         self.semi_naive = semi_naive
         self.hash_joins = hash_joins
         self.max_fix_iterations = max_fix_iterations
+        self.obs = obs
 
     # registry implementations receive the evaluator as their context
     @property
@@ -150,6 +156,21 @@ class Evaluator:
 
     def _eval_rel_inner(self, term: Term, fix_rows: dict,
                         fix_env: dict) -> list[tuple]:
+        bus = self.obs
+        if bus:
+            from time import perf_counter
+            t0 = perf_counter()
+            rows = self._eval_dispatch(term, fix_rows, fix_env)
+            from repro.obs.events import EvalOp
+            operator = (term.name if isinstance(term, Fun)
+                        else "SCAN" if ops.is_relation_name(term)
+                        else type(term).__name__)
+            bus.emit(EvalOp(operator, len(rows), perf_counter() - t0))
+            return rows
+        return self._eval_dispatch(term, fix_rows, fix_env)
+
+    def _eval_dispatch(self, term: Term, fix_rows: dict,
+                       fix_env: dict) -> list[tuple]:
         self.stats.incr("operators_evaluated")
 
         if ops.is_relation_name(term):

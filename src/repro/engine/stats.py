@@ -30,9 +30,18 @@ class EvalStats:
         self.counters[key] += amount
 
     def __getattr__(self, key: str) -> int:
+        # Dunder probes (copy.copy, pickle, inspect) must fail fast and
+        # never touch the counter table.
+        if key.startswith("__") and key.endswith("__"):
+            raise AttributeError(
+                f"EvalStats does not implement {key}"
+            )
         if key in EvalStats.TRACKED:
             return self.counters[key]
-        raise AttributeError(key)
+        raise AttributeError(
+            f"EvalStats has no counter {key!r}; tracked counters are: "
+            f"{', '.join(EvalStats.TRACKED)}"
+        )
 
     def merge(self, other: "EvalStats") -> "EvalStats":
         self.counters.update(other.counters)
@@ -43,6 +52,12 @@ class EvalStats:
 
     def snapshot(self) -> dict:
         return {key: self.counters[key] for key in self.TRACKED}
+
+    def to_metrics(self, registry, prefix: str = "eval.") -> None:
+        """Fold these counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (breaking the
+        historical counter silo)."""
+        registry.absorb_eval_stats(self, prefix)
 
     @property
     def total_work(self) -> int:

@@ -1,0 +1,39 @@
+"""Unified observability: events, spans and metrics for the whole
+rewrite -> evaluate pipeline.
+
+The layer has four pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.events` -- the typed event taxonomy every pipeline
+  component emits (``RuleAttempt``, ``RuleFired``, ``BlockStart/End``,
+  ``PassEnd``, ``MethodCall``, ``ConstraintCheck``, ``EvalOp``, ...);
+* :class:`~repro.obs.bus.EventBus` -- synchronous pub/sub with a
+  null-sink fast path (producers skip event construction entirely when
+  nobody subscribed);
+* :class:`~repro.obs.tracer.Tracer` -- hierarchical monotonic-clock
+  spans (optimize -> block -> rule -> method) with JSON export;
+* :class:`~repro.obs.metrics.MetricsRegistry` -- counters and
+  histograms absorbing the evaluator's ``EvalStats`` and adding the
+  rewrite-side telemetry (per-rule attempts/hits/misses and timing,
+  budget consumed per block, term-size deltas).
+
+:class:`~repro.obs.profile.Profiler` bundles all of the above behind
+one object; ``Database.explain_json`` and the CLI's ``.profile`` mode
+use it, and ``benchmarks/report.py`` ingests the same JSON schema.
+"""
+
+from repro.obs.bus import EventBus, Subscription
+from repro.obs.events import (BlockEnd, BlockStart, ConstraintCheck,
+                              EvalOp, Event, MethodCall, PassEnd,
+                              PhaseEnd, PhaseStart, RuleAttempt,
+                              RuleFired)
+from repro.obs.metrics import CounterMetric, Histogram, MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "EventBus", "Subscription", "Event", "PhaseStart", "PhaseEnd",
+    "BlockStart", "BlockEnd", "PassEnd", "RuleAttempt", "RuleFired",
+    "ConstraintCheck", "MethodCall", "EvalOp",
+    "CounterMetric", "Histogram", "MetricsRegistry",
+    "Span", "Tracer", "Profiler",
+]

@@ -1,0 +1,101 @@
+"""The event bus: the single fan-out point of the observability layer.
+
+Producers hold an optional :class:`EventBus` and test its truthiness
+before *constructing* an event::
+
+    bus = self.obs
+    if bus:                       # False when nobody is listening
+        bus.emit(RuleFired(...))
+
+An unattached bus (or ``None``) therefore costs one attribute read and
+one boolean test on the hot path -- the null-sink fast path the
+benchmarks guard (observability overhead <= 10% with no subscribers).
+
+Subscribers are plain callables; an optional ``kinds`` filter restricts
+delivery to the given event classes.  A failing subscriber is
+unsubscribed after :data:`MAX_SUBSCRIBER_ERRORS` consecutive errors
+rather than poisoning the rewrite, because observability must never
+change query results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Type
+
+from repro.obs.events import Event
+
+__all__ = ["EventBus", "Subscription"]
+
+MAX_SUBSCRIBER_ERRORS = 3
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; call
+    :meth:`cancel` (or ``EventBus.unsubscribe``) to detach."""
+
+    __slots__ = ("bus", "handler", "kinds", "errors")
+
+    def __init__(self, bus: "EventBus", handler: Callable[[Event], None],
+                 kinds: Optional[frozenset]):
+        self.bus = bus
+        self.handler = handler
+        self.kinds = kinds
+        self.errors = 0
+
+    def accepts(self, event: Event) -> bool:
+        return self.kinds is None or type(event) in self.kinds
+
+    def cancel(self) -> None:
+        self.bus._drop(self)
+
+
+class EventBus:
+    """Synchronous pub/sub for pipeline events."""
+
+    __slots__ = ("_subscriptions",)
+
+    def __init__(self):
+        self._subscriptions: list[Subscription] = []
+
+    # -- subscriber management ----------------------------------------------
+    def subscribe(self, handler: Callable[[Event], None],
+                  kinds: Optional[Iterable[Type[Event]]] = None,
+                  ) -> Subscription:
+        """Attach ``handler``; ``kinds`` limits the delivered classes."""
+        sub = Subscription(
+            self, handler, None if kinds is None else frozenset(kinds)
+        )
+        self._subscriptions.append(sub)
+        return sub
+
+    def unsubscribe(self, handler: Callable[[Event], None]) -> None:
+        # equality, not identity: bound methods are recreated per access
+        self._subscriptions = [
+            s for s in self._subscriptions if s.handler != handler
+        ]
+
+    def _drop(self, sub: Subscription) -> None:
+        try:
+            self._subscriptions.remove(sub)
+        except ValueError:
+            pass
+
+    @property
+    def active(self) -> bool:
+        return bool(self._subscriptions)
+
+    def __bool__(self) -> bool:
+        return bool(self._subscriptions)
+
+    # -- emission -------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        for sub in list(self._subscriptions):
+            if not sub.accepts(event):
+                continue
+            try:
+                sub.handler(event)
+                sub.errors = 0
+            except Exception:
+                sub.errors += 1
+                if sub.errors >= MAX_SUBSCRIBER_ERRORS:
+                    self._drop(sub)

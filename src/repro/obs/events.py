@@ -1,0 +1,141 @@
+"""Typed observability events emitted across the rewrite -> evaluate
+pipeline.
+
+Every event is a small frozen dataclass with an ``as_dict()`` export so
+sinks can serialise uniformly.  The taxonomy mirrors the pipeline:
+
+=================  ======================================================
+``PhaseStart``     a pipeline phase opens (optimize, typecheck, rewrite,
+``PhaseEnd``       typecheck_final, evaluate); End carries the duration
+``BlockStart``     a rule block begins / finishes one activation;
+``BlockEnd``       End carries applications, checks, budget consumed
+``PassEnd``        one full pass over the block sequence completed
+``RuleAttempt``    one rule condition was checked at a position
+``RuleFired``      a rule application changed the term
+``ConstraintCheck``a constraint predicate was evaluated
+``MethodCall``     a rule-conclusion method ran (success or failure)
+``EvalOp``         the evaluator finished one algebra operator
+=================  ======================================================
+
+Durations are monotonic-clock seconds (``time.perf_counter`` deltas).
+Producers only construct events when a bus with subscribers is attached
+(the null-sink fast path), so the hot paths stay allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Optional
+
+__all__ = [
+    "Event", "PhaseStart", "PhaseEnd", "BlockStart", "BlockEnd",
+    "PassEnd", "RuleAttempt", "RuleFired", "ConstraintCheck",
+    "MethodCall", "EvalOp",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of every observability event."""
+
+    def as_dict(self) -> dict:
+        out = asdict(self)
+        out["event"] = type(self).__name__
+        return out
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+
+@dataclass(frozen=True)
+class PhaseStart(Event):
+    """A pipeline phase opens (optimize / typecheck / rewrite / ...)."""
+
+    phase: str
+
+
+@dataclass(frozen=True)
+class PhaseEnd(Event):
+    phase: str
+    duration: float = 0.0
+
+
+@dataclass(frozen=True)
+class BlockStart(Event):
+    """One activation of a rule block begins."""
+
+    block: str
+    pass_index: int
+    limit: Optional[int]
+    count: str
+
+
+@dataclass(frozen=True)
+class BlockEnd(Event):
+    block: str
+    pass_index: int
+    applications: int
+    checks: int
+    budget_consumed: int
+    duration: float
+
+
+@dataclass(frozen=True)
+class PassEnd(Event):
+    """One full pass over the block sequence completed."""
+
+    pass_index: int
+    changed: bool
+    duration: float
+
+
+@dataclass(frozen=True)
+class RuleAttempt(Event):
+    """One rule condition check at one term position."""
+
+    block: str
+    rule: str
+    path: tuple
+    matched: bool
+    duration: float
+
+
+@dataclass(frozen=True)
+class RuleFired(Event):
+    """A rule application that changed the term."""
+
+    block: str
+    rule: str
+    path: tuple
+    size_before: int
+    size_after: int
+    duration: float
+
+
+@dataclass(frozen=True)
+class ConstraintCheck(Event):
+    """A constraint predicate was evaluated during a rule attempt."""
+
+    constraint: str
+    outcome: bool
+
+
+@dataclass(frozen=True)
+class MethodCall(Event):
+    """A rule-conclusion method ran; failure means the rule did not
+    fire."""
+
+    name: str
+    arity: int
+    success: bool
+    duration: float
+
+
+@dataclass(frozen=True)
+class EvalOp(Event):
+    """The evaluator finished one algebra operator."""
+
+    operator: str
+    rows_out: int
+    duration: float

@@ -1,0 +1,190 @@
+"""Counters and histograms for the whole pipeline.
+
+The :class:`MetricsRegistry` is the metric silo-breaker the roadmap
+asks for: the evaluator's :class:`~repro.engine.stats.EvalStats`
+counters are *absorbed* under ``eval.*`` while the rewrite side adds
+``rewrite.*`` metrics (per-rule attempts / hits / misses, seconds per
+rule, budget consumed per block, term-size deltas per application), so
+one snapshot describes a query's full trip.
+
+Naming convention (dots separate namespaces; the last segment is the
+measure)::
+
+    rewrite.rule.<name>.attempts      counter
+    rewrite.rule.<name>.hits          counter
+    rewrite.rule.<name>.misses        counter
+    rewrite.rule.<name>.seconds       histogram (per attempt)
+    rewrite.rule.<name>.size_delta    histogram (per application)
+    rewrite.block.<name>.budget_consumed   counter
+    rewrite.block.<name>.seconds      histogram (per activation)
+    rewrite.passes                    counter
+    constraint.checks / constraint.holds   counters
+    method.<name>.calls / .failures   counters
+    method.<name>.seconds             histogram
+    eval.op.<OPERATOR>                counter
+    eval.op.<OPERATOR>.rows           histogram
+    eval.<counter>                    absorbed EvalStats counters
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["CounterMetric", "Histogram", "MetricsRegistry"]
+
+
+class CounterMetric:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"CounterMetric({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming summary statistics plus a bounded sample reservoir."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples",
+                 "_max_samples")
+
+    def __init__(self, name: str, max_samples: int = 256):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: list[float] = []
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self._max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the retained sample prefix."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1,
+                    max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[index]
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"mean={self.mean:.6g})")
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters and histograms."""
+
+    def __init__(self):
+        self._counters: dict[str, CounterMetric] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access ---------------------------------------------------------------
+    def counter(self, name: str) -> CounterMetric:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = CounterMetric(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str) -> int:
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    # -- EvalStats absorption -------------------------------------------------
+    def absorb_eval_stats(self, stats, prefix: str = "eval.") -> None:
+        """Fold an :class:`~repro.engine.stats.EvalStats` snapshot into
+        ``<prefix><counter>`` counters (the silo merge)."""
+        for key, value in stats.snapshot().items():
+            self.inc(prefix + key, value)
+
+    # -- queries --------------------------------------------------------------
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        return {
+            name: metric.value
+            for name, metric in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def group(self, prefix: str) -> dict[str, dict]:
+        """Group ``<prefix><key>.<measure>`` metrics by ``<key>``.
+
+        ``group("rewrite.rule.")`` returns, per rule name, its counters
+        (plain ints) and histograms (summary dicts).
+        """
+        out: dict[str, dict] = {}
+        for name, metric in sorted(self._counters.items()):
+            if not name.startswith(prefix):
+                continue
+            key, __, measure = name[len(prefix):].rpartition(".")
+            if not key:
+                continue
+            out.setdefault(key, {})[measure] = metric.value
+        for name, metric in sorted(self._histograms.items()):
+            if not name.startswith(prefix):
+                continue
+            key, __, measure = name[len(prefix):].rpartition(".")
+            if not key:
+                continue
+            out.setdefault(key, {})[measure] = metric.to_dict()
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every metric."""
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: metric.to_dict()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()

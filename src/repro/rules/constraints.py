@@ -203,6 +203,16 @@ def nonempty_predicate(args: list, binding: dict, ctx) -> bool:
     return True  # a single term is a non-empty match
 
 
+def _constraint_label(constraint: Term) -> str:
+    """Short stable name of a constraint for telemetry (the head
+    symbol, or the constant/kind when there is no application)."""
+    if isinstance(constraint, Fun):
+        return constraint.name
+    if isinstance(constraint, Const):
+        return f"const:{constraint.value}"
+    return type(constraint).__name__
+
+
 class ConstraintEvaluator:
     """Evaluates constraint terms; extensible with new predicates."""
 
@@ -225,9 +235,15 @@ class ConstraintEvaluator:
     def holds(self, constraint: Term, binding: dict, ctx) -> bool:
         """True when ``constraint`` holds under ``binding``."""
         try:
-            return self._eval(constraint, binding, ctx)
+            outcome = self._eval(constraint, binding, ctx)
         except ReproError:
-            return False
+            outcome = False
+        bus = getattr(ctx, "obs", None)
+        if bus:
+            from repro.obs.events import ConstraintCheck
+            bus.emit(ConstraintCheck(_constraint_label(constraint),
+                                     outcome))
+        return outcome
 
     def _eval(self, constraint: Term, binding: dict, ctx) -> bool:
         if isinstance(constraint, Const):

@@ -27,13 +27,17 @@ or "checks") and compared in the A1/A2 ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import ReproError, RewriteError
 from repro.lera import ops
 from repro.lera.schema import Schema, schema_of
+from repro.obs.events import (BlockEnd, BlockStart, PassEnd, RuleAttempt,
+                              RuleFired)
 from repro.rules.rule import RewriteRule, RuleContext
-from repro.terms.term import Const, Fun, Term, is_fun, replace_at
+from repro.terms.term import (Const, Fun, Term, is_fun, replace_at,
+                              term_size)
 
 __all__ = ["Block", "Seq", "RewriteEngine", "RewriteResult", "TraceEntry"]
 
@@ -124,44 +128,65 @@ class Seq:
 
 
 class RewriteEngine:
-    """Runs a :class:`Seq` over a term, producing a rewrite trace."""
+    """Runs a :class:`Seq` over a term, producing a rewrite trace.
+
+    ``obs`` is an optional :class:`~repro.obs.bus.EventBus`.  Every
+    event construction sits behind a truthiness test of the bus (the
+    null-sink fast path), so an engine without subscribers pays only a
+    handful of ``None`` checks per block.
+    """
 
     def __init__(self, seq: Seq, safety_limit: int = _SAFETY_LIMIT,
-                 collect_trace: bool = True):
+                 collect_trace: bool = True, obs=None):
         self.seq = seq
         self.safety_limit = safety_limit
         self.collect_trace = collect_trace
+        self.obs = obs
 
     def rewrite(self, term: Term, ctx: RuleContext) -> RewriteResult:
         result = RewriteResult(term)
         self._schema_cache: dict = {}
-        for __ in range(self.seq.passes):
+        bus = self.obs if self.obs else None
+        for pass_index in range(self.seq.passes):
             changed = False
             result.passes += 1
+            pass_t0 = perf_counter() if bus else 0.0
             for block in self.seq.blocks:
                 before = result.term
-                self._run_block(block, result, ctx)
+                self._run_block(block, result, ctx, bus, pass_index)
                 if result.term != before:
                     changed = True
+            if bus:
+                bus.emit(PassEnd(pass_index, changed,
+                                 perf_counter() - pass_t0))
             if not changed:
                 break
         return result
 
     # -- one block ----------------------------------------------------------
     def _run_block(self, block: Block, result: RewriteResult,
-                   ctx: RuleContext) -> None:
+                   ctx: RuleContext, bus=None, pass_index: int = 0) -> None:
+        if bus:
+            bus.emit(BlockStart(block.name, pass_index, block.limit,
+                                block.count))
+            block_t0 = perf_counter()
+            apps_before, checks_before = result.applications, result.checks
         budget = block.limit
+        exhausted = False
         while budget is None or budget > 0:
-            application = self._find_application(block, result, ctx, budget)
+            application = self._find_application(
+                block, result, ctx, budget, bus
+            )
             if application is None:
-                return
-            path, before, after, rule_name, spent_checks, new_term = \
-                application
+                break
+            path, before, after, rule_name, spent_checks, new_term, \
+                apply_time = application
             if block.count == "checks":
                 if budget is not None:
                     budget -= spent_checks
                     if budget < 0:
-                        return  # the budget ran out mid-scan
+                        exhausted = True
+                        break  # the budget ran out mid-scan
             else:
                 if budget is not None:
                     budget -= 1
@@ -172,15 +197,36 @@ class RewriteEngine:
                 result.trace.append(TraceEntry(
                     block.name, rule_name, path, before, after,
                 ))
+            if bus:
+                bus.emit(RuleFired(
+                    block.name, rule_name, path,
+                    term_size(before), term_size(after), apply_time,
+                ))
             if result.applications > self.safety_limit:
                 raise RewriteError(
                     f"rewrite exceeded the safety limit of "
                     f"{self.safety_limit} applications (a rule set may "
                     f"be non-terminating)"
                 )
+        if bus:
+            if block.limit is None:
+                consumed = (result.applications - apps_before
+                            if block.count == "applications"
+                            else result.checks - checks_before)
+            elif exhausted:
+                consumed = block.limit
+            else:
+                consumed = block.limit - (budget or 0)
+            bus.emit(BlockEnd(
+                block.name, pass_index,
+                result.applications - apps_before,
+                result.checks - checks_before,
+                consumed, perf_counter() - block_t0,
+            ))
 
     def _find_application(self, block: Block, result: RewriteResult,
-                          ctx: RuleContext, budget: Optional[int]):
+                          ctx: RuleContext, budget: Optional[int],
+                          bus=None):
         """First (position, rule) application that changes the term."""
         checks_this_scan = 0
         for path, subterm, schemas, fix_env in _positions(
@@ -199,7 +245,10 @@ class RewriteEngine:
                     constraint_evaluator=ctx.constraint_evaluator,
                     methods=ctx.methods,
                     fix_env=fix_env,
+                    obs=bus,
                 )
+                if bus:
+                    attempt_t0 = perf_counter()
                 application = rule.apply(subterm, local_ctx)
                 if application is not None:
                     after, __ = application
@@ -207,9 +256,26 @@ class RewriteEngine:
                     if new_term == result.term:
                         # a no-op once re-normalised at the parent (AC
                         # deduplication): not an application at all
+                        if bus:
+                            bus.emit(RuleAttempt(
+                                block.name, rule.name, path, False,
+                                perf_counter() - attempt_t0,
+                            ))
                         continue
+                    if bus:
+                        apply_time = perf_counter() - attempt_t0
+                        bus.emit(RuleAttempt(
+                            block.name, rule.name, path, True, apply_time,
+                        ))
+                    else:
+                        apply_time = 0.0
                     return (path, subterm, after, rule.name,
-                            checks_this_scan, new_term)
+                            checks_this_scan, new_term, apply_time)
+                if bus:
+                    bus.emit(RuleAttempt(
+                        block.name, rule.name, path, False,
+                        perf_counter() - attempt_t0,
+                    ))
         return None
 
 

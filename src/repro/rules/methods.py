@@ -63,6 +63,20 @@ class MethodRegistry:
             instantiate_spliceable(a, binding, strict=False)
             for a in call.args
         ]
+        bus = getattr(ctx, "obs", None)
+        if bus:
+            from time import perf_counter
+
+            from repro.obs.events import MethodCall
+            t0 = perf_counter()
+            try:
+                outputs = impl(inst, call.args, binding, ctx)
+            except ReproError:
+                outputs = None
+            bus.emit(MethodCall(call.name, len(call.args),
+                                outputs is not None,
+                                perf_counter() - t0))
+            return outputs
         try:
             return impl(inst, call.args, binding, ctx)
         except ReproError:

@@ -45,6 +45,8 @@ class RuleContext:
     ``schemas`` carries the input schemas of the enclosing operator when
     the rule is being tried inside a qualification or projection list
     (set by the rewrite engine during traversal); it is None elsewhere.
+    ``obs`` is the engine's event bus (or None): constraint and method
+    evaluation emit ``ConstraintCheck`` / ``MethodCall`` events on it.
     """
 
     catalog: object = None
@@ -52,6 +54,7 @@ class RuleContext:
     constraint_evaluator: Optional[ConstraintEvaluator] = None
     methods: Optional[MethodRegistry] = None
     fix_env: dict = field(default_factory=dict)
+    obs: object = None
 
     def evaluator(self) -> ConstraintEvaluator:
         if self.constraint_evaluator is None:

@@ -1,0 +1,142 @@
+"""The machine-readable EXPLAIN report: structure, schema validation,
+and the benchmark-harness ingestion path."""
+
+import json
+
+import pytest
+
+from repro import Database
+from repro.core.explain import (EXPLAIN_SCHEMA_VERSION, explain_json,
+                                validate_explain)
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("""
+    TABLE SALE (Shop : NUMERIC, Amount : NUMERIC);
+    CREATE VIEW BIG (Shop, Amount) AS
+      SELECT Shop, Amount FROM SALE WHERE Amount > 10;
+    CREATE VIEW HUGE (Shop, Amount) AS
+      SELECT Shop, Amount FROM BIG WHERE Amount > 20
+    """)
+    d.execute("INSERT INTO SALE VALUES (1, 5), (1, 15), (2, 25), (2, 40)")
+    return d
+
+
+QUERY = "SELECT Amount FROM HUGE WHERE Shop = 1"
+
+
+class TestStructure:
+    def test_validates_against_schema(self, db):
+        report = db.explain_json(QUERY)
+        assert validate_explain(report) == []
+        assert report["schema_version"] == EXPLAIN_SCHEMA_VERSION
+
+    def test_json_serialisable(self, db):
+        json.dumps(db.explain_json(QUERY, execute=True))
+
+    def test_plans_shrink_under_merging(self, db):
+        report = db.explain_json(QUERY)
+        assert report["plans"]["after"]["nodes"] < \
+            report["plans"]["before"]["nodes"]
+        assert "SEARCH" in report["plans"]["after"]["text"]
+
+    def test_rewrite_section_consistent(self, db):
+        report = db.explain_json(QUERY)
+        rewrite = report["rewrite"]
+        assert rewrite["applications"] == len(rewrite["trace"])
+        assert rewrite["checks"] >= rewrite["applications"]
+        assert rewrite["summary"]["merge"]["search_merge"] == 2
+
+    def test_saturating_rewrite_telemetry(self, db):
+        """The acceptance shape: per-rule attempts >= hits, block
+        budget consumption reported, span durations non-negative."""
+        report = db.explain_json(QUERY)
+        profile = report["profile"]
+        assert profile is not None
+        for name, row in profile["rules"].items():
+            assert row.get("attempts", 0) >= row.get("hits", 0), name
+        assert profile["blocks"]["merge"]["budget_consumed"] >= 2
+        def spans(nodes):
+            for node in nodes:
+                yield node
+                yield from spans(node["children"])
+        all_spans = list(spans(profile["spans"]))
+        assert all_spans
+        assert all(s["duration"] >= 0.0 for s in all_spans)
+
+    def test_execute_embeds_eval_counters(self, db):
+        report = db.explain_json(QUERY, execute=True)
+        assert report["eval"]["tuples_scanned"] > 0
+        counters = report["profile"]["metrics"]["counters"]
+        assert counters["eval.tuples_scanned"] == \
+            report["eval"]["tuples_scanned"]
+        assert any(k.startswith("eval.op.") for k in counters)
+
+    def test_without_execute_eval_is_null(self, db):
+        report = db.explain_json(QUERY)
+        assert report["eval"] is None
+        assert validate_explain(report) == []
+
+    def test_rewrite_off(self, db):
+        report = db.explain_json(QUERY, rewrite=False)
+        assert report["rewrite"]["applications"] == 0
+        assert report["rewrite"]["trace"] == []
+        assert validate_explain(report) == []
+
+
+class TestValidator:
+    def test_flags_missing_sections(self):
+        assert validate_explain({}) != []
+
+    def test_flags_negative_duration(self, db):
+        report = db.explain_json(QUERY)
+        report["profile"]["spans"][0]["duration"] = -1.0
+        assert any("duration" in p for p in validate_explain(report))
+
+    def test_flags_attempts_below_hits(self, db):
+        report = db.explain_json(QUERY)
+        report["profile"]["rules"]["search_merge"]["attempts"] = 0
+        assert any("attempts < hits" in p
+                   for p in validate_explain(report))
+
+    def test_flags_negative_eval_counter(self, db):
+        report = db.explain_json(QUERY, execute=True)
+        report["eval"]["tuples_scanned"] = -3
+        assert any("eval.tuples_scanned" in p
+                   for p in validate_explain(report))
+
+
+class TestBenchmarkIngestion:
+    def test_report_section_runs(self, capsys):
+        """benchmarks/report.py consumes the same JSON schema."""
+        from benchmarks.report import obs_telemetry
+        obs_telemetry()
+        out = capsys.readouterr().out
+        assert "violations: none" in out
+        assert "| search_merge |" in out
+        assert "| merge |" in out
+        assert "| tuples_scanned |" in out
+
+
+class TestExplainText:
+    def test_no_rules_fired_message(self, db):
+        text = db.explain("SELECT Shop FROM SALE")
+        assert "(no rules fired)" in text
+        assert "0 rule application(s)" not in text
+        assert not text.endswith("\n")
+
+    def test_applications_path_unchanged(self, db):
+        text = db.explain(QUERY)
+        assert "rule application(s)" in text
+        assert "(no rules fired)" not in text
+
+    def test_profile_section(self, db):
+        text = db.explain(QUERY, profile=True)
+        assert "== profile ==" in text
+        assert "per-rule" in text
+        assert "phase:optimize" in text
+
+    def test_no_profile_section_by_default(self, db):
+        assert "== profile ==" not in db.explain(QUERY)

@@ -30,6 +30,89 @@ class TestSummary:
         assert optimized.rewrite_result.summary() == {}
 
 
+class TestTraceEntryAndSummary:
+    """Direct coverage of the trace surfaces (satellite: summary()
+    ordering and TraceEntry.__str__ formatting)."""
+
+    @staticmethod
+    def entry(block, rule, path=(0, 1)):
+        from repro.rules.control import TraceEntry
+        from repro.terms.parser import parse_term
+        return TraceEntry(block, rule, tuple(path),
+                          parse_term("GE(7, 2)"),
+                          parse_term("true"))
+
+    def test_str_contains_block_rule_path_and_terms(self):
+        entry = self.entry("simplify", "ge_fold")
+        text = str(entry)
+        assert text.startswith("[simplify/ge_fold] at [0, 1]: ")
+        assert "  ==>  " in text
+        before, after = text.split("  ==>  ")
+        assert "GE" in before
+        assert after == repr(entry.after)
+
+    def test_str_root_path_renders_empty_list(self):
+        assert " at []: " in str(self.entry("merge", "search_merge", ()))
+
+    def test_multi_block_summary_groups_and_counts(self):
+        from repro.rules.control import RewriteResult
+        entries = [
+            self.entry("merge", "search_merge"),
+            self.entry("simplify", "and_false"),
+            self.entry("merge", "search_merge"),
+            self.entry("simplify", "and_true"),
+            self.entry("merge", "filter_merge"),
+        ]
+        result = RewriteResult(entries[0].after, trace=entries)
+        summary = result.summary()
+        assert summary == {
+            "merge": {"search_merge": 2, "filter_merge": 1},
+            "simplify": {"and_false": 1, "and_true": 1},
+        }
+        # insertion order follows first appearance in the trace
+        assert list(summary) == ["merge", "simplify"]
+        assert list(summary["merge"]) == ["search_merge", "filter_merge"]
+
+    def test_rules_fired_preserves_trace_order(self):
+        from repro.rules.control import RewriteResult
+        entries = [
+            self.entry("merge", "b_rule"),
+            self.entry("merge", "a_rule"),
+            self.entry("prune", "b_rule"),
+        ]
+        result = RewriteResult(entries[0].after, trace=entries)
+        assert result.rules_fired() == ["b_rule", "a_rule", "b_rule"]
+
+    def test_checks_vs_applications_accounting(self, db):
+        """checks counts every condition check; applications only the
+        term changes -- checks must dominate and match the trace."""
+        optimized = db.optimize("SELECT Amount FROM HUGE WHERE Shop = 1")
+        result = optimized.rewrite_result
+        assert result.applications == len(result.trace)
+        assert result.checks >= result.applications
+        assert sum(
+            count for rules in result.summary().values()
+            for count in rules.values()
+        ) == result.applications
+
+    def test_checks_budget_stops_before_application(self):
+        """A checks-mode block whose budget dies mid-scan must record
+        the checks but no application."""
+        from repro.rules.control import Block, RewriteEngine, Seq
+        from repro.rules.rule import RuleContext, rule_from_text
+        from repro.terms.parser import parse_term
+
+        rule = rule_from_text("collapse: DUP(DUP(x)) --> DUP(x)")
+        seq = Seq([Block("tight", [rule], limit=1, count="checks")])
+        # the root is DUP-rooted (check 1, misses); the nested
+        # DUP(DUP(1)) would only be reached at check 2 -- over budget
+        term = parse_term("DUP(OTHER(DUP(DUP(1))))")
+        result = RewriteEngine(seq).rewrite(term, RuleContext())
+        assert result.applications == 0
+        assert result.checks == 2
+        assert result.term == term
+
+
 class TestStatsSurface:
     def test_unknown_counter_attribute_raises(self):
         from repro.engine.stats import EvalStats

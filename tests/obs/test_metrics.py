@@ -1,0 +1,128 @@
+"""MetricsRegistry: counters, histograms, grouping, EvalStats
+absorption."""
+
+from repro.engine.stats import EvalStats
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_get_or_create_and_inc(self):
+        registry = MetricsRegistry()
+        registry.inc("rewrite.passes")
+        registry.inc("rewrite.passes", 2)
+        assert registry.value("rewrite.passes") == 3
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().value("nope") == 0
+
+    def test_prefix_query(self):
+        registry = MetricsRegistry()
+        registry.inc("rewrite.rule.a.hits")
+        registry.inc("rewrite.rule.b.hits", 4)
+        registry.inc("eval.op.SEARCH")
+        assert registry.counters_with_prefix("rewrite.rule.") == {
+            "rewrite.rule.a.hits": 1,
+            "rewrite.rule.b.hits": 4,
+        }
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        hist = Histogram("t")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.total == 16.0
+        assert hist.mean == 4.0
+        assert hist.min == 1.0
+        assert hist.max == 10.0
+
+    def test_percentiles_from_samples(self):
+        hist = Histogram("t")
+        for v in range(101):
+            hist.observe(float(v))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(95) == 95.0
+
+    def test_empty_histogram_is_safe(self):
+        hist = Histogram("t")
+        data = hist.to_dict()
+        assert data["count"] == 0
+        assert data["mean"] == 0.0
+        assert hist.percentile(99) == 0.0
+
+    def test_reservoir_bounded(self):
+        hist = Histogram("t", max_samples=8)
+        for v in range(100):
+            hist.observe(v)
+        assert hist.count == 100
+        assert len(hist._samples) == 8
+
+
+class TestGrouping:
+    def test_group_by_key(self):
+        registry = MetricsRegistry()
+        registry.inc("rewrite.rule.search_merge.attempts", 5)
+        registry.inc("rewrite.rule.search_merge.hits", 2)
+        registry.observe("rewrite.rule.search_merge.seconds", 0.25)
+        registry.inc("rewrite.rule.and_true.attempts", 1)
+        grouped = registry.group("rewrite.rule.")
+        assert grouped["search_merge"]["attempts"] == 5
+        assert grouped["search_merge"]["hits"] == 2
+        assert grouped["search_merge"]["seconds"]["count"] == 1
+        assert grouped["and_true"] == {"attempts": 1}
+
+    def test_snapshot_is_json_ready(self):
+        import json
+        registry = MetricsRegistry()
+        registry.inc("a.b")
+        registry.observe("c.d", 1.5)
+        json.dumps(registry.snapshot())
+
+
+class TestEvalStatsAbsorption:
+    def test_absorb_under_prefix(self):
+        stats = EvalStats()
+        stats.incr("tuples_scanned", 7)
+        stats.incr("join_pairs", 3)
+        registry = MetricsRegistry()
+        registry.absorb_eval_stats(stats)
+        assert registry.value("eval.tuples_scanned") == 7
+        assert registry.value("eval.join_pairs") == 3
+        # every tracked counter lands, even zero-valued ones
+        assert "eval.fix_iterations" in registry.snapshot()["counters"]
+
+    def test_stats_side_bridge(self):
+        stats = EvalStats()
+        stats.incr("tuples_output", 2)
+        registry = MetricsRegistry()
+        stats.to_metrics(registry, prefix="exec.")
+        assert registry.value("exec.tuples_output") == 2
+
+
+class TestEvalStatsSurface:
+    def test_dunder_lookup_raises_with_message(self):
+        stats = EvalStats()
+        try:
+            stats.__deepcopy__
+        except AttributeError as error:
+            assert "__deepcopy__" in str(error)
+        else:
+            raise AssertionError("expected AttributeError")
+
+    def test_copy_and_deepcopy_work(self):
+        import copy
+        stats = EvalStats()
+        stats.incr("tuples_scanned", 5)
+        assert copy.copy(stats).tuples_scanned == 5
+        assert copy.deepcopy(stats).tuples_scanned == 5
+
+    def test_unknown_counter_message_lists_tracked(self):
+        stats = EvalStats()
+        try:
+            stats.bogus
+        except AttributeError as error:
+            assert "bogus" in str(error)
+            assert "tuples_scanned" in str(error)
+        else:
+            raise AssertionError("expected AttributeError")

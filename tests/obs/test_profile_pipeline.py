@@ -1,0 +1,167 @@
+"""End-to-end observability: a profiled optimize -> evaluate run emits
+a consistent event stream, metrics and span tree."""
+
+import pytest
+
+from repro import Database
+from repro.engine.evaluate import Evaluator
+from repro.engine.stats import EvalStats
+from repro.obs import events as ev
+from repro.obs.bus import EventBus
+from repro.obs.profile import Profiler
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("""
+    TABLE SALE (Shop : NUMERIC, Amount : NUMERIC);
+    CREATE VIEW BIG (Shop, Amount) AS
+      SELECT Shop, Amount FROM SALE WHERE Amount > 10;
+    CREATE VIEW HUGE (Shop, Amount) AS
+      SELECT Shop, Amount FROM BIG WHERE Amount > 20
+    """)
+    d.execute("INSERT INTO SALE VALUES (1, 5), (1, 15), (2, 25), (2, 40)")
+    return d
+
+
+QUERY = "SELECT Amount FROM HUGE WHERE Shop = 1"
+
+
+class TestEventStream:
+    def test_taxonomy_covered(self, db):
+        seen = []
+        bus = EventBus()
+        bus.subscribe(seen.append)
+        optimized = db.optimize(QUERY, obs=bus)
+        Evaluator(db.catalog, obs=bus).evaluate(optimized.final)
+        kinds = {type(e).__name__ for e in seen}
+        assert {"PhaseStart", "PhaseEnd", "BlockStart", "BlockEnd",
+                "PassEnd", "RuleAttempt", "RuleFired", "MethodCall",
+                "ConstraintCheck", "EvalOp"} <= kinds
+
+    def test_attempts_match_engine_checks(self, db):
+        seen = []
+        bus = EventBus()
+        bus.subscribe(seen.append, kinds=[ev.RuleAttempt])
+        optimized = db.optimize(QUERY, obs=bus)
+        assert len(seen) == optimized.rewrite_result.checks
+
+    def test_fired_match_trace(self, db):
+        seen = []
+        bus = EventBus()
+        bus.subscribe(seen.append, kinds=[ev.RuleFired])
+        optimized = db.optimize(QUERY, obs=bus)
+        assert [e.rule for e in seen] == \
+            optimized.rewrite_result.rules_fired()
+
+    def test_results_identical_with_and_without_obs(self, db):
+        bus = EventBus()
+        bus.subscribe(lambda e: None)
+        profiled = db.optimize(QUERY, obs=bus)
+        plain = db.optimize(QUERY)
+        assert profiled.final == plain.final
+        assert (profiled.rewrite_result.checks
+                == plain.rewrite_result.checks)
+
+
+class TestProfilerMetrics:
+    def test_attempts_at_least_hits_at_least_fired(self, db):
+        profiler = Profiler()
+        db.optimize(QUERY, obs=profiler.bus)
+        rules = profiler.rule_table()
+        assert rules, "a saturating rewrite must attempt rules"
+        for name, row in rules.items():
+            attempts = row.get("attempts", 0)
+            hits = row.get("hits", 0)
+            assert attempts >= hits >= row.get("fired", 0), name
+            assert attempts == hits + row.get("misses", 0), name
+
+    def test_merge_rule_counted(self, db):
+        profiler = Profiler()
+        db.optimize(QUERY, obs=profiler.bus)
+        merge = profiler.rule_table()["search_merge"]
+        assert merge["fired"] == 2
+        assert merge["hits"] >= 2
+        # merging strictly shrinks the stacked-view plan
+        assert merge["size_delta"]["max"] < 0
+
+    def test_block_budget_consumed(self, db):
+        profiler = Profiler()
+        db.optimize(QUERY, obs=profiler.bus)
+        blocks = profiler.block_table()
+        assert blocks["merge"]["applications"] == 2
+        assert blocks["merge"]["budget_consumed"] >= 2
+        assert blocks["merge"]["checks"] >= 2
+
+    def test_passes_counted(self, db):
+        profiler = Profiler()
+        optimized = db.optimize(QUERY, obs=profiler.bus)
+        assert (profiler.metrics.value("rewrite.passes")
+                == optimized.rewrite_result.passes)
+
+    def test_constraint_and_method_metrics(self, db):
+        profiler = Profiler()
+        db.optimize(QUERY, obs=profiler.bus)
+        assert profiler.metrics.value("constraint.checks") > 0
+        methods = profiler.method_table()
+        assert any(name.startswith("SUBSTITUTE/") for name in methods)
+
+    def test_span_durations_non_negative(self, db):
+        profiler = Profiler()
+        db.optimize(QUERY, obs=profiler.bus)
+        for root in profiler.tracer.span_tree():
+            for span in root.walk():
+                assert span.duration >= 0.0
+
+    def test_span_hierarchy(self, db):
+        profiler = Profiler()
+        db.optimize(QUERY, obs=profiler.bus)
+        (optimize,) = profiler.tracer.span_tree()
+        assert optimize.name == "optimize"
+        names = [c.name for c in optimize.children if c.kind == "phase"]
+        assert names == ["typecheck", "rewrite", "typecheck_final"]
+
+    def test_eval_ops_and_stats_absorption(self, db):
+        profiler = Profiler()
+        optimized = db.optimize(QUERY, obs=profiler.bus)
+        stats = EvalStats()
+        Evaluator(db.catalog, stats=stats, obs=profiler.bus).evaluate(
+            optimized.final
+        )
+        profiler.absorb_eval_stats(stats)
+        assert profiler.metrics.value("eval.op.SEARCH") >= 1
+        assert (profiler.metrics.value("eval.tuples_scanned")
+                == stats.tuples_scanned)
+
+    def test_report_shape(self, db):
+        profiler = Profiler()
+        db.optimize(QUERY, obs=profiler.bus)
+        report = profiler.report()
+        assert set(report) == {"rules", "blocks", "methods", "passes",
+                               "constraints", "spans", "metrics"}
+        import json
+        json.dumps(report)
+
+
+class TestChecksBudgetTelemetry:
+    def test_checks_mode_budget_consumption(self):
+        """In checks mode the BlockEnd budget reflects condition checks,
+        the paper's stricter accounting."""
+        from repro.rules.control import Block, RewriteEngine, Seq
+        from repro.rules.rule import RuleContext, rule_from_text
+        from repro.terms.parser import parse_term
+
+        rule = rule_from_text("collapse: DUP(DUP(x)) --> DUP(x)")
+        seq = Seq([Block("only", [rule], limit=100, count="checks")])
+        ends = []
+        bus = EventBus()
+        bus.subscribe(ends.append, kinds=[ev.BlockEnd])
+        engine = RewriteEngine(seq, obs=bus)
+        result = engine.rewrite(
+            parse_term("DUP(DUP(DUP(1)))"), RuleContext()
+        )
+        assert result.applications == 2
+        (end,) = ends
+        assert end.checks == result.checks
+        assert 0 < end.budget_consumed <= 100
