@@ -1,0 +1,86 @@
+"""R1 -- resilience overhead: sandboxing and divergence tracking.
+
+The resilience layer is strictly opt-in: with no policy installed the
+engine takes the exact same code paths as before (no history, no
+try/except around rule application, no budget checks).  These
+benchmarks pin that contract down -- the "off" and "policy on" numbers
+should be within noise of each other on a realistic rewrite workload,
+and the sandboxed run with a hostile rule quantifies what surviving a
+buggy extension costs.
+"""
+
+import pytest
+
+from repro.core.rewriter import QueryRewriter
+from repro.lera.typecheck import typecheck
+from repro.resilience import ResiliencePolicy
+
+from benchmarks.bench_control import stacked_db, QUERY
+from tests.resilience.chaos import AlwaysRaisingRule
+
+
+@pytest.fixture(scope="module")
+def db():
+    return stacked_db()
+
+
+def typed_query(db):
+    from repro.esql.parser import parse_statement
+    term = db.translator.execute(parse_statement(QUERY))
+    typed, __ = typecheck(term, db.catalog)
+    return typed
+
+
+def test_baseline_no_policy(benchmark, db):
+    """The control: resilience entirely absent (None policy)."""
+    typed = typed_query(db)
+    rewriter = QueryRewriter(db.catalog)
+    result = benchmark(rewriter.rewrite, typed)
+    assert result.applications > 0
+    assert result.resilience is None
+
+
+def test_policy_enabled(benchmark, db):
+    """Sandbox + divergence history on a healthy rule set.  Should sit
+    within noise of the baseline: the history costs one hash per
+    application, the sandbox one try/except per candidate."""
+    typed = typed_query(db)
+    rewriter = QueryRewriter(db.catalog)
+    policy = ResiliencePolicy()
+    result = benchmark(rewriter.rewrite, typed, resilience=policy)
+    assert result.applications > 0
+    assert result.resilience.rule_failures == []
+
+
+def test_policy_without_divergence_tracking(benchmark, db):
+    """Sandbox only: isolates the per-application history cost."""
+    typed = typed_query(db)
+    rewriter = QueryRewriter(db.catalog)
+    policy = ResiliencePolicy(detect_divergence=False)
+    result = benchmark(rewriter.rewrite, typed, resilience=policy)
+    assert result.applications > 0
+
+
+def test_sandboxed_hostile_rule(benchmark, db):
+    """A quarantined always-raising rule in the pipeline: the price of
+    surviving a buggy extension (one failure, then skip checks)."""
+    typed = typed_query(db)
+
+    def run():
+        rewriter = QueryRewriter(db.catalog)
+        rewriter.add_rule(AlwaysRaisingRule(), "simplify")
+        return rewriter.rewrite(typed, resilience=ResiliencePolicy())
+
+    result = benchmark(run)
+    assert result.resilience.quarantined == ["bomb"]
+    assert result.applications > 0
+
+
+def test_work_budget_accounting(benchmark, db):
+    """A generous budget that never triggers: measures the cost of the
+    cooperative exhaustion checks alone."""
+    typed = typed_query(db)
+    rewriter = QueryRewriter(db.catalog)
+    policy = ResiliencePolicy(max_applications=10_000)
+    result = benchmark(rewriter.rewrite, typed, resilience=policy)
+    assert result.degraded is False

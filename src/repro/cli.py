@@ -14,6 +14,11 @@ Statements end with ``;``.  Dot-commands:
 ``.schema``        list relations, views and their columns
 ``.rules``         show the generated optimizer's rule inventory
 ``.rewrite on``    toggle rewriting (also ``off``)
+``.checked on``    toggle checked mode (also ``off``): every rewrite
+                   block is validated against a sampled database and
+                   rolled back when its results diverge
+``.deadline N``    give every rewrite a deadline of N milliseconds
+                   (best-so-far plans past it; ``off`` clears)
 ``.profile on``    toggle profiling (also ``off``): ``.explain`` and
                    ``.stats`` then include per-rule/per-block telemetry
 ``.stats <q>``     run a query and print the evaluator work counters
@@ -53,7 +58,11 @@ class Shell:
         """Consume one input line; return the outputs it produced."""
         stripped = line.strip()
         if not self._buffer and stripped.startswith("."):
-            return self._dot_command(stripped)
+            try:
+                return self._dot_command(stripped)
+            except ReproError as error:
+                # one failing command must not kill the shell
+                return [f"error: {error}"]
         self._buffer.append(line)
         if not stripped.endswith(";"):
             return []
@@ -100,6 +109,29 @@ class Shell:
                 return [f"rewriting {'on' if self.rewrite else 'off'}"]
             return [f"rewriting is "
                     f"{'on' if self.rewrite else 'off'}"]
+        if command == ".checked":
+            if argument.lower() in ("on", "off"):
+                self.db.checked = argument.lower() == "on"
+                return [f"checked mode "
+                        f"{'on' if self.db.checked else 'off'}"]
+            return [f"checked mode is "
+                    f"{'on' if self.db.checked else 'off'}"]
+        if command == ".deadline":
+            if argument.lower() in ("off", "none"):
+                self.db.deadline_ms = None
+                return ["deadline off"]
+            if argument:
+                try:
+                    value = float(argument)
+                except ValueError:
+                    return ["usage: .deadline <milliseconds>|off"]
+                if value <= 0:
+                    return ["usage: .deadline <milliseconds>|off"]
+                self.db.deadline_ms = value
+                return [f"deadline {value:g} ms"]
+            if self.db.deadline_ms is None:
+                return ["no deadline"]
+            return [f"deadline is {self.db.deadline_ms:g} ms"]
         if command == ".profile":
             if argument.lower() in ("on", "off"):
                 self.profile = argument.lower() == "on"
@@ -171,6 +203,12 @@ class Shell:
                 ", ".join(f"{k}={v}"
                           for k, v in stats.snapshot().items()),
             ]
+            if optimized.degraded:
+                lines.append(
+                    f"degraded: best-so-far plan "
+                    f"({optimized.rewrite_result.degraded_reason} "
+                    f"exhausted)"
+                )
             if profiler is not None:
                 profiler.absorb_eval_stats(stats)
                 for rule, row in sorted(profiler.rule_table().items()):
@@ -196,8 +234,12 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     if argv:
         with open(argv[0]) as handle:
-            for output in shell.run(handle):
-                print(output)
+            try:
+                for output in shell.run(handle):
+                    print(output)
+            except ReproError as error:
+                print(f"error: {error}")
+                return 1
         return 0
 
     print(_BANNER)
@@ -213,6 +255,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                     print(output)
             except SystemExit:
                 break
+            except ReproError as error:
+                # last-resort guard: a failing statement prints one
+                # diagnostic line and the REPL stays alive
+                print(f"error: {error}")
     except KeyboardInterrupt:
         pass
     return 0

@@ -6,17 +6,30 @@ shared by the CLI, ``Database.explain_json`` and
 ``benchmarks/report.py`` -- one schema for interactive EXPLAIN and
 benchmark ingestion (documented in ``docs/observability.md``).
 
-Top-level JSON shape (``schema_version`` 1)::
+Top-level JSON shape (``schema_version`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "plans":   {"before": {"text", "nodes"}, "after": {"text", "nodes"}},
-      "rewrite": {"applications", "checks", "passes",
+      "rewrite": {"applications", "checks", "passes", "degraded",
                   "trace": [{"block","rule","path","before","after"}],
                   "summary": {block: {rule: count}}},
+      "resilience": {"degraded", "degraded_reason",
+                     "rule_failures": [{"block","rule","path",
+                                        "error","message"}],
+                     "quarantined": [rule],
+                     "divergence": [{"block","kind","rules",
+                                     "cycle_length","detail"}],
+                     "checked": {"validations", "errors",
+                                 "rollbacks": [{"block","detail",
+                                   "applications_discarded"}]}} or null,
       "profile": <Profiler.report() or null>,
       "eval":    <EvalStats.snapshot() or null>
     }
+
+``resilience`` is null when the optimizer ran without a resilience
+policy (version 2's only structural addition over version 1, besides
+``rewrite.degraded``; see ``docs/robustness.md``).
 
 ``validate_explain`` is the schema's executable documentation: it
 returns the list of violations (empty means valid) and is used by the
@@ -35,7 +48,7 @@ from repro.terms.term import term_size
 __all__ = ["explain_text", "explain_json", "validate_explain",
            "EXPLAIN_SCHEMA_VERSION"]
 
-EXPLAIN_SCHEMA_VERSION = 1
+EXPLAIN_SCHEMA_VERSION = 2
 
 
 def explain_text(optimized: OptimizedQuery, verbose: bool = False,
@@ -78,9 +91,55 @@ def explain_text(optimized: OptimizedQuery, verbose: bool = False,
                 f"{rule} x{count}" for rule, count in sorted(rules.items())
             )
             lines.append(f"  {block}: {fired}")
+    resilience = optimized.rewrite_result.resilience
+    if resilience is not None:
+        lines.extend(_resilience_section(resilience))
     if profile is not None:
         lines.extend(_profile_section(profile))
     return "\n".join(lines)
+
+
+def _resilience_section(report) -> list[str]:
+    """Render a ResilienceReport when anything noteworthy happened."""
+    data = report.as_dict()
+    interesting = (
+        data["degraded"] or data["rule_failures"] or data["divergence"]
+        or data["checked"]["rollbacks"] or data["checked"]["validations"]
+    )
+    if not interesting:
+        return []
+    lines = ["", "== resilience =="]
+    if data["degraded"]:
+        lines.append(
+            f"  degraded: best-so-far plan "
+            f"({data['degraded_reason']} exhausted)"
+        )
+    for failure in data["rule_failures"]:
+        lines.append(
+            f"  rule failure: {failure['rule']} in {failure['block']} "
+            f"({failure['error']}: {failure['message']})"
+        )
+    if data["quarantined"]:
+        lines.append(
+            "  quarantined: " + ", ".join(data["quarantined"])
+        )
+    for item in data["divergence"]:
+        lines.append(
+            f"  divergence: {item['kind']} in {item['block']} "
+            f"by {', '.join(item['rules'])}"
+        )
+    checked = data["checked"]
+    if checked["validations"]:
+        lines.append(
+            f"  checked: {checked['validations']} validation(s), "
+            f"{len(checked['rollbacks'])} rollback(s)"
+        )
+        for rollback in checked["rollbacks"]:
+            lines.append(
+                f"    rolled back {rollback['block']}: "
+                f"{rollback['detail']}"
+            )
+    return lines
 
 
 def _profile_section(profile: dict) -> list[str]:
@@ -163,6 +222,7 @@ def explain_json(optimized: OptimizedQuery,
             "applications": result.applications,
             "checks": result.checks,
             "passes": result.passes,
+            "degraded": result.degraded,
             "trace": [
                 {
                     "block": entry.block,
@@ -175,6 +235,8 @@ def explain_json(optimized: OptimizedQuery,
             ],
             "summary": result.summary(),
         },
+        "resilience": (result.resilience.as_dict()
+                       if result.resilience is not None else None),
         "profile": profile,
         "eval": eval_stats.snapshot() if eval_stats is not None else None,
     }
@@ -215,12 +277,33 @@ def validate_explain(report: dict) -> list[str]:
             value = need(rewrite, key, int, "rewrite")
             if value is not None and value < 0:
                 problems.append(f"rewrite.{key}: negative")
+        need(rewrite, "degraded", bool, "rewrite")
         trace = need(rewrite, "trace", list, "rewrite")
         need(rewrite, "summary", dict, "rewrite")
         if trace is not None:
             for i, entry in enumerate(trace):
                 for key in ("block", "rule", "path", "before", "after"):
                     need(entry, key, None, f"rewrite.trace[{i}]")
+    if "resilience" not in report:
+        problems.append("report: missing key 'resilience'")
+    elif report["resilience"] is not None:
+        resilience = report["resilience"]
+        need(resilience, "degraded", bool, "resilience")
+        for key in ("rule_failures", "quarantined", "divergence"):
+            need(resilience, key, list, "resilience")
+        for i, failure in enumerate(resilience.get("rule_failures", [])):
+            for key in ("block", "rule", "error", "message"):
+                need(failure, key, None, f"resilience.rule_failures[{i}]")
+        for i, report_ in enumerate(resilience.get("divergence", [])):
+            for key in ("block", "kind", "rules", "cycle_length"):
+                need(report_, key, None, f"resilience.divergence[{i}]")
+        checked = need(resilience, "checked", dict, "resilience")
+        if checked is not None:
+            for key in ("validations", "errors"):
+                value = need(checked, key, int, "resilience.checked")
+                if value is not None and value < 0:
+                    problems.append(f"resilience.checked.{key}: negative")
+            need(checked, "rollbacks", list, "resilience.checked")
     if "profile" not in report:
         problems.append("report: missing key 'profile'")
     elif report["profile"] is not None:

@@ -43,6 +43,18 @@ class OptimizedQuery:
     def applications(self) -> int:
         return self.rewrite_result.applications
 
+    @property
+    def degraded(self) -> bool:
+        """True when a deadline / work budget expired mid-rewrite and
+        ``final`` is the best plan found so far, not a fixpoint."""
+        return self.rewrite_result.degraded
+
+    @property
+    def resilience(self):
+        """The :class:`~repro.resilience.ResilienceReport` of the
+        rewrite, or None when no resilience policy was active."""
+        return self.rewrite_result.resilience
+
 
 class Optimizer:
     """Type checking + rewriting against one catalog.
@@ -61,16 +73,31 @@ class Optimizer:
         self.dynamic_limits = dynamic_limits
 
     def optimize(self, term: Term, rewrite: bool = True,
-                 obs=None) -> OptimizedQuery:
+                 obs=None, deadline_ms: Optional[float] = None,
+                 max_applications: Optional[int] = None,
+                 checked: bool = False,
+                 resilience=None) -> OptimizedQuery:
         """Run the pipeline; ``obs`` (an event bus) sees ``PhaseStart``
-        / ``PhaseEnd`` around each stage plus the engine's own events."""
+        / ``PhaseEnd`` around each stage plus the engine's own events.
+
+        ``deadline_ms`` / ``max_applications`` bound the rewrite
+        cooperatively: on exhaustion the best-so-far term is kept and
+        the result is flagged ``degraded=True`` instead of raising.
+        ``checked=True`` enables differential validation of each block
+        against a sampled database.  ``resilience`` supplies a full
+        :class:`~repro.resilience.ResiliencePolicy` directly (the
+        other three arguments are conveniences that build one).
+        """
+        policy = self._resilience_policy(
+            resilience, deadline_ms, max_applications, checked,
+        )
         bus = obs if obs else None
         if bus is None:
             typed, __ = typecheck(term, self.catalog)
             if rewrite and self.dynamic_limits:
-                result = self._rewrite_dynamic(typed)
+                result = self._rewrite_dynamic(typed, resilience=policy)
             elif rewrite:
-                result = self.rewriter.rewrite(typed)
+                result = self.rewriter.rewrite(typed, resilience=policy)
             else:
                 result = RewriteResult(typed)
             final, schema = typecheck(result.term, self.catalog)
@@ -87,9 +114,11 @@ class Optimizer:
             bus.emit(PhaseStart("rewrite"))
             t0 = perf_counter()
             if rewrite and self.dynamic_limits:
-                result = self._rewrite_dynamic(typed, bus)
+                result = self._rewrite_dynamic(typed, bus,
+                                               resilience=policy)
             elif rewrite:
-                result = self.rewriter.rewrite(typed, obs=bus)
+                result = self.rewriter.rewrite(typed, obs=bus,
+                                               resilience=policy)
             else:
                 result = RewriteResult(typed)
             bus.emit(PhaseEnd("rewrite", perf_counter() - t0))
@@ -107,7 +136,25 @@ class Optimizer:
             rewrite_result=result,
         )
 
-    def _rewrite_dynamic(self, typed: Term, obs=None) -> RewriteResult:
+    def _resilience_policy(self, resilience, deadline_ms,
+                           max_applications, checked):
+        """Resolve the optimize() convenience arguments to a policy."""
+        if resilience is not None:
+            return resilience
+        if deadline_ms is None and max_applications is None \
+                and not checked:
+            return None
+        from repro.resilience import (ResiliencePolicy,
+                                      make_checked_validator)
+        return ResiliencePolicy(
+            deadline_ms=deadline_ms,
+            max_applications=max_applications,
+            validator=(make_checked_validator(self.catalog)
+                       if checked else None),
+        )
+
+    def _rewrite_dynamic(self, typed: Term, obs=None,
+                         resilience=None) -> RewriteResult:
         from repro.core.complexity import allocate_limits, assess
         from repro.rules.control import RewriteEngine, Seq
 
@@ -121,6 +168,7 @@ class Optimizer:
         ]
         seq = Seq(blocks, passes=allocation["passes"])
         engine = RewriteEngine(
-            seq, collect_trace=self.rewriter.collect_trace, obs=obs
+            seq, collect_trace=self.rewriter.collect_trace, obs=obs,
+            resilience=resilience,
         )
         return engine.rewrite(typed, self.rewriter.context())

@@ -118,15 +118,21 @@ class QueryRewriter:
             methods=self.methods,
         )
 
-    def rewrite(self, term: Term, obs=None) -> RewriteResult:
+    def rewrite(self, term: Term, obs=None,
+                resilience=None) -> RewriteResult:
         """Rewrite a LERA term through the configured sequence.
 
         ``obs`` is an optional :class:`~repro.obs.bus.EventBus`; the
         engine emits block/pass/rule events on it (and constraint and
         method evaluation emit theirs through the rule context).
+        ``resilience`` is an optional
+        :class:`~repro.resilience.ResiliencePolicy`: sandboxing,
+        deadlines, divergence detection and checked mode (see
+        ``docs/robustness.md``).
         """
         engine = RewriteEngine(
-            self.seq, collect_trace=self.collect_trace, obs=obs
+            self.seq, collect_trace=self.collect_trace, obs=obs,
+            resilience=resilience,
         )
         return engine.rewrite(term, self.context())
 

@@ -41,7 +41,10 @@ class Database:
                  semantic_limit: Optional[int] = DEFAULT_SEMANTIC_LIMIT,
                  semi_naive: bool = True,
                  hash_joins: bool = False,
-                 dynamic_limits: bool = False):
+                 dynamic_limits: bool = False,
+                 checked: bool = False,
+                 deadline_ms: Optional[float] = None,
+                 resilient: bool = False):
         self.catalog = Catalog()
         self.translator = Translator(self.catalog)
         self.rewrite_default = rewrite
@@ -49,6 +52,12 @@ class Database:
         self.semi_naive = semi_naive
         self.hash_joins = hash_joins
         self.dynamic_limits = dynamic_limits
+        # resilience defaults, applied to every optimize (all three are
+        # re-read per query, so the CLI's .checked / .deadline toggles
+        # take effect immediately); see docs/robustness.md
+        self.checked = checked
+        self.deadline_ms = deadline_ms
+        self.resilient = resilient
         self._optimizer: Optional[Optimizer] = None
 
     # -- optimizer lifecycle ---------------------------------------------------
@@ -94,7 +103,8 @@ class Database:
         term = self._translate_single(source)
         use_rewrite = self.rewrite_default if rewrite is None else rewrite
         optimized = self.optimizer.optimize(
-            term, rewrite=use_rewrite, obs=obs
+            term, rewrite=use_rewrite, obs=obs,
+            **self._resilience_kwargs(),
         )
         result = Evaluator(
             self.catalog, stats=stats, semi_naive=self.semi_naive,
@@ -103,10 +113,22 @@ class Database:
         return result, stats, optimized
 
     def optimize(self, source: str,
-                 rewrite: bool = True, obs=None) -> OptimizedQuery:
-        """Optimize one SELECT without executing it."""
+                 rewrite: bool = True, obs=None,
+                 deadline_ms: Optional[float] = None,
+                 checked: Optional[bool] = None) -> OptimizedQuery:
+        """Optimize one SELECT without executing it.
+
+        ``deadline_ms`` / ``checked`` override the database-wide
+        resilience defaults for this one call.
+        """
+        kwargs = self._resilience_kwargs()
+        if deadline_ms is not None:
+            kwargs["deadline_ms"] = deadline_ms
+        if checked is not None:
+            kwargs["checked"] = checked
         return self.optimizer.optimize(
-            self._translate_single(source), rewrite=rewrite, obs=obs
+            self._translate_single(source), rewrite=rewrite, obs=obs,
+            **kwargs,
         )
 
     def explain(self, source: str, verbose: bool = False,
@@ -188,10 +210,25 @@ class Database:
         use_rewrite = self.rewrite_default if rewrite is None else rewrite
         return self._run(term, use_rewrite, stats)[0]
 
+    def _resilience_kwargs(self) -> dict:
+        """The database-wide resilience defaults for optimize().
+
+        ``resilient=True`` activates rule sandboxing and divergence
+        detection even when no deadline or checked mode is configured
+        (those two imply a policy of their own, with sandboxing on).
+        """
+        if self.resilient and self.deadline_ms is None \
+                and not self.checked:
+            from repro.resilience import ResiliencePolicy
+            return {"resilience": ResiliencePolicy()}
+        return {"deadline_ms": self.deadline_ms, "checked": self.checked}
+
     def _run(self, term: Term, rewrite: bool,
              stats: Optional[EvalStats] = None,
              ) -> tuple[Result, OptimizedQuery]:
-        optimized = self.optimizer.optimize(term, rewrite=rewrite)
+        optimized = self.optimizer.optimize(
+            term, rewrite=rewrite, **self._resilience_kwargs()
+        )
         evaluator = Evaluator(
             self.catalog, stats=stats, semi_naive=self.semi_naive,
             hash_joins=self.hash_joins,

@@ -15,6 +15,11 @@ sinks can serialise uniformly.  The taxonomy mirrors the pipeline:
 ``ConstraintCheck``a constraint predicate was evaluated
 ``MethodCall``     a rule-conclusion method ran (success or failure)
 ``EvalOp``         the evaluator finished one algebra operator
+``RuleFailed``     a sandboxed rule raised while being applied
+``RuleQuarantined``a failing rule crossed its failure threshold
+``Degraded``       a deadline / work budget expired; best-so-far kept
+``DivergenceDetected`` a block halted on oscillation or growth
+``CheckedRollback``checked mode rejected (rolled back) a block
 =================  ======================================================
 
 Durations are monotonic-clock seconds (``time.perf_counter`` deltas).
@@ -30,7 +35,8 @@ from typing import Optional
 __all__ = [
     "Event", "PhaseStart", "PhaseEnd", "BlockStart", "BlockEnd",
     "PassEnd", "RuleAttempt", "RuleFired", "ConstraintCheck",
-    "MethodCall", "EvalOp",
+    "MethodCall", "EvalOp", "RuleFailed", "RuleQuarantined",
+    "Degraded", "DivergenceDetected", "CheckedRollback",
 ]
 
 
@@ -139,3 +145,53 @@ class EvalOp(Event):
     operator: str
     rows_out: int
     duration: float
+
+
+@dataclass(frozen=True)
+class RuleFailed(Event):
+    """A sandboxed rule raised during application; the rewrite went on."""
+
+    block: str
+    rule: str
+    path: tuple
+    error: str
+    count: int
+
+
+@dataclass(frozen=True)
+class RuleQuarantined(Event):
+    """A rule crossed its failure threshold and is skipped from now on."""
+
+    block: str
+    rule: str
+    failures: int
+
+
+@dataclass(frozen=True)
+class Degraded(Event):
+    """A deadline or work budget expired; the best-so-far term is
+    returned with ``degraded=True`` instead of raising."""
+
+    reason: str
+    applications: int
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class DivergenceDetected(Event):
+    """A block halted on an oscillation cycle or unbounded growth."""
+
+    block: str
+    kind: str
+    rules: tuple
+    cycle_length: int
+
+
+@dataclass(frozen=True)
+class CheckedRollback(Event):
+    """Checked mode rejected a block whose results diverged on the
+    sampled database; the block was rolled back."""
+
+    block: str
+    detail: str
+    applications_discarded: int

@@ -66,6 +66,20 @@ class Profiler:
             m.observe("eval.op.seconds", event.duration)
         elif isinstance(event, ev.PhaseEnd):
             m.observe(f"phase.{event.phase}.seconds", event.duration)
+        elif isinstance(event, ev.RuleFailed):
+            m.inc("resilience.rule_failures")
+            m.inc(f"rewrite.rule.{event.rule}.failures")
+        elif isinstance(event, ev.RuleQuarantined):
+            m.inc("resilience.quarantined")
+        elif isinstance(event, ev.Degraded):
+            m.inc("resilience.degraded")
+            m.observe("resilience.degraded.elapsed", event.elapsed)
+        elif isinstance(event, ev.DivergenceDetected):
+            m.inc("resilience.divergence")
+            m.inc(f"rewrite.block.{event.block}.divergence")
+        elif isinstance(event, ev.CheckedRollback):
+            m.inc("resilience.rollbacks")
+            m.inc(f"rewrite.block.{event.block}.rollbacks")
 
     # -- convenience ----------------------------------------------------------
     def absorb_eval_stats(self, stats) -> None:

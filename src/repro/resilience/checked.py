@@ -1,0 +1,112 @@
+"""Checked mode: differential validation of rewrite steps.
+
+Recent work on verifying rewrite rules (HoTTSQL; "An Extensible and
+Verifiable Language for Query Rewrite Rules") proves rules equivalent
+once, statically.  This module is the runtime counterpart an
+extensible system can always fall back on: after each block the
+pre- and post-rewrite LERA terms are executed against a small
+*sampled* copy of the database and their results compared as bags.  A
+block whose results diverge is rejected (rolled back) by the engine.
+
+Sampling keeps validation cheap -- the sampled catalog shares the type
+system, function registry and object store with the live one but holds
+at most ``sample_rows`` tuples per base relation, so even checked-mode
+evaluation touches a bounded amount of data.  Sampling also makes the
+check *sound but incomplete* in exactly one direction: a rejection is
+always a genuine divergence on the sample, while agreement on the
+sample cannot prove equivalence.  That is the right polarity for a
+safety net: it never rolls back a correct rewrite it can refute, and
+false *acceptances* merely fall back to the unchecked behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.engine.catalog import Catalog
+from repro.terms.term import Term
+
+__all__ = ["CheckedValidator", "sampled_catalog"]
+
+
+def sampled_catalog(catalog: Catalog, sample_rows: int = 16) -> Catalog:
+    """A shallow copy of ``catalog`` with at most ``sample_rows`` rows
+    per base relation (views and ADTs are shared by reference)."""
+    clone = Catalog(
+        type_system=catalog.type_system,
+        registry=catalog.registry,
+        objects=catalog.objects,
+    )
+    for name in catalog.relation_names():
+        rel = catalog.table(name)
+        key_names = [rel.schema.names[p - 1] for p in rel.key]
+        new_rel = clone.define_table(name, list(rel.schema), key_names)
+        # the source rows are already coerced; a slice of unique-keyed
+        # rows stays unique-keyed, so bypass per-row insertion
+        new_rel.rows = list(rel.rows[:sample_rows])
+        new_rel.rebuild_key_index()
+    for name in catalog.view_names():
+        clone.define_view(catalog.view(name))
+    return clone
+
+
+class CheckedValidator:
+    """Compare pre/post-rewrite results on a sampled database.
+
+    Instances are callables matching the
+    :class:`~repro.resilience.policy.ResiliencePolicy` ``validator``
+    contract: return None when the two terms agree on the sample (or
+    the comparison result is a genuine tie), or a one-line divergence
+    description when they provably differ.  Evaluation errors
+    propagate -- the engine's runtime counts them and fails open,
+    because a term mid-rewrite may not be executable yet (semantic
+    rules introduce user-syntax expressions that only the final
+    type-checking pass normalises).
+    """
+
+    def __init__(self, catalog: Catalog, sample_rows: int = 16):
+        self.catalog = sampled_catalog(catalog, sample_rows)
+        self.validations = 0
+
+    def __call__(self, before: Term, after: Term) -> Optional[str]:
+        self.validations += 1
+        rows_before = self._run(before)
+        rows_after = self._run(after)
+        if _bag(rows_before) == _bag(rows_after):
+            return None
+        missing = _bag_difference(rows_before, rows_after)
+        extra = _bag_difference(rows_after, rows_before)
+        parts = [
+            f"results diverge on the sampled database "
+            f"({len(rows_before)} row(s) before, "
+            f"{len(rows_after)} after)"
+        ]
+        if missing:
+            parts.append(f"lost {_preview(missing)}")
+        if extra:
+            parts.append(f"gained {_preview(extra)}")
+        return "; ".join(parts)
+
+    def _run(self, term: Term) -> list[tuple]:
+        from repro.engine.evaluate import Evaluator
+        from repro.lera.typecheck import typecheck
+        final, __ = typecheck(term, self.catalog)
+        return Evaluator(self.catalog).evaluate(final).rows
+
+
+def _bag(rows: list[tuple]) -> Counter:
+    try:
+        return Counter(rows)
+    except TypeError:  # a row holds an unhashable value
+        return Counter(repr(row) for row in rows)
+
+
+def _bag_difference(left: list[tuple], right: list[tuple]) -> list:
+    return list((_bag(left) - _bag(right)).elements())
+
+
+def _preview(rows: list, limit: int = 3) -> str:
+    shown = ", ".join(repr(r) for r in rows[:limit])
+    more = f", ... ({len(rows) - limit} more)" if len(rows) > limit else ""
+    return f"{shown}{more}"

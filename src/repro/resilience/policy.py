@@ -1,0 +1,318 @@
+"""Resilience policy and the per-rewrite runtime state.
+
+:class:`ResiliencePolicy` is the immutable configuration attached to a
+:class:`~repro.rules.control.RewriteEngine`; one
+:class:`ResilienceRuntime` is created per ``rewrite()`` call and holds
+the mutable state (failure counts, the quarantine set, the deadline,
+the aggregated :class:`ResilienceReport`).
+
+The module deliberately depends only on ``repro.terms`` and
+``repro.obs`` so the rule engine can import it without touching the
+execution engine; the checked-mode validator (which must evaluate
+terms) lives in :mod:`repro.resilience.checked` and reaches the engine
+as an opaque callable on the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Optional
+
+from repro.obs.events import (CheckedRollback, Degraded, DivergenceDetected,
+                              RuleFailed, RuleQuarantined)
+from repro.terms.printer import term_to_str
+from repro.terms.term import Term, term_size
+
+__all__ = [
+    "ResiliencePolicy", "ResilienceRuntime", "ResilienceReport",
+    "RuleFailure", "DivergenceReport", "CheckedRollbackRecord",
+    "TermHistory", "term_snippet",
+]
+
+_SNIPPET_LIMIT = 160
+
+
+def term_snippet(term: Term, limit: int = _SNIPPET_LIMIT) -> str:
+    """A bounded printer snapshot, safe to embed in messages/reports."""
+    try:
+        text = term_to_str(term)
+    except Exception:  # printing must never be the second failure
+        text = repr(term)
+    if len(text) > limit:
+        text = text[:limit - 3] + "..."
+    return text
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """What the engine is allowed to tolerate and how hard it may work.
+
+    Attributes
+    ----------
+    deadline_ms:
+        Wall-clock budget for one rewrite; checked cooperatively
+        before each block and before each application search.  On
+        expiry the engine stops and returns the best-so-far term with
+        ``degraded=True``.
+    max_applications:
+        Global cap on rule applications across all blocks and passes
+        (distinct from per-block limits); exhaustion degrades rather
+        than raises.
+    sandbox:
+        Quarantine rules whose application raises instead of aborting
+        the rewrite.
+    failure_threshold:
+        Failures of one rule before it is quarantined for the rest of
+        the rewrite (1 quarantines on first failure).
+    detect_divergence:
+        Track per-block term history and halt a block on oscillation
+        or unbounded growth.
+    growth_factor / growth_slack:
+        A block halts with a ``growth`` report when the term exceeds
+        ``initial_size * growth_factor + growth_slack`` nodes.
+    validator:
+        Checked mode: a callable ``(before, after) -> Optional[str]``
+        run after every block that changed the term.  A non-None
+        return is a divergence description and rolls the block back.
+        See :func:`repro.resilience.make_checked_validator`.
+    """
+
+    deadline_ms: Optional[float] = None
+    max_applications: Optional[int] = None
+    sandbox: bool = True
+    failure_threshold: int = 3
+    detect_divergence: bool = True
+    growth_factor: float = 8.0
+    growth_slack: int = 64
+    validator: Optional[Callable[[Term, Term], Optional[str]]] = None
+
+
+@dataclass(frozen=True)
+class RuleFailure:
+    """One exception raised while applying a rule (sandboxed)."""
+
+    block: str
+    rule: str
+    path: tuple
+    error: str
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "block": self.block, "rule": self.rule,
+            "path": list(self.path), "error": self.error,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """A halted block: an oscillation cycle or unbounded growth."""
+
+    block: str
+    kind: str  # "oscillation" | "growth"
+    rules: tuple
+    cycle_length: int
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {
+            "block": self.block, "kind": self.kind,
+            "rules": list(self.rules),
+            "cycle_length": self.cycle_length,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class CheckedRollbackRecord:
+    """A block rejected by the checked-mode validator."""
+
+    block: str
+    detail: str
+    applications_discarded: int
+
+    def as_dict(self) -> dict:
+        return {
+            "block": self.block, "detail": self.detail,
+            "applications_discarded": self.applications_discarded,
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """Everything the resilience layer did during one rewrite.
+
+    Embedded (via :meth:`as_dict`) as the ``resilience`` section of the
+    EXPLAIN JSON report, schema version 2.
+    """
+
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    rule_failures: list[RuleFailure] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+    divergence: list[DivergenceReport] = field(default_factory=list)
+    checked_validations: int = 0
+    checked_errors: int = 0
+    rollbacks: list[CheckedRollbackRecord] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "rule_failures": [f.as_dict() for f in self.rule_failures],
+            "quarantined": list(self.quarantined),
+            "divergence": [d.as_dict() for d in self.divergence],
+            "checked": {
+                "validations": self.checked_validations,
+                "errors": self.checked_errors,
+                "rollbacks": [r.as_dict() for r in self.rollbacks],
+            },
+        }
+
+
+class TermHistory:
+    """Hash-based term history of one block activation.
+
+    Detects (a) oscillation -- the block revisits a term it already
+    produced, e.g. the classic A -> B -> A commutation pair -- and (b)
+    unbounded growth past ``initial * factor + slack`` nodes.  Hash
+    buckets are verified by structural equality, so a hash collision
+    cannot produce a false cycle.
+    """
+
+    def __init__(self, initial: Term, growth_factor: float = 8.0,
+                 growth_slack: int = 64):
+        self.initial_size = term_size(initial)
+        self.limit = self.initial_size * growth_factor + growth_slack
+        self._buckets: dict[int, list[int]] = {hash(initial): [0]}
+        self._terms: list[Term] = [initial]
+        self._rules: list[str] = []
+
+    def record(self, term: Term, rule: str) -> Optional[tuple]:
+        """Record one application; return ``(kind, rules, cycle_length,
+        detail)`` when the block must halt, else None."""
+        self._rules.append(rule)
+        size = term_size(term)
+        if size > self.limit:
+            tail = _unique(self._rules[-8:])
+            return (
+                "growth", tuple(tail), 0,
+                f"term grew to {size} nodes (started at "
+                f"{self.initial_size}, limit {int(self.limit)})",
+            )
+        bucket = self._buckets.setdefault(hash(term), [])
+        for index in bucket:
+            if self._terms[index] == term:
+                cycle_rules = _unique(self._rules[index:])
+                length = len(self._rules) - index
+                return (
+                    "oscillation", tuple(cycle_rules), length,
+                    f"term repeated after {length} application(s): "
+                    f"{term_snippet(term)}",
+                )
+        bucket.append(len(self._terms))
+        self._terms.append(term)
+        return None
+
+
+def _unique(names) -> list[str]:
+    seen: set = set()
+    out = []
+    for name in names:
+        if name not in seen:
+            seen.add(name)
+            out.append(name)
+    return out
+
+
+class ResilienceRuntime:
+    """Mutable per-rewrite state: deadline, quarantine, the report."""
+
+    def __init__(self, policy: ResiliencePolicy):
+        self.policy = policy
+        self.report = ResilienceReport()
+        self.quarantined: set[str] = set()
+        self._failures: dict[str, int] = {}
+        self._started = perf_counter()
+        self.deadline = (
+            self._started + policy.deadline_ms / 1000.0
+            if policy.deadline_ms is not None else None
+        )
+
+    # -- budgets -------------------------------------------------------------
+    def exhausted(self, applications: int) -> Optional[str]:
+        """The degradation reason when a budget ran out, else None."""
+        if self.deadline is not None and perf_counter() >= self.deadline:
+            return "deadline"
+        if self.policy.max_applications is not None and \
+                applications >= self.policy.max_applications:
+            return "max_applications"
+        return None
+
+    def degrade(self, reason: str, applications: int, bus=None) -> None:
+        if self.report.degraded:
+            return
+        self.report.degraded = True
+        self.report.degraded_reason = reason
+        if bus:
+            bus.emit(Degraded(reason, applications,
+                              perf_counter() - self._started))
+
+    # -- sandboxing ----------------------------------------------------------
+    def record_failure(self, block: str, rule: str, path: tuple,
+                       error: BaseException, bus=None) -> None:
+        count = self._failures.get(rule, 0) + 1
+        self._failures[rule] = count
+        self.report.rule_failures.append(RuleFailure(
+            block, rule, path, type(error).__name__, str(error),
+        ))
+        if bus:
+            bus.emit(RuleFailed(block, rule, path,
+                                type(error).__name__, count))
+        if count >= self.policy.failure_threshold and \
+                rule not in self.quarantined:
+            self.quarantined.add(rule)
+            self.report.quarantined.append(rule)
+            if bus:
+                bus.emit(RuleQuarantined(block, rule, count))
+
+    # -- divergence ----------------------------------------------------------
+    def history_for(self, term: Term) -> Optional[TermHistory]:
+        if not self.policy.detect_divergence:
+            return None
+        return TermHistory(term, self.policy.growth_factor,
+                           self.policy.growth_slack)
+
+    def record_divergence(self, block: str, verdict: tuple,
+                          bus=None) -> DivergenceReport:
+        kind, rules, length, detail = verdict
+        report = DivergenceReport(block, kind, rules, length, detail)
+        self.report.divergence.append(report)
+        if bus:
+            bus.emit(DivergenceDetected(block, kind, rules, length))
+        return report
+
+    # -- checked mode --------------------------------------------------------
+    def validate_block(self, block: str, before: Term, after: Term,
+                       applications: int, bus=None) -> bool:
+        """Run the checked-mode validator; True means keep the block."""
+        validator = self.policy.validator
+        if validator is None:
+            return True
+        self.report.checked_validations += 1
+        try:
+            problem = validator(before, after)
+        except Exception as error:  # a broken validator must fail open
+            self.report.checked_errors += 1
+            problem = None
+            _ = error
+        if problem is None:
+            return True
+        self.report.rollbacks.append(CheckedRollbackRecord(
+            block, problem, applications,
+        ))
+        if bus:
+            bus.emit(CheckedRollback(block, problem, applications))
+        return False

@@ -35,6 +35,8 @@ from repro.lera import ops
 from repro.lera.schema import Schema, schema_of
 from repro.obs.events import (BlockEnd, BlockStart, PassEnd, RuleAttempt,
                               RuleFired)
+from repro.resilience.policy import (ResiliencePolicy, ResilienceRuntime,
+                                     term_snippet)
 from repro.rules.rule import RewriteRule, RuleContext
 from repro.terms.term import (Const, Fun, Term, is_fun, replace_at,
                               term_size)
@@ -61,13 +63,24 @@ class TraceEntry:
 
 @dataclass
 class RewriteResult:
-    """The outcome of running a rewrite program."""
+    """The outcome of running a rewrite program.
+
+    ``degraded`` is True when a deadline or a global work budget
+    expired before saturation: ``term`` is then the best term found so
+    far, not a fixpoint (the graceful-degradation contract of
+    ``docs/robustness.md``).  ``resilience`` carries the
+    :class:`~repro.resilience.policy.ResilienceReport` when the engine
+    ran with a resilience policy, else None.
+    """
 
     term: Term
     trace: list[TraceEntry] = field(default_factory=list)
     applications: int = 0
     checks: int = 0
     passes: int = 0
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    resilience: object = None
 
     def rules_fired(self) -> list[str]:
         return [entry.rule for entry in self.trace]
@@ -137,35 +150,64 @@ class RewriteEngine:
     """
 
     def __init__(self, seq: Seq, safety_limit: int = _SAFETY_LIMIT,
-                 collect_trace: bool = True, obs=None):
+                 collect_trace: bool = True, obs=None,
+                 resilience: Optional[ResiliencePolicy] = None):
         self.seq = seq
         self.safety_limit = safety_limit
         self.collect_trace = collect_trace
         self.obs = obs
+        self.resilience = resilience
 
     def rewrite(self, term: Term, ctx: RuleContext) -> RewriteResult:
         result = RewriteResult(term)
         self._schema_cache: dict = {}
         bus = self.obs if self.obs else None
+        runtime = (ResilienceRuntime(self.resilience)
+                   if self.resilience is not None else None)
         for pass_index in range(self.seq.passes):
             changed = False
             result.passes += 1
             pass_t0 = perf_counter() if bus else 0.0
             for block in self.seq.blocks:
+                if runtime:
+                    reason = runtime.exhausted(result.applications)
+                    if reason is not None:
+                        runtime.degrade(reason, result.applications, bus)
+                        break
                 before = result.term
-                self._run_block(block, result, ctx, bus, pass_index)
+                trace_mark = len(result.trace)
+                apps_mark = result.applications
+                self._run_block(block, result, ctx, bus, pass_index,
+                                runtime)
+                if runtime and result.term != before and \
+                        not runtime.validate_block(
+                            block.name, before, result.term,
+                            result.applications - apps_mark, bus):
+                    # checked mode refuted this block: roll it back
+                    result.term = before
+                    del result.trace[trace_mark:]
+                    result.applications = apps_mark
+                    self._schema_cache.clear()
+                    continue
                 if result.term != before:
                     changed = True
             if bus:
                 bus.emit(PassEnd(pass_index, changed,
                                  perf_counter() - pass_t0))
+            if runtime and runtime.report.degraded:
+                break
             if not changed:
                 break
+        if runtime:
+            result.resilience = runtime.report
+            result.degraded = runtime.report.degraded
+            result.degraded_reason = runtime.report.degraded_reason
         return result
 
     # -- one block ----------------------------------------------------------
     def _run_block(self, block: Block, result: RewriteResult,
-                   ctx: RuleContext, bus=None, pass_index: int = 0) -> None:
+                   ctx: RuleContext, bus=None, pass_index: int = 0,
+                   runtime: Optional[ResilienceRuntime] = None) -> None:
         if bus:
             bus.emit(BlockStart(block.name, pass_index, block.limit,
                                 block.count))
@@ -173,9 +215,15 @@ class RewriteEngine:
             apps_before, checks_before = result.applications, result.checks
         budget = block.limit
         exhausted = False
+        history = runtime.history_for(result.term) if runtime else None
         while budget is None or budget > 0:
+            if runtime:
+                reason = runtime.exhausted(result.applications)
+                if reason is not None:
+                    runtime.degrade(reason, result.applications, bus)
+                    break
             application = self._find_application(
-                block, result, ctx, budget, bus
+                block, result, ctx, budget, bus, runtime
             )
             if application is None:
                 break
@@ -206,8 +254,16 @@ class RewriteEngine:
                 raise RewriteError(
                     f"rewrite exceeded the safety limit of "
                     f"{self.safety_limit} applications (a rule set may "
-                    f"be non-terminating)"
+                    f"be non-terminating); last fired rule "
+                    f"{rule_name!r} in block {block.name!r} at "
+                    f"{list(path)}; current term: "
+                    f"{term_snippet(result.term)}"
                 )
+            if history is not None:
+                verdict = history.record(result.term, rule_name)
+                if verdict is not None:
+                    runtime.record_divergence(block.name, verdict, bus)
+                    break
         if bus:
             if block.limit is None:
                 consumed = (result.applications - apps_before
@@ -226,12 +282,17 @@ class RewriteEngine:
 
     def _find_application(self, block: Block, result: RewriteResult,
                           ctx: RuleContext, budget: Optional[int],
-                          bus=None):
+                          bus=None,
+                          runtime: Optional[ResilienceRuntime] = None):
         """First (position, rule) application that changes the term."""
         checks_this_scan = 0
+        sandbox = runtime is not None and runtime.policy.sandbox
+        quarantined = runtime.quarantined if runtime else ()
         for path, subterm, schemas, fix_env in _positions(
                 result.term, ctx, self._schema_cache):
             for rule in block.rules:
+                if quarantined and rule.name in quarantined:
+                    continue
                 if not rule.quick_applicable(subterm):
                     continue
                 checks_this_scan += 1
@@ -249,7 +310,23 @@ class RewriteEngine:
                 )
                 if bus:
                     attempt_t0 = perf_counter()
-                application = rule.apply(subterm, local_ctx)
+                if sandbox:
+                    try:
+                        application = rule.apply(subterm, local_ctx)
+                    except Exception as error:
+                        # one bad rule must not take down the rewrite:
+                        # record, maybe quarantine, and keep scanning
+                        runtime.record_failure(
+                            block.name, rule.name, path, error, bus,
+                        )
+                        if bus:
+                            bus.emit(RuleAttempt(
+                                block.name, rule.name, path, False,
+                                perf_counter() - attempt_t0,
+                            ))
+                        continue
+                else:
+                    application = rule.apply(subterm, local_ctx)
                 if application is not None:
                     after, __ = application
                     new_term = replace_at(result.term, path, after)

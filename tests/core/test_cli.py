@@ -149,3 +149,53 @@ class TestEngineCommand:
         run(shell, ".engine hash")
         out = run(shell, "SELECT Dst FROM EDGE WHERE Src = 1;")
         assert "(1 row)" in out[0]
+
+
+class TestResilienceCommands:
+    def test_checked_toggle(self, shell):
+        assert run(shell, ".checked") == ["checked mode is off"]
+        assert run(shell, ".checked on") == ["checked mode on"]
+        assert shell.db.checked is True
+        assert run(shell, ".checked off") == ["checked mode off"]
+        assert shell.db.checked is False
+
+    def test_checked_queries_still_answer(self, shell):
+        run(shell, ".checked on")
+        out = run(shell, "SELECT Dst FROM EDGE WHERE Src = 1;")
+        assert "(1 row)" in out[0]
+
+    def test_deadline_set_show_clear(self, shell):
+        assert run(shell, ".deadline") == ["no deadline"]
+        assert run(shell, ".deadline 5") == ["deadline 5 ms"]
+        assert shell.db.deadline_ms == 5.0
+        assert run(shell, ".deadline") == ["deadline is 5 ms"]
+        assert run(shell, ".deadline off") == ["deadline off"]
+        assert shell.db.deadline_ms is None
+
+    def test_deadline_rejects_garbage(self, shell):
+        (out,) = run(shell, ".deadline soon")
+        assert out.startswith("usage:")
+        (out,) = run(shell, ".deadline -3")
+        assert out.startswith("usage:")
+        assert shell.db.deadline_ms is None
+
+    def test_stats_reports_degradation(self, shell):
+        run(shell, ".deadline 1e-9")
+        out = run(shell, ".stats SELECT Dst FROM EDGE WHERE Src = 1")
+        assert any("degraded: best-so-far plan" in line for line in out)
+        # degraded, not broken: the result table is still there
+        assert "(1 row)" in out[0]
+
+
+class TestShellSurvivesErrors:
+    def test_dot_command_repro_error_is_reported(self, shell):
+        from repro.errors import ReproError
+
+        def explode():
+            raise ReproError("inventory exploded")
+
+        shell.db.optimizer.rewriter.rule_inventory = explode
+        (out,) = run(shell, ".rules")
+        assert out == "error: inventory exploded"
+        # the shell is still usable afterwards
+        assert any("table EDGE" in line for line in run(shell, ".schema"))

@@ -1,0 +1,107 @@
+"""Checked mode: differential validation against a sampled database."""
+
+from repro.resilience import ResiliencePolicy, make_checked_validator
+from repro.resilience.checked import CheckedValidator, sampled_catalog
+
+from tests.resilience.chaos import (bad_comparison_rule, sale_db,
+                                    SALE_QUERY)
+
+
+class TestSampledCatalog:
+    def test_rows_bounded_and_shared_schema(self):
+        db = sale_db()
+        sample = sampled_catalog(db.catalog, sample_rows=2)
+        assert len(sample.rows("SALE")) == 2
+        assert sample.relation_schema("SALE").names == \
+            db.catalog.relation_schema("SALE").names
+        # the live catalog is untouched
+        assert len(db.catalog.rows("SALE")) == 4
+
+    def test_views_carried_over(self):
+        db = sale_db()
+        sample = sampled_catalog(db.catalog)
+        assert sample.is_view("BIG")
+
+
+class TestValidator:
+    def test_equivalent_terms_pass(self):
+        db = sale_db()
+        validator = CheckedValidator(db.catalog)
+        term = db.optimize(SALE_QUERY, rewrite=False).typed
+        rewritten = db.optimize(SALE_QUERY).final
+        assert validator(term, rewritten) is None
+
+    def test_divergent_terms_refuted(self):
+        db = sale_db()
+        validator = CheckedValidator(db.catalog)
+        before = db.optimize(SALE_QUERY, rewrite=False).typed
+        after = db.optimize(
+            "SELECT Amount FROM SALE", rewrite=False).typed
+        problem = validator(before, after)
+        assert problem is not None
+        assert "diverge" in problem
+
+    def test_factory(self):
+        db = sale_db()
+        validator = make_checked_validator(db.catalog, sample_rows=3)
+        assert len(validator.catalog.rows("SALE")) == 3
+
+
+class TestCheckedMode:
+    def test_result_changing_rule_rolled_back(self):
+        """The acceptance shape: a deliberately non-preserving rule is
+        refuted and its block rolled back."""
+        db = sale_db(checked=True)
+        db.optimizer.rewriter.add_rule(bad_comparison_rule(), "simplify")
+        optimized = db.optimize(SALE_QUERY)
+        report = optimized.resilience
+        assert report.rollbacks
+        rollback = report.rollbacks[0]
+        assert rollback.block == "simplify"
+        assert "diverge" in rollback.detail
+        assert rollback.applications_discarded >= 1
+        # the poisoned block left no trace entries behind
+        assert all(e.block != "simplify" or e.rule != "bad_cmp"
+                   for e in optimized.trace)
+        # and the query still answers correctly
+        rows = sorted(db.query(SALE_QUERY).rows)
+        assert rows == [(15,), (25,), (40,)]
+
+    def test_without_checked_mode_the_bad_rule_wins(self):
+        db = sale_db()
+        db.optimizer.rewriter.add_rule(bad_comparison_rule(), "simplify")
+        rows = sorted(db.query(SALE_QUERY).rows)
+        assert rows == [(5,), (15,), (25,), (40,)]  # wrong: filter lost
+
+    def test_preserving_rewrites_kept(self):
+        db = sale_db(checked=True)
+        optimized = db.optimize(SALE_QUERY)
+        assert optimized.resilience.rollbacks == []
+        assert optimized.resilience.checked_validations >= 1
+        # the view-merging win is intact under validation
+        from repro.terms.term import term_size
+        assert term_size(optimized.final) < term_size(optimized.typed)
+
+    def test_explain_json_reports_checked_section(self):
+        db = sale_db(checked=True)
+        db.optimizer.rewriter.add_rule(bad_comparison_rule(), "simplify")
+        report = db.explain_json(SALE_QUERY)
+        checked = report["resilience"]["checked"]
+        assert checked["validations"] >= 1
+        assert checked["rollbacks"]
+        assert checked["rollbacks"][0]["block"] == "simplify"
+
+    def test_broken_validator_fails_open(self):
+        def exploding_validator(before, after):
+            raise RuntimeError("validator bug")
+
+        db = sale_db()
+        policy = ResiliencePolicy(validator=exploding_validator)
+        optimized = db.optimizer.optimize(
+            db.optimize(SALE_QUERY, rewrite=False).original,
+            resilience=policy,
+        )
+        assert optimized.resilience.checked_errors >= 1
+        assert optimized.resilience.rollbacks == []
+        # the rewrite itself was kept (fail open, not fail closed)
+        assert optimized.applications > 0
