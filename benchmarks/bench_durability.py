@@ -1,0 +1,127 @@
+"""A10 -- durability overhead: what does crash safety cost?
+
+Four configurations insert the same batch of rows:
+
+* a plain in-memory database (the null-sink fast path -- the layer must
+  be unmeasurable when no path is given);
+* a durable database with ``sync=False`` (commit survives a process
+  crash: one buffered write + flush per statement);
+* a durable database with ``sync=True`` (commit survives power loss:
+  one fsync per statement -- the classic orders-of-magnitude trade);
+* checkpoint + recovery costs for a grown WAL.
+
+Expected shapes: memory ~= durable(sync off) >> durable(sync on);
+recovery from a snapshot beats replaying the full statement history.
+"""
+
+import pytest
+
+from repro import Database
+
+ROWS = 50
+
+
+def _insert_statements(n=ROWS):
+    return [f"INSERT INTO T VALUES ({i}, {i * 7})" for i in range(n)]
+
+
+def _run_script(db):
+    db.execute("TABLE T (Id : NUMERIC, V : NUMERIC, PRIMARY KEY (Id))")
+    for sql in _insert_statements():
+        db.execute(sql)
+    return db
+
+
+def test_memory_baseline(benchmark):
+    def scenario():
+        _run_script(Database())
+
+    benchmark(scenario)
+
+
+def test_durable_no_sync(benchmark, tmp_path_factory):
+    counter = iter(range(10**9))
+
+    def scenario():
+        root = tmp_path_factory.mktemp("wal") / str(next(counter))
+        db = _run_script(Database(path=str(root)))
+        db.close()
+
+    benchmark(scenario)
+
+
+def test_durable_fsync_on_commit(benchmark, tmp_path_factory):
+    counter = iter(range(10**9))
+
+    def scenario():
+        root = tmp_path_factory.mktemp("sync") / str(next(counter))
+        db = _run_script(Database(path=str(root), sync=True))
+        db.close()
+
+    benchmark(scenario)
+
+
+def test_checkpoint(benchmark, tmp_path):
+    db = _run_script(Database(path=str(tmp_path / "data")))
+    benchmark(db.checkpoint)
+    db.close()
+
+
+def test_recovery_replays_wal(benchmark, tmp_path):
+    db = _run_script(Database(path=str(tmp_path / "data")))
+    db.close()
+
+    def scenario():
+        Database(path=str(tmp_path / "data")).close()
+
+    benchmark(scenario)
+
+
+def test_recovery_from_snapshot(benchmark, tmp_path):
+    db = _run_script(Database(path=str(tmp_path / "data")))
+    db.checkpoint()
+    db.close()
+
+    def scenario():
+        Database(path=str(tmp_path / "data")).close()
+
+    benchmark(scenario)
+
+
+class TestShapes:
+    """Deterministic assertions about the trade-offs (no timing)."""
+
+    def test_null_sink_path_is_bypassed(self):
+        db = Database()
+        assert db.durability is None and db.recovery is None
+
+    def test_wal_grows_per_statement_and_checkpoint_resets(self, tmp_path):
+        import os
+        db = _run_script(Database(path=str(tmp_path / "data")))
+        wal = db.durability.wal.path
+        grown = os.path.getsize(wal)
+        assert grown > ROWS  # one frame per statement
+        db.checkpoint()
+        assert os.path.getsize(wal) < grown
+        db.close()
+
+    def test_snapshot_recovery_replays_nothing(self, tmp_path):
+        db = _run_script(Database(path=str(tmp_path / "data")))
+        db.checkpoint()
+        db.close()
+        db2 = Database(path=str(tmp_path / "data"))
+        assert db2.recovery.replayed == 0
+        assert db2.recovery.snapshot_lsn == ROWS + 1
+        assert len(db2.catalog.rows("T")) == ROWS
+        db2.close()
+
+    @pytest.mark.parametrize("sync", [False, True])
+    def test_both_policies_recover_identically(self, tmp_path, sync):
+        db = _run_script(
+            Database(path=str(tmp_path / "data"), sync=sync)
+        )
+        db.close()
+        db2 = Database(path=str(tmp_path / "data"))
+        assert len(db2.catalog.rows("T")) == ROWS
+        assert db2.fsck().ok
+        db2.close()

@@ -14,7 +14,6 @@ the paper's inheritance hierarchy rooted at ``collection``.
 
 from __future__ import annotations
 
-import itertools
 from collections import Counter
 from typing import Any, Iterable, Iterator, Mapping
 
@@ -311,14 +310,44 @@ class ObjectStore:
     def __init__(self):
         self._objects: dict[int, Any] = {}
         self._types: dict[int, str] = {}
-        self._next_oid = itertools.count(1)
+        self._next_oid = 1
 
     def create(self, type_name: str, value: Any) -> ObjectRef:
         """Allocate a fresh OID bound to ``value``."""
-        oid = next(self._next_oid)
+        oid = self._next_oid
+        self._next_oid += 1
         self._objects[oid] = value
         self._types[oid] = type_name
         return ObjectRef(oid, type_name)
+
+    # -- statement rollback and durability hooks ---------------------------
+    def mark(self) -> int:
+        """The next OID to be allocated; pass to :meth:`rewind` to undo
+        every creation made after the mark (statement rollback)."""
+        return self._next_oid
+
+    def rewind(self, mark: int) -> None:
+        """Discard objects created at or after ``mark`` and rewind the
+        OID counter, so a rolled-back statement leaves no trace (and a
+        WAL replay re-allocates identical OIDs)."""
+        for oid in [o for o in self._objects if o >= mark]:
+            del self._objects[oid]
+            del self._types[oid]
+        self._next_oid = mark
+
+    def items(self) -> list[tuple[int, str, Any]]:
+        """Every live object as ``(oid, type_name, value)``."""
+        return [
+            (oid, self._types[oid], value)
+            for oid, value in sorted(self._objects.items())
+        ]
+
+    def load(self, items: Iterable[tuple[int, str, Any]],
+             next_oid: int) -> None:
+        """Replace the whole store (snapshot restore)."""
+        self._objects = {oid: value for oid, __, value in items}
+        self._types = {oid: type_name for oid, type_name, __ in items}
+        self._next_oid = next_oid
 
     def value_of(self, ref: ObjectRef) -> Any:
         """Dereference (the VALUE built-in)."""

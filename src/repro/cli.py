@@ -22,6 +22,14 @@ Statements end with ``;``.  Dot-commands:
 ``.profile on``    toggle profiling (also ``off``): ``.explain`` and
                    ``.stats`` then include per-rule/per-block telemetry
 ``.stats <q>``     run a query and print the evaluator work counters
+``.open PATH``     open (or create) a durable database at PATH: the
+                   snapshot is loaded, torn WAL tails are truncated and
+                   the remaining statements replayed; prints the
+                   recovery summary
+``.checkpoint``    install a snapshot and reset the WAL
+``.fsck``          run the invariant checker (arity, key index,
+                   dangling references, WAL/snapshot agreement)
+``.sync on``       fsync the WAL on every commit (also ``off``)
 ``.quit``          leave
 =================  =====================================================
 """
@@ -167,6 +175,46 @@ class Shell:
                 return [f"join strategy: {argument.lower()}"]
             return [f"join strategy: "
                     f"{'hash' if self.db.hash_joins else 'nested'}"]
+        if command == ".open":
+            if not argument:
+                return ["usage: .open <path>"]
+            try:
+                # recovery runs inside the constructor; a corrupt or
+                # truncated file surfaces as a ReproError (handled by
+                # the caller's guard), never a traceback
+                db = Database(
+                    path=argument,
+                    checked=self.db.checked,
+                    deadline_ms=self.db.deadline_ms,
+                    hash_joins=self.db.hash_joins,
+                )
+            except OSError as error:
+                return [f"error: {error}"]
+            self.db.close()
+            self.db = db
+            return [f"opened {argument}: {db.recovery.summary()}"]
+        if command == ".checkpoint":
+            if self.db.durability is None:
+                return ["error: no durable database open "
+                        "(use .open <path>)"]
+            return [self.db.checkpoint().summary()]
+        if command == ".fsck":
+            report = self.db.fsck()
+            if report.ok:
+                return [report.summary()]
+            return [report.summary()] + [
+                f"  {v}" for v in report.violations
+            ]
+        if command == ".sync":
+            if self.db.durability is None:
+                return ["error: no durable database open "
+                        "(use .open <path>)"]
+            if argument.lower() in ("on", "off"):
+                self.db.sync = argument.lower() == "on"
+                return [f"fsync on commit "
+                        f"{'on' if self.db.sync else 'off'}"]
+            return [f"fsync on commit is "
+                    f"{'on' if self.db.sync else 'off'}"]
         if command == ".load":
             if not argument:
                 return ["usage: .load <file.esql>"]

@@ -1,0 +1,43 @@
+"""Crash safety and restart recovery for the engine.
+
+The paper's rewriter sat on the EDS parallel store; this package gives
+our in-memory substrate the equivalent durability story so the whole
+pipeline -- not just the rewrite phase hardened by ``repro.resilience``
+-- is trustworthy under failure:
+
+* :class:`WriteAheadLog` -- checksummed, append-only, length-prefixed
+  statement frames with a configurable fsync-on-commit policy;
+* :class:`UndoLog` -- statement-level before-images, making every ESQL
+  statement all-or-nothing;
+* snapshots -- full-state checkpoints installed by atomic rename, with
+  WAL truncation after install;
+* :class:`DurabilityManager` -- recovery on ``Database(path=...)``
+  open: load snapshot, truncate torn WAL tails, replay the rest;
+* :class:`CrashPoint` -- deterministic crash injection at arbitrary
+  byte offsets (the CI matrix reopens after every one);
+* :func:`check_database` -- fsck-style invariant checking (CLI
+  ``.fsck``).
+
+See ``docs/durability.md`` for the file formats and the recovery
+contract.
+"""
+
+from repro.durability.atomic import UndoLog
+from repro.durability.check import (FsckReport, Violation, check_catalog,
+                                    check_database)
+from repro.durability.crash import CrashPoint, SimulatedCrash
+from repro.durability.manager import (CheckpointReport, DurabilityManager,
+                                      RecoveryReport)
+from repro.durability.snapshot import (decode_value, encode_value,
+                                       load_snapshot, snapshot_state,
+                                       write_snapshot)
+from repro.durability.wal import WriteAheadLog, scan_wal
+
+__all__ = [
+    "UndoLog", "WriteAheadLog", "scan_wal",
+    "DurabilityManager", "RecoveryReport", "CheckpointReport",
+    "CrashPoint", "SimulatedCrash",
+    "FsckReport", "Violation", "check_catalog", "check_database",
+    "encode_value", "decode_value", "snapshot_state", "write_snapshot",
+    "load_snapshot",
+]

@@ -1,0 +1,73 @@
+"""Statement-level undo records.
+
+Every mutating ESQL statement executed through ``Database.execute``
+runs against an :class:`UndoLog`.  The translator notes the
+before-image of each structure it is about to touch (a relation's rows
+and key index, the ObjectStore's allocation high-water mark); when the
+statement raises anywhere -- coercion, key check, expression
+evaluation, even the WAL append -- the log is rolled back in reverse
+order and the engine is byte-identical to its pre-statement state.
+
+The DML paths are *also* staged (validate-everything-then-swap, see
+``BaseRelation.insert_many`` / ``replace_rows``), so atomicity holds
+even for callers that bypass the undo log; the undo log is the
+defense-in-depth layer that additionally covers ObjectStore allocations
+and any future mutation path that stages less carefully.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UndoLog"]
+
+
+def _restore_relation(relation, rows, key_index):
+    relation.rows[:] = rows
+    relation._key_index = key_index
+
+
+def _rewind_objects(store, mark):
+    store.rewind(mark)
+
+
+class UndoLog:
+    """Before-images for one statement; rollback restores them LIFO."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def note_relation(self, relation) -> None:
+        """Record a relation's rows + key index (once per statement)."""
+        for fn, args in self._entries:
+            if fn is _restore_relation and args[0] is relation:
+                return
+        self._entries.append((
+            _restore_relation,
+            (relation, list(relation.rows), set(relation._key_index)),
+        ))
+
+    def note_objects(self, store) -> None:
+        """Record the ObjectStore allocation mark (once per statement).
+
+        Rollback removes every object created after the mark and rewinds
+        the OID counter, keeping OID allocation dense -- which is what
+        makes WAL replay reproduce the original OIDs exactly.
+        """
+        for fn, args in self._entries:
+            if fn is _rewind_objects and args[0] is store:
+                return
+        self._entries.append((_rewind_objects, (store, store.mark())))
+
+    def rollback(self) -> None:
+        """Restore every noted before-image, most recent first."""
+        while self._entries:
+            fn, args = self._entries.pop()
+            fn(*args)
+
+    def clear(self) -> None:
+        """Commit: discard the before-images."""
+        self._entries.clear()

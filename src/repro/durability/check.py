@@ -1,0 +1,193 @@
+"""fsck for the engine: invariant checking over a live database.
+
+Four invariant families, mirroring what the durability layer promises:
+
+``arity``        every stored row has exactly as many values as its
+                 relation's schema has attributes
+``key-index``    the materialised ``_key_index`` of every keyed
+                 relation equals the recomputed key set, and no key is
+                 duplicated among the rows
+``dangling-ref`` every ObjectRef reachable from any row or any stored
+                 object value resolves in the ObjectStore (and the
+                 store's own type/value maps agree)
+``wal-sequence`` WAL record LSNs form a strictly consecutive chain,
+                 and the manager's position equals the maximum of the
+                 snapshot LSN and the last WAL LSN
+
+Violations are *reported*, never repaired -- fsck is a diagnosis tool
+(CLI ``.fsck``, the crash-injection CI matrix) and repairs belong to
+recovery.  Each violation is also emitted as an
+:class:`~repro.obs.events.FsckViolation` event when a bus is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.adt.values import CollectionValue, ObjectRef, TupleValue
+from repro.durability.snapshot import load_snapshot
+from repro.durability.wal import scan_wal
+
+__all__ = ["Violation", "FsckReport", "check_catalog", "check_database"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class FsckReport:
+    violations: list = field(default_factory=list)
+    relations_checked: int = 0
+    rows_checked: int = 0
+    objects_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return (f"fsck ok: {self.relations_checked} relation(s), "
+                    f"{self.rows_checked} row(s), "
+                    f"{self.objects_checked} object(s) checked")
+        return f"fsck: {len(self.violations)} violation(s)"
+
+
+def _iter_refs(value) -> Iterator[ObjectRef]:
+    if isinstance(value, ObjectRef):
+        yield value
+    elif isinstance(value, CollectionValue):
+        for element in value.elements:
+            yield from _iter_refs(element)
+    elif isinstance(value, TupleValue):
+        for item in value.field_values:
+            yield from _iter_refs(item)
+    elif isinstance(value, (tuple, list)):
+        # a stored row is a plain Python tuple of values
+        for item in value:
+            yield from _iter_refs(item)
+
+
+def check_catalog(catalog, report: Optional[FsckReport] = None,
+                  obs=None) -> FsckReport:
+    """Run the in-memory invariants (arity, key-index, dangling-ref)."""
+    report = report or FsckReport()
+
+    def violate(kind: str, detail: str) -> None:
+        violation = Violation(kind, detail)
+        report.violations.append(violation)
+        if obs:
+            from repro.obs.events import FsckViolation
+            obs.emit(FsckViolation(kind=kind, detail=detail))
+
+    for name in catalog.relation_names():
+        relation = catalog.table(name)
+        report.relations_checked += 1
+        width = len(relation.schema)
+        recomputed: set = set()
+        duplicated = False
+        for i, row in enumerate(relation.rows):
+            report.rows_checked += 1
+            if len(row) != width:
+                violate(
+                    "arity",
+                    f"{name} row {i} has {len(row)} values, schema "
+                    f"has {width}",
+                )
+                continue
+            if relation.key:
+                key_value = relation._key_of(row)
+                if key_value in recomputed and not duplicated:
+                    duplicated = True
+                    violate(
+                        "key-index",
+                        f"{name} holds duplicate key {key_value!r}",
+                    )
+                recomputed.add(key_value)
+            for ref in _iter_refs(row):
+                if ref not in catalog.objects:
+                    violate(
+                        "dangling-ref",
+                        f"{name} row {i} references {ref!r} which is "
+                        f"not in the object store",
+                    )
+        if relation.key and recomputed != relation._key_index:
+            violate(
+                "key-index",
+                f"{name} key index disagrees with its rows "
+                f"({len(relation._key_index)} indexed, "
+                f"{len(recomputed)} recomputed)",
+            )
+
+    store = catalog.objects
+    for oid, type_name, value in store.items():
+        report.objects_checked += 1
+        for ref in _iter_refs(value):
+            if ref not in store:
+                violate(
+                    "dangling-ref",
+                    f"object {oid} ({type_name}) references {ref!r} "
+                    f"which is not in the object store",
+                )
+    return report
+
+
+def check_durability(manager, report: Optional[FsckReport] = None,
+                     obs=None) -> FsckReport:
+    """WAL/snapshot sequence-number agreement for an attached manager."""
+    report = report or FsckReport()
+
+    def violate(kind: str, detail: str) -> None:
+        violation = Violation(kind, detail)
+        report.violations.append(violation)
+        if obs:
+            from repro.obs.events import FsckViolation
+            obs.emit(FsckViolation(kind=kind, detail=detail))
+
+    snapshot_lsn = 0
+    snapshot = load_snapshot(manager.snapshot_path)
+    if snapshot is not None:
+        snapshot_lsn = int(snapshot["last_lsn"])
+
+    scan = scan_wal(manager.wal.path)
+    if scan.truncated_bytes:
+        violate(
+            "wal-sequence",
+            f"WAL carries a {scan.truncated_bytes}-byte torn tail "
+            f"({scan.reason}); reopen the database to repair it",
+        )
+    previous = None
+    for record in scan.records:
+        lsn = record["lsn"]
+        if previous is not None and lsn != previous + 1:
+            violate(
+                "wal-sequence",
+                f"WAL lsn jumps from {previous} to {lsn}",
+            )
+        previous = lsn
+    expected = max(snapshot_lsn, previous if previous is not None else 0)
+    if manager.last_lsn != expected:
+        violate(
+            "wal-sequence",
+            f"manager is at lsn {manager.last_lsn} but snapshot/WAL "
+            f"agree on {expected}",
+        )
+    return report
+
+
+def check_database(database) -> FsckReport:
+    """The full fsck: catalog invariants plus, when the database is
+    durable, WAL/snapshot agreement."""
+    obs = getattr(database, "obs", None)
+    report = check_catalog(database.catalog, obs=obs)
+    manager = getattr(database, "durability", None)
+    if manager is not None:
+        check_durability(manager, report, obs=obs)
+    return report

@@ -1,0 +1,90 @@
+"""Crash injection: deterministic process-death simulation.
+
+A :class:`CrashPoint` names a *site* in the durability layer and, for
+byte-oriented sites, the exact byte offset at which the "process dies".
+The I/O helpers below consult it on every write, emit the allowed
+prefix, and then raise :class:`SimulatedCrash` -- leaving the on-disk
+files exactly as a killed process would: torn frames, half-written
+temp files, installed-but-untruncated logs.
+
+Sites
+-----
+``wal``                 die once the WAL file reaches ``at_byte`` bytes
+``checkpoint-temp``     die once the snapshot temp file reaches
+                        ``at_byte`` bytes (snapshot never installed)
+``checkpoint-rename``   die after the temp file is complete but before
+                        the atomic rename installs it
+``wal-reset``           die after a checkpoint installed its snapshot
+                        but before the WAL was truncated
+
+Tests catch :class:`SimulatedCrash`, drop the in-memory ``Database``
+(the "process" is dead), and reopen from the same path to assert the
+recovery contract.  See ``docs/durability.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["CrashPoint", "SimulatedCrash", "guarded_write"]
+
+SITES = ("wal", "checkpoint-temp", "checkpoint-rename", "wal-reset")
+
+
+class SimulatedCrash(Exception):
+    """The injected process death.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: no library
+    error guard may swallow it, exactly as none could survive a real
+    ``kill -9``.
+    """
+
+
+class CrashPoint:
+    """One scheduled crash; ``fired`` records whether it triggered."""
+
+    __slots__ = ("site", "at_byte", "fired")
+
+    def __init__(self, site: str, at_byte: int = 0):
+        if site not in SITES:
+            raise ValueError(f"unknown crash site {site!r}; one of {SITES}")
+        self.site = site
+        self.at_byte = at_byte
+        self.fired = False
+
+    def fire(self) -> None:
+        self.fired = True
+        raise SimulatedCrash(
+            f"injected crash at {self.site}+{self.at_byte}"
+        )
+
+    def __repr__(self) -> str:
+        return f"CrashPoint({self.site!r}, at_byte={self.at_byte})"
+
+
+def guarded_write(handle, data: bytes, site: str, position: int,
+                  crashpoint: Optional[CrashPoint]) -> int:
+    """Write ``data`` at byte ``position`` of ``handle``, honouring an
+    armed crash point: when the write would cross ``at_byte``, only the
+    prefix up to it is emitted (flushed and fsynced, so the torn state
+    is really on disk) and :class:`SimulatedCrash` is raised.
+
+    Returns the new position.
+    """
+    if crashpoint is None or crashpoint.site != site:
+        handle.write(data)
+        return position + len(data)
+    budget = crashpoint.at_byte - position
+    if budget >= len(data):
+        handle.write(data)
+        return position + len(data)
+    if budget > 0:
+        handle.write(data[:budget])
+    handle.flush()
+    try:
+        os.fsync(handle.fileno())
+    except OSError:
+        pass
+    crashpoint.fire()
+    raise AssertionError("unreachable")  # pragma: no cover

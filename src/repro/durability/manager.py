@@ -1,0 +1,196 @@
+"""The durability manager: one directory, one WAL, one snapshot.
+
+``Database(path=...)`` owns a :class:`DurabilityManager` rooted at
+``path`` (created on demand)::
+
+    path/
+      wal.log        the append-only statement log
+      snapshot.db    the last installed checkpoint (atomic rename)
+
+Recovery contract (see ``docs/durability.md``): reopening a database
+after a crash at *any* byte yields the state produced by some
+statement-boundary prefix of the statements whose execution was
+acknowledged, torn WAL tails are truncated (not errors), and stale WAL
+records left by a crash between checkpoint-install and WAL-reset are
+skipped by their LSNs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.durability.crash import CrashPoint
+from repro.durability.snapshot import (load_snapshot, restore_state,
+                                       snapshot_state, write_snapshot)
+from repro.durability.wal import WriteAheadLog, scan_wal
+from repro.errors import DurabilityError
+
+__all__ = ["DurabilityManager", "RecoveryReport", "CheckpointReport"]
+
+WAL_FILE = "wal.log"
+SNAPSHOT_FILE = "snapshot.db"
+
+
+@dataclass
+class RecoveryReport:
+    """What opening the database found and repaired."""
+
+    snapshot_lsn: int     # 0 when no snapshot was installed
+    replayed: int         # WAL records re-executed
+    stale: int            # WAL records skipped (<= snapshot LSN)
+    truncated_bytes: int  # torn tail removed from the WAL
+    last_lsn: int         # the recovered position
+    duration: float = 0.0
+
+    def summary(self) -> str:
+        parts = [f"{self.replayed} statement(s) replayed"]
+        if self.snapshot_lsn:
+            parts.append(f"snapshot at lsn {self.snapshot_lsn}")
+        if self.stale:
+            parts.append(f"{self.stale} stale record(s) skipped")
+        if self.truncated_bytes:
+            parts.append(
+                f"{self.truncated_bytes} byte(s) of torn tail truncated"
+            )
+        return f"recovered to lsn {self.last_lsn} ({', '.join(parts)})"
+
+
+@dataclass
+class CheckpointReport:
+    last_lsn: int
+    bytes_written: int
+    relations: int
+    duration: float = 0.0
+
+    def summary(self) -> str:
+        return (f"checkpoint at lsn {self.last_lsn} "
+                f"({self.bytes_written} bytes, "
+                f"{self.relations} relation(s))")
+
+
+class DurabilityManager:
+    """Owns the WAL and snapshot of one durable database directory."""
+
+    def __init__(self, path: str, sync: bool = False, obs=None):
+        if os.path.exists(path) and not os.path.isdir(path):
+            raise DurabilityError(
+                f"durable path {path!r} exists and is not a directory"
+            )
+        os.makedirs(path, exist_ok=True)
+        self.root = path
+        self.obs = obs
+        self.wal = WriteAheadLog(os.path.join(path, WAL_FILE), sync=sync)
+        self.snapshot_path = os.path.join(path, SNAPSHOT_FILE)
+        self.last_lsn = 0
+
+    # -- crash injection (test hook) -----------------------------------------
+    @property
+    def crashpoint(self) -> Optional[CrashPoint]:
+        return self.wal.crashpoint
+
+    @crashpoint.setter
+    def crashpoint(self, point: Optional[CrashPoint]) -> None:
+        self.wal.crashpoint = point
+
+    # -- fsync policy ---------------------------------------------------------
+    @property
+    def sync(self) -> bool:
+        return self.wal.sync
+
+    @sync.setter
+    def sync(self, value: bool) -> None:
+        self.wal.sync = bool(value)
+
+    # -- recovery -------------------------------------------------------------
+    def recover(self, database) -> RecoveryReport:
+        """Load the snapshot, replay the WAL, repair a torn tail."""
+        started = time.perf_counter()
+        snapshot_lsn = 0
+        snapshot = load_snapshot(self.snapshot_path)
+        if snapshot is not None:
+            restore_state(database, snapshot)
+            snapshot_lsn = self.last_lsn = int(snapshot["last_lsn"])
+
+        scan = scan_wal(self.wal.path)
+        if scan.truncated_bytes:
+            self.wal.truncate_to(scan.good_offset)
+        replayed = stale = 0
+        for record in scan.records:
+            lsn = record["lsn"]
+            if lsn <= self.last_lsn:
+                stale += 1  # pre-checkpoint residue; effects already in
+                continue    # the snapshot
+            database._replay_statement(record["sql"])
+            self.last_lsn = lsn
+            replayed += 1
+        self.wal.open()
+
+        report = RecoveryReport(
+            snapshot_lsn=snapshot_lsn, replayed=replayed, stale=stale,
+            truncated_bytes=scan.truncated_bytes,
+            last_lsn=self.last_lsn,
+            duration=time.perf_counter() - started,
+        )
+        bus = self.obs
+        if bus:
+            from repro.obs.events import RecoveryCompleted, WalReplay
+            bus.emit(WalReplay(
+                records=replayed + stale,
+                bytes_truncated=scan.truncated_bytes,
+                duration=report.duration,
+            ))
+            bus.emit(RecoveryCompleted(
+                snapshot_lsn=snapshot_lsn, replayed=replayed,
+                bytes_truncated=scan.truncated_bytes,
+                duration=report.duration,
+            ))
+        return report
+
+    # -- logging --------------------------------------------------------------
+    def log_statement(self, sql: str) -> None:
+        """Append one committed statement; called *after* it fully
+        applied in memory (commit == append: a crash mid-append loses
+        exactly this statement, keeping the statement-boundary-prefix
+        contract)."""
+        lsn = self.last_lsn + 1
+        started = time.perf_counter()
+        nbytes = self.wal.append({"kind": "stmt", "lsn": lsn, "sql": sql})
+        self.last_lsn = lsn
+        bus = self.obs
+        if bus:
+            from repro.obs.events import WalAppend
+            bus.emit(WalAppend(
+                lsn=lsn, bytes=nbytes, sync=self.wal.sync,
+                duration=time.perf_counter() - started,
+            ))
+
+    # -- checkpoint -----------------------------------------------------------
+    def checkpoint(self, database) -> CheckpointReport:
+        """Install a snapshot of the current state, then reset the WAL."""
+        started = time.perf_counter()
+        state = snapshot_state(
+            database.catalog, database._ddl_history, self.last_lsn
+        )
+        nbytes = write_snapshot(
+            self.snapshot_path, state, crashpoint=self.crashpoint
+        )
+        self.wal.reset()
+        report = CheckpointReport(
+            last_lsn=self.last_lsn, bytes_written=nbytes,
+            relations=len(state["tables"]),
+            duration=time.perf_counter() - started,
+        )
+        bus = self.obs
+        if bus:
+            from repro.obs.events import CheckpointTaken
+            bus.emit(CheckpointTaken(
+                lsn=self.last_lsn, bytes=nbytes,
+                relations=report.relations, duration=report.duration,
+            ))
+        return report
+
+    def close(self) -> None:
+        self.wal.close()

@@ -24,14 +24,20 @@ from repro.core.rewriter import QueryRewriter
 from repro.engine.catalog import Catalog
 from repro.engine.evaluate import Evaluator, Result
 from repro.engine.stats import EvalStats
-from repro.errors import TranslationError
-from repro.esql.parser import parse_script
+from repro.errors import DurabilityError, TranslationError
+from repro.esql import ast
+from repro.esql.parser import parse_script_with_sources
 from repro.esql.translate import Translator
 from repro.rules.library import DEFAULT_SEMANTIC_LIMIT
 from repro.rules.semantic import compile_integrity_constraint
 from repro.terms.term import Term
 
 __all__ = ["Database"]
+
+# statements whose texts are kept in the DDL history: replaying them in
+# order rebuilds the catalog schema (snapshots store them verbatim)
+_DDL_STATEMENTS = (ast.EnumTypeDef, ast.TupleTypeDef, ast.CollTypeDef,
+                   ast.TableDef, ast.ViewDef, ast.DropStmt)
 
 
 class Database:
@@ -44,7 +50,10 @@ class Database:
                  dynamic_limits: bool = False,
                  checked: bool = False,
                  deadline_ms: Optional[float] = None,
-                 resilient: bool = False):
+                 resilient: bool = False,
+                 path: Optional[str] = None,
+                 sync: bool = False,
+                 obs=None):
         self.catalog = Catalog()
         self.translator = Translator(self.catalog)
         self.rewrite_default = rewrite
@@ -59,6 +68,18 @@ class Database:
         self.deadline_ms = deadline_ms
         self.resilient = resilient
         self._optimizer: Optional[Optimizer] = None
+        # durability: with a path, every mutating statement is WAL-logged
+        # and the directory is recovered on open; without one the layer
+        # is fully bypassed (null-sink style, see docs/durability.md)
+        self.obs = obs
+        self._ddl_history: list[str] = []
+        self._replaying = False
+        self.durability = None
+        self.recovery = None
+        if path is not None:
+            from repro.durability import DurabilityManager
+            self.durability = DurabilityManager(path, sync=sync, obs=obs)
+            self.recovery = self.durability.recover(self)
 
     # -- optimizer lifecycle ---------------------------------------------------
     @property
@@ -79,13 +100,79 @@ class Database:
 
     # -- statements ------------------------------------------------------------
     def execute(self, script: str) -> list[Result]:
-        """Run an ESQL script; returns the results of any queries."""
+        """Run an ESQL script; returns the results of any queries.
+
+        Each mutating statement is atomic: it either fully applies or --
+        on any error -- is rolled back to the statement boundary via its
+        undo log.  On a durable database, committed statements are
+        appended to the write-ahead log.
+        """
         results = []
-        for statement in parse_script(script):
-            term = self.translator.execute(statement)
+        for statement, source in parse_script_with_sources(script):
+            term = self._apply_statement(statement, source)
             if term is not None:
                 results.append(self._run(term, self.rewrite_default)[0])
         return results
+
+    def _apply_statement(self, statement, source: str) -> Optional[Term]:
+        """Execute one parsed statement atomically, then commit-log it."""
+        from repro.durability.atomic import UndoLog
+        undo = UndoLog()
+        try:
+            term = self.translator.execute(statement, undo=undo)
+        except BaseException:
+            undo.rollback()
+            raise
+        if term is None:
+            if isinstance(statement, _DDL_STATEMENTS):
+                self._ddl_history.append(source)
+            if self.durability is not None and not self._replaying:
+                self.durability.log_statement(source)
+        return term
+
+    def _replay_statement(self, source: str) -> None:
+        """Re-execute a WAL/snapshot statement without re-logging it."""
+        self._replaying = True
+        try:
+            for statement, text in parse_script_with_sources(source):
+                self._apply_statement(statement, text)
+        finally:
+            self._replaying = False
+
+    # -- durability ------------------------------------------------------------
+    def checkpoint(self):
+        """Install a snapshot and reset the WAL (durable databases)."""
+        if self.durability is None:
+            raise DurabilityError(
+                "checkpoint needs a durable database; open one with "
+                "Database(path=...)"
+            )
+        return self.durability.checkpoint(self)
+
+    def fsck(self):
+        """Run the invariant checker; returns a
+        :class:`repro.durability.FsckReport`."""
+        from repro.durability.check import check_database
+        return check_database(self)
+
+    @property
+    def sync(self) -> bool:
+        """The fsync-on-commit policy (False on non-durable databases)."""
+        return self.durability is not None and self.durability.sync
+
+    @sync.setter
+    def sync(self, value: bool) -> None:
+        if self.durability is None:
+            raise DurabilityError(
+                "the fsync policy needs a durable database; open one "
+                "with Database(path=...)"
+            )
+        self.durability.sync = value
+
+    def close(self) -> None:
+        """Release the WAL handle of a durable database (no-op otherwise)."""
+        if self.durability is not None:
+            self.durability.close()
 
     def query(self, source: str, rewrite: Optional[bool] = None,
               stats: Optional[EvalStats] = None) -> Result:
@@ -197,10 +284,10 @@ class Database:
 
     # -- plumbing ---------------------------------------------------------------
     def _translate_single(self, source: str) -> Term:
-        statements = parse_script(source)
+        statements = parse_script_with_sources(source)
         if len(statements) != 1:
             raise TranslationError("expected exactly one statement")
-        term = self.translator.execute(statements[0])
+        term = self.translator.execute(statements[0][0])
         if term is None:
             raise TranslationError("the statement is not a query")
         return term

@@ -159,21 +159,62 @@ class BaseRelation:
         return coerced
 
     def rebuild_key_index(self) -> None:
-        """Recompute the key index (after DELETE/UPDATE)."""
-        if self.key:
-            self._key_index = {self._key_of(r) for r in self.rows}
-            if len(self._key_index) != len(self.rows):
+        """Recompute the key index (after DELETE/UPDATE).
+
+        A detected violation raises *without* mutating the index, so the
+        relation is left exactly as the caller last saw it.
+        """
+        if not self.key:
+            return
+        fresh: set = set()
+        for r in self.rows:
+            key_value = self._key_of(r)
+            if key_value in fresh:
                 raise ValueError_(
                     f"primary key violated in {self.name}"
                 )
+            fresh.add(key_value)
+        self._key_index = fresh
 
     def insert_many(self, rows: Iterable[Sequence[Any]],
                     objects: ObjectStore) -> int:
-        count = 0
-        for row in rows:
-            self.insert(row, objects)
-            count += 1
-        return count
+        """Insert a batch atomically: every row is coerced and checked
+        against the key (including duplicates *within* the batch) before
+        the first mutation, so a bad row leaves the relation untouched.
+        """
+        staged = [coerce_row(row, self.schema, objects) for row in rows]
+        if self.key:
+            fresh: set = set()
+            for coerced in staged:
+                key_value = self._key_of(coerced)
+                if key_value in self._key_index or key_value in fresh:
+                    raise ValueError_(
+                        f"duplicate primary key {key_value!r} in "
+                        f"{self.name}"
+                    )
+                fresh.add(key_value)
+            self._key_index |= fresh
+        self.rows.extend(staged)
+        return len(staged)
+
+    def replace_rows(self, new_rows: Iterable[tuple]) -> None:
+        """Atomically swap in already-coerced rows (DELETE/UPDATE).
+
+        The key index for the candidate rows is built first; a violation
+        raises before either ``rows`` or the index is touched.
+        """
+        staged = list(new_rows)
+        fresh: set = set()
+        if self.key:
+            for r in staged:
+                key_value = self._key_of(r)
+                if key_value in fresh:
+                    raise ValueError_(
+                        f"primary key violated in {self.name}"
+                    )
+                fresh.add(key_value)
+        self.rows[:] = staged
+        self._key_index = fresh
 
     def clear(self) -> None:
         self.rows.clear()

@@ -90,3 +90,9 @@ class TranslationError(ReproError):
 
 class RewriteError(ReproError):
     """Raised by the rewrite engine for internal inconsistencies."""
+
+
+class DurabilityError(ReproError):
+    """Raised by the durability layer (bad WAL/snapshot files, misuse of
+    the checkpoint API); recoverable corruption is repaired silently and
+    reported through :class:`repro.durability.RecoveryReport` instead."""

@@ -75,7 +75,14 @@ def tokenize_sql(source: str) -> list[SqlToken]:
                 buf.append(source[j])
                 j += 1
             tokens.append(SqlToken("STRING", "".join(buf), line, start_col))
-            col += j - i
+            newlines = source.count("\n", i, j)
+            if newlines:
+                # keep line/column exact across multi-line strings so
+                # downstream source-span extraction stays correct
+                line += newlines
+                col = j - source.rfind("\n", i, j)
+            else:
+                col += j - i
             i = j
             continue
 

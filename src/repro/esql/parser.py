@@ -13,8 +13,8 @@ from repro.errors import ParseError
 from repro.esql import ast
 from repro.esql.lexer import SqlToken, tokenize_sql
 
-__all__ = ["parse_script", "parse_statement", "parse_query",
-           "parse_expression"]
+__all__ = ["parse_script", "parse_script_with_sources", "parse_statement",
+           "parse_query", "parse_expression"]
 
 _COLLECTION_KINDS = ("SET", "BAG", "LIST", "ARRAY")
 
@@ -505,10 +505,35 @@ class _Parser:
 
 def parse_script(source: str) -> list[ast.Statement]:
     """Parse a ``;``-separated ESQL script."""
+    return [s for s, __ in parse_script_with_sources(source)]
+
+
+def parse_script_with_sources(
+    source: str,
+) -> list[tuple[ast.Statement, str]]:
+    """Parse a script, pairing each statement with its source text.
+
+    The per-statement text is what the durability layer appends to the
+    write-ahead log (logical logging): replaying the texts in order
+    through the translator reproduces the statements' effects exactly.
+    """
+    line_starts = [0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            line_starts.append(i + 1)
+
+    def offset_of(tok: SqlToken) -> int:
+        if tok.kind == "EOF":
+            return len(source)
+        return line_starts[tok.line - 1] + tok.column - 1
+
     parser = _Parser(tokenize_sql(source))
-    statements: list[ast.Statement] = []
+    statements: list[tuple[ast.Statement, str]] = []
     while not parser.at_end():
-        statements.append(parser.parse_statement())
+        begin = offset_of(parser.peek())
+        statement = parser.parse_statement()
+        end = offset_of(parser.peek())  # the SEMI / EOF after it
+        statements.append((statement, source[begin:end].strip()))
         if not parser.accept("SEMI"):
             break
     tok = parser.peek()

@@ -120,8 +120,16 @@ class Translator:
         self.catalog = catalog
 
     # -- statement dispatch ---------------------------------------------------
-    def execute(self, statement: ast.Statement) -> Optional[Term]:
-        """Apply a DDL/DML statement, or translate a query to LERA."""
+    def execute(self, statement: ast.Statement,
+                undo=None) -> Optional[Term]:
+        """Apply a DDL/DML statement, or translate a query to LERA.
+
+        ``undo`` is an optional :class:`repro.durability.UndoLog`; DML
+        statements note their before-images on it so a failure anywhere
+        in the statement can be rolled back to the statement boundary
+        (the mutation paths are additionally staged so that even without
+        an undo log a failing statement leaves the catalog untouched).
+        """
         if isinstance(statement, ast.EnumTypeDef):
             self.catalog.type_system.define_enumeration(
                 statement.name, statement.literals
@@ -149,7 +157,7 @@ class Translator:
             self._define_view(statement)
             return None
         if isinstance(statement, ast.InsertStmt):
-            self._insert(statement)
+            self._insert(statement, undo)
             return None
         if isinstance(statement, ast.DropStmt):
             if statement.kind == "TABLE":
@@ -158,10 +166,10 @@ class Translator:
                 self.catalog.drop_view(statement.name)
             return None
         if isinstance(statement, ast.DeleteStmt):
-            self._delete(statement)
+            self._delete(statement, undo)
             return None
         if isinstance(statement, ast.UpdateStmt):
-            self._update(statement)
+            self._update(statement, undo)
             return None
         if isinstance(statement, (ast.Select, ast.UnionSelect)):
             return self.translate_query(statement)
@@ -196,10 +204,17 @@ class Translator:
             ts.define_tuple(td.name, fields)
 
     # -- INSERT ------------------------------------------------------------------
-    def _insert(self, statement: ast.InsertStmt) -> None:
-        for row in statement.rows:
-            values = [self._literal_value(e) for e in row]
-            self.catalog.insert(statement.table, values)
+    def _insert(self, statement: ast.InsertStmt, undo=None) -> None:
+        relation = self.catalog.table(statement.table)
+        if undo is not None:
+            # NEW ... literals allocate OIDs below; note the store first
+            undo.note_objects(self.catalog.objects)
+            undo.note_relation(relation)
+        rows = [
+            [self._literal_value(e) for e in row]
+            for row in statement.rows
+        ]
+        relation.insert_many(rows, self.catalog.objects)
 
     def _literal_value(self, expr: ast.Expr):
         if isinstance(expr, ast.NumberLit):
@@ -249,17 +264,19 @@ class Translator:
 
         return relation, evaluator, matches
 
-    def _delete(self, statement: ast.DeleteStmt) -> int:
+    def _delete(self, statement: ast.DeleteStmt, undo=None) -> int:
         relation, __, matches = self._dml_rows(
             statement.table, statement.where
         )
+        # evaluate the predicate over every row before mutating anything
         kept = [row for row in relation.rows if not matches(row)]
         removed = len(relation.rows) - len(kept)
-        relation.rows[:] = kept
-        relation.rebuild_key_index()
+        if undo is not None:
+            undo.note_relation(relation)
+        relation.replace_rows(kept)
         return removed
 
-    def _update(self, statement: ast.UpdateStmt) -> int:
+    def _update(self, statement: ast.UpdateStmt, undo=None) -> int:
         from repro.engine.storage import coerce_value
         from repro.lera.typecheck import normalize_expression
 
@@ -277,9 +294,14 @@ class Translator:
             )
             compiled.append((position, value_expr))
 
+        # stage the full replacement row list first: an evaluation or
+        # coercion error (or a key violation inside replace_rows) then
+        # leaves the relation exactly as it was
         changed = 0
-        for i, row in enumerate(relation.rows):
+        staged: list[tuple] = []
+        for row in relation.rows:
             if not matches(row):
+                staged.append(row)
                 continue
             new_row = list(row)
             for position, value_expr in compiled:
@@ -288,9 +310,11 @@ class Translator:
                 new_row[position - 1] = coerce_value(
                     value, dtype, self.catalog.objects
                 )
-            relation.rows[i] = tuple(new_row)
+            staged.append(tuple(new_row))
             changed += 1
-        relation.rebuild_key_index()
+        if undo is not None:
+            undo.note_relation(relation)
+        relation.replace_rows(staged)
         return changed
 
     # -- views -------------------------------------------------------------------

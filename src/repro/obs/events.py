@@ -20,6 +20,11 @@ sinks can serialise uniformly.  The taxonomy mirrors the pipeline:
 ``Degraded``       a deadline / work budget expired; best-so-far kept
 ``DivergenceDetected`` a block halted on oscillation or growth
 ``CheckedRollback``checked mode rejected (rolled back) a block
+``WalAppend``      one statement frame was committed to the WAL
+``WalReplay``      recovery finished scanning/replaying the WAL
+``CheckpointTaken``a snapshot was installed and the WAL reset
+``RecoveryCompleted`` a durable database finished opening
+``FsckViolation``  the invariant checker found a broken invariant
 =================  ======================================================
 
 Durations are monotonic-clock seconds (``time.perf_counter`` deltas).
@@ -37,6 +42,8 @@ __all__ = [
     "PassEnd", "RuleAttempt", "RuleFired", "ConstraintCheck",
     "MethodCall", "EvalOp", "RuleFailed", "RuleQuarantined",
     "Degraded", "DivergenceDetected", "CheckedRollback",
+    "WalAppend", "WalReplay", "CheckpointTaken", "RecoveryCompleted",
+    "FsckViolation",
 ]
 
 
@@ -195,3 +202,50 @@ class CheckedRollback(Event):
     block: str
     detail: str
     applications_discarded: int
+
+
+@dataclass(frozen=True)
+class WalAppend(Event):
+    """One statement frame was committed to the write-ahead log."""
+
+    lsn: int
+    bytes: int
+    sync: bool
+    duration: float
+
+
+@dataclass(frozen=True)
+class WalReplay(Event):
+    """Recovery finished scanning the WAL (replayed + stale records)."""
+
+    records: int
+    bytes_truncated: int
+    duration: float
+
+
+@dataclass(frozen=True)
+class CheckpointTaken(Event):
+    """A snapshot was installed atomically and the WAL was reset."""
+
+    lsn: int
+    bytes: int
+    relations: int
+    duration: float
+
+
+@dataclass(frozen=True)
+class RecoveryCompleted(Event):
+    """A durable database finished opening (snapshot + WAL replay)."""
+
+    snapshot_lsn: int
+    replayed: int
+    bytes_truncated: int
+    duration: float
+
+
+@dataclass(frozen=True)
+class FsckViolation(Event):
+    """The fsck invariant checker found a broken invariant."""
+
+    kind: str
+    detail: str

@@ -80,6 +80,22 @@ class Profiler:
         elif isinstance(event, ev.CheckedRollback):
             m.inc("resilience.rollbacks")
             m.inc(f"rewrite.block.{event.block}.rollbacks")
+        elif isinstance(event, ev.WalAppend):
+            m.inc("durability.wal.appends")
+            m.inc("durability.wal.bytes", event.bytes)
+            m.observe("durability.wal.seconds", event.duration)
+        elif isinstance(event, ev.WalReplay):
+            m.inc("durability.wal.replayed", event.records)
+            m.inc("durability.wal.truncated_bytes", event.bytes_truncated)
+        elif isinstance(event, ev.CheckpointTaken):
+            m.inc("durability.checkpoints")
+            m.inc("durability.checkpoint.bytes", event.bytes)
+            m.observe("durability.checkpoint.seconds", event.duration)
+        elif isinstance(event, ev.RecoveryCompleted):
+            m.inc("durability.recoveries")
+            m.observe("durability.recovery.seconds", event.duration)
+        elif isinstance(event, ev.FsckViolation):
+            m.inc("durability.fsck.violations")
 
     # -- convenience ----------------------------------------------------------
     def absorb_eval_stats(self, stats) -> None:

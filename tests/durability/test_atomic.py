@@ -1,0 +1,187 @@
+"""Statement atomicity: every ESQL statement fully applies or fully
+rolls back (the UndoLog + stage-then-swap DML paths)."""
+
+import pytest
+
+from repro import Database
+from repro.adt.values import ObjectStore, TupleValue
+from repro.durability import UndoLog, scan_wal
+from repro.errors import ReproError
+
+_SCHEMA = """
+TYPE Person OBJECT TUPLE (Name : CHAR);
+TABLE T (Id : NUMERIC, Tag : CHAR, PRIMARY KEY (Id));
+"""
+
+
+def _snapshot(db):
+    """A deep, comparable image of the full engine state."""
+    return {
+        "tables": {
+            name: [list(r) for r in db.catalog.table(name).rows]
+            for name in db.catalog.relation_names()
+        },
+        "indexes": {
+            name: set(db.catalog.table(name)._key_index)
+            for name in db.catalog.relation_names()
+        },
+        "objects": db.catalog.objects.items(),
+        "next_oid": db.catalog.objects.mark(),
+    }
+
+
+def _make_db(tmp_path, durable):
+    db = Database(path=str(tmp_path / "data") if durable else None)
+    db.execute(_SCHEMA)
+    db.execute("INSERT INTO T VALUES (1, 'x'), (2, 'y')")
+    return db
+
+
+@pytest.mark.parametrize("durable", [False, True],
+                         ids=["memory", "durable"])
+class TestFailingInsert:
+    """The acceptance criterion: a failing multi-row INSERT leaves the
+    relation byte-identical to its pre-statement state, with and
+    without a WAL attached."""
+
+    def test_intra_batch_duplicate_key(self, tmp_path, durable):
+        db = _make_db(tmp_path, durable)
+        before = _snapshot(db)
+        with pytest.raises(ReproError):
+            db.execute("INSERT INTO T VALUES (7, 'a'), (7, 'b')")
+        assert _snapshot(db) == before
+
+    def test_duplicate_against_existing_key(self, tmp_path, durable):
+        db = _make_db(tmp_path, durable)
+        before = _snapshot(db)
+        with pytest.raises(ReproError):
+            db.execute("INSERT INTO T VALUES (3, 'a'), (1, 'dup')")
+        assert _snapshot(db) == before
+
+    def test_bad_value_in_later_row(self, tmp_path, durable):
+        db = _make_db(tmp_path, durable)
+        before = _snapshot(db)
+        with pytest.raises(ReproError):
+            db.execute("INSERT INTO T VALUES (3, 'ok'), (4, 5)")
+        assert _snapshot(db) == before
+
+    def test_object_allocation_rolled_back(self, tmp_path, durable):
+        db = _make_db(tmp_path, durable)
+        db.execute("TABLE P (Id : NUMERIC, Who : Person, "
+                   "PRIMARY KEY (Id))")
+        db.execute("INSERT INTO P VALUES (1, NEW Person('a'))")
+        before = _snapshot(db)
+        with pytest.raises(ReproError):
+            # the NEW allocates an OID before the key check fails;
+            # rollback must rewind the counter to keep allocation dense
+            db.execute("INSERT INTO P VALUES (1, NEW Person('b'))")
+        assert _snapshot(db) == before
+
+    def test_good_statement_after_failure_applies(self, tmp_path,
+                                                  durable):
+        db = _make_db(tmp_path, durable)
+        with pytest.raises(ReproError):
+            db.execute("INSERT INTO T VALUES (3, 'a'), (3, 'b')")
+        db.execute("INSERT INTO T VALUES (3, 'a')")
+        assert sorted(r[0] for r in db.catalog.rows("T")) == [1, 2, 3]
+
+
+class TestFailingUpdateDelete:
+    def test_update_key_collision_rolls_back(self, tmp_path):
+        db = _make_db(tmp_path, durable=False)
+        before = _snapshot(db)
+        with pytest.raises(ReproError):
+            db.execute("UPDATE T SET Id = 1")  # both rows -> key 1
+        assert _snapshot(db) == before
+
+    def test_update_bad_value_rolls_back(self, tmp_path):
+        db = _make_db(tmp_path, durable=False)
+        before = _snapshot(db)
+        with pytest.raises(ReproError):
+            db.execute("UPDATE T SET Tag = Id WHERE Id = 2")
+        assert _snapshot(db) == before
+
+    def test_delete_keeps_index_consistent(self, tmp_path):
+        db = _make_db(tmp_path, durable=False)
+        db.execute("DELETE FROM T WHERE Id = 1")
+        rel = db.catalog.table("T")
+        assert rel._key_index == {(2,)}
+        assert db.fsck().ok
+
+
+class TestWalCommitBoundary:
+    def test_failed_statement_not_logged(self, tmp_path):
+        db = _make_db(tmp_path, durable=True)
+        wal_path = db.durability.wal.path
+        logged = len(scan_wal(wal_path).records)
+        with pytest.raises(ReproError):
+            db.execute("INSERT INTO T VALUES (9, 'a'), (9, 'b')")
+        db.close()
+        assert len(scan_wal(wal_path).records) == logged
+
+    def test_lsn_not_consumed_by_failure(self, tmp_path):
+        db = _make_db(tmp_path, durable=True)
+        at = db.durability.last_lsn
+        with pytest.raises(ReproError):
+            db.execute("INSERT INTO T VALUES (9, 'a'), (9, 'b')")
+        assert db.durability.last_lsn == at
+        db.execute("INSERT INTO T VALUES (9, 'a')")
+        assert db.durability.last_lsn == at + 1
+        db.close()
+
+
+class TestUndoLog:
+    def test_rollback_restores_rows_and_index(self):
+        from repro.adt.types import INT
+        from repro.engine.storage import BaseRelation
+        from repro.lera.schema import Schema
+        store = ObjectStore()
+        rel = BaseRelation("R", Schema([("A", INT)]), key=(1,))
+        rel.insert((1,), store)
+        undo = UndoLog()
+        undo.note_relation(rel)
+        rel.insert((2,), store)
+        undo.rollback()
+        assert rel.rows == [(1,)]
+        assert rel._key_index == {(1,)}
+
+    def test_note_relation_keeps_first_image(self):
+        from repro.adt.types import INT
+        from repro.engine.storage import BaseRelation
+        from repro.lera.schema import Schema
+        store = ObjectStore()
+        rel = BaseRelation("R", Schema([("A", INT)]))
+        undo = UndoLog()
+        undo.note_relation(rel)
+        rel.insert((1,), store)
+        undo.note_relation(rel)  # deduped: the first image wins
+        rel.insert((2,), store)
+        assert len(undo) == 1
+        undo.rollback()
+        assert rel.rows == []
+
+    def test_note_objects_rewinds_and_stays_dense(self):
+        store = ObjectStore()
+        keep = store.create("Person", TupleValue({"Name": "a"}))
+        undo = UndoLog()
+        undo.note_objects(store)
+        store.create("Person", TupleValue({"Name": "b"}))
+        store.create("Person", TupleValue({"Name": "c"}))
+        undo.rollback()
+        assert store.items() == [(keep.oid, "Person",
+                                  TupleValue({"Name": "a"}))]
+        redo = store.create("Person", TupleValue({"Name": "d"}))
+        assert redo.oid == keep.oid + 1  # allocation stayed dense
+
+    def test_clear_commits(self):
+        from repro.adt.types import INT
+        from repro.engine.storage import BaseRelation
+        from repro.lera.schema import Schema
+        store = ObjectStore()
+        rel = BaseRelation("R", Schema([("A", INT)]))
+        undo = UndoLog()
+        undo.note_relation(rel)
+        rel.insert((1,), store)
+        undo.clear()
+        undo.rollback()  # nothing to undo
+        assert rel.rows == [(1,)]

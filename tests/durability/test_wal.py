@@ -1,0 +1,201 @@
+"""WAL frame format, torn-tail detection and the appender."""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.durability.wal import (WAL_MAGIC, WriteAheadLog, encode_frame,
+                                  scan_wal)
+from repro.errors import DurabilityError
+
+_HEADER = struct.Struct("<II")
+
+
+def _record(lsn, sql="TABLE T (A : INT)"):
+    return {"kind": "stmt", "lsn": lsn, "sql": sql}
+
+
+def _write_wal(path, records):
+    blob = WAL_MAGIC + b"".join(encode_frame(r) for r in records)
+    path.write_bytes(blob)
+    return blob
+
+
+class TestFrameFormat:
+    def test_roundtrip_through_scan(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        records = [_record(1), _record(2, "INSERT INTO T VALUES (1)")]
+        _write_wal(wal, records)
+        scan = scan_wal(str(wal))
+        assert scan.records == records
+        assert scan.truncated_bytes == 0
+        assert scan.reason is None
+
+    def test_header_is_length_then_crc(self):
+        frame = encode_frame(_record(1))
+        length, crc = _HEADER.unpack_from(frame)
+        payload = frame[_HEADER.size:]
+        assert length == len(payload)
+        assert crc == zlib.crc32(payload)
+        assert json.loads(payload)["lsn"] == 1
+
+    def test_payload_is_compact_sorted_json(self):
+        frame = encode_frame(_record(1, "x"))
+        payload = frame[_HEADER.size:]
+        assert payload == b'{"kind":"stmt","lsn":1,"sql":"x"}'
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(DurabilityError):
+            encode_frame(_record(1, "x" * (64 * 1024 * 1024)))
+
+
+class TestScan:
+    def test_missing_file(self, tmp_path):
+        scan = scan_wal(str(tmp_path / "nope.log"))
+        assert scan.records == [] and scan.truncated_bytes == 0
+
+    def test_empty_file(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        wal.write_bytes(b"")
+        scan = scan_wal(str(wal))
+        assert scan.records == [] and scan.truncated_bytes == 0
+
+    def test_bad_magic_salvages_nothing(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        wal.write_bytes(b"garbage")
+        scan = scan_wal(str(wal))
+        assert scan.records == []
+        assert scan.good_offset == 0
+        assert scan.truncated_bytes == len(b"garbage")
+        assert scan.reason == "bad magic"
+
+    def test_torn_tail_at_every_byte(self, tmp_path):
+        """Truncating the file anywhere inside the last frame keeps the
+        full prefix and reports exactly the torn bytes."""
+        wal = tmp_path / "wal.log"
+        records = [_record(1), _record(2)]
+        blob = _write_wal(wal, records)
+        first_end = len(WAL_MAGIC) + len(encode_frame(records[0]))
+        for cut in range(first_end, len(blob)):
+            wal.write_bytes(blob[:cut])
+            scan = scan_wal(str(wal))
+            if cut == first_end:
+                # clean boundary: nothing torn
+                assert scan.records == records[:1]
+                assert scan.truncated_bytes == 0
+            else:
+                assert scan.records == records[:1]
+                assert scan.good_offset == first_end
+                assert scan.truncated_bytes == cut - first_end
+                assert scan.reason in ("torn frame header",
+                                       "torn frame payload")
+
+    def test_crc_mismatch_stops_scan(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        records = [_record(1), _record(2), _record(3)]
+        blob = bytearray(_write_wal(wal, records))
+        # flip one payload byte of the second frame
+        second = len(WAL_MAGIC) + len(encode_frame(records[0]))
+        blob[second + _HEADER.size] ^= 0xFF
+        wal.write_bytes(bytes(blob))
+        scan = scan_wal(str(wal))
+        assert scan.records == records[:1]
+        assert scan.reason == "crc mismatch"
+        assert scan.truncated_bytes == len(blob) - second
+
+    def test_implausible_length_stops_scan(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        blob = WAL_MAGIC + _HEADER.pack(2**31, 0) + b"xx"
+        wal.write_bytes(blob)
+        scan = scan_wal(str(wal))
+        assert scan.records == []
+        assert scan.reason == "implausible frame length"
+
+    def test_malformed_json_stops_scan(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        payload = b"{not json"
+        blob = WAL_MAGIC + _HEADER.pack(
+            len(payload), zlib.crc32(payload)
+        ) + payload
+        wal.write_bytes(blob)
+        scan = scan_wal(str(wal))
+        assert scan.records == []
+        assert scan.reason == "malformed record"
+
+    def test_record_without_lsn_stops_scan(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        payload = json.dumps({"kind": "stmt"}).encode()
+        blob = WAL_MAGIC + _HEADER.pack(
+            len(payload), zlib.crc32(payload)
+        ) + payload
+        wal.write_bytes(blob)
+        assert scan_wal(str(wal)).reason == "record without lsn"
+
+    def test_non_increasing_lsn_stops_scan(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        _write_wal(wal, [_record(1), _record(2), _record(2)])
+        scan = scan_wal(str(wal))
+        assert [r["lsn"] for r in scan.records] == [1, 2]
+        assert scan.reason == "non-increasing lsn"
+
+
+class TestWriteAheadLog:
+    def test_open_writes_magic_once(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.open()
+        wal.close()
+        wal.open()
+        wal.close()
+        assert (tmp_path / "wal.log").read_bytes() == WAL_MAGIC
+
+    def test_append_requires_open(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        with pytest.raises(DurabilityError):
+            wal.append(_record(1))
+
+    def test_append_then_scan(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.open()
+        for lsn in (1, 2, 3):
+            wal.append(_record(lsn))
+        wal.close()
+        assert [r["lsn"] for r in scan_wal(path).records] == [1, 2, 3]
+
+    def test_position_tracks_file_size(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.open()
+        wal.append(_record(1))
+        assert wal.position == (tmp_path / "wal.log").stat().st_size
+        wal.close()
+
+    def test_truncate_refused_while_open(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.open()
+        with pytest.raises(DurabilityError):
+            wal.truncate_to(6)
+        wal.close()
+
+    def test_truncate_chops_tail(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        blob = _write_wal(wal, [_record(1)])
+        torn = blob + b"\x01\x02\x03"
+        wal.write_bytes(torn)
+        log = WriteAheadLog(str(wal))
+        log.truncate_to(len(blob))
+        assert wal.read_bytes() == blob
+
+    def test_reset_leaves_fresh_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.open()
+        wal.append(_record(1))
+        wal.reset()
+        assert scan_wal(path).records == []
+        wal.append(_record(2))  # still open and appendable
+        wal.close()
+        assert [r["lsn"] for r in scan_wal(path).records] == [2]

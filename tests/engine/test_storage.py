@@ -140,3 +140,63 @@ class TestBaseRelation:
         rel.insert((1,), store)
         rel.clear()
         assert rel.cardinality == 0
+
+
+class TestKeyedAtomicity:
+    """Regression tests: batch DML must stage-then-swap, never leave a
+    partially applied batch or a corrupted key index behind."""
+
+    @pytest.fixture
+    def rel(self, store):
+        r = BaseRelation(
+            "R", Schema([("A", INT), ("B", CHAR)]), key=(1,)
+        )
+        r.insert_many([(1, "x"), (2, "y")], store)
+        return r
+
+    def test_insert_many_bad_row_applies_nothing(self, rel, store):
+        with pytest.raises(ValueError_):
+            rel.insert_many([(3, "ok"), (4, 7)], store)
+        assert rel.rows == [(1, "x"), (2, "y")]
+        assert rel._key_index == {(1,), (2,)}
+
+    def test_insert_many_existing_key_applies_nothing(self, rel, store):
+        with pytest.raises(ValueError_):
+            rel.insert_many([(3, "a"), (1, "dup")], store)
+        assert rel.rows == [(1, "x"), (2, "y")]
+        assert rel._key_index == {(1,), (2,)}
+
+    def test_insert_many_intra_batch_duplicate(self, rel, store):
+        with pytest.raises(ValueError_):
+            rel.insert_many([(3, "a"), (3, "b")], store)
+        assert rel.rows == [(1, "x"), (2, "y")]
+        assert (3,) not in rel._key_index
+
+    def test_rebuild_key_index_violation_preserves_index(self, rel):
+        rel.rows.append(rel.rows[0])  # simulate a buggy caller
+        before = set(rel._key_index)
+        with pytest.raises(ValueError_):
+            rel.rebuild_key_index()
+        assert rel._key_index == before
+
+    def test_rebuild_key_index_recomputes(self, rel):
+        rel.rows.pop()  # caller dropped a row behind the index's back
+        rel.rebuild_key_index()
+        assert rel._key_index == {(1,)}
+
+    def test_replace_rows_swaps_atomically(self, rel):
+        rel.replace_rows([(5, "a"), (6, "b")])
+        assert rel.rows == [(5, "a"), (6, "b")]
+        assert rel._key_index == {(5,), (6,)}
+
+    def test_replace_rows_violation_changes_nothing(self, rel):
+        with pytest.raises(ValueError_):
+            rel.replace_rows([(5, "a"), (5, "b")])
+        assert rel.rows == [(1, "x"), (2, "y")]
+        assert rel._key_index == {(1,), (2,)}
+
+    def test_replace_rows_on_unkeyed_relation(self, store):
+        rel = BaseRelation("R", Schema([("A", INT)]))
+        rel.insert((1,), store)
+        rel.replace_rows([(2,), (2,)])  # duplicates fine without a key
+        assert rel.rows == [(2,), (2,)]

@@ -1,0 +1,99 @@
+"""Property tests: value coercion is idempotent and the snapshot
+encoding is its lossless inverse.
+
+Two laws, over every declarable type shape:
+
+* ``coerce_value`` is *idempotent* -- re-coercing an already-coerced
+  value returns an equal value (the engine may coerce at insert and
+  again at replay/restore without drift);
+* snapshot ``encode_value``/``decode_value`` round-trips any coerced
+  value through JSON exactly (what the durability layer relies on).
+"""
+
+import json
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.adt.types import (BOOLEAN, CHAR, CollectionType, INT, NUMERIC,
+                             REAL, TupleType, TypeSystem)
+from repro.adt.values import ObjectStore
+from repro.durability import decode_value, encode_value
+from repro.engine.storage import coerce_value
+
+_STORE = ObjectStore()
+_ENUM = TypeSystem().define_enumeration(
+    "Mood", ["Comedy", "Adventure", "Western"]
+)
+
+_ATOMS = [
+    (INT, st.integers(-10**6, 10**6)),
+    (REAL, st.floats(allow_nan=False, allow_infinity=False,
+                     width=32).map(float)),
+    (NUMERIC, st.integers(-10**6, 10**6)),
+    (CHAR, st.text(max_size=12)),
+    (BOOLEAN, st.booleans()),
+    (_ENUM, st.sampled_from(list(_ENUM.literals))),
+]
+
+
+def _typed_values():
+    """(dtype, raw value) pairs for every type shape, nested two deep."""
+    base = st.one_of(*(
+        st.tuples(st.just(t), s) for t, s in _ATOMS
+    ))
+
+    def collect(children):
+        kinds = st.sampled_from(["SET", "BAG", "LIST", "ARRAY"])
+
+        def build(kind_and_elems):
+            kind, (dtype, values) = kind_and_elems
+            return (CollectionType(kind, dtype), list(values))
+
+        elems = children.flatmap(
+            lambda tv: st.tuples(
+                st.just(tv[0]),
+                st.lists(st.just(tv[1]), max_size=5),
+            )
+        )
+        return st.tuples(kinds, elems).map(build)
+
+    def tup(children):
+        def build(fields):
+            names = [f"F{i}" for i in range(len(fields))]
+            dtype = TupleType(
+                "T", list(zip(names, (t for t, _ in fields)))
+            )
+            return (dtype, {n: v for n, (_, v) in zip(names, fields)})
+        return st.lists(children, min_size=1, max_size=4).map(build)
+
+    return st.recursive(
+        base, lambda c: st.one_of(collect(c), tup(c)), max_leaves=10
+    )
+
+
+@given(_typed_values())
+def test_coercion_is_idempotent(typed):
+    dtype, raw = typed
+    once = coerce_value(raw, dtype, _STORE)
+    assert coerce_value(once, dtype, _STORE) == once
+
+
+@given(_typed_values())
+def test_snapshot_encoding_roundtrips_coerced_values(typed):
+    dtype, raw = typed
+    value = coerce_value(raw, dtype, _STORE)
+    wire = json.loads(json.dumps(encode_value(value)))
+    decoded = decode_value(wire)
+    assert decoded == value
+    # the restored value is already fully coerced for its type
+    assert coerce_value(decoded, dtype, _STORE) == value
+
+
+@given(st.lists(st.integers(-50, 50), max_size=8))
+def test_set_coercion_reaches_fixpoint_after_one_pass(elems):
+    dtype = CollectionType("SET", INT)
+    once = coerce_value(elems, dtype, _STORE)
+    twice = coerce_value(once, dtype, _STORE)
+    assert once == twice
+    assert len(twice.elements) == len(set(elems))
