@@ -1,0 +1,141 @@
+"""A11 -- serving overhead and read scaling under the guard.
+
+Three questions, per the concurrency layer's contract:
+
+* what does an *unserved* database pay for the layer existing at all?
+  (the null-object fast path: ``db.guard is None`` must cost nothing
+  measurable);
+* what does a single-threaded caller pay for serving on? (one shared
+  lock + admission ticket per statement);
+* do concurrent readers actually share? throughput from 1 -> 8
+  threads must not collapse (the shared side of the lock admits them
+  together; a mutex here would serialize and halve aggregate rates).
+
+Absolute scaling is GIL-bound for this pure-Python evaluator, so the
+asserted shape is "readers overlap and aggregate throughput holds",
+not a linear speedup; the measured ratios land in EXPERIMENTS.md.
+"""
+
+import threading
+import time
+
+from repro import Database
+from repro.server import AdmissionLimits, Server
+
+QUERY = "SELECT Shop, Amount FROM SALE WHERE Amount > 10"
+
+
+def _sale_db():
+    db = Database()
+    db.execute("TABLE SALE (Shop : NUMERIC, Amount : NUMERIC)")
+    values = ", ".join(f"({i % 7}, {(i * 13) % 60})" for i in range(120))
+    db.execute(f"INSERT INTO SALE VALUES {values}")
+    return db
+
+
+# -- single-thread costs -------------------------------------------------------
+
+def test_unserved_baseline(benchmark):
+    db = _sale_db()
+    assert db.guard is None  # the fast path really is the null object
+    benchmark(lambda: db.query(QUERY))
+
+
+def test_serving_on_single_thread(benchmark):
+    server = Server(_sale_db())
+    benchmark(lambda: server.query(QUERY))
+
+
+def test_serving_off_overhead_is_negligible():
+    """An unserved database after this PR vs. the same loop through a
+    guard: the None branch must stay within noise (the <5% budget is
+    checked over a large sample; the assertion uses a lenient bound so
+    CI machines do not flap)."""
+    db = _sale_db()
+    rounds = 60
+
+    def loop():
+        started = time.perf_counter()
+        for __ in range(rounds):
+            db.query(QUERY)
+        return time.perf_counter() - started
+
+    loop()  # warm caches
+    unserved = min(loop() for __ in range(3))
+    db.enable_serving()
+    served = min(loop() for __ in range(3))
+    # served pays the lock; unserved must not regress toward it
+    assert unserved <= served * 1.25
+
+
+# -- read scaling --------------------------------------------------------------
+
+def _throughput(server, threads, seconds=0.6):
+    """Aggregate queries/second completed by ``threads`` readers."""
+    stop = threading.Event()
+    counts = [0] * threads
+
+    def reader(slot):
+        session = server.open_session(f"bench-{threads}-{slot}")
+        while not stop.is_set():
+            server.query(QUERY, session=session.id)
+            counts[slot] += 1
+
+    workers = [threading.Thread(target=reader, args=(i,))
+               for i in range(threads)]
+    for w in workers:
+        w.start()
+    time.sleep(seconds)
+    stop.set()
+    for w in workers:
+        w.join(timeout=30.0)
+    return sum(counts) / seconds
+
+
+def test_readers_scale_without_collapse(capsys):
+    server = Server(_sale_db(), limits=AdmissionLimits(
+        max_readers=8, max_queue=64, queue_timeout_ms=30000.0,
+    ))
+    sweep = {n: _throughput(server, n) for n in (1, 2, 4, 8, 32)}
+    ratio = sweep[8] / sweep[1]
+    with capsys.disabled():
+        shape = ", ".join(f"{n}t={rate:.0f}/s"
+                          for n, rate in sweep.items())
+        print(f"\n[bench_server] read throughput sweep: {shape} "
+              f"(1->8 x{ratio:.2f})")
+    # shared readers: aggregate throughput must hold, not halve the
+    # way an exclusive lock would under 8-way contention
+    assert ratio > 0.5
+    assert server.stats()["admission"]["shed_total"] == 0
+
+
+def test_readers_overlap_inside_the_guard():
+    """Direct proof of sharing: the peak number of threads inside the
+    read side at once must exceed one."""
+    server = Server(_sale_db(), limits=AdmissionLimits(
+        max_readers=8, max_queue=64, queue_timeout_ms=5000.0,
+    ))
+    guard = server.guard
+    peak = {"now": 0, "max": 0}
+    lock = threading.Lock()
+    barrier = threading.Barrier(4)
+
+    def reader(slot):
+        session = server.open_session(f"overlap-{slot}")
+        barrier.wait(timeout=10.0)
+        for __ in range(10):
+            with guard.read():
+                with lock:
+                    peak["now"] += 1
+                    peak["max"] = max(peak["max"], peak["now"])
+                time.sleep(0.002)
+                with lock:
+                    peak["now"] -= 1
+
+    workers = [threading.Thread(target=reader, args=(i,))
+               for i in range(4)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join(timeout=30.0)
+    assert peak["max"] > 1

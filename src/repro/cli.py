@@ -30,8 +30,21 @@ Statements end with ``;``.  Dot-commands:
 ``.fsck``          run the invariant checker (arity, key index,
                    dangling references, WAL/snapshot agreement)
 ``.sync on``       fsync the WAL on every commit (also ``off``)
+``.serve on``      route statements through the concurrent serving
+                   layer (also ``off``/``status``): sessions, reader-
+                   writer isolation, admission control
+``.sessions``      list serving sessions; ``new [id]`` opens one,
+                   ``use <id>`` switches, ``close <id>`` ends one
+``.shed``          show admission/shedding stats; ``queue N``,
+                   ``readers N``, ``writers N``, ``timeout MS`` tune
+                   the limits
 ``.quit``          leave
 =================  =====================================================
+
+The ``.rewrite`` / ``.checked`` / ``.deadline`` / ``.profile`` toggles
+are *session* state: they never mutate the shared Database, so two
+shells (or serving sessions) over one database cannot leak settings
+into each other.
 """
 
 from __future__ import annotations
@@ -41,6 +54,7 @@ from typing import Iterable, Iterator, Optional
 
 from repro.engine.database import Database
 from repro.errors import ReproError
+from repro.server.session import SessionSettings
 
 __all__ = ["Shell", "main"]
 
@@ -57,9 +71,33 @@ class Shell:
 
     def __init__(self, db: Optional[Database] = None):
         self.db = db or Database()
-        self.rewrite = True
-        self.profile = False
+        # per-shell settings: applied as per-call overrides, never
+        # written into the shared Database (see the module docstring)
+        self.settings = SessionSettings(rewrite=True)
+        self.server = None    # repro.server.Server when .serve on
+        self.session = None   # the active serving Session
         self._buffer: list[str] = []
+
+    # legacy aliases (older tests/scripts poke these directly)
+    @property
+    def rewrite(self) -> bool:
+        return self.settings.rewrite is not False
+
+    @rewrite.setter
+    def rewrite(self, value: bool) -> None:
+        self.settings.rewrite = bool(value)
+
+    @property
+    def profile(self) -> bool:
+        return self.settings.profile
+
+    @profile.setter
+    def profile(self, value: bool) -> None:
+        self.settings.profile = bool(value)
+
+    @property
+    def serving(self) -> bool:
+        return self.server is not None
 
     # -- statement assembly -------------------------------------------------
     def feed(self, line: str) -> list[str]:
@@ -94,8 +132,21 @@ class Shell:
             return []
         try:
             upper = statement.upper()
-            if upper.startswith("SELECT") or upper.startswith("(SELECT"):
-                result = self.db.query(statement, rewrite=self.rewrite)
+            is_query = (upper.startswith("SELECT")
+                        or upper.startswith("(SELECT"))
+            if self.server is not None:
+                sid = self.session.id
+                if is_query:
+                    result = self.server.query(statement, session=sid)
+                    return [result.to_table()]
+                self.server.execute(statement, session=sid)
+                return ["ok"]
+            s = self.settings
+            if is_query:
+                result = self.db.query(
+                    statement, rewrite=s.rewrite, checked=s.checked,
+                    deadline_ms=s.deadline_ms,
+                )
                 return [result.to_table()]
             self.db.execute(statement)
             return ["ok"]
@@ -113,20 +164,20 @@ class Shell:
             return [_HELP.strip()]
         if command == ".rewrite":
             if argument.lower() in ("on", "off"):
-                self.rewrite = argument.lower() == "on"
+                self.settings.rewrite = argument.lower() == "on"
                 return [f"rewriting {'on' if self.rewrite else 'off'}"]
             return [f"rewriting is "
                     f"{'on' if self.rewrite else 'off'}"]
         if command == ".checked":
             if argument.lower() in ("on", "off"):
-                self.db.checked = argument.lower() == "on"
+                self.settings.checked = argument.lower() == "on"
                 return [f"checked mode "
-                        f"{'on' if self.db.checked else 'off'}"]
+                        f"{'on' if self.settings.checked else 'off'}"]
             return [f"checked mode is "
-                    f"{'on' if self.db.checked else 'off'}"]
+                    f"{'on' if self.settings.checked else 'off'}"]
         if command == ".deadline":
             if argument.lower() in ("off", "none"):
-                self.db.deadline_ms = None
+                self.settings.deadline_ms = None
                 return ["deadline off"]
             if argument:
                 try:
@@ -135,17 +186,23 @@ class Shell:
                     return ["usage: .deadline <milliseconds>|off"]
                 if value <= 0:
                     return ["usage: .deadline <milliseconds>|off"]
-                self.db.deadline_ms = value
+                self.settings.deadline_ms = value
                 return [f"deadline {value:g} ms"]
-            if self.db.deadline_ms is None:
+            if self.settings.deadline_ms is None:
                 return ["no deadline"]
-            return [f"deadline is {self.db.deadline_ms:g} ms"]
+            return [f"deadline is {self.settings.deadline_ms:g} ms"]
         if command == ".profile":
             if argument.lower() in ("on", "off"):
-                self.profile = argument.lower() == "on"
+                self.settings.profile = argument.lower() == "on"
                 return [f"profiling {'on' if self.profile else 'off'}"]
             return [f"profiling is "
                     f"{'on' if self.profile else 'off'}"]
+        if command == ".serve":
+            return self._serve_command(argument)
+        if command == ".sessions":
+            return self._sessions_command(argument)
+        if command == ".shed":
+            return self._shed_command(argument)
         if command == ".schema":
             lines = []
             catalog = self.db.catalog
@@ -181,18 +238,22 @@ class Shell:
             try:
                 # recovery runs inside the constructor; a corrupt or
                 # truncated file surfaces as a ReproError (handled by
-                # the caller's guard), never a traceback
+                # the caller's guard), never a traceback.  The shell's
+                # checked/deadline settings are session state and carry
+                # over untouched.
                 db = Database(
                     path=argument,
-                    checked=self.db.checked,
-                    deadline_ms=self.db.deadline_ms,
                     hash_joins=self.db.hash_joins,
                 )
             except OSError as error:
                 return [f"error: {error}"]
             self.db.close()
             self.db = db
-            return [f"opened {argument}: {db.recovery.summary()}"]
+            lines = [f"opened {argument}: {db.recovery.summary()}"]
+            if self.server is not None:
+                self._start_serving()
+                lines.append("serving restarted on the new database")
+            return lines
         if command == ".checkpoint":
             if self.db.durability is None:
                 return ["error: no durable database open "
@@ -227,7 +288,11 @@ class Shell:
             if not argument:
                 return ["usage: .explain SELECT ..."]
             try:
-                return [self.db.explain(argument, profile=self.profile)]
+                s = self.settings
+                return [self.db.explain(
+                    argument, profile=s.profile, checked=s.checked,
+                    deadline_ms=s.deadline_ms,
+                )]
             except ReproError as error:
                 return [f"error: {error}"]
         if command == ".stats":
@@ -238,9 +303,11 @@ class Shell:
                 from repro.obs.profile import Profiler
                 profiler = Profiler()
             try:
+                s = self.settings
                 result, stats, optimized = self.db.query_with_stats(
-                    argument, rewrite=self.rewrite,
+                    argument, rewrite=s.rewrite,
                     obs=profiler.bus if profiler else None,
+                    checked=s.checked, deadline_ms=s.deadline_ms,
                 )
             except ReproError as error:
                 return [f"error: {error}"]
@@ -274,6 +341,124 @@ class Shell:
                     )
             return lines
         return [f"unknown command {command}; try .help"]
+
+    # -- serving commands -----------------------------------------------------
+    def _start_serving(self) -> None:
+        from repro.server import Server
+        self.server = Server(self.db)
+        # the active session shares the shell's settings object, so
+        # .checked/.deadline keep applying to it in place
+        self.session = self.server.open_session(settings=self.settings)
+
+    def _serve_command(self, argument: str) -> list[str]:
+        arg = argument.lower()
+        if arg == "on":
+            if self.server is not None:
+                return ["already serving"]
+            self._start_serving()
+            return [f"serving on (session {self.session.id})"]
+        if arg == "off":
+            if self.server is None:
+                return ["not serving"]
+            self.server.close()
+            self.server = None
+            self.session = None
+            return ["serving off"]
+        if self.server is None:
+            return ["serving is off"]
+        stats = self.server.stats()
+        admission = stats["admission"]
+        return [
+            f"serving is on (session {self.session.id}, "
+            f"{stats['sessions']} session(s), "
+            f"version {stats['snapshot_version']}, "
+            f"{admission['admitted_total']} admitted, "
+            f"{admission['shed_total']} shed)"
+        ]
+
+    def _sessions_command(self, argument: str) -> list[str]:
+        if self.server is None:
+            return ["error: not serving (use .serve on)"]
+        parts = argument.split(None, 1)
+        action = parts[0].lower() if parts else ""
+        name = parts[1].strip() if len(parts) > 1 else None
+        if action == "new":
+            session = self.server.open_session(name)
+            self.session = session
+            self.settings = session.settings
+            return [f"session {session.id} opened and active"]
+        if action == "use":
+            if not name:
+                return ["usage: .sessions use <id>"]
+            session = self.server.sessions.get(name)
+            self.session = session
+            self.settings = session.settings
+            return [f"session {session.id} active"]
+        if action == "close":
+            if not name:
+                return ["usage: .sessions close <id>"]
+            self.server.close_session(name)
+            lines = [f"session {name} closed"]
+            if self.session is not None and self.session.id == name:
+                self._start_serving()
+                lines.append(f"session {self.session.id} active")
+            return lines
+        if action:
+            return ["usage: .sessions [new [id] | use <id> "
+                    "| close <id>]"]
+        lines = []
+        for session in self.server.sessions.sessions():
+            marker = "*" if (self.session is not None
+                             and session.id == self.session.id) else " "
+            lines.append(
+                f"{marker} {session.id}: {session.settings.describe()}, "
+                f"{session.statements} statement(s), idle "
+                f"{session.idle_for():.1f}s"
+            )
+        return lines or ["(no sessions)"]
+
+    def _shed_command(self, argument: str) -> list[str]:
+        if self.server is None:
+            return ["error: not serving (use .serve on)"]
+        admission = self.server.admission
+        if argument:
+            from dataclasses import replace
+            parts = argument.split()
+            if len(parts) != 2:
+                return ["usage: .shed [queue N | readers N | "
+                        "writers N | timeout MS]"]
+            knob, raw = parts[0].lower(), parts[1]
+            try:
+                value = float(raw) if knob == "timeout" else int(raw)
+            except ValueError:
+                return [f"error: {raw!r} is not a number"]
+            if value <= 0:
+                return ["error: the limit must be positive"]
+            field = {
+                "queue": "max_queue", "readers": "max_readers",
+                "writers": "max_writers", "timeout": "queue_timeout_ms",
+            }.get(knob)
+            if field is None:
+                return ["usage: .shed [queue N | readers N | "
+                        "writers N | timeout MS]"]
+            admission.limits = replace(
+                admission.limits, **{field: value}
+            )
+            return [f"{field} = {value:g}"]
+        snap = admission.snapshot()
+        limits = snap["limits"]
+        return [
+            f"admitted {snap['admitted_total']}, shed "
+            f"{snap['shed_total']}, waiting "
+            f"{snap['waiting']['read'] + snap['waiting']['write']}",
+            f"limits: {limits['max_readers']} reader(s), "
+            f"{limits['max_writers']} writer(s), queue "
+            f"{limits['max_queue']}, timeout "
+            f"{limits['queue_timeout_ms']:g} ms",
+            f"service ewma: read "
+            f"{snap['service_ewma_ms']['read']:.2f} ms, write "
+            f"{snap['service_ewma_ms']['write']:.2f} ms",
+        ]
 
 
 def main(argv: Optional[list[str]] = None) -> int:

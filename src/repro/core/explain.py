@@ -6,10 +6,10 @@ shared by the CLI, ``Database.explain_json`` and
 ``benchmarks/report.py`` -- one schema for interactive EXPLAIN and
 benchmark ingestion (documented in ``docs/observability.md``).
 
-Top-level JSON shape (``schema_version`` 2)::
+Top-level JSON shape (``schema_version`` 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "plans":   {"before": {"text", "nodes"}, "after": {"text", "nodes"}},
       "rewrite": {"applications", "checks", "passes", "degraded",
                   "trace": [{"block","rule","path","before","after"}],
@@ -23,13 +23,23 @@ Top-level JSON shape (``schema_version`` 2)::
                      "checked": {"validations", "errors",
                                  "rollbacks": [{"block","detail",
                                    "applications_discarded"}]}} or null,
+      "server": {"session", "request_class", "queue_wait_ms",
+                 "snapshot_version", "shed_total",
+                 "errors": [{"error","message", <typed attrs>...}]}
+                or null,
       "profile": <Profiler.report() or null>,
       "eval":    <EvalStats.snapshot() or null>
     }
 
 ``resilience`` is null when the optimizer ran without a resilience
-policy (version 2's only structural addition over version 1, besides
-``rewrite.degraded``; see ``docs/robustness.md``).
+policy (version 2's structural addition over version 1, besides
+``rewrite.degraded``; see ``docs/robustness.md``).  ``server`` is null
+unless the report came through :class:`repro.server.Server` (version
+3's addition; see ``docs/server.md``): its ``errors`` list is the
+session's recent typed-error tail, each entry produced by
+:func:`repro.errors.error_payload` so ``ServerOverloaded`` carries
+``retry_after``, deadline degradations their budget, quarantines their
+rule, uniformly.
 
 ``validate_explain`` is the schema's executable documentation: it
 returns the list of violations (empty means valid) and is used by the
@@ -48,7 +58,7 @@ from repro.terms.term import term_size
 __all__ = ["explain_text", "explain_json", "validate_explain",
            "EXPLAIN_SCHEMA_VERSION"]
 
-EXPLAIN_SCHEMA_VERSION = 2
+EXPLAIN_SCHEMA_VERSION = 3
 
 
 def explain_text(optimized: OptimizedQuery, verbose: bool = False,
@@ -196,12 +206,15 @@ def _render_spans(spans: list[dict], depth: int,
 
 def explain_json(optimized: OptimizedQuery,
                  profile: Optional[dict] = None,
-                 eval_stats=None) -> dict:
+                 eval_stats=None,
+                 server: Optional[dict] = None) -> dict:
     """The machine-readable EXPLAIN report (see the module docstring).
 
     ``profile`` is a :meth:`~repro.obs.profile.Profiler.report` dict
     (or a Profiler, which is reported automatically); ``eval_stats`` an
-    :class:`~repro.engine.stats.EvalStats` from executing the plan.
+    :class:`~repro.engine.stats.EvalStats` from executing the plan;
+    ``server`` the serving-layer section (filled in by
+    :meth:`repro.server.Server.explain_json`, null everywhere else).
     """
     if profile is not None and hasattr(profile, "report"):
         profile = profile.report()
@@ -237,6 +250,7 @@ def explain_json(optimized: OptimizedQuery,
         },
         "resilience": (result.resilience.as_dict()
                        if result.resilience is not None else None),
+        "server": server,
         "profile": profile,
         "eval": eval_stats.snapshot() if eval_stats is not None else None,
     }
@@ -304,6 +318,38 @@ def validate_explain(report: dict) -> list[str]:
                 if value is not None and value < 0:
                     problems.append(f"resilience.checked.{key}: negative")
             need(checked, "rollbacks", list, "resilience.checked")
+    if "server" not in report:
+        problems.append("report: missing key 'server'")
+    elif report["server"] is not None:
+        server = report["server"]
+        need(server, "session", str, "server")
+        request_class = need(server, "request_class", str, "server")
+        if request_class is not None and \
+                request_class not in ("read", "write"):
+            problems.append(
+                "server.request_class: not 'read' or 'write'"
+            )
+        wait = need(server, "queue_wait_ms", (int, float), "server")
+        if wait is not None and wait < 0:
+            problems.append("server.queue_wait_ms: negative")
+        version = need(server, "snapshot_version", int, "server")
+        if version is not None and version < 0:
+            problems.append("server.snapshot_version: negative")
+        shed = need(server, "shed_total", int, "server")
+        if shed is not None and shed < 0:
+            problems.append("server.shed_total: negative")
+        errors = need(server, "errors", list, "server")
+        if errors is not None:
+            for i, entry in enumerate(errors):
+                for key in ("error", "message"):
+                    need(entry, key, str, f"server.errors[{i}]")
+                if isinstance(entry, dict) and \
+                        entry.get("error") == "ServerOverloaded" and \
+                        "retry_after" not in entry:
+                    problems.append(
+                        f"server.errors[{i}]: ServerOverloaded "
+                        f"without retry_after"
+                    )
     if "profile" not in report:
         problems.append("report: missing key 'profile'")
     elif report["profile"] is not None:

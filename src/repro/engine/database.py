@@ -14,6 +14,7 @@ that is the baseline the benchmarks compare against.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Optional
 
 from repro.core.explain import explain_json, explain_text
@@ -74,6 +75,11 @@ class Database:
         self.obs = obs
         self._ddl_history: list[str] = []
         self._replaying = False
+        # serving: None until enable_serving() installs a
+        # ConcurrencyGuard; every lock site branches on None first so
+        # the single-threaded path stays lock-free (null-object fast
+        # path, see docs/server.md)
+        self.guard = None
         self.durability = None
         self.recovery = None
         if path is not None:
@@ -98,6 +104,25 @@ class Database:
     def regenerate_optimizer(self) -> None:
         self._optimizer = None
 
+    # -- serving ---------------------------------------------------------------
+    def enable_serving(self, guard=None):
+        """Install the reader-writer :class:`ConcurrencyGuard` (idempotent).
+
+        After this call, every mutating statement takes an exclusive
+        statement-scoped writer lock and every query runs under a
+        shared lock pinned to a committed-statement snapshot -- the
+        contract :class:`repro.server.Server` builds on.  Serving off
+        (the default) keeps all paths lock-free.
+        """
+        if self.guard is None:
+            from repro.server.locks import ConcurrencyGuard
+            self.guard = guard if guard is not None else ConcurrencyGuard()
+        return self.guard
+
+    def _read_guard(self):
+        guard = self.guard
+        return nullcontext() if guard is None else guard.read()
+
     # -- statements ------------------------------------------------------------
     def execute(self, script: str) -> list[Result]:
         """Run an ESQL script; returns the results of any queries.
@@ -106,12 +131,30 @@ class Database:
         on any error -- is rolled back to the statement boundary via its
         undo log.  On a durable database, committed statements are
         appended to the write-ahead log.
+
+        With serving enabled, each mutating statement holds the writer
+        lock for exactly its own duration and each query holds the
+        shared reader lock, so concurrent callers interleave only at
+        statement boundaries.
         """
+        guard = self.guard
         results = []
         for statement, source in parse_script_with_sources(script):
-            term = self._apply_statement(statement, source)
-            if term is not None:
-                results.append(self._run(term, self.rewrite_default)[0])
+            if guard is None:
+                term = self._apply_statement(statement, source)
+                if term is not None:
+                    results.append(
+                        self._run(term, self.rewrite_default)[0]
+                    )
+            elif isinstance(statement, ast.Select):
+                with guard.read():
+                    term = self._apply_statement(statement, source)
+                    results.append(
+                        self._run(term, self.rewrite_default)[0]
+                    )
+            else:
+                with guard.write():
+                    self._apply_statement(statement, source)
         return results
 
     def _apply_statement(self, statement, source: str) -> Optional[Term]:
@@ -141,19 +184,31 @@ class Database:
 
     # -- durability ------------------------------------------------------------
     def checkpoint(self):
-        """Install a snapshot and reset the WAL (durable databases)."""
+        """Install a snapshot and reset the WAL (durable databases).
+
+        Served databases quiesce first: the snapshot is taken under an
+        exclusive hold so it never captures a half-applied statement.
+        """
         if self.durability is None:
             raise DurabilityError(
                 "checkpoint needs a durable database; open one with "
                 "Database(path=...)"
             )
-        return self.durability.checkpoint(self)
+        guard = self.guard
+        if guard is None:
+            return self.durability.checkpoint(self)
+        with guard.exclusive():
+            return self.durability.checkpoint(self)
 
     def fsck(self):
         """Run the invariant checker; returns a
         :class:`repro.durability.FsckReport`."""
         from repro.durability.check import check_database
-        return check_database(self)
+        guard = self.guard
+        if guard is None:
+            return check_database(self)
+        with guard.exclusive():
+            return check_database(self)
 
     @property
     def sync(self) -> bool:
@@ -175,28 +230,46 @@ class Database:
             self.durability.close()
 
     def query(self, source: str, rewrite: Optional[bool] = None,
-              stats: Optional[EvalStats] = None) -> Result:
-        """Run one SELECT and return its result."""
-        return self._query_term(
-            self._translate_single(source), rewrite, stats
-        )
+              stats: Optional[EvalStats] = None,
+              checked: Optional[bool] = None,
+              deadline_ms: Optional[float] = None) -> Result:
+        """Run one SELECT and return its result.
+
+        ``checked`` / ``deadline_ms`` override the database-wide
+        resilience defaults for this one call (what per-session
+        settings ride on; see ``docs/server.md``).
+        """
+        guard = self.guard
+        if guard is None:
+            return self._query_term(
+                self._translate_single(source), rewrite, stats,
+                checked=checked, deadline_ms=deadline_ms,
+            )
+        with guard.read():
+            return self._query_term(
+                self._translate_single(source), rewrite, stats,
+                checked=checked, deadline_ms=deadline_ms,
+            )
 
     def query_with_stats(
         self, source: str, rewrite: Optional[bool] = None,
-        obs=None,
+        obs=None, checked: Optional[bool] = None,
+        deadline_ms: Optional[float] = None,
     ) -> tuple[Result, EvalStats, OptimizedQuery]:
         """Run one SELECT, returning work counters and the optimization."""
         stats = EvalStats()
-        term = self._translate_single(source)
-        use_rewrite = self.rewrite_default if rewrite is None else rewrite
-        optimized = self.optimizer.optimize(
-            term, rewrite=use_rewrite, obs=obs,
-            **self._resilience_kwargs(),
-        )
-        result = Evaluator(
-            self.catalog, stats=stats, semi_naive=self.semi_naive,
-            hash_joins=self.hash_joins, obs=obs,
-        ).evaluate(optimized.final)
+        with self._read_guard():
+            term = self._translate_single(source)
+            use_rewrite = (self.rewrite_default if rewrite is None
+                           else rewrite)
+            optimized = self.optimizer.optimize(
+                term, rewrite=use_rewrite, obs=obs,
+                **self._resilience_kwargs(checked, deadline_ms),
+            )
+            result = Evaluator(
+                self.catalog, stats=stats, semi_naive=self.semi_naive,
+                hash_joins=self.hash_joins, obs=obs,
+            ).evaluate(optimized.final)
         return result, stats, optimized
 
     def optimize(self, source: str,
@@ -208,31 +281,39 @@ class Database:
         ``deadline_ms`` / ``checked`` override the database-wide
         resilience defaults for this one call.
         """
-        kwargs = self._resilience_kwargs()
-        if deadline_ms is not None:
-            kwargs["deadline_ms"] = deadline_ms
-        if checked is not None:
-            kwargs["checked"] = checked
-        return self.optimizer.optimize(
-            self._translate_single(source), rewrite=rewrite, obs=obs,
-            **kwargs,
-        )
+        with self._read_guard():
+            return self.optimizer.optimize(
+                self._translate_single(source), rewrite=rewrite,
+                obs=obs,
+                **self._resilience_kwargs(checked, deadline_ms),
+            )
 
     def explain(self, source: str, verbose: bool = False,
-                profile: bool = False) -> str:
+                profile: bool = False,
+                checked: Optional[bool] = None,
+                deadline_ms: Optional[float] = None) -> str:
         """Human-readable EXPLAIN; ``profile=True`` attaches a
         :class:`~repro.obs.profile.Profiler` and appends its telemetry
         section (the CLI's ``.profile on`` mode)."""
         if not profile:
-            return explain_text(self.optimize(source), verbose=verbose)
+            return explain_text(
+                self.optimize(source, checked=checked,
+                              deadline_ms=deadline_ms),
+                verbose=verbose,
+            )
         profiler = Profiler()
-        optimized = self.optimize(source, obs=profiler.bus)
+        optimized = self.optimize(
+            source, obs=profiler.bus, checked=checked,
+            deadline_ms=deadline_ms,
+        )
         return explain_text(
             optimized, verbose=verbose, profile=profiler.report()
         )
 
     def explain_json(self, source: str, execute: bool = False,
-                     rewrite: Optional[bool] = None) -> dict:
+                     rewrite: Optional[bool] = None,
+                     checked: Optional[bool] = None,
+                     deadline_ms: Optional[float] = None) -> dict:
         """The machine-readable EXPLAIN report (one schema for the CLI
         and ``benchmarks/report.py``; see ``docs/observability.md``).
 
@@ -242,17 +323,20 @@ class Database:
         """
         profiler = Profiler()
         use_rewrite = self.rewrite_default if rewrite is None else rewrite
-        optimized = self.optimize(
-            source, rewrite=use_rewrite, obs=profiler.bus
-        )
-        stats = None
-        if execute:
-            stats = EvalStats()
-            Evaluator(
-                self.catalog, stats=stats, semi_naive=self.semi_naive,
-                hash_joins=self.hash_joins, obs=profiler.bus,
-            ).evaluate(optimized.final)
-            profiler.absorb_eval_stats(stats)
+        with self._read_guard():
+            optimized = self.optimize(
+                source, rewrite=use_rewrite, obs=profiler.bus,
+                checked=checked, deadline_ms=deadline_ms,
+            )
+            stats = None
+            if execute:
+                stats = EvalStats()
+                Evaluator(
+                    self.catalog, stats=stats,
+                    semi_naive=self.semi_naive,
+                    hash_joins=self.hash_joins, obs=profiler.bus,
+                ).evaluate(optimized.final)
+                profiler.absorb_eval_stats(stats)
         return explain_json(
             optimized, profile=profiler, eval_stats=stats
         )
@@ -261,11 +345,30 @@ class Database:
     def add_integrity_constraint(self, source: str) -> None:
         """Declare a Figure 10 integrity constraint (rule-language text)."""
         rule = compile_integrity_constraint(source)
-        self.catalog.integrity_constraints.append(rule)
-        self.regenerate_optimizer()
+        guard = self.guard
+        if guard is None:
+            self.catalog.integrity_constraints.append(rule)
+            self.regenerate_optimizer()
+            return
+        with guard.exclusive():
+            self.catalog.integrity_constraints.append(rule)
+            self.regenerate_optimizer()
 
     def install(self, extension: Extension) -> None:
-        """Install a DBI extension bundle; regenerates the optimizer."""
+        """Install a DBI extension bundle; regenerates the optimizer.
+
+        On a served database the installation quiesces traffic first
+        (exclusive hold): optimizer regeneration must never race a
+        query holding a reference to the old rewriter.
+        """
+        guard = self.guard
+        if guard is None:
+            self._install(extension)
+            return
+        with guard.exclusive():
+            self._install(extension)
+
+    def _install(self, extension: Extension) -> None:
         from repro.rules.rule import rule_from_text
         for fdef in extension.functions:
             self.catalog.registry.register(fdef, replace=True)
@@ -293,31 +396,54 @@ class Database:
         return term
 
     def _query_term(self, term: Term, rewrite: Optional[bool],
-                    stats: Optional[EvalStats]) -> Result:
+                    stats: Optional[EvalStats],
+                    checked: Optional[bool] = None,
+                    deadline_ms: Optional[float] = None) -> Result:
         use_rewrite = self.rewrite_default if rewrite is None else rewrite
-        return self._run(term, use_rewrite, stats)[0]
+        return self._run(term, use_rewrite, stats,
+                         checked=checked, deadline_ms=deadline_ms)[0]
 
-    def _resilience_kwargs(self) -> dict:
-        """The database-wide resilience defaults for optimize().
+    def _resilience_kwargs(self, checked: Optional[bool] = None,
+                           deadline_ms: Optional[float] = None) -> dict:
+        """The resilience settings for optimize(): the database-wide
+        defaults, overridden per call by ``checked``/``deadline_ms``
+        (``None`` defers -- this is what per-session settings ride on).
 
         ``resilient=True`` activates rule sandboxing and divergence
         detection even when no deadline or checked mode is configured
         (those two imply a policy of their own, with sandboxing on).
         """
-        if self.resilient and self.deadline_ms is None \
-                and not self.checked:
+        use_checked = self.checked if checked is None else checked
+        use_deadline = (self.deadline_ms if deadline_ms is None
+                        else deadline_ms)
+        if self.resilient and use_deadline is None and not use_checked:
             from repro.resilience import ResiliencePolicy
             return {"resilience": ResiliencePolicy()}
-        return {"deadline_ms": self.deadline_ms, "checked": self.checked}
+        return {"deadline_ms": use_deadline, "checked": use_checked}
 
     def _run(self, term: Term, rewrite: bool,
              stats: Optional[EvalStats] = None,
+             checked: Optional[bool] = None,
+             deadline_ms: Optional[float] = None,
              ) -> tuple[Result, OptimizedQuery]:
-        optimized = self.optimizer.optimize(
-            term, rewrite=rewrite, **self._resilience_kwargs()
-        )
-        evaluator = Evaluator(
-            self.catalog, stats=stats, semi_naive=self.semi_naive,
-            hash_joins=self.hash_joins,
-        )
-        return evaluator.evaluate(optimized.final), optimized
+        guard = self.guard
+        if guard is None:
+            optimized = self.optimizer.optimize(
+                term, rewrite=rewrite,
+                **self._resilience_kwargs(checked, deadline_ms),
+            )
+            evaluator = Evaluator(
+                self.catalog, stats=stats, semi_naive=self.semi_naive,
+                hash_joins=self.hash_joins,
+            )
+            return evaluator.evaluate(optimized.final), optimized
+        with guard.read():
+            optimized = self.optimizer.optimize(
+                term, rewrite=rewrite,
+                **self._resilience_kwargs(checked, deadline_ms),
+            )
+            evaluator = Evaluator(
+                self.catalog, stats=stats, semi_naive=self.semi_naive,
+                hash_joins=self.hash_joins,
+            )
+            return evaluator.evaluate(optimized.final), optimized

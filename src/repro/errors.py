@@ -96,3 +96,90 @@ class DurabilityError(ReproError):
     """Raised by the durability layer (bad WAL/snapshot files, misuse of
     the checkpoint API); recoverable corruption is repaired silently and
     reported through :class:`repro.durability.RecoveryReport` instead."""
+
+
+class ServerError(ReproError):
+    """Base class of the concurrent serving layer's errors.
+
+    Every subclass carries its discriminating data as attributes so the
+    serving layer can serialise them uniformly (see
+    :func:`error_payload` and the ``server`` section of explain JSON
+    schema version 3).
+    """
+
+
+class ServerOverloaded(ServerError):
+    """The admission controller shed this request.
+
+    Attributes
+    ----------
+    retry_after:
+        Hint, in seconds, for when a retry is likely to be admitted
+        (consumed by :class:`repro.server.RetryPolicy`).
+    request_class:
+        The admission class that was full (``"read"`` or ``"write"``).
+    queue_depth:
+        How many requests were already waiting when this one was shed.
+    """
+
+    def __init__(self, message: str, retry_after: float,
+                 request_class: str = "read", queue_depth: int = 0):
+        self.retry_after = float(retry_after)
+        self.request_class = request_class
+        self.queue_depth = queue_depth
+        super().__init__(message)
+
+
+class CircuitOpen(ServerError):
+    """A client-side circuit breaker is open for this failure class."""
+
+    def __init__(self, message: str, failure_class: str,
+                 retry_after: float):
+        self.failure_class = failure_class
+        self.retry_after = float(retry_after)
+        super().__init__(message)
+
+
+class RetryBudgetExceeded(ServerError):
+    """A :class:`repro.server.RetryPolicy` gave up; ``last_error`` is
+    the error of the final attempt."""
+
+    def __init__(self, message: str, attempts: int,
+                 last_error: Exception | None = None):
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(message)
+
+
+class SessionExpired(ServerError):
+    """The referenced session does not exist (never opened, closed, or
+    reaped after its idle timeout)."""
+
+    def __init__(self, message: str, session_id: str):
+        self.session_id = session_id
+        super().__init__(message)
+
+
+# Attributes lifted into an error's wire payload when present.  One
+# table for every typed error keeps the explain-JSON ``server.errors``
+# entries consistent across subsystems (ServerOverloaded's retry_after,
+# a deadline's elapsed/budget, a quarantined rule's name, ...).
+_PAYLOAD_ATTRS = (
+    "retry_after", "request_class", "queue_depth", "failure_class",
+    "attempts", "session_id", "deadline_ms", "elapsed_ms", "rule",
+    "block", "line", "column",
+)
+
+
+def error_payload(error: BaseException) -> dict:
+    """Serialise any library error into a flat, JSON-ready dict.
+
+    Shape: ``{"error": <class name>, "message": <str(error)>}`` plus
+    whichever of the known typed attributes the error carries.
+    """
+    payload = {"error": type(error).__name__, "message": str(error)}
+    for attr in _PAYLOAD_ATTRS:
+        value = getattr(error, attr, None)
+        if value is not None:
+            payload[attr] = value
+    return payload

@@ -16,10 +16,17 @@ delivery to the given event classes.  A failing subscriber is
 unsubscribed after :data:`MAX_SUBSCRIBER_ERRORS` consecutive errors
 rather than poisoning the rewrite, because observability must never
 change query results.
+
+The bus is thread-safe for the serving layer: the subscriber list is
+guarded by a lock and emission iterates over an immutable copy, so a
+subscribe/unsubscribe racing an ``emit`` from another session can never
+corrupt delivery (copy-on-iterate).  Handlers themselves may run
+concurrently and must do their own locking (``MetricsRegistry`` does).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Type
 
 from repro.obs.events import Event
@@ -52,10 +59,11 @@ class Subscription:
 class EventBus:
     """Synchronous pub/sub for pipeline events."""
 
-    __slots__ = ("_subscriptions",)
+    __slots__ = ("_subscriptions", "_lock")
 
     def __init__(self):
         self._subscriptions: list[Subscription] = []
+        self._lock = threading.Lock()
 
     # -- subscriber management ----------------------------------------------
     def subscribe(self, handler: Callable[[Event], None],
@@ -65,20 +73,25 @@ class EventBus:
         sub = Subscription(
             self, handler, None if kinds is None else frozenset(kinds)
         )
-        self._subscriptions.append(sub)
+        with self._lock:
+            # rebind instead of append: emit() reads the list reference
+            # without the lock, so it must always see a complete list
+            self._subscriptions = self._subscriptions + [sub]
         return sub
 
     def unsubscribe(self, handler: Callable[[Event], None]) -> None:
         # equality, not identity: bound methods are recreated per access
-        self._subscriptions = [
-            s for s in self._subscriptions if s.handler != handler
-        ]
+        with self._lock:
+            self._subscriptions = [
+                s for s in self._subscriptions if s.handler != handler
+            ]
 
     def _drop(self, sub: Subscription) -> None:
-        try:
-            self._subscriptions.remove(sub)
-        except ValueError:
-            pass
+        with self._lock:
+            if sub in self._subscriptions:
+                self._subscriptions = [
+                    s for s in self._subscriptions if s is not sub
+                ]
 
     @property
     def active(self) -> bool:
@@ -89,7 +102,10 @@ class EventBus:
 
     # -- emission -------------------------------------------------------------
     def emit(self, event: Event) -> None:
-        for sub in list(self._subscriptions):
+        # the list is never mutated in place (subscribe/unsubscribe
+        # rebind it under the lock), so one reference read yields an
+        # immutable snapshot -- the emit hot path stays lock-free
+        for sub in self._subscriptions:
             if not sub.accepts(event):
                 continue
             try:

@@ -25,6 +25,17 @@ sinks can serialise uniformly.  The taxonomy mirrors the pipeline:
 ``CheckpointTaken``a snapshot was installed and the WAL reset
 ``RecoveryCompleted`` a durable database finished opening
 ``FsckViolation``  the invariant checker found a broken invariant
+``SessionOpened``  a serving session was created
+``SessionClosed``  a session ended (explicit close or idle reaping)
+``RequestAdmitted``the admission controller let a request through;
+                   carries its class and queue wait
+``RequestShed``    the admission controller rejected a request
+                   (queue full or queue-wait deadline); carries the
+                   ``retry_after`` hint
+``RequestCompleted``a served request finished successfully
+``RequestFailed``  a served request raised; carries the failure class
+``BreakerStateChanged`` a circuit breaker moved between closed /
+                   open / half-open
 =================  ======================================================
 
 Durations are monotonic-clock seconds (``time.perf_counter`` deltas).
@@ -44,6 +55,8 @@ __all__ = [
     "Degraded", "DivergenceDetected", "CheckedRollback",
     "WalAppend", "WalReplay", "CheckpointTaken", "RecoveryCompleted",
     "FsckViolation",
+    "SessionOpened", "SessionClosed", "RequestAdmitted", "RequestShed",
+    "RequestCompleted", "RequestFailed", "BreakerStateChanged",
 ]
 
 
@@ -249,3 +262,68 @@ class FsckViolation(Event):
 
     kind: str
     detail: str
+
+
+@dataclass(frozen=True)
+class SessionOpened(Event):
+    """A serving session was created."""
+
+    session: str
+
+
+@dataclass(frozen=True)
+class SessionClosed(Event):
+    """A serving session ended; ``reason`` is ``"closed"`` (explicit)
+    or ``"reaped"`` (idle timeout)."""
+
+    session: str
+    reason: str
+    idle: float
+
+
+@dataclass(frozen=True)
+class RequestAdmitted(Event):
+    """The admission controller let one request through."""
+
+    request_class: str
+    queue_wait: float
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class RequestShed(Event):
+    """The admission controller rejected one request under load."""
+
+    request_class: str
+    reason: str
+    retry_after: float
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class RequestCompleted(Event):
+    """One served request finished successfully."""
+
+    request_class: str
+    session: str
+    duration: float
+
+
+@dataclass(frozen=True)
+class RequestFailed(Event):
+    """One served request raised; ``failure_class`` is the error's
+    class name (the key circuit breakers aggregate on)."""
+
+    request_class: str
+    session: str
+    failure_class: str
+    duration: float
+
+
+@dataclass(frozen=True)
+class BreakerStateChanged(Event):
+    """A circuit breaker moved between closed / open / half-open."""
+
+    failure_class: str
+    state: str
+    failures: int

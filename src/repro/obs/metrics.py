@@ -28,32 +28,45 @@ measure)::
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 __all__ = ["CounterMetric", "Histogram", "MetricsRegistry"]
 
 
 class CounterMetric:
-    """A monotonically increasing integer counter."""
+    """A monotonically increasing integer counter.
 
-    __slots__ = ("name", "value")
+    Thread-safe: ``inc`` holds a per-metric lock, so counters shared by
+    concurrent server sessions never lose updates (``value += amount``
+    is not atomic across bytecodes).
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"CounterMetric({self.name}={self.value})"
 
 
 class Histogram:
-    """Streaming summary statistics plus a bounded sample reservoir."""
+    """Streaming summary statistics plus a bounded sample reservoir.
+
+    Thread-safe: ``observe`` updates its running aggregates under a
+    per-metric lock so two sessions recording at once cannot tear the
+    count/total/min/max invariants.
+    """
 
     __slots__ = ("name", "count", "total", "min", "max", "_samples",
-                 "_max_samples")
+                 "_max_samples", "_lock")
 
     def __init__(self, name: str, max_samples: int = 256):
         self.name = name
@@ -63,17 +76,19 @@ class Histogram:
         self.max: Optional[float] = None
         self._samples: list[float] = []
         self._max_samples = max_samples
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if len(self._samples) < self._max_samples:
-            self._samples.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._samples) < self._max_samples:
+                self._samples.append(value)
 
     @property
     def mean(self) -> float:
@@ -105,23 +120,36 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create registry of named counters and histograms."""
+    """Get-or-create registry of named counters and histograms.
+
+    Thread-safe: creation races are resolved under a registry lock so
+    two sessions asking for the same name always share one metric (a
+    lost-update here would silently fork a counter).  The common case
+    (metric already exists) stays a lock-free dict read.
+    """
 
     def __init__(self):
         self._counters: dict[str, CounterMetric] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- access ---------------------------------------------------------------
     def counter(self, name: str) -> CounterMetric:
         metric = self._counters.get(name)
         if metric is None:
-            metric = self._counters[name] = CounterMetric(name)
+            with self._lock:
+                metric = self._counters.get(name)
+                if metric is None:
+                    metric = self._counters[name] = CounterMetric(name)
         return metric
 
     def histogram(self, name: str) -> Histogram:
         metric = self._histograms.get(name)
         if metric is None:
-            metric = self._histograms[name] = Histogram(name)
+            with self._lock:
+                metric = self._histograms.get(name)
+                if metric is None:
+                    metric = self._histograms[name] = Histogram(name)
         return metric
 
     def inc(self, name: str, amount: int = 1) -> None:
@@ -186,5 +214,6 @@ class MetricsRegistry:
         }
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()

@@ -1,0 +1,40 @@
+"""The concurrent query-serving layer (see ``docs/server.md``).
+
+Five pieces over one :class:`~repro.engine.database.Database`:
+
+* :class:`~repro.server.locks.ConcurrencyGuard` -- statement-scoped
+  reader-writer isolation (DML exclusive, queries shared against a
+  statement-boundary snapshot);
+* :class:`~repro.server.session.SessionManager` /
+  :class:`~repro.server.session.Session` -- per-caller settings with
+  idle reaping;
+* :class:`~repro.server.admission.AdmissionController` -- bounded
+  queueing, per-class concurrency limits, typed overload shedding;
+* :class:`~repro.server.retry.RetryPolicy` /
+  :class:`~repro.server.retry.CircuitBreaker` -- client-side backoff
+  honouring ``retry_after`` hints, per-failure-class breaking fed by
+  the observability event stream;
+* :class:`~repro.server.server.Server` -- the facade wiring it all,
+  with ``server.*`` events and metrics.
+
+The layer is strictly opt-in: a Database that never calls
+``enable_serving`` keeps its single-threaded fast path (no locks on
+any hot path -- the null-object discipline the obs and durability
+layers established).
+"""
+
+from repro.server.admission import (AdmissionController, AdmissionLimits,
+                                    AdmissionTicket)
+from repro.server.locks import (ConcurrencyGuard, ReadWriteLock,
+                                SnapshotHandle)
+from repro.server.retry import CircuitBreaker, RetryPolicy
+from repro.server.server import Server, ServingClient, classify_statement
+from repro.server.session import Session, SessionManager, SessionSettings
+
+__all__ = [
+    "AdmissionController", "AdmissionLimits", "AdmissionTicket",
+    "ConcurrencyGuard", "ReadWriteLock", "SnapshotHandle",
+    "CircuitBreaker", "RetryPolicy",
+    "Server", "ServingClient", "classify_statement",
+    "Session", "SessionManager", "SessionSettings",
+]

@@ -1,0 +1,213 @@
+"""Admission control: bounded queueing, per-class limits, shedding.
+
+Every served request passes through :meth:`AdmissionController.admit`
+before it may touch the database.  Three outcomes:
+
+* **admitted** -- a slot in the request's class (``read`` / ``write``)
+  was free, or became free before the queue-wait deadline;
+* **shed at arrival** -- the waiting-room was already full
+  (``max_queue`` requests queued); rejecting immediately keeps the
+  tail latency of admitted requests bounded instead of letting the
+  queue grow without limit;
+* **shed on deadline** -- a slot did not free up within
+  ``queue_timeout_ms``; the caller's patience budget is the server's
+  signal to degrade.
+
+Both shed paths raise a typed
+:class:`~repro.errors.ServerOverloaded` carrying a ``retry_after``
+hint derived from the observed per-class service time (an EWMA of lock
+hold durations), which :class:`~repro.server.retry.RetryPolicy`
+honours on the client side.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ServerOverloaded
+
+__all__ = ["AdmissionLimits", "AdmissionController", "AdmissionTicket"]
+
+_EWMA_ALPHA = 0.2
+_DEFAULT_SERVICE_S = 0.005  # optimistic prior before any completion
+
+
+@dataclass(frozen=True)
+class AdmissionLimits:
+    """Tuning knobs (the CLI's ``.shed`` command mutates a copy).
+
+    ``max_writers`` defaults to 1: the ConcurrencyGuard serialises DML
+    anyway, so admitting more writers only grows the lock convoy.
+    """
+
+    max_readers: int = 8
+    max_writers: int = 1
+    max_queue: int = 32
+    queue_timeout_ms: float = 250.0
+
+    def limit_for(self, request_class: str) -> int:
+        return (self.max_writers if request_class == "write"
+                else self.max_readers)
+
+
+@dataclass
+class AdmissionTicket:
+    """What an admitted request learns about its trip through the queue."""
+
+    request_class: str
+    queue_wait: float
+    queue_depth: int
+
+
+class AdmissionController:
+    """Bounded two-class admission with load shedding."""
+
+    def __init__(self, limits: Optional[AdmissionLimits] = None,
+                 obs=None, metrics=None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.limits = limits or AdmissionLimits()
+        self.obs = obs
+        self.metrics = metrics
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._active = {"read": 0, "write": 0}
+        self._waiting = {"read": 0, "write": 0}
+        self._service_ewma = {"read": _DEFAULT_SERVICE_S,
+                              "write": _DEFAULT_SERVICE_S}
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    # -- introspection --------------------------------------------------------
+    def queue_depth(self) -> int:
+        with self._cond:
+            return self._waiting["read"] + self._waiting["write"]
+
+    def snapshot(self) -> dict:
+        with self._cond:
+            return {
+                "active": dict(self._active),
+                "waiting": dict(self._waiting),
+                "admitted_total": self.admitted_total,
+                "shed_total": self.shed_total,
+                "service_ewma_ms": {
+                    k: v * 1e3 for k, v in self._service_ewma.items()
+                },
+                "limits": {
+                    "max_readers": self.limits.max_readers,
+                    "max_writers": self.limits.max_writers,
+                    "max_queue": self.limits.max_queue,
+                    "queue_timeout_ms": self.limits.queue_timeout_ms,
+                },
+            }
+
+    # -- the retry_after estimate ---------------------------------------------
+    def _retry_after(self, request_class: str, depth: int) -> float:
+        """Seconds until a retry plausibly finds a free slot: the
+        requests ahead of us, spread over the class's slots, each
+        holding for about one observed service time."""
+        limit = max(1, self.limits.limit_for(request_class))
+        service = self._service_ewma[request_class]
+        waves = (depth // limit) + 1
+        return max(0.001, waves * service)
+
+    # -- admission ------------------------------------------------------------
+    @contextmanager
+    def admit(self, request_class: str):
+        """Admit one ``read``/``write`` request, or shed it.
+
+        Yields an :class:`AdmissionTicket`; the slot is released (and
+        the service-time EWMA updated) when the block exits.
+        """
+        limits = self.limits
+        limit = limits.limit_for(request_class)
+        arrived = self._clock()
+        with self._cond:
+            depth = self._waiting["read"] + self._waiting["write"]
+            must_wait = self._active[request_class] >= limit
+            if must_wait and depth >= limits.max_queue:
+                # the waiting room is full AND no slot is free: shed at
+                # arrival rather than park a request we cannot seat
+                self._shed(request_class, "queue full", depth)
+            self._waiting[request_class] += 1
+            try:
+                admitted = self._cond.wait_for(
+                    lambda: self._active[request_class] < limit,
+                    timeout=limits.queue_timeout_ms / 1e3,
+                )
+                if not admitted:
+                    depth = (self._waiting["read"]
+                             + self._waiting["write"] - 1)
+                    self._shed(
+                        request_class, "queue-wait deadline", depth
+                    )
+                self._active[request_class] += 1
+                self.admitted_total += 1
+                depth = (self._waiting["read"]
+                         + self._waiting["write"] - 1)
+            finally:
+                self._waiting[request_class] -= 1
+        wait = self._clock() - arrived
+        ticket = AdmissionTicket(
+            request_class=request_class, queue_wait=wait,
+            queue_depth=depth,
+        )
+        self._note_admitted(ticket)
+        started = self._clock()
+        try:
+            yield ticket
+        finally:
+            held = self._clock() - started
+            with self._cond:
+                self._active[request_class] -= 1
+                ewma = self._service_ewma[request_class]
+                self._service_ewma[request_class] = (
+                    (1 - _EWMA_ALPHA) * ewma + _EWMA_ALPHA * held
+                )
+                self._cond.notify_all()
+
+    def _shed(self, request_class: str, reason: str, depth: int):
+        """Raise ServerOverloaded (caller holds the condition lock)."""
+        retry_after = self._retry_after(request_class, depth)
+        self.shed_total += 1
+        self._note_shed(request_class, reason, retry_after, depth)
+        raise ServerOverloaded(
+            f"server overloaded ({reason}): {depth} request(s) "
+            f"queued; retry in {retry_after * 1e3:.0f} ms",
+            retry_after=retry_after, request_class=request_class,
+            queue_depth=depth,
+        )
+
+    # -- telemetry ------------------------------------------------------------
+    def _note_admitted(self, ticket: AdmissionTicket) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc(f"server.admitted.{ticket.request_class}")
+            metrics.observe("server.queue.wait_seconds",
+                            ticket.queue_wait)
+            metrics.observe("server.queue.depth", ticket.queue_depth)
+        bus = self.obs
+        if bus:
+            from repro.obs.events import RequestAdmitted
+            bus.emit(RequestAdmitted(
+                request_class=ticket.request_class,
+                queue_wait=ticket.queue_wait,
+                queue_depth=ticket.queue_depth,
+            ))
+
+    def _note_shed(self, request_class: str, reason: str,
+                   retry_after: float, depth: int) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("server.shed")
+            metrics.inc(f"server.shed.{request_class}")
+        bus = self.obs
+        if bus:
+            from repro.obs.events import RequestShed
+            bus.emit(RequestShed(
+                request_class=request_class, reason=reason,
+                retry_after=retry_after, queue_depth=depth,
+            ))

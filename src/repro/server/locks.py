@@ -1,0 +1,201 @@
+"""Reader-writer isolation primitives for the serving layer.
+
+:class:`ReadWriteLock` is a writer-preference shared/exclusive lock:
+any number of readers may hold it at once, a writer holds it alone, and
+a waiting writer blocks *new* readers so a steady query stream cannot
+starve DML.
+
+:class:`ConcurrencyGuard` is the statement-scoped discipline the
+:class:`~repro.engine.database.Database` opts into when it is served
+(``db.enable_serving()``): every mutating statement runs under the
+exclusive side, every query under the shared side.  Because the DML
+paths already stage-then-swap (see ``repro.durability.atomic``), a
+reader holding the shared lock observes only statement-boundary states
+-- its :class:`SnapshotHandle` names the committed-statement version it
+read, and that version cannot move while the handle is live.
+
+The guard is re-entrant per thread (a query issued while the same
+thread already holds either side piggybacks on the held lock), which
+is what makes ``Database.execute`` scripts -- a write statement
+followed by a query -- safe without lock juggling in the engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = ["ReadWriteLock", "ConcurrencyGuard", "SnapshotHandle"]
+
+
+class ReadWriteLock:
+    """A writer-preference shared/exclusive lock.
+
+    Not re-entrant by itself -- :class:`ConcurrencyGuard` layers the
+    per-thread re-entrancy on top, keeping this primitive minimal.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- shared side ----------------------------------------------------------
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        with self._cond:
+            # writer preference: pending writers bar new readers
+            ok = self._cond.wait_for(
+                lambda: not self._writer and not self._writers_waiting,
+                timeout=timeout,
+            )
+            if not ok:
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- exclusive side -------------------------------------------------------
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer and self._readers == 0,
+                    timeout=timeout,
+                )
+                if not ok:
+                    return False
+                self._writer = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class SnapshotHandle:
+    """The version a reader is pinned to while it holds the shared lock.
+
+    ``version`` counts committed statements; two queries that report the
+    same version are guaranteed to have seen byte-identical state.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, version: int):
+        self.version = version
+
+    def __repr__(self) -> str:
+        return f"SnapshotHandle(version={self.version})"
+
+
+class _HoldState(threading.local):
+    """Per-thread re-entrancy bookkeeping (read/write hold depths)."""
+
+    def __init__(self):
+        self.read_depth = 0
+        self.write_depth = 0
+
+
+class ConcurrencyGuard:
+    """Statement-scoped reader-writer isolation for one Database.
+
+    ``write()`` brackets one mutating statement; on success the
+    committed-statement ``version`` advances (a rolled-back statement
+    leaves it unchanged, matching the undo-log contract).  ``read()``
+    yields a :class:`SnapshotHandle` pinned to the current version.
+    """
+
+    def __init__(self):
+        self._lock = ReadWriteLock()
+        self._held = _HoldState()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """The committed-statement count (advanced under ``write()``)."""
+        return self._version
+
+    @contextmanager
+    def read(self):
+        held = self._held
+        if held.read_depth or held.write_depth:
+            # re-entrant: this thread already isolated; a nested
+            # acquire under writer preference would self-deadlock
+            held.read_depth += 1
+            try:
+                yield SnapshotHandle(self._version)
+            finally:
+                held.read_depth -= 1
+            return
+        self._lock.acquire_read()
+        held.read_depth = 1
+        try:
+            yield SnapshotHandle(self._version)
+        finally:
+            held.read_depth = 0
+            self._lock.release_read()
+
+    @contextmanager
+    def write(self):
+        with self._exclusive():
+            yield
+            # success only: a raised (rolled-back) statement must not
+            # move the version readers are pinned to
+            self._version += 1
+
+    @contextmanager
+    def exclusive(self):
+        """A write-side hold *without* a version bump: for admin
+        operations (checkpoint, fsck) that need a quiescent database
+        but do not change its logical state."""
+        with self._exclusive():
+            yield
+
+    @contextmanager
+    def _exclusive(self):
+        held = self._held
+        if held.write_depth:
+            held.write_depth += 1
+            try:
+                yield
+            finally:
+                held.write_depth -= 1
+            return
+        if held.read_depth:
+            raise RuntimeError(
+                "cannot upgrade a read hold to a write hold"
+            )
+        self._lock.acquire_write()
+        held.write_depth = 1
+        try:
+            yield
+        finally:
+            held.write_depth = 0
+            self._lock.release_write()

@@ -1,0 +1,238 @@
+"""Client-side resilience: retry with backoff and circuit breaking.
+
+:class:`RetryPolicy` wraps a callable with exponential backoff plus
+full jitter, capped by both an attempt count and a wall-clock sleep
+budget; a :class:`~repro.errors.ServerOverloaded` rejection's
+``retry_after`` hint is used as the floor of the next delay, so clients
+back off at least as far as the server asked them to.
+
+:class:`CircuitBreaker` keeps failure counts *per failure class* (the
+error's class name): five ``EvaluationError`` in a row must not stop
+``ParseError``-free traffic, and vice versa.  It can be driven directly
+(``record_failure`` / ``record_success``) or wired to the observability
+stream with :meth:`attach`, which subscribes to the server's
+``RequestFailed`` / ``RequestCompleted`` events -- the serving layer
+then feeds every breaker in the process without bespoke plumbing.
+
+State machine per class: ``closed`` (normal) -> ``open`` after
+``failure_threshold`` consecutive failures (every call is refused with
+:class:`~repro.errors.CircuitOpen` until ``cooldown_s`` passes) ->
+``half-open`` (one probe allowed) -> ``closed`` on success, back to
+``open`` on failure.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import (CircuitOpen, RetryBudgetExceeded,
+                          ServerOverloaded)
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter and a hard sleep budget."""
+
+    def __init__(self, max_attempts: int = 5,
+                 base_delay_s: float = 0.01,
+                 multiplier: float = 2.0,
+                 max_delay_s: float = 0.5,
+                 budget_s: float = 2.0,
+                 retry_on: tuple = (ServerOverloaded, CircuitOpen),
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: Optional[random.Random] = None):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.max_delay_s = max_delay_s
+        self.budget_s = budget_s
+        self.retry_on = retry_on
+        self._sleep = sleep
+        self._rng = rng or random.Random()
+        # read-only stats of the last call() (diagnostics/tests)
+        self.last_attempts = 0
+        self.last_slept_s = 0.0
+
+    def backoff(self, attempt: int) -> float:
+        """The jittered delay before retry number ``attempt`` (1-based)."""
+        ceiling = min(
+            self.max_delay_s,
+            self.base_delay_s * (self.multiplier ** (attempt - 1)),
+        )
+        return self._rng.uniform(0.0, ceiling)
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Invoke ``fn`` until it succeeds, the error is not retryable,
+        attempts run out, or the sleep budget is exhausted."""
+        slept = 0.0
+        attempt = 0
+        while True:
+            attempt += 1
+            self.last_attempts = attempt
+            self.last_slept_s = slept
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as error:
+                if attempt >= self.max_attempts:
+                    raise RetryBudgetExceeded(
+                        f"gave up after {attempt} attempt(s): {error}",
+                        attempts=attempt, last_error=error,
+                    ) from error
+                delay = self.backoff(attempt)
+                hint = getattr(error, "retry_after", None)
+                if hint is not None:
+                    delay = max(delay, float(hint))
+                if slept + delay > self.budget_s:
+                    raise RetryBudgetExceeded(
+                        f"retry sleep budget ({self.budget_s:g}s) "
+                        f"exhausted after {attempt} attempt(s): {error}",
+                        attempts=attempt, last_error=error,
+                    ) from error
+                self._sleep(delay)
+                slept += delay
+                self.last_slept_s = slept
+
+
+class _BreakerSlot:
+    """Mutable per-failure-class state (guarded by the breaker lock)."""
+
+    __slots__ = ("state", "failures", "opened_at")
+
+    def __init__(self):
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = 0.0
+
+
+class CircuitBreaker:
+    """Per-failure-class circuit breaker over the serving event stream."""
+
+    def __init__(self, failure_threshold: int = 5,
+                 cooldown_s: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 obs=None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.obs = obs
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._slots: dict[str, _BreakerSlot] = {}
+        self._subscription = None
+
+    # -- event-stream wiring --------------------------------------------------
+    def attach(self, bus) -> None:
+        """Feed this breaker from ``RequestFailed`` / ``RequestCompleted``
+        events on ``bus`` (the server's observability stream)."""
+        from repro.obs.events import RequestCompleted, RequestFailed
+        self._subscription = bus.subscribe(
+            self._on_event, kinds=(RequestCompleted, RequestFailed)
+        )
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    def _on_event(self, event) -> None:
+        from repro.obs.events import RequestFailed
+        if isinstance(event, RequestFailed):
+            # overload shedding is the server protecting itself; the
+            # breaker exists for *persistent* failures, and tripping it
+            # on shed would amplify rejection into a full outage
+            if event.failure_class != "ServerOverloaded":
+                self.record_failure(event.failure_class)
+        else:
+            self.record_success()
+
+    # -- state transitions ----------------------------------------------------
+    def _slot(self, failure_class: str) -> _BreakerSlot:
+        slot = self._slots.get(failure_class)
+        if slot is None:
+            slot = self._slots[failure_class] = _BreakerSlot()
+        return slot
+
+    def record_failure(self, failure_class: str) -> None:
+        with self._lock:
+            slot = self._slot(failure_class)
+            slot.failures += 1
+            if slot.state == "half-open" or (
+                    slot.state == "closed"
+                    and slot.failures >= self.failure_threshold):
+                slot.state = "open"
+                slot.opened_at = self._clock()
+                self._emit(failure_class, slot)
+
+    def record_success(self, failure_class: Optional[str] = None) -> None:
+        """A request succeeded: close any half-open probe window and
+        reset the consecutive-failure counts (all classes when no
+        specific class is given, since one success exercised the whole
+        request path)."""
+        with self._lock:
+            slots = ([self._slot(failure_class)]
+                     if failure_class is not None
+                     else list(self._slots.values()))
+            for slot in slots:
+                if slot.state == "half-open":
+                    slot.state = "closed"
+                    slot.failures = 0
+                    self._emit_any(slot)
+                elif slot.state == "closed":
+                    slot.failures = 0
+
+    def check(self, failure_class: Optional[str] = None) -> None:
+        """Raise :class:`~repro.errors.CircuitOpen` if the class's (or
+        any, when none is given) circuit is open; moves an expired open
+        circuit to half-open, letting exactly one probe through."""
+        now = self._clock()
+        with self._lock:
+            items = ([(failure_class, self._slot(failure_class))]
+                     if failure_class is not None
+                     else list(self._slots.items()))
+            for name, slot in items:
+                if slot.state != "open":
+                    continue
+                remaining = self.cooldown_s - (now - slot.opened_at)
+                if remaining <= 0:
+                    slot.state = "half-open"
+                    self._emit(name, slot)
+                    continue  # probe allowed
+                raise CircuitOpen(
+                    f"circuit open for {name} "
+                    f"({slot.failures} failure(s)); retry in "
+                    f"{remaining * 1e3:.0f} ms",
+                    failure_class=name, retry_after=remaining,
+                )
+
+    def state(self, failure_class: str) -> str:
+        with self._lock:
+            slot = self._slots.get(failure_class)
+            return slot.state if slot is not None else "closed"
+
+    def states(self) -> dict[str, str]:
+        with self._lock:
+            return {name: slot.state
+                    for name, slot in sorted(self._slots.items())}
+
+    # -- telemetry ------------------------------------------------------------
+    def _emit(self, failure_class: str, slot: _BreakerSlot) -> None:
+        bus = self.obs
+        if bus:
+            from repro.obs.events import BreakerStateChanged
+            bus.emit(BreakerStateChanged(
+                failure_class=failure_class, state=slot.state,
+                failures=slot.failures,
+            ))
+
+    def _emit_any(self, slot: _BreakerSlot) -> None:
+        for name, s in self._slots.items():
+            if s is slot:
+                self._emit(name, slot)
+                return

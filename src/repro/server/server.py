@@ -1,0 +1,239 @@
+"""The serving front end: one Database, many concurrent sessions.
+
+:class:`Server` owns the four pieces the tentpole wires together:
+
+* the database's :class:`~repro.server.locks.ConcurrencyGuard`
+  (installed via ``Database.enable_serving``), which gives DML an
+  exclusive statement-scoped writer lock and queries a shared snapshot
+  view;
+* a :class:`~repro.server.session.SessionManager` so per-caller
+  settings (rewrite, checked, deadline) never leak across callers;
+* an :class:`~repro.server.admission.AdmissionController` that bounds
+  the waiting room and sheds load with typed, retryable rejections;
+* an observability stream (``server.*`` events and metrics on the
+  server's own bus/registry) that circuit breakers and dashboards
+  consume.
+
+:class:`ServingClient` is the reference client: it composes a
+:class:`~repro.server.retry.RetryPolicy` and a per-failure-class
+:class:`~repro.server.retry.CircuitBreaker` (fed from the server's
+event stream) around one session.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Optional
+
+from repro.errors import ServerError, error_payload
+from repro.esql import ast
+from repro.esql.parser import parse_script_with_sources
+from repro.obs.bus import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.server.admission import AdmissionController, AdmissionLimits
+from repro.server.retry import CircuitBreaker, RetryPolicy
+from repro.server.session import Session, SessionManager, SessionSettings
+
+__all__ = ["Server", "ServingClient"]
+
+_ERROR_HISTORY = 16  # per-session tail of typed error payloads
+
+
+def classify_statement(statement) -> str:
+    """The admission class of one parsed statement."""
+    return "read" if isinstance(statement, ast.Select) else "write"
+
+
+class Server:
+    """A thread-safe, multi-session serving layer over one Database."""
+
+    def __init__(self, db, limits: Optional[AdmissionLimits] = None,
+                 idle_timeout_s: float = 300.0,
+                 bus: Optional[EventBus] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.db = db
+        self.guard = db.enable_serving()
+        self.bus = bus if bus is not None else EventBus()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.admission = AdmissionController(
+            limits, obs=self.bus, metrics=self.metrics
+        )
+        self.sessions = SessionManager(
+            db, idle_timeout_s=idle_timeout_s, obs=self.bus
+        )
+        self._errors: dict[str, deque] = {}
+        self._default: Optional[Session] = None
+
+    # -- sessions -------------------------------------------------------------
+    def open_session(self, session_id: Optional[str] = None,
+                     settings: Optional[SessionSettings] = None
+                     ) -> Session:
+        session = self.sessions.open(session_id, settings)
+        self._errors[session.id] = deque(maxlen=_ERROR_HISTORY)
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        self.sessions.close(session_id)
+        self._errors.pop(session_id, None)
+
+    def _resolve(self, session: Optional[str]) -> Session:
+        if session is None:
+            if self._default is None or self._default.closed \
+                    or self._default.id not in self.sessions:
+                self._default = self.open_session()
+            return self._default
+        return self.sessions.get(session)
+
+    # -- the serving surface --------------------------------------------------
+    def query(self, source: str, session: Optional[str] = None):
+        """Serve one SELECT under read admission."""
+        sess = self._resolve(session)
+        return self._serve("read", sess, lambda: sess.query(source))
+
+    def execute(self, script: str, session: Optional[str] = None):
+        """Serve a script, admitting each statement under its own
+        class -- so a mixed script queues as a sequence of requests,
+        never holding a write slot across its read statements."""
+        sess = self._resolve(session)
+        results = []
+        for statement, source in parse_script_with_sources(script):
+            klass = classify_statement(statement)
+            if klass == "read":
+                results.append(self._serve(
+                    "read", sess, lambda s=source: sess.query(s)
+                ))
+            else:
+                self._serve(
+                    "write", sess, lambda s=source: sess.execute(s)
+                )
+        return results
+
+    def explain_json(self, source: str, session: Optional[str] = None,
+                     execute: bool = False) -> dict:
+        """EXPLAIN through the serving layer; the report's ``server``
+        section (schema v3) records the trip."""
+        sess = self._resolve(session)
+        ticket_box = {}
+
+        def run():
+            return sess.explain_json(source, execute=execute)
+
+        report = self._serve("read", sess, run, ticket_box=ticket_box)
+        ticket = ticket_box.get("ticket")
+        report["server"] = {
+            "session": sess.id,
+            "request_class": "read",
+            "queue_wait_ms": (ticket.queue_wait * 1e3
+                              if ticket is not None else 0.0),
+            "snapshot_version": self.guard.version,
+            "shed_total": self.admission.shed_total,
+            "errors": list(self._errors.get(sess.id, ())),
+        }
+        return report
+
+    def _serve(self, klass: str, sess: Session, fn, ticket_box=None):
+        started = time.perf_counter()
+        try:
+            with self.admission.admit(klass) as ticket:
+                if ticket_box is not None:
+                    ticket_box["ticket"] = ticket
+                result = fn()
+        except Exception as error:
+            self._note_failure(klass, sess, error, started)
+            raise
+        duration = time.perf_counter() - started
+        metrics = self.metrics
+        metrics.inc(f"server.requests.{klass}")
+        metrics.observe("server.request.seconds", duration)
+        bus = self.bus
+        if bus:
+            from repro.obs.events import RequestCompleted
+            bus.emit(RequestCompleted(
+                request_class=klass, session=sess.id,
+                duration=duration,
+            ))
+        return result
+
+    def _note_failure(self, klass: str, sess: Session, error,
+                      started: float) -> None:
+        payload = error_payload(error)
+        history = self._errors.get(sess.id)
+        if history is not None:
+            history.append(payload)
+        self.metrics.inc(f"server.errors.{payload['error']}")
+        bus = self.bus
+        if bus:
+            from repro.obs.events import RequestFailed
+            bus.emit(RequestFailed(
+                request_class=klass, session=sess.id,
+                failure_class=payload["error"],
+                duration=time.perf_counter() - started,
+            ))
+
+    # -- clients --------------------------------------------------------------
+    def client(self, session: Optional[str] = None,
+               retry: Optional[RetryPolicy] = None,
+               breaker: Optional[CircuitBreaker] = None
+               ) -> "ServingClient":
+        """A retrying, circuit-breaking client bound to one session."""
+        sess = (self.open_session() if session is None
+                else self.sessions.get(session))
+        return ServingClient(self, sess, retry=retry, breaker=breaker)
+
+    # -- introspection --------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "sessions": len(self.sessions),
+            "snapshot_version": self.guard.version,
+            "admission": self.admission.snapshot(),
+            "requests": self.metrics.counters_with_prefix("server."),
+        }
+
+    def close(self) -> None:
+        for session in self.sessions.sessions():
+            self.sessions.close(session.id)
+        self._errors.clear()
+        self._default = None
+
+
+class ServingClient:
+    """Retry + circuit-breaker composition around one server session.
+
+    The breaker consumes the server's event stream (it sees *every*
+    session's failures, which is the point: a storm of evaluation
+    errors opens the circuit before this client burns its own retry
+    budget discovering the outage).  ``ServerError`` rejections are
+    retried under the policy; engine errors (parse, evaluation, ...)
+    propagate immediately but still count toward the breaker.
+    """
+
+    def __init__(self, server: Server, session: Session,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None):
+        self.server = server
+        self.session = session
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.breaker.attach(server.bus)
+
+    def _guarded(self, fn):
+        def attempt():
+            self.breaker.check()
+            return fn()
+        return self.retry.call(attempt)
+
+    def query(self, source: str):
+        return self._guarded(
+            lambda: self.server.query(source, session=self.session.id)
+        )
+
+    def execute(self, script: str):
+        return self._guarded(
+            lambda: self.server.execute(script, session=self.session.id)
+        )
+
+    def close(self) -> None:
+        self.breaker.detach()
+        if self.session.id in self.server.sessions:
+            self.server.close_session(self.session.id)

@@ -155,9 +155,17 @@ class TestResilienceCommands:
     def test_checked_toggle(self, shell):
         assert run(shell, ".checked") == ["checked mode is off"]
         assert run(shell, ".checked on") == ["checked mode on"]
-        assert shell.db.checked is True
+        assert shell.settings.checked is True
         assert run(shell, ".checked off") == ["checked mode off"]
+        assert shell.settings.checked is False
+
+    def test_checked_never_mutates_shared_database(self, shell):
+        # the settings-leakage fix: the toggle is session state, so a
+        # second caller of the same Database keeps its own defaults
+        run(shell, ".checked on")
+        run(shell, ".deadline 5")
         assert shell.db.checked is False
+        assert shell.db.deadline_ms is None
 
     def test_checked_queries_still_answer(self, shell):
         run(shell, ".checked on")
@@ -167,17 +175,17 @@ class TestResilienceCommands:
     def test_deadline_set_show_clear(self, shell):
         assert run(shell, ".deadline") == ["no deadline"]
         assert run(shell, ".deadline 5") == ["deadline 5 ms"]
-        assert shell.db.deadline_ms == 5.0
+        assert shell.settings.deadline_ms == 5.0
         assert run(shell, ".deadline") == ["deadline is 5 ms"]
         assert run(shell, ".deadline off") == ["deadline off"]
-        assert shell.db.deadline_ms is None
+        assert shell.settings.deadline_ms is None
 
     def test_deadline_rejects_garbage(self, shell):
         (out,) = run(shell, ".deadline soon")
         assert out.startswith("usage:")
         (out,) = run(shell, ".deadline -3")
         assert out.startswith("usage:")
-        assert shell.db.deadline_ms is None
+        assert shell.settings.deadline_ms is None
 
     def test_stats_reports_degradation(self, shell):
         run(shell, ".deadline 1e-9")

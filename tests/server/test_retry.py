@@ -1,0 +1,212 @@
+"""Client-side retry/backoff and the per-failure-class breaker."""
+
+import random
+
+import pytest
+
+from repro.errors import (CircuitOpen, EvaluationError,
+                          RetryBudgetExceeded, ServerOverloaded)
+from repro.obs.bus import EventBus
+from repro.obs.events import (BreakerStateChanged, RequestCompleted,
+                              RequestFailed)
+from repro.server.retry import CircuitBreaker, RetryPolicy
+
+
+def _overloaded(retry_after=0.01):
+    return ServerOverloaded(
+        "busy", retry_after=retry_after, request_class="read",
+        queue_depth=3,
+    )
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRetryPolicy:
+    def _policy(self, **kwargs):
+        sleeps = []
+        kwargs.setdefault("rng", random.Random(7))
+        policy = RetryPolicy(sleep=sleeps.append, **kwargs)
+        return policy, sleeps
+
+    def test_success_first_try_never_sleeps(self):
+        policy, sleeps = self._policy()
+        assert policy.call(lambda: 42) == 42
+        assert sleeps == []
+        assert policy.last_attempts == 1
+
+    def test_retries_until_success(self):
+        policy, sleeps = self._policy(max_attempts=5)
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise _overloaded()
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert attempts["n"] == 3
+        assert len(sleeps) == 2
+
+    def test_attempt_cap_raises_budget_error(self):
+        policy, __ = self._policy(max_attempts=3)
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            policy.call(lambda: (_ for _ in ()).throw(_overloaded()))
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, ServerOverloaded)
+
+    def test_sleep_budget_is_a_hard_cap(self):
+        policy, sleeps = self._policy(
+            max_attempts=100, base_delay_s=0.2, max_delay_s=10.0,
+            budget_s=0.5,
+        )
+
+        def always():
+            raise _overloaded(retry_after=0.4)
+
+        with pytest.raises(RetryBudgetExceeded):
+            policy.call(always)
+        assert sum(sleeps) <= 0.5
+
+    def test_retry_after_hint_is_the_floor(self):
+        policy, sleeps = self._policy(
+            max_attempts=2, base_delay_s=0.001, max_delay_s=0.001,
+            budget_s=10.0,
+        )
+        with pytest.raises(RetryBudgetExceeded):
+            policy.call(
+                lambda: (_ for _ in ()).throw(_overloaded(0.25))
+            )
+        assert sleeps and sleeps[0] >= 0.25
+
+    def test_non_retryable_errors_propagate(self):
+        policy, sleeps = self._policy()
+
+        def broken():
+            raise EvaluationError("not an overload")
+
+        with pytest.raises(EvaluationError):
+            policy.call(broken)
+        assert sleeps == []
+
+    def test_backoff_is_bounded_and_jittered(self):
+        policy, __ = self._policy(
+            base_delay_s=0.01, multiplier=2.0, max_delay_s=0.05
+        )
+        for attempt in range(1, 20):
+            delay = policy.backoff(attempt)
+            assert 0.0 <= delay <= 0.05
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure("EvaluationError")
+        assert breaker.state("EvaluationError") == "closed"
+        breaker.record_failure("EvaluationError")
+        assert breaker.state("EvaluationError") == "open"
+
+    def test_open_circuit_refuses_with_retry_after(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, clock=clock
+        )
+        breaker.record_failure("EvaluationError")
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.check("EvaluationError")
+        assert excinfo.value.failure_class == "EvaluationError"
+        assert 0 < excinfo.value.retry_after <= 1.0
+
+    def test_failure_classes_are_independent(self):
+        breaker = CircuitBreaker(failure_threshold=1, clock=FakeClock())
+        breaker.record_failure("EvaluationError")
+        breaker.check("ParseError")  # unaffected class passes
+        with pytest.raises(CircuitOpen):
+            breaker.check()  # but the any-class probe refuses
+
+    def test_half_open_probe_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, clock=clock
+        )
+        breaker.record_failure("EvaluationError")
+        clock.now = 1.5
+        breaker.check("EvaluationError")  # cooldown over: probe allowed
+        assert breaker.state("EvaluationError") == "half-open"
+        breaker.record_success("EvaluationError")
+        assert breaker.state("EvaluationError") == "closed"
+        breaker.check("EvaluationError")
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, cooldown_s=1.0, clock=clock
+        )
+        for _ in range(3):
+            breaker.record_failure("EvaluationError")
+        clock.now = 1.5
+        breaker.check("EvaluationError")
+        breaker.record_failure("EvaluationError")  # the probe failed
+        assert breaker.state("EvaluationError") == "open"
+        with pytest.raises(CircuitOpen):
+            breaker.check("EvaluationError")
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure("EvaluationError")
+        breaker.record_failure("EvaluationError")
+        breaker.record_success()
+        breaker.record_failure("EvaluationError")
+        assert breaker.state("EvaluationError") == "closed"
+
+    def test_consumes_the_event_stream(self):
+        """attach() drives the breaker from server events alone."""
+        bus = EventBus()
+        changes = []
+        bus.subscribe(changes.append, kinds=(BreakerStateChanged,))
+        breaker = CircuitBreaker(
+            failure_threshold=2, clock=FakeClock(), obs=bus
+        )
+        breaker.attach(bus)
+        for _ in range(2):
+            bus.emit(RequestFailed(
+                request_class="read", session="s1",
+                failure_class="EvaluationError", duration=0.001,
+            ))
+        assert breaker.state("EvaluationError") == "open"
+        assert changes and changes[-1].state == "open"
+
+    def test_shed_events_do_not_trip_the_breaker(self):
+        bus = EventBus()
+        breaker = CircuitBreaker(failure_threshold=1, clock=FakeClock())
+        breaker.attach(bus)
+        bus.emit(RequestFailed(
+            request_class="read", session="s1",
+            failure_class="ServerOverloaded", duration=0.001,
+        ))
+        assert breaker.state("ServerOverloaded") == "closed"
+
+    def test_completed_events_close_half_open(self):
+        clock = FakeClock()
+        bus = EventBus()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, clock=clock
+        )
+        breaker.attach(bus)
+        bus.emit(RequestFailed(
+            request_class="read", session="s1",
+            failure_class="EvaluationError", duration=0.001,
+        ))
+        clock.now = 2.0
+        breaker.check("EvaluationError")
+        bus.emit(RequestCompleted(
+            request_class="read", session="s1", duration=0.001
+        ))
+        assert breaker.state("EvaluationError") == "closed"
