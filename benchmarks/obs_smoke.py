@@ -1,0 +1,127 @@
+"""Obs-export smoke check (the CI gate for the exporter surfaces).
+
+Run:  python -m benchmarks.obs_smoke
+
+Stands up a served :class:`~repro.engine.database.Database` with a
+mounted :class:`~repro.obs.telemetry.Telemetry` hub, drives a small
+mixed workload through a retrying client, then validates every export
+surface end to end:
+
+* ``Server.metrics_text()`` -- each non-comment line must match the
+  Prometheus text exposition line syntax and each ``# TYPE`` family
+  must be one of counter/summary/histogram;
+* the JSONL sink -- every line must parse as a JSON object carrying
+  ``event``, ``ts`` and (for request-scoped events) ``trace_id``;
+* the OTLP span export -- must produce well-formed ``resourceSpans``;
+* ``explain_json`` -- must validate against schema v4.
+
+Exit code 0 means all surfaces held; any violation prints and fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import tempfile
+
+# prometheus text exposition 0.0.4: `name{labels} value` or `name value`
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" [0-9eE+.infa-]+$"
+)
+_TYPE_LINE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|summary|histogram)$"
+)
+
+
+def check_prometheus(text: str) -> list[str]:
+    problems = []
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("# TYPE"):
+            if not _TYPE_LINE.match(line):
+                problems.append(f"line {i}: bad TYPE line: {line!r}")
+        elif line.startswith("#"):
+            continue
+        elif not _METRIC_LINE.match(line):
+            problems.append(f"line {i}: bad metric line: {line!r}")
+    return problems
+
+
+def check_jsonl(path: str) -> list[str]:
+    problems = []
+    with open(path, encoding="utf-8") as handle:
+        for i, line in enumerate(handle, 1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                problems.append(f"line {i}: not JSON ({error})")
+                continue
+            if not isinstance(record, dict):
+                problems.append(f"line {i}: not an object")
+                continue
+            for key in ("event", "ts"):
+                if key not in record:
+                    problems.append(f"line {i}: missing {key!r}")
+    return problems
+
+
+def main() -> int:
+    from repro.core.explain import validate_explain
+    from repro.engine.database import Database
+    from repro.obs.telemetry import Telemetry
+    from repro.server import Server
+
+    workdir = tempfile.mkdtemp(prefix="obs_smoke_")
+    log_path = os.path.join(workdir, "events.jsonl")
+    telemetry = Telemetry(log_path=log_path, otlp=True)
+    db = Database()
+    server = Server(db, telemetry=telemetry, slow_query_ms=0.0)
+    problems: list[str] = []
+
+    client = server.client()
+    client.execute("TABLE T (A : NUMERIC, B : NUMERIC)")
+    client.execute("INSERT INTO T VALUES (1, 2), (3, 4), (5, 6)")
+    for __ in range(5):
+        client.query("SELECT A FROM T WHERE B = 4")
+    report = server.explain_json("SELECT B FROM T WHERE A = 3")
+
+    problems += [f"metrics_text: {p}"
+                 for p in check_prometheus(server.metrics_text())]
+    if "server_requests_read" not in server.metrics_text():
+        problems.append("metrics_text: no server_requests_read family")
+
+    server.close()  # flushes and closes the sink
+    problems += [f"jsonl: {p}" for p in check_jsonl(log_path)]
+    with open(log_path, encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    traced = [r for r in records if "trace_id" in r]
+    if not traced:
+        problems.append("jsonl: no trace-stamped records")
+
+    spans = telemetry.export_spans()
+    if "resourceSpans" not in spans:
+        problems.append("otlp: no resourceSpans key")
+
+    problems += [f"explain: {p}" for p in validate_explain(report)]
+    if not server.slow_queries():
+        problems.append("slow-query log: empty at threshold 0")
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        return 1
+    print(f"obs-export smoke OK: {len(records)} JSONL record(s) "
+          f"({len(traced)} trace-stamped), metrics text and OTLP "
+          f"export well-formed, explain schema v4 valid, "
+          f"{len(server.slow_queries())} slow quer(y/ies) captured")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

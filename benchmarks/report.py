@@ -1,15 +1,23 @@
 """Regenerate the measured tables of EXPERIMENTS.md.
 
 Run:  python -m benchmarks.report > EXPERIMENTS_MEASURED.md
+      python -m benchmarks.report --out BENCH_ci.json
 
 Every experiment row of DESIGN.md is executed and its work counters
 (and, where relevant, plan shapes) are printed as markdown tables.
 Counters are deterministic; timings vary by machine and live in the
 pytest-benchmark output instead.
+
+``--out FILE`` additionally writes the machine-readable benchmark
+artifact: ``{"schema": 1, "suites": {suite: {metric: value}}}``, with
+the ``obs_telemetry`` suite embedding the full (schema-validated)
+EXPLAIN report.  CI writes one per run (``BENCH_ci.json``); see
+``benchmarks/README.md`` for the trajectory convention.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
 from benchmarks.conftest import (chain_graph, film_db, random_graph,
@@ -19,6 +27,14 @@ from repro.engine.evaluate import Evaluator
 from repro.engine.stats import EvalStats
 from repro.terms.printer import term_to_str
 from repro.terms.term import term_size
+
+# the machine-readable side of the report: every section records the
+# counters it prints, and --out dumps the accumulated artifact
+ARTIFACT: dict = {"schema": 1, "suites": {}}
+
+
+def record(suite: str, metric: str, value) -> None:
+    ARTIFACT["suites"].setdefault(suite, {})[metric] = value
 
 
 def work(db: Database, query: str, rewrite: bool):
@@ -54,6 +70,8 @@ def f3_translation():
          ["plan nodes", term_size(optimized.final)]],
     ))
     print()
+    record("f3_translation", "search_operators", rendered.count("SEARCH"))
+    record("f3_translation", "plan_nodes", term_size(optimized.final))
 
 
 def f7_merging():
@@ -74,6 +92,10 @@ def f7_merging():
          ["total work", plain_stats.total_work, opt_stats.total_work]],
     ))
     print()
+    record("f7_merging", "plan_nodes_unmerged", term_size(plain.final))
+    record("f7_merging", "plan_nodes_merged", term_size(opt.final))
+    record("f7_merging", "total_work_unmerged", plain_stats.total_work)
+    record("f7_merging", "total_work_merged", opt_stats.total_work)
 
 
 def f8_pushdown():
@@ -101,6 +123,8 @@ def f8_pushdown():
          ["total work", plain_stats.total_work, opt_stats.total_work]],
     ))
     print()
+    record("f8_pushdown", "total_work_plain", plain_stats.total_work)
+    record("f8_pushdown", "total_work_pushed", opt_stats.total_work)
 
 
 def f9_fixpoint():
@@ -114,6 +138,8 @@ def f9_fixpoint():
         ___, plain = work(db, query, rewrite=False)
         rows.append([n, plain.total_work, opt.total_work,
                      f"{plain.total_work / max(1, opt.total_work):.1f}x"])
+        record("f9_fixpoint", f"chain{n}_plain_work", plain.total_work)
+        record("f9_fixpoint", f"chain{n}_magic_work", opt.total_work)
     print(table(["chain length", "plain work", "magic work", "factor"],
                 rows))
     print()
@@ -155,6 +181,11 @@ def f10_f11_semantic():
         __, opt = work(db, query, rewrite=True)
         ___, plain = work(db, query, rewrite=False)
         rows.append([label, plain.tuples_scanned, opt.tuples_scanned])
+        key = label.replace(" ", "_")
+        record("f10_semantic", f"{key}_scans_plain",
+               plain.tuples_scanned)
+        record("f10_semantic", f"{key}_scans_rewritten",
+               opt.tuples_scanned)
     print(table(["query", "scans (no rewriting)", "scans (rewriting)"],
                 rows))
     print()
@@ -186,6 +217,9 @@ def f13_subqueries():
                          ("filtered EXISTS", filtered_q)]:
         __, stats = work(db, query, rewrite=True)
         rows.append([label, stats.join_pairs, 60 * 240])
+        record("f13_subqueries",
+               label.replace(" ", "_") + "_probe_pairs",
+               stats.join_pairs)
     print(table(["query", "probe pairs", "full-join bound"], rows))
     print()
 
@@ -209,6 +243,9 @@ def a4_dynamic_limits():
         optimized = zero_db.optimize(q, rewrite=False)
         Evaluator(zero_db.catalog, stats=total).evaluate(optimized.final)
     rows.append(["static-zero", 0, 0, total.total_work])
+    for policy, checks_, apps_, work_ in rows:
+        record("a4_dynamic_limits", f"{policy}_checks", checks_)
+        record("a4_dynamic_limits", f"{policy}_work", work_)
     print(table(["policy", "condition checks", "rule applications",
                  "execution work"], rows))
     print()
@@ -237,6 +274,9 @@ def a1_limits():
                  "AND Price > 3")
         optimized, stats = work(db, query, rewrite=True)
         rows.append([limit, optimized.applications, stats.total_work])
+        record("a1_limits", f"limit{limit}_applications",
+               optimized.applications)
+        record("a1_limits", f"limit{limit}_work", stats.total_work)
     print(table(["semantic limit", "rule applications",
                  "execution work"], rows))
     print()
@@ -258,6 +298,8 @@ def a3_seminaive():
         )
         rows.append([n, naive.total_work, semi.total_work,
                      f"{naive.total_work / max(1, semi.total_work):.1f}x"])
+        record("a3_seminaive", f"chain{n}_naive_work", naive.total_work)
+        record("a3_seminaive", f"chain{n}_semi_work", semi.total_work)
     print(table(["chain length", "naive work", "semi-naive work",
                  "factor"], rows))
     print()
@@ -282,6 +324,8 @@ def a6_engine():
             plan
         )
         rows.append([label, stats.total_work])
+        record("a6_engine", label.replace(" ", "_").replace("+", "and"),
+               stats.total_work)
     print(table(["configuration", "execution work"], rows))
     print()
 
@@ -299,6 +343,10 @@ def obs_telemetry():
     print("### OBS -- unified telemetry (stacked views, 150-row SALE)\n")
     print(f"schema version {report['schema_version']}, "
           f"violations: {problems or 'none'}\n")
+    record("obs_telemetry", "schema_version", report["schema_version"])
+    record("obs_telemetry", "violations", len(problems))
+    record("obs_telemetry", "trace_id", report["trace"]["trace_id"])
+    record("obs_telemetry", "explain", report)
 
     profile = report["profile"]
     ranked = sorted(
@@ -333,7 +381,18 @@ def obs_telemetry():
     print()
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.report",
+        description="regenerate the measured tables of EXPERIMENTS.md",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the machine-readable benchmark artifact "
+             "(BENCH_<name>.json; see benchmarks/README.md)",
+    )
+    args = parser.parse_args(argv)
     print("## Measured results (regenerate with "
           "`python -m benchmarks.report`)\n")
     f3_translation()
@@ -347,6 +406,12 @@ def main() -> None:
     a4_dynamic_limits()
     a6_engine()
     obs_telemetry()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(ARTIFACT, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out} "
+              f"({len(ARTIFACT['suites'])} suite(s))", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -38,6 +38,10 @@ Statements end with ``;``.  Dot-commands:
 ``.shed``          show admission/shedding stats; ``queue N``,
                    ``readers N``, ``writers N``, ``timeout MS`` tune
                    the limits
+``.top``           one dashboard frame of the serving layer: req/s,
+                   per-class latency percentiles (p50/p95/p99), queue
+                   depth, shed rate, hottest rewrite rules and the
+                   slow-query tail
 ``.quit``          leave
 =================  =====================================================
 
@@ -203,6 +207,8 @@ class Shell:
             return self._sessions_command(argument)
         if command == ".shed":
             return self._shed_command(argument)
+        if command == ".top":
+            return self._top_command()
         if command == ".schema":
             lines = []
             catalog = self.db.catalog
@@ -344,8 +350,14 @@ class Shell:
 
     # -- serving commands -----------------------------------------------------
     def _start_serving(self) -> None:
+        from repro.obs.telemetry import Telemetry
         from repro.server import Server
-        self.server = Server(self.db)
+        # the interactive server mounts a collecting telemetry hub (no
+        # exporters, just the registry .top reads) and a slow-query log
+        self.server = Server(
+            self.db, telemetry=Telemetry(collect=True),
+            slow_query_ms=100.0,
+        )
         # the active session shares the shell's settings object, so
         # .checked/.deadline keep applying to it in place
         self.session = self.server.open_session(settings=self.settings)
@@ -416,6 +428,44 @@ class Shell:
                 f"{session.idle_for():.1f}s"
             )
         return lines or ["(no sessions)"]
+
+    def _top_command(self) -> list[str]:
+        if self.server is None:
+            return ["error: not serving (use .serve on)"]
+        top = self.server.top()
+        lines = [
+            f"uptime {top['uptime_s']:.1f}s, {top['qps']:.2f} req/s, "
+            f"queue {top['queue_depth']}, shed {top['shed_total']} "
+            f"({top['shed_rate'] * 100:.1f}%), {top['sessions']} "
+            f"session(s), version {top['snapshot_version']}"
+        ]
+        for klass in ("read", "write"):
+            row = top["requests"][klass]
+            lines.append(
+                f"  {klass:5s}: {row['count']} request(s), "
+                f"p50 {row['p50_ms']:.2f} ms, "
+                f"p95 {row['p95_ms']:.2f} ms, "
+                f"p99 {row['p99_ms']:.2f} ms"
+            )
+        if top["rule_heat"]:
+            lines.append("  hot rules:")
+            for row in top["rule_heat"]:
+                lines.append(
+                    f"    {row['rule']}: fired {row['fired']}, "
+                    f"{row['attempts']} attempt(s)"
+                )
+        if top["slow_queries"]:
+            lines.append(f"  slow queries (>= "
+                         f"{self.server.slow_query_ms:g} ms):")
+            for entry in top["slow_queries"]:
+                source = entry["source"].replace("\n", " ")
+                if len(source) > 60:
+                    source = source[:57] + "..."
+                lines.append(
+                    f"    [{entry['trace_id']}] "
+                    f"{entry['duration_ms']:.1f} ms  {source}"
+                )
+        return lines
 
     def _shed_command(self, argument: str) -> list[str]:
         if self.server is None:

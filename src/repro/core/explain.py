@@ -6,10 +6,10 @@ shared by the CLI, ``Database.explain_json`` and
 ``benchmarks/report.py`` -- one schema for interactive EXPLAIN and
 benchmark ingestion (documented in ``docs/observability.md``).
 
-Top-level JSON shape (``schema_version`` 3)::
+Top-level JSON shape (``schema_version`` 4)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "plans":   {"before": {"text", "nodes"}, "after": {"text", "nodes"}},
       "rewrite": {"applications", "checks", "passes", "degraded",
                   "trace": [{"block","rule","path","before","after"}],
@@ -27,6 +27,8 @@ Top-level JSON shape (``schema_version`` 3)::
                  "snapshot_version", "shed_total",
                  "errors": [{"error","message", <typed attrs>...}]}
                 or null,
+      "trace":  {"trace_id", "span_id", "parent_id",
+                 "stages": {stage: milliseconds}},
       "profile": <Profiler.report() or null>,
       "eval":    <EvalStats.snapshot() or null>
     }
@@ -40,6 +42,17 @@ session's recent typed-error tail, each entry produced by
 :func:`repro.errors.error_payload` so ``ServerOverloaded`` carries
 ``retry_after``, deadline degradations their budget, quarantines their
 rule, uniformly.
+
+``trace`` (version 4's addition; see ``docs/observability.md``) names
+the request: ``trace_id`` is the id every event the request emitted
+was stamped with on its way to the log sink -- ``grep trace_id
+events.jsonl`` recovers the request's whole story, retries and WAL
+commit included.  The ids come from the current
+:class:`~repro.obs.telemetry.TraceContext` (served requests inherit
+the server's; direct ``explain_json`` calls mint a fresh one), and
+``stages`` holds per-stage wall-clock milliseconds recovered from the
+profile (``phase.*`` timings, evaluator operator time) plus whatever
+the caller measured itself (the server adds ``queue_wait_ms``).
 
 ``validate_explain`` is the schema's executable documentation: it
 returns the list of violations (empty means valid) and is used by the
@@ -58,7 +71,7 @@ from repro.terms.term import term_size
 __all__ = ["explain_text", "explain_json", "validate_explain",
            "EXPLAIN_SCHEMA_VERSION"]
 
-EXPLAIN_SCHEMA_VERSION = 3
+EXPLAIN_SCHEMA_VERSION = 4
 
 
 def explain_text(optimized: OptimizedQuery, verbose: bool = False,
@@ -204,17 +217,51 @@ def _render_spans(spans: list[dict], depth: int,
     return lines
 
 
+def _trace_section(profile: Optional[dict],
+                   trace: Optional[dict] = None) -> dict:
+    """The ``trace`` object of the v4 schema.
+
+    Ids come from the ambient :class:`~repro.obs.telemetry
+    .TraceContext` (a fresh one is minted outside any request, so the
+    section is always present and well-formed); stage timings are
+    recovered from the profile's phase histograms.  ``trace`` lets the
+    caller pre-populate stages it measured itself (the server's
+    ``queue_wait_ms``).
+    """
+    from repro.obs.telemetry import TraceContext, current_trace
+
+    context = current_trace()
+    if context is None:
+        context = TraceContext.new()
+    section = context.as_dict()
+    stages: dict = dict((trace or {}).get("stages") or {})
+    histograms = ((profile or {}).get("metrics") or {}) \
+        .get("histograms") or {}
+    for name, row in histograms.items():
+        if name.startswith("phase.") and name.endswith(".seconds"):
+            stage = name[len("phase."):-len(".seconds")]
+            stages[stage + "_ms"] = row.get("total", 0.0) * 1e3
+    eval_row = histograms.get("eval.op.seconds")
+    if eval_row:
+        stages["eval_ops_ms"] = eval_row.get("total", 0.0) * 1e3
+    section["stages"] = stages
+    return section
+
+
 def explain_json(optimized: OptimizedQuery,
                  profile: Optional[dict] = None,
                  eval_stats=None,
-                 server: Optional[dict] = None) -> dict:
+                 server: Optional[dict] = None,
+                 trace: Optional[dict] = None) -> dict:
     """The machine-readable EXPLAIN report (see the module docstring).
 
     ``profile`` is a :meth:`~repro.obs.profile.Profiler.report` dict
     (or a Profiler, which is reported automatically); ``eval_stats`` an
     :class:`~repro.engine.stats.EvalStats` from executing the plan;
     ``server`` the serving-layer section (filled in by
-    :meth:`repro.server.Server.explain_json`, null everywhere else).
+    :meth:`repro.server.Server.explain_json`, null everywhere else);
+    ``trace`` optional extra stage timings (``{"stages": {...}}``)
+    merged into the trace section.
     """
     if profile is not None and hasattr(profile, "report"):
         profile = profile.report()
@@ -251,6 +298,7 @@ def explain_json(optimized: OptimizedQuery,
         "resilience": (result.resilience.as_dict()
                        if result.resilience is not None else None),
         "server": server,
+        "trace": _trace_section(profile, trace),
         "profile": profile,
         "eval": eval_stats.snapshot() if eval_stats is not None else None,
     }
@@ -350,6 +398,26 @@ def validate_explain(report: dict) -> list[str]:
                         f"server.errors[{i}]: ServerOverloaded "
                         f"without retry_after"
                     )
+    trace = need(report, "trace", dict, "report")
+    if trace is not None:
+        trace_id = need(trace, "trace_id", str, "trace")
+        if trace_id is not None and not _is_hex(trace_id, 32):
+            problems.append("trace.trace_id: not 32 hex chars")
+        span_id = need(trace, "span_id", str, "trace")
+        if span_id is not None and not _is_hex(span_id, 16):
+            problems.append("trace.span_id: not 16 hex chars")
+        if "parent_id" not in trace:
+            problems.append("trace: missing key 'parent_id'")
+        elif trace["parent_id"] is not None and \
+                not _is_hex(trace["parent_id"], 16):
+            problems.append("trace.parent_id: not null or 16 hex chars")
+        stages = need(trace, "stages", dict, "trace")
+        if stages is not None:
+            for stage, value in stages.items():
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"trace.stages.{stage}: not a non-negative number"
+                    )
     if "profile" not in report:
         problems.append("report: missing key 'profile'")
     elif report["profile"] is not None:
@@ -372,6 +440,16 @@ def validate_explain(report: dict) -> list[str]:
             if not isinstance(value, int) or value < 0:
                 problems.append(f"eval.{key}: not a non-negative int")
     return problems
+
+
+def _is_hex(value: str, length: int) -> bool:
+    if not isinstance(value, str) or len(value) != length:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
 
 
 def _validate_spans(spans, where: str) -> list[str]:

@@ -124,7 +124,7 @@ class Database:
         return nullcontext() if guard is None else guard.read()
 
     # -- statements ------------------------------------------------------------
-    def execute(self, script: str) -> list[Result]:
+    def execute(self, script: str, obs=None) -> list[Result]:
         """Run an ESQL script; returns the results of any queries.
 
         Each mutating statement is atomic: it either fully applies or --
@@ -135,7 +135,8 @@ class Database:
         With serving enabled, each mutating statement holds the writer
         lock for exactly its own duration and each query holds the
         shared reader lock, so concurrent callers interleave only at
-        statement boundaries.
+        statement boundaries.  ``obs`` is an optional per-call event
+        bus for any queries' rewrite/eval events.
         """
         guard = self.guard
         results = []
@@ -144,13 +145,13 @@ class Database:
                 term = self._apply_statement(statement, source)
                 if term is not None:
                     results.append(
-                        self._run(term, self.rewrite_default)[0]
+                        self._run(term, self.rewrite_default, obs=obs)[0]
                     )
             elif isinstance(statement, ast.Select):
                 with guard.read():
                     term = self._apply_statement(statement, source)
                     results.append(
-                        self._run(term, self.rewrite_default)[0]
+                        self._run(term, self.rewrite_default, obs=obs)[0]
                     )
             else:
                 with guard.write():
@@ -232,23 +233,27 @@ class Database:
     def query(self, source: str, rewrite: Optional[bool] = None,
               stats: Optional[EvalStats] = None,
               checked: Optional[bool] = None,
-              deadline_ms: Optional[float] = None) -> Result:
+              deadline_ms: Optional[float] = None,
+              obs=None) -> Result:
         """Run one SELECT and return its result.
 
         ``checked`` / ``deadline_ms`` override the database-wide
         resilience defaults for this one call (what per-session
-        settings ride on; see ``docs/server.md``).
+        settings ride on; see ``docs/server.md``).  ``obs`` is an
+        optional per-call event bus for this query's rewrite/eval
+        events (the server passes its telemetry bus here so request
+        events land in the trace-stamped stream).
         """
         guard = self.guard
         if guard is None:
             return self._query_term(
                 self._translate_single(source), rewrite, stats,
-                checked=checked, deadline_ms=deadline_ms,
+                checked=checked, deadline_ms=deadline_ms, obs=obs,
             )
         with guard.read():
             return self._query_term(
                 self._translate_single(source), rewrite, stats,
-                checked=checked, deadline_ms=deadline_ms,
+                checked=checked, deadline_ms=deadline_ms, obs=obs,
             )
 
     def query_with_stats(
@@ -398,10 +403,12 @@ class Database:
     def _query_term(self, term: Term, rewrite: Optional[bool],
                     stats: Optional[EvalStats],
                     checked: Optional[bool] = None,
-                    deadline_ms: Optional[float] = None) -> Result:
+                    deadline_ms: Optional[float] = None,
+                    obs=None) -> Result:
         use_rewrite = self.rewrite_default if rewrite is None else rewrite
         return self._run(term, use_rewrite, stats,
-                         checked=checked, deadline_ms=deadline_ms)[0]
+                         checked=checked, deadline_ms=deadline_ms,
+                         obs=obs)[0]
 
     def _resilience_kwargs(self, checked: Optional[bool] = None,
                            deadline_ms: Optional[float] = None) -> dict:
@@ -425,25 +432,26 @@ class Database:
              stats: Optional[EvalStats] = None,
              checked: Optional[bool] = None,
              deadline_ms: Optional[float] = None,
+             obs=None,
              ) -> tuple[Result, OptimizedQuery]:
         guard = self.guard
         if guard is None:
             optimized = self.optimizer.optimize(
-                term, rewrite=rewrite,
+                term, rewrite=rewrite, obs=obs,
                 **self._resilience_kwargs(checked, deadline_ms),
             )
             evaluator = Evaluator(
                 self.catalog, stats=stats, semi_naive=self.semi_naive,
-                hash_joins=self.hash_joins,
+                hash_joins=self.hash_joins, obs=obs,
             )
             return evaluator.evaluate(optimized.final), optimized
         with guard.read():
             optimized = self.optimizer.optimize(
-                term, rewrite=rewrite,
+                term, rewrite=rewrite, obs=obs,
                 **self._resilience_kwargs(checked, deadline_ms),
             )
             evaluator = Evaluator(
                 self.catalog, stats=stats, semi_naive=self.semi_naive,
-                hash_joins=self.hash_joins,
+                hash_joins=self.hash_joins, obs=obs,
             )
             return evaluator.evaluate(optimized.final), optimized

@@ -19,21 +19,47 @@ The layer has four pieces (see ``docs/observability.md``):
 :class:`~repro.obs.profile.Profiler` bundles all of the above behind
 one object; ``Database.explain_json`` and the CLI's ``.profile`` mode
 use it, and ``benchmarks/report.py`` ingests the same JSON schema.
+
+On top of those, the request-scoped telemetry added for the serving
+layer:
+
+* :class:`~repro.obs.telemetry.TraceContext` /
+  :func:`~repro.obs.telemetry.current_trace` /
+  :func:`~repro.obs.telemetry.use_trace` -- W3C-style trace ids
+  propagated by context variable through retries, the admission queue,
+  the rewrite pipeline and the WAL commit;
+* :class:`~repro.obs.telemetry.Telemetry` -- the hub a server mounts
+  (bus + registry + exporters);
+* :class:`~repro.obs.export.JsonlSink` and
+  :class:`~repro.obs.export.OtlpSpanExporter` -- rotating JSONL logs
+  and OTLP/JSON span batches;
+* :class:`~repro.obs.metrics.BucketHistogram` -- fixed log-scaled
+  buckets with p50/p95/p99 and a Prometheus exposition
+  (:meth:`~repro.obs.metrics.MetricsRegistry.expose_text`).
 """
 
 from repro.obs.bus import EventBus, Subscription
 from repro.obs.events import (BlockEnd, BlockStart, ConstraintCheck,
                               EvalOp, Event, MethodCall, PassEnd,
                               PhaseEnd, PhaseStart, RuleAttempt,
-                              RuleFired)
-from repro.obs.metrics import CounterMetric, Histogram, MetricsRegistry
-from repro.obs.profile import Profiler
+                              RuleFired, SlowQuery, SubscriberDetached)
+from repro.obs.metrics import (BucketHistogram, CounterMetric, Histogram,
+                               MetricsRegistry, log_bucket_bounds,
+                               prometheus_name)
+from repro.obs.profile import Profiler, fold_event
+from repro.obs.telemetry import (Telemetry, TraceContext, current_trace,
+                                 use_trace)
+from repro.obs.export import JsonlSink, OtlpSpanExporter
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
     "EventBus", "Subscription", "Event", "PhaseStart", "PhaseEnd",
     "BlockStart", "BlockEnd", "PassEnd", "RuleAttempt", "RuleFired",
     "ConstraintCheck", "MethodCall", "EvalOp",
-    "CounterMetric", "Histogram", "MetricsRegistry",
-    "Span", "Tracer", "Profiler",
+    "SubscriberDetached", "SlowQuery",
+    "CounterMetric", "Histogram", "BucketHistogram", "MetricsRegistry",
+    "log_bucket_bounds", "prometheus_name",
+    "Span", "Tracer", "Profiler", "fold_event",
+    "TraceContext", "current_trace", "use_trace", "Telemetry",
+    "JsonlSink", "OtlpSpanExporter",
 ]

@@ -15,7 +15,12 @@ Subscribers are plain callables; an optional ``kinds`` filter restricts
 delivery to the given event classes.  A failing subscriber is
 unsubscribed after :data:`MAX_SUBSCRIBER_ERRORS` consecutive errors
 rather than poisoning the rewrite, because observability must never
-change query results.
+change query results.  The detachment is itself observable: the bus
+bumps an ``obs.subscribers.detached`` counter on its (optional)
+metrics registry and delivers a
+:class:`~repro.obs.events.SubscriberDetached` event to the remaining
+subscribers, so a dashboard that suddenly goes quiet can be told apart
+from a pipeline that went idle.
 
 The bus is thread-safe for the serving layer: the subscriber list is
 guarded by a lock and emission iterates over an immutable copy, so a
@@ -57,13 +62,19 @@ class Subscription:
 
 
 class EventBus:
-    """Synchronous pub/sub for pipeline events."""
+    """Synchronous pub/sub for pipeline events.
 
-    __slots__ = ("_subscriptions", "_lock")
+    ``metrics`` is an optional :class:`~repro.obs.metrics
+    .MetricsRegistry` that receives the bus's own health counters
+    (currently ``obs.subscribers.detached``).
+    """
 
-    def __init__(self):
+    __slots__ = ("_subscriptions", "_lock", "metrics")
+
+    def __init__(self, metrics=None):
         self._subscriptions: list[Subscription] = []
         self._lock = threading.Lock()
+        self.metrics = metrics
 
     # -- subscriber management ----------------------------------------------
     def subscribe(self, handler: Callable[[Event], None],
@@ -115,3 +126,17 @@ class EventBus:
                 sub.errors += 1
                 if sub.errors >= MAX_SUBSCRIBER_ERRORS:
                     self._drop(sub)
+                    self._note_detached(sub)
+
+    def _note_detached(self, sub: Subscription) -> None:
+        """Make a silent detachment loud: count it and tell whoever is
+        still listening (the dropped subscriber is already out of the
+        list, so the recursion depth is bounded by the subscriber
+        count)."""
+        if self.metrics is not None:
+            self.metrics.inc("obs.subscribers.detached")
+        if self._subscriptions:
+            from repro.obs.events import SubscriberDetached
+            self.emit(SubscriberDetached(
+                handler=repr(sub.handler), errors=sub.errors,
+            ))

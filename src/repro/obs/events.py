@@ -36,6 +36,9 @@ sinks can serialise uniformly.  The taxonomy mirrors the pipeline:
 ``RequestFailed``  a served request raised; carries the failure class
 ``BreakerStateChanged`` a circuit breaker moved between closed /
                    open / half-open
+``SubscriberDetached`` the bus dropped a failing subscriber
+``SlowQuery``      a served request crossed the slow-query threshold;
+                   carries the full EXPLAIN report for reads
 =================  ======================================================
 
 Durations are monotonic-clock seconds (``time.perf_counter`` deltas).
@@ -57,6 +60,7 @@ __all__ = [
     "FsckViolation",
     "SessionOpened", "SessionClosed", "RequestAdmitted", "RequestShed",
     "RequestCompleted", "RequestFailed", "BreakerStateChanged",
+    "SubscriberDetached", "SlowQuery",
 ]
 
 
@@ -327,3 +331,27 @@ class BreakerStateChanged(Event):
     failure_class: str
     state: str
     failures: int
+
+
+@dataclass(frozen=True)
+class SubscriberDetached(Event):
+    """The bus dropped a subscriber after too many consecutive
+    handler errors; delivered to the *remaining* subscribers so dead
+    telemetry is itself observable instead of silently dark."""
+
+    handler: str
+    errors: int
+
+
+@dataclass(frozen=True)
+class SlowQuery(Event):
+    """A served request exceeded the slow-query threshold; the full
+    EXPLAIN report (reads only -- writes have no plan) rides along so
+    the log sink captures the plan that was slow, not just the fact."""
+
+    request_class: str
+    session: str
+    source: str
+    duration: float
+    threshold_ms: float
+    explain: Optional[dict]

@@ -1,0 +1,264 @@
+"""Exporters: structured JSONL logs and OTLP-flavoured span JSON.
+
+Three export surfaces, one per ecosystem convention:
+
+* :class:`JsonlSink` -- one JSON object per line per event, stamped
+  with a wall-clock timestamp and the current
+  :class:`~repro.obs.telemetry.TraceContext`; size-based rotation
+  (``path`` -> ``path.1`` -> ... ``path.<keep>``) and per-kind
+  sampling (keep 1 in N of the chatty kinds) keep an always-on sink
+  bounded;
+* the Prometheus text exposition lives on
+  :meth:`repro.obs.metrics.MetricsRegistry.expose_text` (scraped via
+  ``Server.metrics_text()``);
+* :class:`OtlpSpanExporter` -- folds the event stream into completed
+  spans and renders them as OTLP/JSON ``resourceSpans`` (the shape an
+  OpenTelemetry collector's HTTP receiver accepts), so the span tree
+  can leave the process without an OpenTelemetry dependency.
+
+All of them are plain bus subscribers behind the established null-sink
+fast path: nothing here runs unless it was attached.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Optional
+
+from repro.obs import events as ev
+from repro.obs.telemetry import TraceContext, current_trace
+from repro.obs.tracer import Tracer
+
+__all__ = ["JsonlSink", "OtlpSpanExporter", "spans_to_otlp"]
+
+
+class JsonlSink:
+    """A rotating, sampling, trace-stamping JSONL event log.
+
+    Parameters
+    ----------
+    path:
+        The live log file; rotated generations get ``.1``, ``.2`` ...
+        suffixes (higher = older).
+    max_bytes:
+        Rotate before a write would push the live file past this size.
+    keep:
+        How many rotated generations to retain.
+    sample:
+        ``{event kind name: N}`` -- keep one record in every ``N`` of
+        that kind (the first of each window is kept, so rare kinds
+        always surface).  Kinds not listed are never dropped.
+    """
+
+    def __init__(self, path: str, max_bytes: int = 4 * 1024 * 1024,
+                 keep: int = 2, sample: Optional[dict] = None,
+                 clock=time.time):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.keep = max(0, keep)
+        self.sample = dict(sample or {})
+        self._clock = clock
+        self._seen: dict[str, int] = {}
+        self._dropped = 0
+        self._written = 0
+        self._lock = threading.Lock()
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+        self._subscription = None
+
+    # -- bus wiring -----------------------------------------------------------
+    def attach(self, bus) -> None:
+        self._subscription = bus.subscribe(self)
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    # -- the subscriber -------------------------------------------------------
+    def __call__(self, event: ev.Event) -> None:
+        kind = type(event).__name__
+        record = event.as_dict()
+        record["ts"] = self._clock()
+        context = current_trace()
+        if context is not None:
+            record["trace_id"] = context.trace_id
+            record["span_id"] = context.span_id
+            if context.parent_id is not None:
+                record["parent_id"] = context.parent_id
+        line = json.dumps(record, default=str) + "\n"
+        encoded = line.encode("utf-8")
+        with self._lock:
+            rate = self.sample.get(kind)
+            if rate is not None and rate > 1:
+                seen = self._seen.get(kind, 0)
+                self._seen[kind] = seen + 1
+                if seen % rate:
+                    self._dropped += 1
+                    return
+            if (self._handle.tell() + len(encoded)) > self.max_bytes:
+                self._rotate()
+            self._handle.write(line)
+            self._handle.flush()
+            self._written += 1
+
+    # -- rotation -------------------------------------------------------------
+    def _rotate(self) -> None:
+        self._handle.close()
+        oldest = f"{self.path}.{self.keep}"
+        if self.keep and os.path.exists(oldest):
+            os.remove(oldest)
+        for generation in range(self.keep - 1, 0, -1):
+            source = f"{self.path}.{generation}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{generation + 1}")
+        if self.keep:
+            os.replace(self.path, f"{self.path}.1")
+        else:
+            os.remove(self.path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- introspection --------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {"written": self._written, "dropped": self._dropped}
+
+    def close(self) -> None:
+        self.detach()
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+# -- OTLP span export ----------------------------------------------------------
+
+def _nano(seconds: float) -> str:
+    """OTLP wants unix nanos as strings (JSON int64 safety)."""
+    return str(int(seconds * 1e9))
+
+
+def spans_to_otlp(roots, trace: Optional[TraceContext] = None,
+                  service_name: str = "repro",
+                  epoch_anchor: Optional[float] = None) -> dict:
+    """Render :class:`~repro.obs.tracer.Span` trees as OTLP/JSON.
+
+    Tracer spans carry monotonic-clock times; ``epoch_anchor`` (the
+    wall-clock instant corresponding to ``perf_counter() == 0``,
+    computed at export time by default) maps them onto unix nanos.
+    ``trace`` supplies the trace id and the parent of the root spans;
+    a fresh trace is minted when absent, so the export is always
+    well-formed.
+    """
+    if epoch_anchor is None:
+        epoch_anchor = time.time() - time.perf_counter()
+    if trace is None:
+        trace = TraceContext.new()
+
+    def render(span, parent_id: Optional[str]) -> list:
+        span_id = os.urandom(8).hex()
+        end = span.end if span.end is not None else span.start
+        node = {
+            "traceId": trace.trace_id,
+            "spanId": span_id,
+            "name": f"{span.kind}:{span.name}",
+            "kind": 1,  # SPAN_KIND_INTERNAL
+            "startTimeUnixNano": _nano(epoch_anchor + span.start),
+            "endTimeUnixNano": _nano(epoch_anchor + end),
+            "attributes": [
+                {"key": str(key), "value": {"stringValue": str(value)}}
+                for key, value in span.attrs.items()
+            ],
+        }
+        if parent_id is not None:
+            node["parentSpanId"] = parent_id
+        out = [node]
+        for child in span.children:
+            out.extend(render(child, span_id))
+        return out
+
+    spans: list = []
+    for root in roots:
+        spans.extend(render(root, trace.span_id))
+    return {
+        "resourceSpans": [{
+            "resource": {"attributes": [{
+                "key": "service.name",
+                "value": {"stringValue": service_name},
+            }]},
+            "scopeSpans": [{
+                "scope": {"name": "repro.obs"},
+                "spans": spans,
+            }],
+        }],
+    }
+
+
+class OtlpSpanExporter:
+    """Folds the bus's event stream into exportable OTLP span batches.
+
+    One internal :class:`~repro.obs.tracer.Tracer` per trace id keeps
+    concurrent requests' span trees separate; :meth:`export` drains
+    every finished tree into one OTLP/JSON document.
+    """
+
+    def __init__(self, service_name: str = "repro"):
+        self.service_name = service_name
+        self._lock = threading.Lock()
+        self._tracers: dict[str, Tracer] = {}
+        self._subscription = None
+
+    def attach(self, bus) -> None:
+        self._subscription = bus.subscribe(self._on_event)
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    def _on_event(self, event: ev.Event) -> None:
+        context = current_trace()
+        key = context.trace_id if context is not None else "(untraced)"
+        with self._lock:
+            tracer = self._tracers.get(key)
+            if tracer is None:
+                tracer = self._tracers[key] = Tracer()
+            tracer.on_event(event)
+
+    def export(self) -> dict:
+        """Drain every collected trace into one OTLP/JSON document."""
+        with self._lock:
+            batches, self._tracers = self._tracers, {}
+        documents = []
+        for trace_id, tracer in sorted(batches.items()):
+            trace = (TraceContext(trace_id=trace_id, span_id="0" * 16)
+                     if trace_id != "(untraced)" else None)
+            documents.append(spans_to_otlp(
+                tracer.span_tree(), trace=trace,
+                service_name=self.service_name,
+            ))
+        spans = [
+            span
+            for document in documents
+            for resource in document["resourceSpans"]
+            for scope in resource["scopeSpans"]
+            for span in scope["spans"]
+        ]
+        return {
+            "resourceSpans": [{
+                "resource": {"attributes": [{
+                    "key": "service.name",
+                    "value": {"stringValue": self.service_name},
+                }]},
+                "scopeSpans": [{
+                    "scope": {"name": "repro.obs"},
+                    "spans": spans,
+                }],
+            }],
+        } if spans else {"resourceSpans": []}

@@ -28,10 +28,14 @@ measure)::
 
 from __future__ import annotations
 
+import math
+import random
 import threading
+import zlib
 from typing import Optional
 
-__all__ = ["CounterMetric", "Histogram", "MetricsRegistry"]
+__all__ = ["CounterMetric", "Histogram", "BucketHistogram",
+           "MetricsRegistry", "log_bucket_bounds", "prometheus_name"]
 
 
 class CounterMetric:
@@ -60,15 +64,25 @@ class CounterMetric:
 class Histogram:
     """Streaming summary statistics plus a bounded sample reservoir.
 
+    The reservoir is Algorithm R (Vitter): after it fills, observation
+    number ``i`` replaces a uniformly random slot with probability
+    ``n/i``, so every observation -- not just the first ``n`` -- is
+    equally likely to be retained and the percentile estimates track
+    the whole stream instead of its cold-start prefix.  The generator
+    is seeded from the metric name, so a fixed observation sequence
+    yields a fixed reservoir (test reproducibility).  ``min``/``max``/
+    ``mean`` stay exact: they are streamed, never sampled.
+
     Thread-safe: ``observe`` updates its running aggregates under a
     per-metric lock so two sessions recording at once cannot tear the
     count/total/min/max invariants.
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "_samples",
-                 "_max_samples", "_lock")
+                 "_max_samples", "_rng", "_lock")
 
-    def __init__(self, name: str, max_samples: int = 256):
+    def __init__(self, name: str, max_samples: int = 256,
+                 seed: Optional[int] = None):
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -76,6 +90,9 @@ class Histogram:
         self.max: Optional[float] = None
         self._samples: list[float] = []
         self._max_samples = max_samples
+        self._rng = random.Random(
+            zlib.crc32(name.encode()) if seed is None else seed
+        )
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -89,13 +106,17 @@ class Histogram:
                 self.max = value
             if len(self._samples) < self._max_samples:
                 self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self._max_samples:
+                    self._samples[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Approximate percentile from the retained sample prefix."""
+        """Approximate percentile from the Algorithm-R reservoir."""
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
@@ -119,6 +140,133 @@ class Histogram:
                 f"mean={self.mean:.6g})")
 
 
+def log_bucket_bounds(lowest: float = 1e-6, factor: float = 2.0,
+                      count: int = 27) -> tuple:
+    """The shared log-scaled bucket ladder: ``count`` upper bounds
+    growing geometrically from ``lowest`` (1 µs ... ~67 s for the
+    defaults), plus an implicit +Inf overflow bucket."""
+    return tuple(lowest * factor ** k for k in range(count))
+
+
+class BucketHistogram:
+    """Fixed log-scaled buckets for request-latency distributions.
+
+    Unlike :class:`Histogram`'s sampled reservoir, the per-bucket
+    counts are *exact*: every observation lands in exactly one bucket,
+    so a percentile is located in its true bucket with no sampling
+    error, then linearly interpolated within the bucket's bounds
+    (clamped by the exact streamed min/max).  The error of
+    ``percentile`` is therefore bounded by one bucket's width --
+    a constant factor on the log scale -- regardless of stream length,
+    which is the property the per-request-class p50/p95/p99 quotes
+    rely on.
+
+    The bounds are Prometheus-style *upper* bounds: bucket ``i`` holds
+    values ``<= bounds[i]``; the overflow bucket holds the rest.
+    Thread-safe under the same per-metric lock discipline as the other
+    metrics.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "bounds",
+                 "counts", "_lock")
+
+    def __init__(self, name: str, bounds: Optional[tuple] = None):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.bounds = tuple(bounds) if bounds else log_bucket_bounds()
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("bucket bounds must be sorted ascending")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow
+        self._lock = threading.Lock()
+
+    def _index(self, value: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = self._index(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self.counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact-bucket percentile: the target rank's bucket is found
+        from the exact cumulative counts; the returned value is a
+        linear interpolation inside that bucket."""
+        if not self.count:
+            return 0.0
+        rank = q / 100.0 * (self.count - 1)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count > rank:
+                lower = (self.bounds[index - 1] if index > 0 else 0.0)
+                upper = (self.bounds[index]
+                         if index < len(self.bounds) else self.max)
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return upper
+                # position of the rank within this bucket's occupants
+                within = (rank - cumulative) / bucket_count
+                return lower + within * (upper - lower)
+            cumulative += bucket_count
+        return self.max if self.max is not None else 0.0
+
+    def cumulative_counts(self) -> list:
+        """Prometheus-style cumulative ``(le, count)`` pairs, ending
+        with ``("+Inf", total count)``."""
+        out = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "buckets": {
+                f"{bound:g}": count
+                for bound, count in zip(self.bounds, self.counts)
+                if count
+            },
+            "overflow": self.counts[-1],
+        }
+
+    def __repr__(self) -> str:
+        return (f"BucketHistogram({self.name}: n={self.count}, "
+                f"p95={self.percentile(95):.6g})")
+
+
 class MetricsRegistry:
     """Get-or-create registry of named counters and histograms.
 
@@ -131,6 +279,7 @@ class MetricsRegistry:
     def __init__(self):
         self._counters: dict[str, CounterMetric] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._buckets: dict[str, BucketHistogram] = {}
         self._lock = threading.Lock()
 
     # -- access ---------------------------------------------------------------
@@ -150,6 +299,15 @@ class MetricsRegistry:
                 metric = self._histograms.get(name)
                 if metric is None:
                     metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def bucket(self, name: str) -> BucketHistogram:
+        metric = self._buckets.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._buckets.get(name)
+                if metric is None:
+                    metric = self._buckets[name] = BucketHistogram(name)
         return metric
 
     def inc(self, name: str, amount: int = 1) -> None:
@@ -191,13 +349,14 @@ class MetricsRegistry:
             if not key:
                 continue
             out.setdefault(key, {})[measure] = metric.value
-        for name, metric in sorted(self._histograms.items()):
-            if not name.startswith(prefix):
-                continue
-            key, __, measure = name[len(prefix):].rpartition(".")
-            if not key:
-                continue
-            out.setdefault(key, {})[measure] = metric.to_dict()
+        for source in (self._histograms, self._buckets):
+            for name, metric in sorted(source.items()):
+                if not name.startswith(prefix):
+                    continue
+                key, __, measure = name[len(prefix):].rpartition(".")
+                if not key:
+                    continue
+                out.setdefault(key, {})[measure] = metric.to_dict()
         return out
 
     def snapshot(self) -> dict:
@@ -211,9 +370,66 @@ class MetricsRegistry:
                 name: metric.to_dict()
                 for name, metric in sorted(self._histograms.items())
             },
+            "buckets": {
+                name: metric.to_dict()
+                for name, metric in sorted(self._buckets.items())
+            },
         }
+
+    # -- Prometheus text exposition -------------------------------------------
+    def expose_text(self) -> str:
+        """Render every metric in the Prometheus text exposition
+        format (version 0.0.4): counters as ``counter`` families,
+        sampled histograms as ``summary`` families (quantile labels),
+        bucket histograms as ``histogram`` families with cumulative
+        ``le`` buckets.  Metric names are sanitised to the
+        ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset (dots become
+        underscores)."""
+        lines: list[str] = []
+        for name, metric in sorted(self._counters.items()):
+            flat = prometheus_name(name)
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {metric.value}")
+        for name, metric in sorted(self._histograms.items()):
+            flat = prometheus_name(name)
+            lines.append(f"# TYPE {flat} summary")
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f'{flat}{{quantile="{q}"}} '
+                    f"{_fmt(metric.percentile(q * 100))}"
+                )
+            lines.append(f"{flat}_sum {_fmt(metric.total)}")
+            lines.append(f"{flat}_count {metric.count}")
+        for name, metric in sorted(self._buckets.items()):
+            flat = prometheus_name(name)
+            lines.append(f"# TYPE {flat} histogram")
+            for bound, cumulative in metric.cumulative_counts():
+                label = "+Inf" if math.isinf(bound) else f"{bound:g}"
+                lines.append(
+                    f'{flat}_bucket{{le="{label}"}} {cumulative}'
+                )
+            lines.append(f"{flat}_sum {_fmt(metric.total)}")
+            lines.append(f"{flat}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._histograms.clear()
+            self._buckets.clear()
+
+
+def prometheus_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus charset."""
+    flat = "".join(
+        ch if (ch.isascii() and ch.isalnum()) or ch in "_:" else "_"
+        for ch in name
+    )
+    if not flat or not (flat[0].isalpha() or flat[0] in "_:"):
+        flat = "_" + flat
+    return flat
+
+
+def _fmt(value: float) -> str:
+    """A float rendering that never produces locale surprises."""
+    return repr(float(value))

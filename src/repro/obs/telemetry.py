@@ -1,0 +1,172 @@
+"""Request-scoped telemetry: trace context and the exporter hub.
+
+The PR-4 serving layer made requests concurrent; this module makes
+them *correlated*.  A :class:`TraceContext` is a ``(trace_id,
+span_id, parent_id)`` triple in the W3C/OTLP style:
+
+* ``trace_id`` names one end-to-end request -- minted once by
+  :class:`~repro.server.server.ServingClient` (or by the server for
+  direct calls) and shared by every retry attempt of that request;
+* ``span_id`` names one timed unit inside it (a retry attempt, the
+  serve span, implicitly every event emitted while it is current);
+* ``parent_id`` links a span to the one that opened it.
+
+Propagation is by context variable, not by threading an argument
+through every signature: :func:`use_trace` installs a context for the
+dynamic extent of a request, and every sink that records an event
+calls :func:`current_trace` at delivery time.  Because the event bus
+is synchronous, an event is always recorded on the thread (and hence
+in the context) of the request that caused it -- which is exactly how
+one ``trace_id`` ends up stitching a request's retries, queue wait,
+rewrite block spans, evaluator ops and WAL commit into one story.
+``contextvars`` gives each server worker thread its own slot, so
+sixteen concurrent sessions never see each other's ids.
+
+:class:`Telemetry` is the hub a :class:`~repro.server.server.Server`
+mounts: one bus + one registry + the optional exporters (JSONL log
+sink, OTLP span exporter -- see :mod:`repro.obs.export`) and a
+metrics collector that folds the pipeline event stream into the
+registry (per-rule heat for the CLI ``.top``).  Null-sink discipline:
+a Server without a Telemetry keeps today's behaviour to the byte, and
+a Telemetry without exporters still costs one truthy-bus event
+construction per producer site, nothing more.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.bus import EventBus
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["TraceContext", "current_trace", "use_trace", "Telemetry"]
+
+
+def _hex_id(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node of a request's span tree (W3C-sized identifiers)."""
+
+    trace_id: str                    # 16 bytes hex: the whole request
+    span_id: str                     # 8 bytes hex: this span
+    parent_id: Optional[str] = None  # the opening span, None at root
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """Mint a root context for a brand-new request."""
+        return cls(trace_id=_hex_id(16), span_id=_hex_id(8))
+
+    def child(self) -> "TraceContext":
+        """A sub-span of this context (same trace, fresh span id)."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=_hex_id(8),
+            parent_id=self.span_id,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
+
+_CURRENT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The trace context of the running request, or None outside one."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_trace(context: TraceContext):
+    """Install ``context`` for the dynamic extent of the block."""
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)
+
+
+class Telemetry:
+    """The exporter hub one server (or test harness) mounts.
+
+    Parameters
+    ----------
+    log_path:
+        When given, a :class:`~repro.obs.export.JsonlSink` writing
+        every event (trace-stamped, rotated, sampled) to this file.
+    log_max_bytes / log_keep / sample:
+        Forwarded to the sink (rotation threshold, rotated-file count,
+        per-kind sampling rates).
+    otlp:
+        When true, an :class:`~repro.obs.export.OtlpSpanExporter` is
+        attached; drain it with :meth:`export_spans`.
+    collect:
+        Fold the event stream into ``metrics`` (per-rule / per-block /
+        eval counters -- the numbers ``.top`` renders).  On by
+        default; switch off for a pure log-shipping hub.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 log_path: Optional[str] = None,
+                 log_max_bytes: int = 4 * 1024 * 1024,
+                 log_keep: int = 2,
+                 sample: Optional[dict] = None,
+                 otlp: bool = False,
+                 collect: bool = True):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.bus = EventBus(metrics=self.metrics)
+        self.sink = None
+        self.span_exporter = None
+        if log_path is not None:
+            from repro.obs.export import JsonlSink
+            self.sink = JsonlSink(
+                log_path, max_bytes=log_max_bytes, keep=log_keep,
+                sample=sample,
+            )
+            self.sink.attach(self.bus)
+        if otlp:
+            from repro.obs.export import OtlpSpanExporter
+            self.span_exporter = OtlpSpanExporter()
+            self.span_exporter.attach(self.bus)
+        if collect:
+            from repro.obs.profile import fold_event
+            self.bus.subscribe(
+                lambda event: fold_event(self.metrics, event)
+            )
+
+    # -- wiring ----------------------------------------------------------------
+    def wire_database(self, db) -> None:
+        """Point the database's durability events at this hub, so WAL
+        appends land in the same trace-stamped stream as the serving
+        events (they are emitted on the request thread, inside the
+        request's context)."""
+        db.obs = self.bus
+        if db.durability is not None:
+            db.durability.obs = self.bus
+
+    # -- export ----------------------------------------------------------------
+    def export_spans(self) -> dict:
+        """Drain the OTLP exporter (empty resourceSpans when off)."""
+        if self.span_exporter is None:
+            return {"resourceSpans": []}
+        return self.span_exporter.export()
+
+    def expose_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return self.metrics.expose_text()
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()

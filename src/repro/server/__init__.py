@@ -17,6 +17,12 @@ Five pieces over one :class:`~repro.engine.database.Database`:
 * :class:`~repro.server.server.Server` -- the facade wiring it all,
   with ``server.*`` events and metrics.
 
+Mount a :class:`~repro.obs.telemetry.Telemetry` hub
+(``Server(db, telemetry=...)``) for request-scoped telemetry: one
+trace id per logical request across retries, queue, rewrite, eval and
+WAL commit; JSONL / Prometheus / OTLP exporters; per-class latency
+histograms; and a slow-query log (``slow_query_ms``).
+
 The layer is strictly opt-in: a Database that never calls
 ``enable_serving`` keeps its single-threaded fast path (no locks on
 any hot path -- the null-object discipline the obs and durability

@@ -189,6 +189,9 @@ class AdmissionController:
             metrics.observe("server.queue.wait_seconds",
                             ticket.queue_wait)
             metrics.observe("server.queue.depth", ticket.queue_depth)
+            metrics.bucket(
+                f"server.queue.{ticket.request_class}.wait_seconds"
+            ).observe(ticket.queue_wait)
         bus = self.obs
         if bus:
             from repro.obs.events import RequestAdmitted

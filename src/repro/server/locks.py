@@ -23,6 +23,7 @@ followed by a query -- safe without lock juggling in the engine.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Optional
 
@@ -132,10 +133,14 @@ class ConcurrencyGuard:
     yields a :class:`SnapshotHandle` pinned to the current version.
     """
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._lock = ReadWriteLock()
         self._held = _HoldState()
         self._version = 0
+        # optional MetricsRegistry: the server points this at its own
+        # registry so lock-wait time lands in the per-class latency
+        # buckets; None (the default) keeps acquisition untimed
+        self.metrics = metrics
 
     @property
     def version(self) -> int:
@@ -154,13 +159,24 @@ class ConcurrencyGuard:
             finally:
                 held.read_depth -= 1
             return
-        self._lock.acquire_read()
+        self._acquire(self._lock.acquire_read, "read")
         held.read_depth = 1
         try:
             yield SnapshotHandle(self._version)
         finally:
             held.read_depth = 0
             self._lock.release_read()
+
+    def _acquire(self, acquire, side: str) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            acquire()
+            return
+        started = time.perf_counter()
+        acquire()
+        metrics.bucket(f"server.lock.{side}_wait_seconds").observe(
+            time.perf_counter() - started
+        )
 
     @contextmanager
     def write(self):
@@ -192,7 +208,7 @@ class ConcurrencyGuard:
             raise RuntimeError(
                 "cannot upgrade a read hold to a write hold"
             )
-        self._lock.acquire_write()
+        self._acquire(self._lock.acquire_write, "write")
         held.write_depth = 1
         try:
             yield

@@ -18,6 +18,16 @@
 :class:`~repro.server.retry.RetryPolicy` and a per-failure-class
 :class:`~repro.server.retry.CircuitBreaker` (fed from the server's
 event stream) around one session.
+
+Request-scoped telemetry rides on top: the client mints one
+:class:`~repro.obs.telemetry.TraceContext` per logical request (every
+retry attempt is a child span of it, so they share one trace id), the
+server opens a serve span per attempt, and -- with a mounted
+:class:`~repro.obs.telemetry.Telemetry` hub -- every event the request
+causes (admission, rewrite, evaluation, WAL commit) reaches the
+exporters stamped with that trace id.  Requests that cross
+``slow_query_ms`` additionally capture their full EXPLAIN report into
+a ring buffer (:meth:`Server.slow_queries`) and the log sink.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from repro.esql import ast
 from repro.esql.parser import parse_script_with_sources
 from repro.obs.bus import EventBus
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TraceContext, current_trace, use_trace
 from repro.server.admission import AdmissionController, AdmissionLimits
 from repro.server.retry import CircuitBreaker, RetryPolicy
 from repro.server.session import Session, SessionManager, SessionSettings
@@ -51,19 +62,34 @@ class Server:
     def __init__(self, db, limits: Optional[AdmissionLimits] = None,
                  idle_timeout_s: float = 300.0,
                  bus: Optional[EventBus] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 telemetry=None,
+                 slow_query_ms: Optional[float] = None,
+                 slow_query_capacity: int = 32):
         self.db = db
         self.guard = db.enable_serving()
+        self.telemetry = telemetry
+        if telemetry is not None:
+            # one bus + one registry for the whole request path: the
+            # hub's exporters see serving, rewrite and WAL events in
+            # one trace-stamped stream
+            bus = telemetry.bus
+            metrics = telemetry.metrics
+            telemetry.wire_database(db)
         self.bus = bus if bus is not None else EventBus()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.guard.metrics = self.metrics
         self.admission = AdmissionController(
             limits, obs=self.bus, metrics=self.metrics
         )
         self.sessions = SessionManager(
             db, idle_timeout_s=idle_timeout_s, obs=self.bus
         )
+        self.slow_query_ms = slow_query_ms
+        self._slow: deque = deque(maxlen=max(1, slow_query_capacity))
         self._errors: dict[str, deque] = {}
         self._default: Optional[Session] = None
+        self._started = time.perf_counter()
 
     # -- sessions -------------------------------------------------------------
     def open_session(self, session_id: Optional[str] = None,
@@ -89,7 +115,8 @@ class Server:
     def query(self, source: str, session: Optional[str] = None):
         """Serve one SELECT under read admission."""
         sess = self._resolve(session)
-        return self._serve("read", sess, lambda: sess.query(source))
+        return self._serve("read", sess, lambda: sess.query(source),
+                           source=source)
 
     def execute(self, script: str, session: Optional[str] = None):
         """Serve a script, admitting each statement under its own
@@ -101,59 +128,109 @@ class Server:
             klass = classify_statement(statement)
             if klass == "read":
                 results.append(self._serve(
-                    "read", sess, lambda s=source: sess.query(s)
+                    "read", sess, lambda s=source: sess.query(s),
+                    source=source,
                 ))
             else:
                 self._serve(
-                    "write", sess, lambda s=source: sess.execute(s)
+                    "write", sess, lambda s=source: sess.execute(s),
+                    source=source,
                 )
         return results
 
     def explain_json(self, source: str, session: Optional[str] = None,
                      execute: bool = False) -> dict:
         """EXPLAIN through the serving layer; the report's ``server``
-        section (schema v3) records the trip."""
+        section records the trip and its ``trace`` section (schema v4)
+        carries the serve span's ids plus the queue wait as a stage."""
         sess = self._resolve(session)
         ticket_box = {}
 
         def run():
             return sess.explain_json(source, execute=execute)
 
-        report = self._serve("read", sess, run, ticket_box=ticket_box)
+        report = self._serve("read", sess, run, ticket_box=ticket_box,
+                             source=source)
         ticket = ticket_box.get("ticket")
+        queue_wait_ms = (ticket.queue_wait * 1e3
+                         if ticket is not None else 0.0)
         report["server"] = {
             "session": sess.id,
             "request_class": "read",
-            "queue_wait_ms": (ticket.queue_wait * 1e3
-                              if ticket is not None else 0.0),
+            "queue_wait_ms": queue_wait_ms,
             "snapshot_version": self.guard.version,
             "shed_total": self.admission.shed_total,
             "errors": list(self._errors.get(sess.id, ())),
         }
+        report["trace"]["stages"]["queue_wait_ms"] = queue_wait_ms
         return report
 
-    def _serve(self, klass: str, sess: Session, fn, ticket_box=None):
-        started = time.perf_counter()
-        try:
-            with self.admission.admit(klass) as ticket:
-                if ticket_box is not None:
-                    ticket_box["ticket"] = ticket
-                result = fn()
-        except Exception as error:
-            self._note_failure(klass, sess, error, started)
-            raise
-        duration = time.perf_counter() - started
-        metrics = self.metrics
-        metrics.inc(f"server.requests.{klass}")
-        metrics.observe("server.request.seconds", duration)
+    def _serve(self, klass: str, sess: Session, fn, ticket_box=None,
+               source: Optional[str] = None):
+        # serve span: child of the client's attempt span when the call
+        # came through a ServingClient, a fresh root otherwise -- either
+        # way every event emitted below runs under one trace id
+        parent = current_trace()
+        context = (parent.child() if parent is not None
+                   else TraceContext.new())
+        with use_trace(context):
+            started = time.perf_counter()
+            try:
+                with self.admission.admit(klass) as ticket:
+                    if ticket_box is not None:
+                        ticket_box["ticket"] = ticket
+                    result = fn()
+            except Exception as error:
+                self._note_failure(klass, sess, error, started)
+                raise
+            duration = time.perf_counter() - started
+            metrics = self.metrics
+            metrics.inc(f"server.requests.{klass}")
+            metrics.observe("server.request.seconds", duration)
+            metrics.bucket(f"server.request.{klass}.seconds") \
+                .observe(duration)
+            bus = self.bus
+            if bus:
+                from repro.obs.events import RequestCompleted
+                bus.emit(RequestCompleted(
+                    request_class=klass, session=sess.id,
+                    duration=duration,
+                ))
+            if self.slow_query_ms is not None \
+                    and duration * 1e3 >= self.slow_query_ms:
+                self._capture_slow(klass, sess, source, duration)
+            return result
+
+    def _capture_slow(self, klass: str, sess: Session,
+                      source: Optional[str], duration: float) -> None:
+        """Record one threshold-crossing request: full EXPLAIN for
+        reads (re-derived outside the admission slot, so capture never
+        deepens the queue), source-only for writes."""
+        explain = None
+        if klass == "read" and source is not None:
+            try:
+                explain = sess.explain_json(source)
+            except Exception:
+                explain = None  # the capture must never fail the request
+        context = current_trace()
+        self._slow.append({
+            "request_class": klass,
+            "session": sess.id,
+            "source": source or "",
+            "duration_ms": duration * 1e3,
+            "threshold_ms": self.slow_query_ms,
+            "trace_id": context.trace_id if context else None,
+            "explain": explain,
+        })
+        self.metrics.inc("server.slow_queries")
         bus = self.bus
         if bus:
-            from repro.obs.events import RequestCompleted
-            bus.emit(RequestCompleted(
+            from repro.obs.events import SlowQuery
+            bus.emit(SlowQuery(
                 request_class=klass, session=sess.id,
-                duration=duration,
+                source=source or "", duration=duration,
+                threshold_ms=self.slow_query_ms, explain=explain,
             ))
-        return result
 
     def _note_failure(self, klass: str, sess: Session, error,
                       started: float) -> None:
@@ -190,11 +267,69 @@ class Server:
             "requests": self.metrics.counters_with_prefix("server."),
         }
 
+    def metrics_text(self) -> str:
+        """The server's registry in Prometheus text exposition format
+        (the scrape endpoint's payload)."""
+        return self.metrics.expose_text()
+
+    def slow_queries(self) -> list[dict]:
+        """The slow-query ring, oldest first (empty when no
+        ``slow_query_ms`` threshold is configured)."""
+        return list(self._slow)
+
+    def top(self) -> dict:
+        """One dashboard frame: throughput, latency percentiles per
+        request class, shedding, queue depth, per-rule heat and the
+        slow-query tail (what the CLI's ``.top`` renders)."""
+        uptime = max(1e-9, time.perf_counter() - self._started)
+        counters = self.metrics.counters_with_prefix("server.")
+        total = (counters.get("server.requests.read", 0)
+                 + counters.get("server.requests.write", 0))
+        shed = self.admission.shed_total
+        requests = {}
+        for klass in ("read", "write"):
+            bucket = self.metrics.bucket(
+                f"server.request.{klass}.seconds"
+            )
+            requests[klass] = {
+                "count": bucket.count,
+                "p50_ms": bucket.percentile(50) * 1e3,
+                "p95_ms": bucket.percentile(95) * 1e3,
+                "p99_ms": bucket.percentile(99) * 1e3,
+            }
+        heat = sorted(
+            ((name, row.get("fired", 0), row.get("attempts", 0))
+             for name, row in self.metrics.group("rewrite.rule.").items()),
+            key=lambda item: (-item[1], -item[2], item[0]),
+        )[:10]
+        return {
+            "uptime_s": uptime,
+            "qps": total / uptime,
+            "requests": requests,
+            "shed_total": shed,
+            "shed_rate": shed / (total + shed) if total + shed else 0.0,
+            "queue_depth": self.admission.queue_depth(),
+            "active": self.admission.snapshot()["active"],
+            "sessions": len(self.sessions),
+            "snapshot_version": self.guard.version,
+            "rule_heat": [
+                {"rule": name, "fired": fired, "attempts": attempts}
+                for name, fired, attempts in heat
+            ],
+            "slow_queries": [
+                {key: value for key, value in entry.items()
+                 if key != "explain"}
+                for entry in list(self._slow)[-5:]
+            ],
+        }
+
     def close(self) -> None:
         for session in self.sessions.sessions():
             self.sessions.close(session.id)
         self._errors.clear()
         self._default = None
+        if self.telemetry is not None:
+            self.telemetry.close()
 
 
 class ServingClient:
@@ -218,9 +353,15 @@ class ServingClient:
         self.breaker.attach(server.bus)
 
     def _guarded(self, fn):
+        # one trace per logical request: every retry attempt is a child
+        # span, so a shed first try and the successful second share a
+        # trace id with distinct span ids
+        root = TraceContext.new()
+
         def attempt():
-            self.breaker.check()
-            return fn()
+            with use_trace(root.child()):
+                self.breaker.check()
+                return fn()
         return self.retry.call(attempt)
 
     def query(self, source: str):

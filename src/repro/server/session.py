@@ -64,7 +64,8 @@ class Session:
 
     def __init__(self, session_id: str, db,
                  settings: Optional[SessionSettings] = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 obs=None):
         self.id = session_id
         self.db = db
         self.settings = settings or SessionSettings()
@@ -73,6 +74,10 @@ class Session:
         self.last_used = self.created
         self.statements = 0
         self.closed = False
+        # the serving bus (if any): per-request rewrite/eval events are
+        # routed here so exporters see them trace-stamped; falsy when
+        # nobody subscribed, which the engine treats as "off"
+        self.obs = obs
 
     # -- bookkeeping ----------------------------------------------------------
     def touch(self) -> None:
@@ -88,12 +93,12 @@ class Session:
         s = self.settings
         return self.db.query(
             source, rewrite=s.rewrite, checked=s.checked,
-            deadline_ms=s.deadline_ms,
+            deadline_ms=s.deadline_ms, obs=self.obs,
         )
 
     def execute(self, script: str):
         self.touch()
-        return self.db.execute(script)
+        return self.db.execute(script, obs=self.obs)
 
     def query_with_stats(self, source: str, obs=None):
         self.touch()
@@ -151,7 +156,8 @@ class SessionManager:
                     session_id=session_id,
                 )
             session = Session(
-                session_id, self.db, settings, clock=self._clock
+                session_id, self.db, settings, clock=self._clock,
+                obs=self.obs,
             )
             self._sessions[session_id] = session
         bus = self.obs

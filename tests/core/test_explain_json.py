@@ -140,3 +140,59 @@ class TestExplainText:
 
     def test_no_profile_section_by_default(self, db):
         assert "== profile ==" not in db.explain(QUERY)
+
+
+class TestTraceSection:
+    def test_v4_reports_carry_a_trace(self, db):
+        report = db.explain_json(QUERY)
+        trace = report["trace"]
+        assert len(trace["trace_id"]) == 32
+        assert len(trace["span_id"]) == 16
+        assert trace["parent_id"] is None       # minted outside a request
+        assert all(value >= 0 for value in trace["stages"].values())
+
+    def test_stage_timings_recovered_from_phase_histograms(self, db):
+        stages = db.explain_json(QUERY)["trace"]["stages"]
+        assert "rewrite_ms" in stages
+        assert stages["rewrite_ms"] >= 0.0
+        # executing also surfaces the evaluator stage
+        executed = db.explain_json(QUERY, execute=True)
+        assert "eval_ops_ms" in executed["trace"]["stages"]
+
+    def test_reuses_the_ambient_request_context(self, db):
+        from repro.obs.telemetry import TraceContext, use_trace
+        context = TraceContext.new().child()
+        with use_trace(context):
+            trace = db.explain_json(QUERY)["trace"]
+        assert trace["trace_id"] == context.trace_id
+        assert trace["span_id"] == context.span_id
+        assert trace["parent_id"] == context.parent_id
+
+    def test_server_reports_record_queue_wait(self, db):
+        from repro.server import Server
+        server = Server(db)
+        report = server.explain_json(QUERY)
+        assert validate_explain(report) == []
+        stages = report["trace"]["stages"]
+        assert stages["queue_wait_ms"] == \
+            report["server"]["queue_wait_ms"]
+        server.close()
+
+    def test_validator_rejects_malformed_traces(self, db):
+        report = db.explain_json(QUERY)
+        report["trace"]["trace_id"] = "not-hex"
+        report["trace"]["span_id"] = "f00"
+        report["trace"]["parent_id"] = "zz"
+        report["trace"]["stages"] = {"rewrite_ms": -1.0}
+        problems = validate_explain(report)
+        assert "trace.trace_id: not 32 hex chars" in problems
+        assert "trace.span_id: not 16 hex chars" in problems
+        assert "trace.parent_id: not null or 16 hex chars" in problems
+        assert ("trace.stages.rewrite_ms: not a non-negative number"
+                in problems)
+
+    def test_validator_requires_the_section(self, db):
+        report = db.explain_json(QUERY)
+        del report["trace"]
+        assert any("trace" in problem
+                   for problem in validate_explain(report))

@@ -5,7 +5,8 @@ import pytest
 
 from repro.obs.bus import MAX_SUBSCRIBER_ERRORS, EventBus
 from repro.obs.events import (BlockStart, PassEnd, RuleAttempt,
-                              RuleFired)
+                              RuleFired, SubscriberDetached)
+from repro.obs.metrics import MetricsRegistry
 
 
 def fired(rule="r", block="b"):
@@ -91,9 +92,42 @@ class TestQuarantine:
         bus.subscribe(seen.append)
         for __ in range(MAX_SUBSCRIBER_ERRORS + 2):
             bus.emit(fired())
-        # the good subscriber kept receiving; the bad one was dropped
-        assert len(seen) == MAX_SUBSCRIBER_ERRORS + 2
+        # the good subscriber kept receiving every RuleFired; the bad
+        # one was dropped, which the survivor was told about
+        rule_events = [e for e in seen if isinstance(e, RuleFired)]
+        assert len(rule_events) == MAX_SUBSCRIBER_ERRORS + 2
         assert len(bus._subscriptions) == 1
+
+    def test_detachment_is_observable(self):
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+
+        def bad(event):
+            raise RuntimeError("sink bug")
+
+        seen = []
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        for __ in range(MAX_SUBSCRIBER_ERRORS):
+            bus.emit(fired())
+        detached = [e for e in seen if isinstance(e, SubscriberDetached)]
+        assert len(detached) == 1
+        assert detached[0].errors == MAX_SUBSCRIBER_ERRORS
+        assert "bad" in detached[0].handler
+        assert metrics.value("obs.subscribers.detached") == 1
+
+    def test_detached_counter_without_remaining_subscribers(self):
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+
+        def bad(event):
+            raise RuntimeError("sink bug")
+
+        bus.subscribe(bad)
+        for __ in range(MAX_SUBSCRIBER_ERRORS):
+            bus.emit(fired())
+        assert not bus.active
+        assert metrics.value("obs.subscribers.detached") == 1
 
     def test_success_resets_error_count(self):
         bus = EventBus()

@@ -1,8 +1,13 @@
 """MetricsRegistry: counters, histograms, grouping, EvalStats
-absorption."""
+absorption, bucket histograms, Prometheus exposition."""
+
+import math
+
+import pytest
 
 from repro.engine.stats import EvalStats
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import (BucketHistogram, Histogram, MetricsRegistry,
+                               log_bucket_bounds, prometheus_name)
 
 
 class TestCounters:
@@ -98,6 +103,124 @@ class TestEvalStatsAbsorption:
         registry = MetricsRegistry()
         stats.to_metrics(registry, prefix="exec.")
         assert registry.value("exec.tuples_output") == 2
+
+
+class TestReservoirSampling:
+    def test_reservoir_is_deterministic_per_name(self):
+        """The generator is seeded from the metric name: the same
+        observation sequence always yields the same reservoir."""
+        first, second = Histogram("t", max_samples=16), \
+            Histogram("t", max_samples=16)
+        for v in range(1000):
+            first.observe(float(v))
+            second.observe(float(v))
+        assert first._samples == second._samples
+        assert first.percentile(95) == second.percentile(95)
+
+    def test_explicit_seed_overrides_the_name(self):
+        first = Histogram("a", max_samples=16, seed=7)
+        second = Histogram("b", max_samples=16, seed=7)
+        for v in range(1000):
+            first.observe(float(v))
+            second.observe(float(v))
+        assert first._samples == second._samples
+
+    def test_percentiles_track_the_whole_stream(self):
+        """Algorithm R keeps every observation equally likely, so the
+        quantiles follow the stream -- a keep-first reservoir of 256
+        would freeze p95 at <= 255 for this input."""
+        hist = Histogram("t")          # default 256-slot reservoir
+        for v in range(10_000):
+            hist.observe(float(v))
+        assert hist.percentile(95) > 5000.0
+        assert hist.percentile(5) < 5000.0
+
+
+class TestBucketHistogram:
+    def test_log_bucket_ladder(self):
+        bounds = log_bucket_bounds()
+        assert len(bounds) == 27
+        assert bounds[0] == pytest.approx(1e-6)
+        for lower, upper in zip(bounds, bounds[1:]):
+            assert upper == pytest.approx(lower * 2.0)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BucketHistogram("t", bounds=(2.0, 1.0))
+
+    def test_counts_are_exact(self):
+        hist = BucketHistogram("t", bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [2, 0, 1, 0, 1]   # last is overflow
+        assert hist.cumulative_counts() == [
+            (1.0, 2), (2.0, 2), (4.0, 3), (8.0, 3), (math.inf, 4),
+        ]
+        data = hist.to_dict()
+        assert data["overflow"] == 1
+        assert data["min"] == 0.5
+        assert data["max"] == 100.0
+
+    def test_percentile_lands_in_the_true_bucket(self):
+        hist = BucketHistogram("t", bounds=tuple(
+            float(b) for b in range(10, 110, 10)
+        ))
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert 40.0 <= hist.percentile(50) <= 60.0
+        assert 90.0 <= hist.percentile(95) <= 100.0
+        assert 95.0 <= hist.percentile(100) <= hist.max
+
+    def test_single_valued_stream_is_clamped_exactly(self):
+        hist = BucketHistogram("t", bounds=(1.0, 2.0, 4.0))
+        for __ in range(100):
+            hist.observe(1.5)
+        assert hist.percentile(50) == 1.5
+        assert hist.percentile(99) == 1.5
+
+    def test_empty_is_safe(self):
+        hist = BucketHistogram("t")
+        assert hist.percentile(99) == 0.0
+        assert hist.to_dict()["count"] == 0
+
+
+class TestPrometheusExposition:
+    def test_name_sanitisation(self):
+        assert prometheus_name("rewrite.rule.a-b.seconds") == \
+            "rewrite_rule_a_b_seconds"
+        assert prometheus_name("ns:sub.metric_1") == "ns:sub_metric_1"
+        assert prometheus_name("9lives") == "_9lives"
+
+    def test_counter_summary_and_histogram_families(self):
+        registry = MetricsRegistry()
+        registry.inc("rewrite.passes", 3)
+        for v in (0.1, 0.2, 0.3):
+            registry.observe("rewrite.rule.r.seconds", v)
+        registry.bucket("server.request.read.seconds").observe(0.05)
+        text = registry.expose_text()
+        assert "# TYPE rewrite_passes counter" in text
+        assert "rewrite_passes 3" in text
+        assert "# TYPE rewrite_rule_r_seconds summary" in text
+        assert 'rewrite_rule_r_seconds{quantile="0.5"}' in text
+        assert "rewrite_rule_r_seconds_count 3" in text
+        assert "# TYPE server_request_read_seconds histogram" in text
+        assert 'server_request_read_seconds_bucket{le="+Inf"} 1' in text
+        assert "server_request_read_seconds_count 1" in text
+
+    def test_bucket_cumulative_counts_are_monotone(self):
+        registry = MetricsRegistry()
+        bucket = registry.bucket("server.request.write.seconds")
+        for value in (0.001, 0.01, 0.1, 1.0, 10.0):
+            bucket.observe(value)
+        lines = [line for line in registry.expose_text().splitlines()
+                 if line.startswith(
+                     'server_request_write_seconds_bucket')]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_empty_registry_exposes_nothing(self):
+        assert MetricsRegistry().expose_text() == ""
 
 
 class TestEvalStatsSurface:

@@ -1,0 +1,152 @@
+"""Trace context propagation and the Telemetry exporter hub."""
+
+import threading
+
+import pytest
+
+from repro import Database
+from repro.obs import events as ev
+from repro.obs.telemetry import (Telemetry, TraceContext, current_trace,
+                                 use_trace)
+
+_HEX = set("0123456789abcdef")
+
+
+def _is_hex(value, length):
+    return (isinstance(value, str) and len(value) == length
+            and set(value) <= _HEX)
+
+
+class TestTraceContext:
+    def test_new_mints_w3c_sized_ids(self):
+        context = TraceContext.new()
+        assert _is_hex(context.trace_id, 32)
+        assert _is_hex(context.span_id, 16)
+        assert context.parent_id is None
+
+    def test_every_trace_is_distinct(self):
+        assert TraceContext.new().trace_id != TraceContext.new().trace_id
+
+    def test_child_shares_trace_and_links_parent(self):
+        root = TraceContext.new()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.span_id != root.span_id
+        assert child.parent_id == root.span_id
+
+    def test_siblings_get_distinct_span_ids(self):
+        root = TraceContext.new()
+        assert root.child().span_id != root.child().span_id
+
+    def test_as_dict(self):
+        root = TraceContext.new()
+        assert root.as_dict() == {
+            "trace_id": root.trace_id,
+            "span_id": root.span_id,
+            "parent_id": None,
+        }
+
+
+class TestUseTrace:
+    def test_no_context_outside_a_request(self):
+        assert current_trace() is None
+
+    def test_install_and_restore(self):
+        context = TraceContext.new()
+        with use_trace(context) as installed:
+            assert installed is context
+            assert current_trace() is context
+        assert current_trace() is None
+
+    def test_nesting_restores_the_outer_context(self):
+        outer = TraceContext.new()
+        inner = outer.child()
+        with use_trace(outer):
+            with use_trace(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+
+    def test_restored_even_when_the_block_raises(self):
+        with pytest.raises(RuntimeError):
+            with use_trace(TraceContext.new()):
+                raise RuntimeError("boom")
+        assert current_trace() is None
+
+    def test_contexts_are_per_thread(self):
+        ready = threading.Event()
+        release = threading.Event()
+        results = {}
+
+        def worker():
+            context = TraceContext.new()
+            with use_trace(context):
+                ready.set()
+                release.wait(timeout=10.0)
+                results["held"] = current_trace().trace_id == context.trace_id
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert ready.wait(timeout=10.0)
+        # the worker's context must be invisible on this thread, and
+        # installing one here must not leak into the worker
+        assert current_trace() is None
+        with use_trace(TraceContext.new()):
+            release.set()
+            thread.join(timeout=10.0)
+        assert results["held"] is True
+
+
+class TestTelemetry:
+    def test_bare_hub_keeps_the_null_sink_path(self):
+        hub = Telemetry(collect=False)
+        assert not hub.bus          # no subscribers: producers skip events
+
+    def test_collector_folds_events_into_the_registry(self):
+        hub = Telemetry()
+        assert hub.bus              # the collector subscribes
+        hub.bus.emit(ev.RuleFired(
+            block="B", rule="R", path=(), size_before=3,
+            size_after=2, duration=0.001,
+        ))
+        assert hub.metrics.value("rewrite.rule.R.fired") == 1
+
+    def test_jsonl_sink_mounts_and_closes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        hub = Telemetry(log_path=str(path), collect=False)
+        hub.bus.emit(ev.PassEnd(pass_index=0, changed=False, duration=0.0))
+        hub.close()
+        assert hub.sink.stats()["written"] == 1
+        assert path.read_text().count("\n") == 1
+
+    def test_wire_database_points_engine_and_wal_at_the_bus(self, tmp_path):
+        hub = Telemetry(collect=False)
+        memory = Database()
+        hub.wire_database(memory)
+        assert memory.obs is hub.bus
+
+        durable = Database(path=str(tmp_path / "wired.db"))
+        hub.wire_database(durable)
+        assert durable.obs is hub.bus
+        assert durable.durability.obs is hub.bus
+        durable.close()
+
+    def test_export_spans_empty_without_the_otlp_exporter(self):
+        assert Telemetry(collect=False).export_spans() == {
+            "resourceSpans": [],
+        }
+
+    def test_otlp_exporter_collects_spans(self):
+        hub = Telemetry(otlp=True, collect=False)
+        with use_trace(TraceContext.new()):
+            hub.bus.emit(ev.PhaseStart(phase="rewrite"))
+            hub.bus.emit(ev.PhaseEnd(phase="rewrite", duration=0.002))
+        document = hub.export_spans()
+        spans = document["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert [span["name"] for span in spans] == ["phase:rewrite"]
+
+    def test_expose_text_renders_the_registry(self):
+        hub = Telemetry()
+        hub.bus.emit(ev.PassEnd(pass_index=0, changed=True, duration=0.0))
+        text = hub.expose_text()
+        assert "# TYPE rewrite_passes counter" in text
+        assert "rewrite_passes 1" in text

@@ -278,3 +278,105 @@ class TestCLI:
                            "TABLE U (X : NUMERIC); "
                            "INSERT INTO U VALUES (7, 7);")
         self._run(shell, "SELECT X FROM U;")
+
+
+class TestSlowQueryLog:
+    def test_threshold_zero_captures_everything(self):
+        server = _server(slow_query_ms=0.0)
+        server.query("SELECT A FROM T")
+        server.execute("INSERT INTO T VALUES (3, 30)")
+        read, write = server.slow_queries()
+        assert read["request_class"] == "read"
+        assert read["source"] == "SELECT A FROM T"
+        assert read["duration_ms"] >= 0.0
+        assert len(read["trace_id"]) == 32
+        # reads carry the full, schema-valid EXPLAIN report
+        assert read["explain"]["schema_version"] == 4
+        assert validate_explain(read["explain"]) == []
+        # writes are recorded source-only (no re-execution to explain)
+        assert write["request_class"] == "write"
+        assert write["explain"] is None
+        assert server.metrics.value("server.slow_queries") == 2
+
+    def test_no_threshold_means_no_capture(self):
+        server = _server()
+        server.query("SELECT A FROM T")
+        assert server.slow_queries() == []
+        assert server.metrics.value("server.slow_queries") == 0
+
+    def test_ring_is_bounded(self):
+        server = _server(slow_query_ms=0.0, slow_query_capacity=2)
+        for __ in range(5):
+            server.query("SELECT A FROM T")
+        entries = server.slow_queries()
+        assert len(entries) == 2               # oldest entries evicted
+        assert all(e["request_class"] == "read" for e in entries)
+
+
+class TestMetricsTextAndTop:
+    def test_metrics_text_exposes_request_families(self):
+        server = _server()
+        server.query("SELECT A FROM T")
+        text = server.metrics_text()
+        assert "# TYPE server_requests_read counter" in text
+        assert "server_requests_read 1" in text
+        assert "# TYPE server_request_read_seconds histogram" in text
+        assert 'server_request_read_seconds_bucket{le="+Inf"} 1' in text
+
+    def test_top_frame_shape(self):
+        server = _server(slow_query_ms=0.0)
+        server.query("SELECT A FROM T")
+        server.execute("INSERT INTO T VALUES (4, 40)")
+        frame = server.top()
+        assert frame["qps"] > 0.0
+        assert frame["requests"]["read"]["count"] == 1
+        assert frame["requests"]["write"]["count"] == 1
+        assert frame["requests"]["read"]["p99_ms"] >= 0.0
+        assert frame["shed_total"] == 0
+        assert frame["queue_depth"] == 0
+        assert frame["sessions"] >= 1
+        # the dashboard tail omits the bulky EXPLAIN payloads
+        assert frame["slow_queries"]
+        assert all("explain" not in entry
+                   for entry in frame["slow_queries"])
+
+    def test_top_rule_heat_needs_a_collector(self):
+        from repro.obs.telemetry import Telemetry
+        bare = _server()
+        bare.query("SELECT A FROM T WHERE B = 10")
+        assert bare.top()["rule_heat"] == []   # null path: no folding
+        db = Database()
+        db.execute("TABLE T (A : NUMERIC, B : NUMERIC)")
+        db.execute("INSERT INTO T VALUES (1, 10)")
+        server = Server(db, telemetry=Telemetry())
+        server.query("SELECT A FROM T WHERE B = 10")
+        heat = server.top()["rule_heat"]
+        assert heat
+        assert all(row["attempts"] >= row["fired"] for row in heat)
+
+
+class TestCLITop:
+    def _shell(self):
+        from repro.cli import Shell
+        shell = Shell()
+        list(shell.run([
+            "TABLE T (A : NUMERIC, B : NUMERIC);",
+            "INSERT INTO T VALUES (1, 10), (2, 20);",
+        ]))
+        return shell
+
+    def test_top_renders_one_dashboard_frame(self):
+        shell = self._shell()
+        list(shell.run([".serve on"]))
+        list(shell.run(["SELECT A FROM T;",
+                        "INSERT INTO T VALUES (3, 30);"]))
+        out = list(shell.run([".top"]))
+        joined = "\n".join(out)
+        assert "req/s" in joined
+        assert "read" in joined
+        assert "write" in joined
+        assert "p95" in joined
+
+    def test_top_requires_serving(self):
+        (out,) = list(self._shell().run([".top"]))
+        assert out.startswith("error:")

@@ -8,8 +8,15 @@ gap-free, replayable WAL.
 
 The default duration keeps the tier-1 run fast; CI's server-stress
 job raises it via ``SERVER_STRESS_SECONDS``.
+
+The run doubles as the trace-propagation acceptance check: a
+:class:`~repro.obs.telemetry.Telemetry` hub with a JSONL sink is
+mounted on the stress server, and afterwards every request-scoped
+record must carry a ``trace_id``, with no ``trace_id`` ever appearing
+in two different sessions.
 """
 
+import json
 import os
 import threading
 import time
@@ -19,8 +26,9 @@ import pytest
 from repro import Database
 from repro.durability import CrashPoint, SimulatedCrash
 from repro.durability.wal import scan_wal
-from repro.errors import ServerOverloaded
-from repro.server import AdmissionLimits, Server
+from repro.errors import RetryBudgetExceeded, ServerOverloaded
+from repro.obs.telemetry import Telemetry
+from repro.server import AdmissionLimits, RetryPolicy, Server
 from tests.resilience.chaos import AlwaysRaisingRule, FlakyRule
 
 STRESS_SECONDS = float(os.environ.get("SERVER_STRESS_SECONDS", "2"))
@@ -152,10 +160,19 @@ def test_stress_mixed_workload(tmp_path):
     # hostile extensions in the rewrite path, per the chaos suite
     db.optimizer.rewriter.add_rule(AlwaysRaisingRule(), "simplify")
     db.optimizer.rewriter.add_rule(FlakyRule(failures=3), "simplify")
+    # full trace-stamped event log for the whole run; the chatty
+    # per-rule kinds are sampled so the sink never dominates the run,
+    # but the request-lifecycle kinds the assertions need are kept 1:1
+    log_path = tmp_path / "events.jsonl"
+    telemetry = Telemetry(
+        log_path=str(log_path), log_max_bytes=1 << 30,
+        sample={"RuleAttempt": 25, "ConstraintCheck": 25},
+        collect=False,
+    )
     server = Server(db, limits=AdmissionLimits(
         max_readers=6, max_writers=1, max_queue=8,
         queue_timeout_ms=50.0,
-    ))
+    ), telemetry=telemetry)
     harness = Harness(server)
 
     threads = (
@@ -199,6 +216,31 @@ def test_stress_mixed_workload(tmp_path):
     lsns = [record["lsn"] for record in scan.records]
     assert lsns == list(range(1, len(lsns) + 1))
 
+    # trace propagation held under 16 threads: every request-scoped
+    # record is stamped (the sink flushes per write, so no close needed)
+    with open(log_path, encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    request_kinds = {
+        "RequestAdmitted", "RequestShed", "RequestCompleted",
+        "RequestFailed", "WalAppend", "PhaseEnd", "EvalOp", "RuleFired",
+    }
+    spanned = [r for r in records if r["event"] in request_kinds]
+    assert spanned, "the stress run emitted no request-scoped events"
+    unstamped = [r["event"] for r in spanned if "trace_id" not in r]
+    assert unstamped == []
+
+    # ...and never bled across sessions: one trace_id, one session
+    sessions_by_trace = {}
+    for record in records:
+        if record["event"] in ("RequestCompleted", "RequestFailed"):
+            sessions_by_trace.setdefault(
+                record["trace_id"], set()
+            ).add(record["session"])
+    assert sessions_by_trace
+    shared = {trace: owners for trace, owners
+              in sessions_by_trace.items() if len(owners) > 1}
+    assert shared == {}
+
     # mid-statement crash point: the "process" dies partway through
     # logging one more batch, leaving a torn frame on disk
     db.durability.crashpoint = CrashPoint(
@@ -213,3 +255,49 @@ def test_stress_mixed_workload(tmp_path):
     assert sorted(rows) == sorted(final)
     assert recovered.fsck().violations == []
     recovered.close()
+
+
+def test_retry_attempts_share_one_trace(tmp_path):
+    """Every retry attempt of one logical request carries the same
+    ``trace_id`` but a fresh ``span_id`` -- the shed records in the
+    event log must line up attempt by attempt."""
+    log_path = tmp_path / "retry.jsonl"
+    telemetry = Telemetry(log_path=str(log_path), collect=False)
+    db = Database()
+    db.execute("TABLE T (A : NUMERIC)")
+    server = Server(db, limits=AdmissionLimits(
+        max_readers=4, max_writers=1, max_queue=0,
+        queue_timeout_ms=10.0,
+    ), telemetry=telemetry)
+
+    # park a hog in the single write slot so every client attempt is
+    # shed at arrival (max_queue=0: no waiting room)
+    seated = threading.Event()
+    release = threading.Event()
+
+    def hog():
+        with server.admission.admit("write"):
+            seated.set()
+            release.wait(timeout=30.0)
+
+    thread = threading.Thread(target=hog)
+    thread.start()
+    try:
+        assert seated.wait(timeout=30.0)
+        client = server.client(retry=RetryPolicy(
+            max_attempts=3, sleep=lambda _s: None,
+        ))
+        with pytest.raises(RetryBudgetExceeded) as info:
+            client.execute("INSERT INTO T VALUES (1)")
+        assert info.value.attempts == 3
+    finally:
+        release.set()
+        thread.join(timeout=30.0)
+    server.close()
+
+    with open(log_path, encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    sheds = [r for r in records if r["event"] == "RequestShed"]
+    assert len(sheds) == 3
+    assert len({r["trace_id"] for r in sheds}) == 1
+    assert len({r["span_id"] for r in sheds}) == len(sheds)
