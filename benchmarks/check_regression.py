@@ -1,0 +1,148 @@
+"""Bench-regression smoke gate: fresh run vs the committed baseline.
+
+Run:  python -m benchmarks.check_regression
+      python -m benchmarks.check_regression --only engine
+
+For every committed ``BENCH_<group>.json`` baseline (see
+``benchmarks/README.md``), re-run that group of ``benchmarks.report``
+in-process and compare every numeric counter.  The tolerance is
+deliberately generous -- the gate exists to catch *order-of-magnitude*
+regressions (a lost rewrite, an accidental O(n^2)), not machine noise:
+
+* a counter may grow or shrink by up to ``RATIO`` (10x) before the
+  gate fails;
+* a counter whose baseline is 0 may drift up to ``ABSOLUTE`` (100)
+  before the gate fails;
+* ``schema_version`` must match exactly and ``violations`` must be 0
+  -- those are contracts, not measurements.
+
+Non-numeric metrics (trace ids, embedded EXPLAIN reports) are skipped:
+they are point-in-time payloads, not trend counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import sys
+
+from benchmarks import report
+
+RATIO = 10.0      # fail only on order-of-magnitude drift
+ABSOLUTE = 100    # slack for counters whose baseline is 0
+
+BASELINE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+# metrics that are identity payloads, not trend counters
+SKIP = {"trace_id", "explain"}
+# metrics that are contracts: any drift at all is a failure
+EXACT = {"schema_version", "violations"}
+
+
+def baseline_path(group: str) -> str:
+    return os.path.join(
+        os.path.dirname(BASELINE_DIR), f"BENCH_{group}.json"
+    )
+
+
+def fresh_run(group: str) -> dict:
+    """Re-run one report group in-process and return its artifact."""
+    report.ARTIFACT["suites"] = {}
+    with contextlib.redirect_stdout(io.StringIO()):
+        report.main(["--only", group])
+    return {"schema": report.ARTIFACT["schema"],
+            "suites": dict(report.ARTIFACT["suites"])}
+
+
+def compare(group: str, baseline: dict, fresh: dict) -> list[str]:
+    problems = []
+    for suite, metrics in baseline["suites"].items():
+        fresh_suite = fresh["suites"].get(suite)
+        if fresh_suite is None:
+            problems.append(f"{group}/{suite}: suite disappeared")
+            continue
+        for metric, base_value in metrics.items():
+            if metric in SKIP:
+                continue
+            if not isinstance(base_value, (int, float)) \
+                    or isinstance(base_value, bool):
+                continue
+            if metric not in fresh_suite:
+                problems.append(
+                    f"{group}/{suite}.{metric}: metric disappeared"
+                )
+                continue
+            new_value = fresh_suite[metric]
+            if metric in EXACT:
+                if new_value != base_value:
+                    problems.append(
+                        f"{group}/{suite}.{metric}: contract broken "
+                        f"({base_value} -> {new_value})"
+                    )
+                continue
+            problems.extend(
+                f"{group}/{suite}.{metric}: {text}"
+                for text in _drift(base_value, new_value)
+            )
+    return problems
+
+
+def _drift(base, new) -> list[str]:
+    if not isinstance(new, (int, float)) or isinstance(new, bool):
+        return [f"no longer numeric ({base} -> {new!r})"]
+    base_mag, new_mag = abs(base), abs(new)
+    if base_mag == 0:
+        if new_mag > ABSOLUTE:
+            return [f"regressed from 0 to {new}"]
+        return []
+    if new_mag > base_mag * RATIO:
+        return [f"regressed {base} -> {new} (> {RATIO:g}x)"]
+    if new_mag * RATIO < base_mag:
+        return [f"collapsed {base} -> {new} (< 1/{RATIO:g}x)"]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.check_regression",
+        description="compare a fresh report run against the "
+                    "committed BENCH_<group>.json baselines",
+    )
+    parser.add_argument(
+        "--only", choices=sorted(report.GROUPS), default=None,
+        help="check a single group instead of every committed baseline",
+    )
+    args = parser.parse_args(argv)
+
+    groups = [args.only] if args.only else sorted(report.GROUPS)
+    checked, problems = 0, []
+    for group in groups:
+        path = baseline_path(group)
+        if not os.path.exists(path):
+            if args.only:
+                print(f"no baseline at {path}", file=sys.stderr)
+                return 2
+            continue  # group not yet baselined: nothing to gate
+        with open(path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems.extend(compare(group, baseline, fresh_run(group)))
+        checked += 1
+
+    if checked == 0:
+        print("no BENCH_<group>.json baselines found: nothing to "
+              "check", file=sys.stderr)
+        return 2
+    if problems:
+        for line in problems:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        return 1
+    print(f"bench-regression gate ok: {checked} baseline(s), "
+          f"tolerance {RATIO:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

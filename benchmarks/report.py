@@ -2,6 +2,7 @@
 
 Run:  python -m benchmarks.report > EXPERIMENTS_MEASURED.md
       python -m benchmarks.report --out BENCH_ci.json
+      python -m benchmarks.report --only engine --out BENCH_engine.json
 
 Every experiment row of DESIGN.md is executed and its work counters
 (and, where relevant, plan shapes) are printed as markdown tables.
@@ -13,6 +14,10 @@ artifact: ``{"schema": 1, "suites": {suite: {metric: value}}}``, with
 the ``obs_telemetry`` suite embedding the full (schema-validated)
 EXPLAIN report.  CI writes one per run (``BENCH_ci.json``); see
 ``benchmarks/README.md`` for the trajectory convention.
+
+``--only GROUP`` restricts the run to one section group (``engine``,
+``fixpoint`` or ``server``) -- the unit the committed baselines and
+``benchmarks.check_regression`` work in.
 """
 
 from __future__ import annotations
@@ -381,6 +386,77 @@ def obs_telemetry():
     print()
 
 
+def server_introspection():
+    """SYS -- a served database queried about itself: deterministic
+    request counters and rule-heat rows read back through the ``sys.*``
+    catalog (the dogfooding acceptance scenario as a benchmark)."""
+    from repro.server import Server
+
+    db = Database()
+    db.execute("""
+    TABLE T (A : NUMERIC, B : NUMERIC);
+    CREATE VIEW SMALL (A) AS SELECT A FROM T WHERE B < 50
+    """)
+    db.execute("INSERT INTO T VALUES " + ", ".join(
+        f"({i}, {(i * 13) % 100})" for i in range(60)
+    ))
+    server = Server(db)
+    for __ in range(5):
+        server.query("SELECT A FROM T WHERE B = 10")
+    for __ in range(3):
+        server.query("SELECT T.A FROM T WHERE EXISTS "
+                     "(SELECT A FROM T WHERE B = 10)")
+    for __ in range(2):
+        server.query("SELECT A FROM SMALL")
+    server.execute("INSERT INTO T VALUES (1000, 7)")
+
+    metrics = dict(server.query(
+        "SELECT Name, Value FROM sys.metrics"
+    ).rows)
+    heat = server.query(
+        "SELECT Block, Rule, Fired, DeltaTotal FROM sys.rule_heat"
+    ).rows
+    relations = server.query(
+        "SELECT Name, Kind FROM sys.relations"
+    ).rows
+
+    print("### SYS -- introspection catalog under serving "
+          "(60-row T, 11 requests)\n")
+    print(table(
+        ["metric", "value"],
+        [["catalog relations", len(relations)],
+         ["sys.* relations",
+          sum(1 for __, kind in relations if kind == "virtual")],
+         ["read requests served",
+          int(metrics.get("server.requests.read", 0))],
+         ["write requests served",
+          int(metrics.get("server.requests.write", 0))],
+         ["rule firings recorded", db.ledger.recorded]],
+    ))
+    print()
+    print(table(["block", "rule", "fired", "delta total"],
+                [list(row) for row in heat]))
+    print()
+    record("server_introspection", "catalog_relations", len(relations))
+    record("server_introspection", "virtual_relations",
+           sum(1 for __, kind in relations if kind == "virtual"))
+    record("server_introspection", "rule_firings", db.ledger.recorded)
+    for block, rule, fired, delta in heat:
+        record("server_introspection", f"{block}.{rule}.fired", fired)
+        record("server_introspection", f"{block}.{rule}.delta", delta)
+    server.close()
+
+
+# the --only groups: the unit the committed BENCH_<group>.json
+# baselines and benchmarks.check_regression work in
+GROUPS = {
+    "engine": [f3_translation, f7_merging, f8_pushdown,
+               f10_f11_semantic, f13_subqueries, a1_limits, a6_engine],
+    "fixpoint": [f9_fixpoint, a3_seminaive, a4_dynamic_limits],
+    "server": [obs_telemetry, server_introspection],
+}
+
+
 def main(argv=None) -> None:
     import argparse
     parser = argparse.ArgumentParser(
@@ -392,20 +468,29 @@ def main(argv=None) -> None:
         help="also write the machine-readable benchmark artifact "
              "(BENCH_<name>.json; see benchmarks/README.md)",
     )
+    parser.add_argument(
+        "--only", choices=sorted(GROUPS), default=None,
+        help="run a single section group instead of the full report",
+    )
     args = parser.parse_args(argv)
     print("## Measured results (regenerate with "
           "`python -m benchmarks.report`)\n")
-    f3_translation()
-    f7_merging()
-    f8_pushdown()
-    f9_fixpoint()
-    f10_f11_semantic()
-    f13_subqueries()
-    a1_limits()
-    a3_seminaive()
-    a4_dynamic_limits()
-    a6_engine()
-    obs_telemetry()
+    if args.only:
+        for section in GROUPS[args.only]:
+            section()
+    else:
+        f3_translation()
+        f7_merging()
+        f8_pushdown()
+        f9_fixpoint()
+        f10_f11_semantic()
+        f13_subqueries()
+        a1_limits()
+        a3_seminaive()
+        a4_dynamic_limits()
+        a6_engine()
+        obs_telemetry()
+        server_introspection()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(ARTIFACT, handle, indent=2, sort_keys=True)

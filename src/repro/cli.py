@@ -225,6 +225,10 @@ class Shell:
                 cols = ", ".join(view.schema.names)
                 kind = "recursive view" if view.recursive else "view"
                 lines.append(f"{kind} {name} ({cols})")
+            for name in catalog.virtual_names():
+                virtual = catalog.virtual(name)
+                cols = ", ".join(virtual.schema.names)
+                lines.append(f"system {name.lower()} ({cols})")
             return lines or ["(empty catalog)"]
         if command == ".rules":
             inventory = self.db.optimizer.rewriter.rule_inventory()
@@ -451,8 +455,9 @@ class Shell:
             lines.append("  hot rules:")
             for row in top["rule_heat"]:
                 lines.append(
-                    f"    {row['rule']}: fired {row['fired']}, "
-                    f"{row['attempts']} attempt(s)"
+                    f"    {row['block']}/{row['rule']}: "
+                    f"fired {row['fired']}, "
+                    f"complexity {row['complexity_delta']:+d}"
                 )
         if top["slow_queries"]:
             lines.append(f"  slow queries (>= "

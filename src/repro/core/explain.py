@@ -6,14 +6,19 @@ shared by the CLI, ``Database.explain_json`` and
 ``benchmarks/report.py`` -- one schema for interactive EXPLAIN and
 benchmark ingestion (documented in ``docs/observability.md``).
 
-Top-level JSON shape (``schema_version`` 4)::
+Top-level JSON shape (``schema_version`` 5)::
 
     {
-      "schema_version": 4,
+      "schema_version": 5,
       "plans":   {"before": {"text", "nodes"}, "after": {"text", "nodes"}},
       "rewrite": {"applications", "checks", "passes", "degraded",
                   "trace": [{"block","rule","path","before","after"}],
                   "summary": {block: {rule: count}}},
+      "provenance": {"trace_id",
+                     "entries": [{"trace_id","block","rule",
+                                  "iteration","path","before_hash",
+                                  "after_hash","complexity_delta",
+                                  "duration_ms"}]},
       "resilience": {"degraded", "degraded_reason",
                      "rule_failures": [{"block","rule","path",
                                         "error","message"}],
@@ -43,6 +48,14 @@ session's recent typed-error tail, each entry produced by
 ``retry_after``, deadline degradations their budget, quarantines their
 rule, uniformly.
 
+``provenance`` (version 5's addition; see ``docs/observability.md``)
+is this query's slice of the rewrite-provenance ledger: one entry per
+rule firing, in firing order, each carrying the short expression
+hashes and complexity delta that let it be joined -- by hash or by
+``trace_id`` -- against the ``sys.rewrites`` relation the same
+firings were recorded into.  The entries are produced by the same
+helper the ledger uses, so the two views cannot disagree.
+
 ``trace`` (version 4's addition; see ``docs/observability.md``) names
 the request: ``trace_id`` is the id every event the request emitted
 was stamped with on its way to the log sink -- ``grep trace_id
@@ -71,7 +84,7 @@ from repro.terms.term import term_size
 __all__ = ["explain_text", "explain_json", "validate_explain",
            "EXPLAIN_SCHEMA_VERSION"]
 
-EXPLAIN_SCHEMA_VERSION = 4
+EXPLAIN_SCHEMA_VERSION = 5
 
 
 def explain_text(optimized: OptimizedQuery, verbose: bool = False,
@@ -266,6 +279,9 @@ def explain_json(optimized: OptimizedQuery,
     if profile is not None and hasattr(profile, "report"):
         profile = profile.report()
     result = optimized.rewrite_result
+    trace_section = _trace_section(profile, trace)
+    from repro.core.rewriter import provenance_entries
+    provenance = provenance_entries(result, trace_section["trace_id"])
     return {
         "schema_version": EXPLAIN_SCHEMA_VERSION,
         "plans": {
@@ -295,10 +311,14 @@ def explain_json(optimized: OptimizedQuery,
             ],
             "summary": result.summary(),
         },
+        "provenance": {
+            "trace_id": trace_section["trace_id"],
+            "entries": [entry.as_dict() for entry in provenance],
+        },
         "resilience": (result.resilience.as_dict()
                        if result.resilience is not None else None),
         "server": server,
-        "trace": _trace_section(profile, trace),
+        "trace": trace_section,
         "profile": profile,
         "eval": eval_stats.snapshot() if eval_stats is not None else None,
     }
@@ -346,6 +366,46 @@ def validate_explain(report: dict) -> list[str]:
             for i, entry in enumerate(trace):
                 for key in ("block", "rule", "path", "before", "after"):
                     need(entry, key, None, f"rewrite.trace[{i}]")
+    provenance = need(report, "provenance", dict, "report")
+    if provenance is not None:
+        prov_trace_id = need(provenance, "trace_id", str, "provenance")
+        entries = need(provenance, "entries", list, "provenance")
+        if entries is not None:
+            rewrite_trace = (report.get("rewrite") or {}).get("trace")
+            if isinstance(rewrite_trace, list) and \
+                    len(entries) != len(rewrite_trace):
+                problems.append(
+                    "provenance.entries: count disagrees with "
+                    "rewrite.trace"
+                )
+            for i, entry in enumerate(entries):
+                where = f"provenance.entries[{i}]"
+                need(entry, "block", str, where)
+                need(entry, "rule", str, where)
+                need(entry, "path", str, where)
+                entry_trace = need(entry, "trace_id", str, where)
+                if entry_trace is not None and prov_trace_id is not \
+                        None and entry_trace != prov_trace_id:
+                    problems.append(
+                        f"{where}.trace_id: disagrees with "
+                        f"provenance.trace_id"
+                    )
+                iteration = need(entry, "iteration", int, where)
+                if iteration is not None and iteration != i:
+                    problems.append(
+                        f"{where}.iteration: not the firing order"
+                    )
+                for key in ("before_hash", "after_hash"):
+                    value = need(entry, key, str, where)
+                    if value is not None and not _is_hex(value, 12):
+                        problems.append(
+                            f"{where}.{key}: not 12 hex chars"
+                        )
+                need(entry, "complexity_delta", int, where)
+                duration = need(entry, "duration_ms", (int, float),
+                                where)
+                if duration is not None and duration < 0:
+                    problems.append(f"{where}.duration_ms: negative")
     if "resilience" not in report:
         problems.append("report: missing key 'resilience'")
     elif report["resilience"] is not None:

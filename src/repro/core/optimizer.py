@@ -67,10 +67,15 @@ class Optimizer:
 
     def __init__(self, catalog: Catalog,
                  rewriter: Optional[QueryRewriter] = None,
-                 dynamic_limits: bool = False):
+                 dynamic_limits: bool = False,
+                 ledger=None):
         self.catalog = catalog
         self.rewriter = rewriter or QueryRewriter(catalog)
         self.dynamic_limits = dynamic_limits
+        # the database's RewriteLedger (or None): every rewrite's trace
+        # lands there, stamped with the current trace context, feeding
+        # sys.rewrites / sys.rule_heat
+        self.ledger = ledger
 
     def optimize(self, term: Term, rewrite: bool = True,
                  obs=None, deadline_ms: Optional[float] = None,
@@ -127,6 +132,11 @@ class Optimizer:
             final, schema = typecheck(result.term, self.catalog)
             bus.emit(PhaseEnd("typecheck_final", perf_counter() - t0))
             bus.emit(PhaseEnd("optimize", perf_counter() - t_opt))
+        ledger = self.ledger
+        if ledger is not None and result.trace:
+            from repro.obs.telemetry import current_trace
+            trace = current_trace()
+            ledger.record(result, trace.trace_id if trace else "")
         return OptimizedQuery(
             original=term,
             typed=typed,

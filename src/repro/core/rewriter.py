@@ -10,6 +10,10 @@ demonstrates.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import deque
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.engine.catalog import Catalog
@@ -19,9 +23,159 @@ from repro.rules.control import Block, RewriteEngine, RewriteResult, Seq
 from repro.rules.library import DEFAULT_SEMANTIC_LIMIT, standard_seq
 from repro.rules.methods import MethodRegistry, default_method_registry
 from repro.rules.rule import RuleContext
-from repro.terms.term import Term
+from repro.terms.term import Term, term_size
 
-__all__ = ["QueryRewriter"]
+__all__ = ["QueryRewriter", "ProvenanceEntry", "RewriteLedger",
+           "term_hash"]
+
+
+def term_hash(term: Term) -> str:
+    """A short stable fingerprint of a LERA term.
+
+    Twelve hex characters of SHA-1 over the printed form: enough to
+    join ``sys.rewrites`` rows against explain output by eye, cheap
+    enough to compute per firing.
+    """
+    from repro.terms.printer import term_to_str
+    digest = hashlib.sha1(term_to_str(term).encode("utf-8"))
+    return digest.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class ProvenanceEntry:
+    """One rule firing, as the ledger remembers it.
+
+    ``complexity_delta`` is ``term_size(after) - term_size(before)``
+    for the rewritten *subterm* (negative = the rule simplified).
+    ``duration_ms`` is the measured apply time when an event bus was
+    attached to the rewrite; 0.0 on the null-sink fast path, which
+    never touches the clock.
+    """
+
+    trace_id: str
+    block: str
+    rule: str
+    iteration: int
+    path: str
+    before_hash: str
+    after_hash: str
+    complexity_delta: int
+    duration_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "block": self.block,
+            "rule": self.rule,
+            "iteration": self.iteration,
+            "path": self.path,
+            "before_hash": self.before_hash,
+            "after_hash": self.after_hash,
+            "complexity_delta": self.complexity_delta,
+            "duration_ms": self.duration_ms,
+        }
+
+
+def provenance_entries(result: RewriteResult,
+                       trace_id: str = "") -> list[ProvenanceEntry]:
+    """Flatten a rewrite trace into provenance entries.
+
+    Shared by the ledger (which accumulates them across statements)
+    and the explain report (which embeds this query's own entries in
+    the schema-v5 ``provenance`` section) so the two views can never
+    disagree about a firing.
+    """
+    entries = []
+    for iteration, t in enumerate(result.trace):
+        entries.append(ProvenanceEntry(
+            trace_id=trace_id,
+            block=t.block,
+            rule=t.rule,
+            iteration=iteration,
+            path=".".join(str(p) for p in t.path),
+            before_hash=term_hash(t.before),
+            after_hash=term_hash(t.after),
+            complexity_delta=term_size(t.after) - term_size(t.before),
+            duration_ms=t.duration * 1000.0,
+        ))
+    return entries
+
+
+class RewriteLedger:
+    """A bounded ring of rule firings plus cumulative per-rule heat.
+
+    The ledger is owned by the :class:`~repro.engine.database.Database`
+    (so it survives optimizer regeneration) and fed by the optimizer
+    after every rewrite.  ``sys.rewrites`` reads the ring;
+    ``sys.rule_heat`` reads the aggregates, which keep counting after
+    old rings entries have been evicted -- heat is the signal the
+    adaptive-rewrite work needs, and it must not decay just because
+    the ring wrapped.
+
+    Thread-safe: recording happens inside concurrent query statements
+    (readers under the shared lock), so both structures are guarded by
+    one mutex; producers take a snapshot under it and iterate outside.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        # (block, rule) -> [fired, complexity_delta_total, duration_ms_total]
+        self._heat: dict[tuple[str, str], list] = {}
+        self._recorded = 0
+
+    def record(self, result: RewriteResult,
+               trace_id: str = "") -> list[ProvenanceEntry]:
+        if not result.trace:
+            return []
+        entries = provenance_entries(result, trace_id)
+        with self._lock:
+            self._ring.extend(entries)
+            self._recorded += len(entries)
+            for e in entries:
+                slot = self._heat.setdefault(
+                    (e.block, e.rule), [0, 0, 0.0]
+                )
+                slot[0] += 1
+                slot[1] += e.complexity_delta
+                slot[2] += e.duration_ms
+        return entries
+
+    def entries(self) -> list[ProvenanceEntry]:
+        """Snapshot of the ring, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def heat(self) -> list[dict]:
+        """Cumulative per-(block, rule) aggregates, hottest first."""
+        with self._lock:
+            snapshot = {k: list(v) for k, v in self._heat.items()}
+        rows = []
+        for (block, rule), (fired, delta, duration) in snapshot.items():
+            rows.append({
+                "block": block,
+                "rule": rule,
+                "fired": fired,
+                "complexity_delta_total": delta,
+                "complexity_delta_mean": delta / fired if fired else 0.0,
+                "duration_ms_total": duration,
+            })
+        rows.sort(key=lambda r: (-r["fired"], r["block"], r["rule"]))
+        return rows
+
+    @property
+    def recorded(self) -> int:
+        """Total firings ever recorded (>= len(entries()) once the
+        ring has wrapped)."""
+        with self._lock:
+            return self._recorded
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._heat.clear()
+            self._recorded = 0
 
 
 class QueryRewriter:

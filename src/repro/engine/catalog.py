@@ -13,12 +13,18 @@ from repro.adt.functions import default_registry
 from repro.adt.registry import FunctionRegistry
 from repro.adt.types import DataType, TypeSystem
 from repro.adt.values import ObjectRef, ObjectStore
-from repro.engine.storage import BaseRelation
+from repro.engine.storage import BaseRelation, VirtualRelation
 from repro.errors import CatalogError
 from repro.lera.schema import Schema
 from repro.terms.term import Term
 
-__all__ = ["Catalog", "ViewDef"]
+__all__ = ["Catalog", "ViewDef", "RESERVED_PREFIX"]
+
+# The system-introspection namespace.  Names under this prefix are
+# reserved for virtual relations registered by the engine itself; user
+# DDL may not claim them (section "self-observability": the catalog is
+# queryable through the same pipeline it describes).
+RESERVED_PREFIX = "SYS."
 
 
 @dataclass
@@ -44,6 +50,10 @@ class Catalog:
         self.objects = objects or ObjectStore()
         self._relations: dict[str, BaseRelation] = {}
         self._views: dict[str, ViewDef] = {}
+        # sys.* virtual relations: read-only, rows produced on demand,
+        # never stored, never WAL-logged (durability iterates
+        # _relations only, so virtuals stay out of snapshots and fsck)
+        self._virtuals: dict[str, VirtualRelation] = {}
         # integrity constraints are stored as rewrite rules (section 6.1);
         # the list holds whatever rule objects repro.rules produces.
         self.integrity_constraints: list = []
@@ -53,6 +63,11 @@ class Catalog:
                      columns: Sequence[tuple[str, DataType]],
                      primary_key: Sequence[str] = ()) -> BaseRelation:
         key = name.upper()
+        if key.startswith(RESERVED_PREFIX):
+            raise CatalogError(
+                f"cannot create table {name!r}: the 'sys.' prefix is "
+                f"reserved for system introspection relations"
+            )
         if key in self._relations or key in self._views:
             raise CatalogError(f"relation {name!r} already exists")
         schema = Schema(columns)
@@ -106,6 +121,11 @@ class Catalog:
     # -- views ---------------------------------------------------------------
     def define_view(self, view: ViewDef) -> ViewDef:
         key = view.name.upper()
+        if key.startswith(RESERVED_PREFIX):
+            raise CatalogError(
+                f"cannot create view {view.name!r}: the 'sys.' prefix "
+                f"is reserved for system introspection relations"
+            )
         if key in self._relations or key in self._views:
             raise CatalogError(f"relation {view.name!r} already exists")
         self._views[key] = view
@@ -123,6 +143,48 @@ class Catalog:
     def is_view(self, name: str) -> bool:
         return name.upper() in self._views
 
+    # -- virtual relations (the sys.* introspection catalog) ---------------
+    def register_virtual(self, name: str,
+                         columns: Sequence[tuple[str, DataType]],
+                         producer,
+                         description: str = "") -> VirtualRelation:
+        """Register (or replace) a read-only on-demand relation.
+
+        Only the engine calls this; ``name`` must live under the
+        reserved ``sys.`` prefix precisely so it can never collide with
+        user DDL.  Re-registration replaces the producer in place --
+        the server re-registers richer producers (sessions, slow
+        queries) over the database-only defaults when it mounts.
+        """
+        key = name.upper()
+        if not key.startswith(RESERVED_PREFIX):
+            raise CatalogError(
+                f"virtual relation {name!r} must live under the "
+                f"'sys.' namespace"
+            )
+        virtual = VirtualRelation(key, Schema(columns), producer,
+                                  description)
+        self._virtuals[key] = virtual
+        return virtual
+
+    def is_virtual(self, name: str) -> bool:
+        return name.upper() in self._virtuals
+
+    def virtual(self, name: str) -> VirtualRelation:
+        try:
+            return self._virtuals[name.upper()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown system relation {name!r}"
+            ) from None
+
+    def virtual_rows(self, name: str) -> list[tuple]:
+        """Materialize one consistent snapshot of a sys.* relation."""
+        return self.virtual(name).materialize(self.objects)
+
+    def virtual_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._virtuals))
+
     # -- schema lookup (duck-typed interface used by repro.lera) -----------
     def relation_schema(self, name: str) -> Schema:
         key = name.upper()
@@ -130,6 +192,8 @@ class Catalog:
             return self._relations[key].schema
         if key in self._views:
             return self._views[key].schema
+        if key in self._virtuals:
+            return self._virtuals[key].schema
         raise CatalogError(f"unknown relation {name!r}")
 
     def relation_names(self) -> tuple[str, ...]:

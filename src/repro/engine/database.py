@@ -21,7 +21,7 @@ from repro.core.explain import explain_json, explain_text
 from repro.core.extension import Extension
 from repro.obs.profile import Profiler
 from repro.core.optimizer import OptimizedQuery, Optimizer
-from repro.core.rewriter import QueryRewriter
+from repro.core.rewriter import QueryRewriter, RewriteLedger
 from repro.engine.catalog import Catalog
 from repro.engine.evaluate import Evaluator, Result
 from repro.engine.stats import EvalStats
@@ -82,10 +82,19 @@ class Database:
         self.guard = None
         self.durability = None
         self.recovery = None
+        # the rewrite-provenance ledger: owned here (not by the
+        # optimizer) so it survives regenerate_optimizer(); feeds
+        # sys.rewrites / sys.rule_heat
+        self.ledger = RewriteLedger()
         if path is not None:
             from repro.durability import DurabilityManager
             self.durability = DurabilityManager(path, sync=sync, obs=obs)
             self.recovery = self.durability.recover(self)
+        # the sys.* introspection catalog rides on every database; the
+        # server later re-registers richer producers (sessions, slow
+        # queries) when it mounts
+        from repro.obs.introspect import register_introspection
+        register_introspection(self)
 
     # -- optimizer lifecycle ---------------------------------------------------
     @property
@@ -98,6 +107,7 @@ class Database:
             self._optimizer = Optimizer(
                 self.catalog, rewriter,
                 dynamic_limits=self.dynamic_limits,
+                ledger=self.ledger,
             )
         return self._optimizer
 

@@ -128,6 +128,10 @@ class Evaluator:
     # -- public API ---------------------------------------------------------
     def evaluate(self, term: Term) -> Result:
         self._cache: dict[Term, list[tuple]] = {}
+        # one snapshot per sys.* relation per evaluation: a plan that
+        # scans the same virtual twice (self-join, fixpoint) must see
+        # the same point-in-time rows both times
+        self._vrows: dict[str, list[tuple]] = {}
         rows = self._eval_rel(term, {}, {})
         schema = schema_of(term, self.catalog)
         return Result(rows, schema)
@@ -179,6 +183,14 @@ class Evaluator:
                 rows = fix_rows[name]
             elif self.catalog.is_table(name):
                 rows = self.catalog.rows(name)
+            elif self.catalog.is_virtual(name):
+                vrows = getattr(self, "_vrows", None)
+                if vrows is None:
+                    vrows = self._vrows = {}
+                if name in vrows:
+                    rows = vrows[name]
+                else:
+                    rows = vrows[name] = self.catalog.virtual_rows(name)
             elif self.catalog.is_view(name):
                 # views are normally expanded at translation time; keep a
                 # fallback so hand-built plans can reference them

@@ -19,7 +19,7 @@ from repro.adt.values import (ArrayValue, BagValue, CollectionValue,
 from repro.errors import ValueError_
 from repro.lera.schema import Schema
 
-__all__ = ["BaseRelation", "coerce_value", "coerce_row"]
+__all__ = ["BaseRelation", "VirtualRelation", "coerce_value", "coerce_row"]
 
 _COLLECTION_CTORS = {
     "SET": SetValue,
@@ -229,3 +229,41 @@ class BaseRelation:
 
     def __repr__(self) -> str:
         return f"BaseRelation({self.name}, {len(self.rows)} rows)"
+
+
+class VirtualRelation:
+    """A read-only relation whose rows are computed on demand.
+
+    The system catalog (``sys.*``) is built from these: ``producer`` is
+    a zero-argument callable closing over live state (a metrics
+    registry, the session manager, the WAL path) that returns an
+    iterable of plain rows.  ``materialize`` coerces them against the
+    declared schema so a virtual scan yields exactly the same runtime
+    values a stored relation would -- the evaluator cannot tell the
+    difference.
+
+    Nothing here is ever stored or WAL-logged; a producer must not take
+    the writer lock (it runs inside the shared side of a query), so it
+    may only read structures that are safe under concurrent mutation
+    (per-metric locks, snapshot-returning accessors, torn-tail-tolerant
+    WAL scans).
+    """
+
+    __slots__ = ("name", "schema", "producer", "description")
+
+    def __init__(self, name: str, schema: Schema, producer,
+                 description: str = ""):
+        self.name = name
+        self.schema = schema
+        self.producer = producer
+        self.description = description
+
+    def materialize(self, objects: ObjectStore) -> list[tuple]:
+        """One consistent point-in-time batch of coerced rows."""
+        return [
+            coerce_row(row, self.schema, objects)
+            for row in self.producer()
+        ]
+
+    def __repr__(self) -> str:
+        return f"VirtualRelation({self.name})"

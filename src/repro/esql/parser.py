@@ -61,6 +61,20 @@ class _Parser:
     def at_end(self) -> bool:
         return self.peek().kind == "EOF"
 
+    def _relation_name(self) -> str:
+        """A possibly dotted relation name (``sys.metrics``).
+
+        Dots join namespace segments into one flat catalog name; the
+        only namespace today is the reserved ``sys.`` introspection
+        prefix, but the parser stays agnostic about that -- rejecting
+        user DDL under ``sys.`` is the catalog's job, so the error can
+        say *why* instead of being a syntax error.
+        """
+        parts = [self.expect_ident()]
+        while self.accept("DOT"):
+            parts.append(self.expect_ident())
+        return ".".join(parts)
+
     # -- statements ---------------------------------------------------------
     def parse_statement(self) -> ast.Statement:
         tok = self.peek()
@@ -84,7 +98,7 @@ class _Parser:
                 raise ParseError("expected TABLE or VIEW after DROP",
                                  kind_tok.line, kind_tok.column)
             self.advance()
-            return ast.DropStmt(kind_tok.kind, self.expect_ident())
+            return ast.DropStmt(kind_tok.kind, self._relation_name())
         if tok.kind == "DELETE":
             return self._delete()
         if tok.kind == "UPDATE":
@@ -187,7 +201,7 @@ class _Parser:
     def _table_def(self) -> ast.TableDef:
         self.accept("CREATE")
         self.expect("TABLE")
-        name = self.expect_ident()
+        name = self._relation_name()
         self.expect("LPAREN")
         columns = [self._field()]
         primary_key: tuple = ()
@@ -210,7 +224,7 @@ class _Parser:
     def _view_def(self) -> ast.ViewDef:
         self.expect("CREATE")
         self.expect("VIEW")
-        name = self.expect_ident()
+        name = self._relation_name()
         columns: tuple[str, ...] = ()
         if self.peek().kind == "LPAREN":
             self.advance()
@@ -227,7 +241,7 @@ class _Parser:
     def _insert(self) -> ast.InsertStmt:
         self.expect("INSERT")
         self.expect("INTO")
-        name = self.expect_ident()
+        name = self._relation_name()
         self.expect("VALUES")
         rows = [self._row_literal()]
         while self.accept("COMMA"):
@@ -237,7 +251,7 @@ class _Parser:
     def _delete(self) -> ast.DeleteStmt:
         self.expect("DELETE")
         self.expect("FROM")
-        name = self.expect_ident()
+        name = self._relation_name()
         where = None
         if self.accept("WHERE"):
             where = self.parse_expression()
@@ -245,7 +259,7 @@ class _Parser:
 
     def _update(self) -> ast.UpdateStmt:
         self.expect("UPDATE")
-        name = self.expect_ident()
+        name = self._relation_name()
         self.expect("SET")
         assignments = [self._assignment()]
         while self.accept("COMMA"):
@@ -329,7 +343,7 @@ class _Parser:
         return ast.SelectItem(expr, alias)
 
     def _from_item(self) -> ast.FromItem:
-        name = self.expect_ident()
+        name = self._relation_name()
         alias = None
         if self.peek().kind == "IDENT":
             alias = self.advance().text

@@ -110,7 +110,14 @@ class _FromEntry:
 
     def answers_to(self, qualifier: str) -> bool:
         q = qualifier.upper()
-        return q == self.alias or (self.alias is None and q == self.name)
+        if q == self.alias:
+            return True
+        if self.alias is not None:
+            return False
+        # an unaliased dotted relation also answers to its last
+        # segment: ``SELECT metrics.Name FROM sys.metrics`` (the
+        # column-ref grammar only carries a single qualifier segment)
+        return q == self.name or q == self.name.rpartition(".")[2]
 
 
 class Translator:
@@ -160,6 +167,11 @@ class Translator:
             self._insert(statement, undo)
             return None
         if isinstance(statement, ast.DropStmt):
+            if self.catalog.is_virtual(statement.name):
+                raise TranslationError(
+                    f"cannot DROP {statement.name!r}: sys.* relations "
+                    f"are read-only"
+                )
             if statement.kind == "TABLE":
                 self.catalog.drop_table(statement.name)
             else:
@@ -205,6 +217,11 @@ class Translator:
 
     # -- INSERT ------------------------------------------------------------------
     def _insert(self, statement: ast.InsertStmt, undo=None) -> None:
+        if self.catalog.is_virtual(statement.table):
+            raise TranslationError(
+                f"cannot INSERT into {statement.table!r}: sys.* "
+                f"relations are read-only"
+            )
         relation = self.catalog.table(statement.table)
         if undo is not None:
             # NEW ... literals allocate OIDs below; note the store first
@@ -243,6 +260,11 @@ class Translator:
         from repro.engine.evaluate import Evaluator
         from repro.lera.typecheck import normalize_expression
 
+        if self.catalog.is_virtual(table):
+            raise TranslationError(
+                f"cannot modify {table!r}: sys.* relations are "
+                f"read-only"
+            )
         if not self.catalog.is_table(table):
             raise TranslationError(
                 f"{table!r} is not a base table (views are read-only)"
@@ -648,6 +670,13 @@ class Translator:
         name = fi.relation.upper()
         if name in rec_env:
             return _FromEntry(name, fi.alias, sym(name), rec_env[name])
+        if self.catalog.is_virtual(name):
+            # sys.* introspection relation: scans like a base table;
+            # the evaluator materializes its snapshot at scan time
+            return _FromEntry(
+                name, fi.alias, sym(name),
+                self.catalog.relation_schema(name),
+            )
         if self.catalog.is_view(name):
             view = self.catalog.view(name)
             return _FromEntry(name, fi.alias, view.term, view.schema)

@@ -48,13 +48,20 @@ _SAFETY_LIMIT = 100_000
 
 @dataclass(frozen=True)
 class TraceEntry:
-    """One recorded rule application."""
+    """One recorded rule application.
+
+    ``duration`` is the measured apply time in seconds when an event
+    bus was attached (the engine only reaches for ``perf_counter``
+    when someone is listening -- the null-sink fast path); otherwise
+    it stays 0.0.
+    """
 
     block: str
     rule: str
     path: tuple
     before: Term
     after: Term
+    duration: float = 0.0
 
     def __str__(self) -> str:
         return (f"[{self.block}/{self.rule}] at {list(self.path)}: "
@@ -244,6 +251,7 @@ class RewriteEngine:
             if self.collect_trace:
                 result.trace.append(TraceEntry(
                     block.name, rule_name, path, before, after,
+                    apply_time,
                 ))
             if bus:
                 bus.emit(RuleFired(

@@ -90,6 +90,11 @@ class Server:
         self._errors: dict[str, deque] = {}
         self._default: Optional[Session] = None
         self._started = time.perf_counter()
+        # upgrade the sys.* catalog: the serving-backed relations
+        # (sys.metrics, sys.histograms, sys.sessions,
+        # sys.slow_queries) now read this server's registry and rings
+        from repro.obs.introspect import register_introspection
+        register_introspection(db, server=self)
 
     # -- sessions -------------------------------------------------------------
     def open_session(self, session_id: Optional[str] = None,
@@ -277,31 +282,47 @@ class Server:
         ``slow_query_ms`` threshold is configured)."""
         return list(self._slow)
 
+    # canned ESQL behind .top: the dashboard *is* four queries over
+    # the sys.* catalog, so dashboard data and user-queryable data can
+    # never disagree (one code path, not two) -- and every .top frame
+    # exercises the full parse/rewrite/evaluate pipeline
+    _TOP_COUNTERS = "SELECT Name, Value FROM sys.metrics"
+    _TOP_LATENCIES = ("SELECT Name, Count, P50, P95, P99 "
+                      "FROM sys.histograms WHERE Kind = 'bucket'")
+    _TOP_HEAT = ("SELECT Block, Rule, Fired, DeltaTotal "
+                 "FROM sys.rule_heat")
+    _TOP_SLOW = ("SELECT TraceId, Class, Session, Source, "
+                 "DurationMs, ThresholdMs FROM sys.slow_queries")
+
     def top(self) -> dict:
         """One dashboard frame: throughput, latency percentiles per
         request class, shedding, queue depth, per-rule heat and the
-        slow-query tail (what the CLI's ``.top`` renders)."""
+        slow-query tail (what the CLI's ``.top`` renders).
+
+        Relation-backed data comes from the canned ESQL above; only
+        ephemeral admission state (queue depth, active slots) is read
+        live, since a queue length has no point-in-time row identity.
+        """
         uptime = max(1e-9, time.perf_counter() - self._started)
-        counters = self.metrics.counters_with_prefix("server.")
+        db = self.db
+        counters = dict(db.query(self._TOP_COUNTERS).rows)
         total = (counters.get("server.requests.read", 0)
                  + counters.get("server.requests.write", 0))
         shed = self.admission.shed_total
+        latencies = {
+            row[0]: row for row in db.query(self._TOP_LATENCIES).rows
+        }
         requests = {}
         for klass in ("read", "write"):
-            bucket = self.metrics.bucket(
-                f"server.request.{klass}.seconds"
-            )
+            row = latencies.get(f"server.request.{klass}.seconds")
             requests[klass] = {
-                "count": bucket.count,
-                "p50_ms": bucket.percentile(50) * 1e3,
-                "p95_ms": bucket.percentile(95) * 1e3,
-                "p99_ms": bucket.percentile(99) * 1e3,
+                "count": row[1] if row else 0,
+                "p50_ms": row[2] * 1e3 if row else 0.0,
+                "p95_ms": row[3] * 1e3 if row else 0.0,
+                "p99_ms": row[4] * 1e3 if row else 0.0,
             }
-        heat = sorted(
-            ((name, row.get("fired", 0), row.get("attempts", 0))
-             for name, row in self.metrics.group("rewrite.rule.").items()),
-            key=lambda item: (-item[1], -item[2], item[0]),
-        )[:10]
+        heat = db.query(self._TOP_HEAT).rows[:10]
+        slow = db.query(self._TOP_SLOW).rows[-5:]
         return {
             "uptime_s": uptime,
             "qps": total / uptime,
@@ -313,13 +334,17 @@ class Server:
             "sessions": len(self.sessions),
             "snapshot_version": self.guard.version,
             "rule_heat": [
-                {"rule": name, "fired": fired, "attempts": attempts}
-                for name, fired, attempts in heat
+                {"block": block, "rule": rule, "fired": fired,
+                 "complexity_delta": delta}
+                for block, rule, fired, delta in heat
             ],
             "slow_queries": [
-                {key: value for key, value in entry.items()
-                 if key != "explain"}
-                for entry in list(self._slow)[-5:]
+                {"trace_id": trace_id, "request_class": klass,
+                 "session": session, "source": source,
+                 "duration_ms": duration_ms,
+                 "threshold_ms": threshold_ms}
+                for trace_id, klass, session, source, duration_ms,
+                threshold_ms in slow
             ],
         }
 

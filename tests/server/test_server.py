@@ -3,7 +3,8 @@
 import pytest
 
 from repro import Database
-from repro.core.explain import validate_explain
+from repro.core.explain import (EXPLAIN_SCHEMA_VERSION,
+                                validate_explain)
 from repro.errors import (CircuitOpen, ReproError,
                           RetryBudgetExceeded, ServerOverloaded)
 from repro.server import (AdmissionLimits, CircuitBreaker, RetryPolicy,
@@ -291,7 +292,7 @@ class TestSlowQueryLog:
         assert read["duration_ms"] >= 0.0
         assert len(read["trace_id"]) == 32
         # reads carry the full, schema-valid EXPLAIN report
-        assert read["explain"]["schema_version"] == 4
+        assert read["explain"]["schema_version"] == EXPLAIN_SCHEMA_VERSION
         assert validate_explain(read["explain"]) == []
         # writes are recorded source-only (no re-execution to explain)
         assert write["request_class"] == "write"
@@ -340,19 +341,24 @@ class TestMetricsTextAndTop:
         assert all("explain" not in entry
                    for entry in frame["slow_queries"])
 
-    def test_top_rule_heat_needs_a_collector(self):
-        from repro.obs.telemetry import Telemetry
-        bare = _server()
-        bare.query("SELECT A FROM T WHERE B = 10")
-        assert bare.top()["rule_heat"] == []   # null path: no folding
-        db = Database()
-        db.execute("TABLE T (A : NUMERIC, B : NUMERIC)")
-        db.execute("INSERT INTO T VALUES (1, 10)")
-        server = Server(db, telemetry=Telemetry())
+    def test_top_rule_heat_reads_the_ledger(self):
+        # heat comes from the database's rewrite-provenance ledger via
+        # sys.rule_heat -- no telemetry collector required, but a rule
+        # must actually have *fired* (an already-canonical query
+        # contributes nothing)
+        server = _server()
         server.query("SELECT A FROM T WHERE B = 10")
+        assert server.top()["rule_heat"] == []
+        server.query(
+            "SELECT T.A FROM T WHERE EXISTS "
+            "(SELECT A FROM T WHERE B = 10)"
+        )
         heat = server.top()["rule_heat"]
         assert heat
-        assert all(row["attempts"] >= row["fired"] for row in heat)
+        for row in heat:
+            assert row["fired"] >= 1
+            assert set(row) == {"block", "rule", "fired",
+                                "complexity_delta"}
 
 
 class TestCLITop:

@@ -36,8 +36,9 @@ STRESS_SECONDS = float(os.environ.get("SERVER_STRESS_SECONDS", "2"))
 _BATCH = 3          # rows per INSERT statement (the atomicity probe)
 _SCALE = 7          # the V = Id * _SCALE invariant
 _WRITERS = 4
-_READERS = 8
+_READERS = 6
 _CHAOS = 4          # readers that route through the faulty-rule view
+_SYS = 2            # readers that query the sys.* introspection catalog
 
 
 def _build(path):
@@ -154,6 +155,47 @@ def _chaos_reader(harness, tag):
             harness.violation(f"chaos view returned {sorted(rows)}")
 
 
+def _sys_reader(harness, tag):
+    """Queries the introspection catalog while the storm rages.
+
+    A ``sys.*`` read is an ordinary read: it runs under the shared
+    lock (never the writer side, which would deadlock against the
+    writer threads under writer preference) and sees only
+    statement-boundary state -- so the live row count sys.relations
+    reports for INV must always be a whole number of batches.
+    """
+    session = harness.server.open_session(f"sys-{tag}")
+    while not harness.stop.is_set():
+        try:
+            rows = harness.server.query(
+                "SELECT Name, Rows FROM sys.relations "
+                "WHERE Kind = 'table'", session=session.id,
+            ).rows
+            heat = harness.server.query(
+                "SELECT Rule, Fired FROM sys.rule_heat",
+                session=session.id,
+            ).rows
+        except ServerOverloaded as error:
+            harness.shed(error)
+            time.sleep(min(error.retry_after, 0.05))
+            continue
+        except Exception as error:  # pragma: no cover
+            harness.failure(error)
+            return
+        inventory = dict(rows)
+        if "INV" not in inventory or "SALE" not in inventory:
+            harness.violation(f"sys.relations lost a table: {rows}")
+            continue
+        if inventory["INV"] % _BATCH != 0:
+            harness.violation(
+                f"sys.relations saw a torn INV count "
+                f"{inventory['INV']} (not a multiple of {_BATCH})"
+            )
+        for __, fired in heat:
+            if fired < 1:
+                harness.violation(f"sys.rule_heat row with fired=0")
+
+
 def test_stress_mixed_workload(tmp_path):
     path = str(tmp_path / "stress.db")
     db = _build(path)
@@ -182,6 +224,8 @@ def test_stress_mixed_workload(tmp_path):
            for t in range(_READERS)]
         + [threading.Thread(target=_chaos_reader, args=(harness, t))
            for t in range(_CHAOS)]
+        + [threading.Thread(target=_sys_reader, args=(harness, t))
+           for t in range(_SYS)]
     )
     assert len(threads) == 16
     for t in threads:
