@@ -84,3 +84,90 @@ def test_work_budget_accounting(benchmark, db):
     policy = ResiliencePolicy(max_applications=10_000)
     result = benchmark(rewriter.rewrite, typed, resilience=policy)
     assert result.degraded is False
+
+
+# -- lifecycle governance ------------------------------------------------------
+#
+# The same opt-in contract as the rewrite sandbox, one layer down: with
+# no QueryContext minted the evaluator's governance hook is a single
+# ``is None`` test per operator, and these benchmarks pin the governed
+# path's per-row cost (tick + row charge) plus the number the tentpole
+# promises -- wall-clock cancellation latency, cancel() to the victim
+# thread observing QueryCancelled and unwinding.
+
+import threading
+import time
+
+from repro import Database
+from repro.errors import QueryCancelled
+
+
+def _governed_db(rows: int = 2_000) -> Database:
+    db = Database()
+    db.execute("TABLE G (A : NUMERIC, B : NUMERIC)")
+    db.execute("INSERT INTO G VALUES " + ", ".join(
+        f"({i}, {(i * 13) % 100})" for i in range(rows)
+    ))
+    return db
+
+
+def test_ungoverned_scan_baseline(benchmark):
+    """The control: no context minted, the evaluator hook is one
+    ``is None`` test."""
+    db = _governed_db()
+    result = benchmark(db.query, "SELECT A, B FROM G WHERE B < 50")
+    assert len(result.rows) == 1_000
+
+
+def test_governed_scan(benchmark):
+    """Budgets armed: per-row tick + charge against row and memory
+    budgets that never trip."""
+    db = _governed_db()
+    result = benchmark(
+        db.query, "SELECT A, B FROM G WHERE B < 50",
+        row_budget=1 << 30, memory_budget=1 << 40,
+    )
+    assert len(result.rows) == 1_000
+
+
+def test_cancellation_latency(benchmark):
+    """cancel() to the victim unwinding: the tentpole's latency bound
+    (one cooperative check interval of pure-python evaluation).
+
+    The setup spawns a runaway cross join on a worker thread and waits
+    for it to reach the evaluate phase; the measured region is exactly
+    cancel + join."""
+    db = _governed_db(rows=300)
+    db.govern_statements = True
+    runaway = ("SELECT G1.A FROM G G1, G G2, G G3 "
+               "WHERE G1.B + G2.B + G3.B < -1")
+
+    def setup():
+        outcome = {}
+
+        def run():
+            try:
+                db.query(runaway)
+            except QueryCancelled as error:
+                outcome["error"] = error
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.time() + 30.0
+        context = None
+        while context is None and time.time() < deadline:
+            for candidate in db.lifecycle.active():
+                if candidate.phase == "evaluate":
+                    context = candidate
+            time.sleep(0.0005)
+        assert context is not None
+        return (thread, context, outcome), {}
+
+    def cancel_and_join(thread, context, outcome):
+        context.cancel("kill")
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert outcome["error"].reason == "kill"
+
+    benchmark.pedantic(cancel_and_join, setup=setup,
+                       rounds=5, iterations=1)

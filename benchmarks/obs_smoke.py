@@ -13,7 +13,7 @@ surface end to end:
 * the JSONL sink -- every line must parse as a JSON object carrying
   ``event``, ``ts`` and (for request-scoped events) ``trace_id``;
 * the OTLP span export -- must produce well-formed ``resourceSpans``;
-* ``explain_json`` -- must validate against schema v5.
+* ``explain_json`` -- must validate against schema v6.
 
 Exit code 0 means all surfaces held; any violation prints and fails.
 """
@@ -118,7 +118,7 @@ def main() -> int:
         return 1
     print(f"obs-export smoke OK: {len(records)} JSONL record(s) "
           f"({len(traced)} trace-stamped), metrics text and OTLP "
-          f"export well-formed, explain schema v5 valid, "
+          f"export well-formed, explain schema v6 valid, "
           f"{len(server.slow_queries())} slow quer(y/ies) captured")
     return 0
 

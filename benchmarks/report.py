@@ -447,6 +447,82 @@ def server_introspection():
     server.close()
 
 
+def lifecycle_governance():
+    """Query lifecycle governance: the deterministic work counters of
+    cancellation, budgets and degrade mode (latency lives in
+    ``benchmarks/bench_resilience.py``)."""
+    from repro.errors import BudgetExceeded, QueryCancelled
+    from repro.lifecycle import ChaosInjector, QueryContext, use_context
+
+    db = Database()
+    db.execute("TABLE T (A : NUMERIC, B : NUMERIC)")
+    db.execute("INSERT INTO T VALUES " + ", ".join(
+        f"({i}, {(i * 13) % 100})" for i in range(500)
+    ))
+
+    # a governed scan: rows charged and bytes reserved/released
+    db.query("SELECT A, B FROM T WHERE B < 50",
+             row_budget=100_000, memory_budget=1 << 30)
+    governed = db.lifecycle.recent()[-1]
+
+    # degrade mode: the truncated prefix a 100-row budget yields
+    truncated = db.query("SELECT A, B FROM T", row_budget=100,
+                         degrade=True)
+
+    # a budget trip: rows charged before the hard stop
+    tripped_rows = 0
+    try:
+        db.query("SELECT A, B FROM T", row_budget=100)
+    except BudgetExceeded as error:
+        tripped_rows = int(error.consumed)
+
+    # a seeded chaos cancel: checks survived before the injection
+    db.chaos = ChaosInjector(seed=11, cancel_rate=1.0, min_checks=3)
+    chaos_checks = 0
+    try:
+        db.query("SELECT A, B FROM T")
+    except QueryCancelled:
+        chaos_checks = db.lifecycle.recent()[-1].chaos._checks
+    db.chaos = None
+
+    # cancellation unwind: ticks a pre-cancelled context needs to
+    # surface (the latency bound, in cooperative-check units)
+    ctx = QueryContext()
+    ctx.cancel("kill")
+    unwind_ticks = 0
+    with use_context(ctx):
+        try:
+            while True:
+                unwind_ticks += 1
+                ctx.tick()
+        except QueryCancelled:
+            pass
+
+    print("### LIFECYCLE -- governance work counters "
+          "(500-row T, budgets + chaos)\n")
+    print(table(
+        ["metric", "value"],
+        [["governed scan rows charged", governed.rows_charged],
+         ["governed scan peak bytes", governed.memory.peak],
+         ["governed scan leaked bytes", governed.memory.current],
+         ["degrade-mode truncated rows", len(truncated.rows)],
+         ["rows charged before hard trip", tripped_rows],
+         ["checks before seeded chaos cancel", chaos_checks],
+         ["ticks to observe a cancel", unwind_ticks]],
+    ))
+    print()
+    record("lifecycle_governance", "governed_rows_charged",
+           governed.rows_charged)
+    record("lifecycle_governance", "governed_peak_bytes",
+           governed.memory.peak)
+    record("lifecycle_governance", "violations", governed.memory.current)
+    record("lifecycle_governance", "degrade_truncated_rows",
+           len(truncated.rows))
+    record("lifecycle_governance", "tripped_rows", tripped_rows)
+    record("lifecycle_governance", "chaos_checks", chaos_checks)
+    record("lifecycle_governance", "cancel_unwind_ticks", unwind_ticks)
+
+
 # the --only groups: the unit the committed BENCH_<group>.json
 # baselines and benchmarks.check_regression work in
 GROUPS = {
@@ -454,6 +530,7 @@ GROUPS = {
                f10_f11_semantic, f13_subqueries, a1_limits, a6_engine],
     "fixpoint": [f9_fixpoint, a3_seminaive, a4_dynamic_limits],
     "server": [obs_telemetry, server_introspection],
+    "resilience": [lifecycle_governance],
 }
 
 
@@ -491,6 +568,7 @@ def main(argv=None) -> None:
         a6_engine()
         obs_telemetry()
         server_introspection()
+        lifecycle_governance()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(ARTIFACT, handle, indent=2, sort_keys=True)

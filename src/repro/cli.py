@@ -42,13 +42,30 @@ Statements end with ``;``.  Dot-commands:
                    per-class latency percentiles (p50/p95/p99), queue
                    depth, shed rate, hottest rewrite rules and the
                    slow-query tail
+``.queries``       in-flight and recent statements (the ``sys.queries``
+                   view): id, phase, rows/bytes consumed, elapsed
+``.kill <id>``     cancel one in-flight statement by its ``q<N>`` id
+``.timeout N``     give every statement a wall-clock budget of N
+                   milliseconds, rewrite and evaluation combined
+                   (``off`` clears)
+``.budget``        per-statement budgets: ``rows N``, ``memory N``
+                   (bytes), ``off`` clears both
+``.degrade on``    truncate instead of fail when a budget trips (also
+                   ``off``): partial results are flagged
 ``.quit``          leave
 =================  =====================================================
 
 The ``.rewrite`` / ``.checked`` / ``.deadline`` / ``.profile`` toggles
+-- and the lifecycle knobs ``.timeout`` / ``.budget`` / ``.degrade`` --
 are *session* state: they never mutate the shared Database, so two
 shells (or serving sessions) over one database cannot leak settings
 into each other.
+
+Ctrl-C during a long statement pulls the statement's cancel token (the
+same mechanism as ``.kill``): the evaluator unwinds cooperatively at
+its next check, the shell prints the typed cancellation error, and the
+prompt returns.  Ctrl-C at the prompt just clears any half-typed
+statement; only EOF (Ctrl-D) or ``.quit`` leave the shell.
 """
 
 from __future__ import annotations
@@ -75,6 +92,9 @@ class Shell:
 
     def __init__(self, db: Optional[Database] = None):
         self.db = db or Database()
+        # every interactive statement runs under a QueryContext so
+        # Ctrl-C / .kill always have a cancel token to pull
+        self.db.govern_statements = True
         # per-shell settings: applied as per-call overrides, never
         # written into the shared Database (see the module docstring)
         self.settings = SessionSettings(rewrite=True)
@@ -150,12 +170,24 @@ class Shell:
                 result = self.db.query(
                     statement, rewrite=s.rewrite, checked=s.checked,
                     deadline_ms=s.deadline_ms,
+                    timeout_ms=s.timeout_ms, row_budget=s.row_budget,
+                    memory_budget=s.memory_budget, degrade=s.degrade,
                 )
                 return [result.to_table()]
-            self.db.execute(statement)
+            self.db.execute(
+                statement, timeout_ms=s.timeout_ms,
+                row_budget=s.row_budget,
+                memory_budget=s.memory_budget, degrade=s.degrade,
+            )
             return ["ok"]
         except ReproError as error:
             return [f"error: {error}"]
+
+    def cancel_inflight(self, reason: str = "keyboard-interrupt"
+                        ) -> list[str]:
+        """Pull every in-flight cancel token (the Ctrl-C path);
+        returns the cancelled query ids."""
+        return self.db.lifecycle.cancel_all(reason)
 
     def _dot_command(self, line: str) -> list[str]:
         parts = line.split(None, 1)
@@ -201,6 +233,40 @@ class Shell:
                 return [f"profiling {'on' if self.profile else 'off'}"]
             return [f"profiling is "
                     f"{'on' if self.profile else 'off'}"]
+        if command == ".timeout":
+            if argument.lower() in ("off", "none"):
+                self.settings.timeout_ms = None
+                return ["statement timeout off"]
+            if argument:
+                try:
+                    value = float(argument)
+                except ValueError:
+                    return ["usage: .timeout <milliseconds>|off"]
+                if value <= 0:
+                    return ["usage: .timeout <milliseconds>|off"]
+                self.settings.timeout_ms = value
+                return [f"statement timeout {value:g} ms"]
+            if self.settings.timeout_ms is None:
+                return ["no statement timeout"]
+            return [f"statement timeout is "
+                    f"{self.settings.timeout_ms:g} ms"]
+        if command == ".budget":
+            return self._budget_command(argument)
+        if command == ".degrade":
+            if argument.lower() in ("on", "off"):
+                self.settings.degrade = argument.lower() == "on"
+                return [f"degrade mode "
+                        f"{'on' if self.settings.degrade else 'off'}"]
+            return [f"degrade mode is "
+                    f"{'on' if self.settings.degrade else 'off'}"]
+        if command == ".kill":
+            if not argument:
+                return ["usage: .kill <query-id>   (see .queries)"]
+            if self.db.kill(argument):
+                return [f"{argument} cancelled"]
+            return [f"no such in-flight statement: {argument}"]
+        if command == ".queries":
+            return self._queries_command()
         if command == ".serve":
             return self._serve_command(argument)
         if command == ".sessions":
@@ -351,6 +417,58 @@ class Shell:
                     )
             return lines
         return [f"unknown command {command}; try .help"]
+
+    def _budget_command(self, argument: str) -> list[str]:
+        s = self.settings
+        if argument.lower() in ("off", "none"):
+            s.row_budget = None
+            s.memory_budget = None
+            return ["budgets off"]
+        if argument:
+            parts = argument.split()
+            if len(parts) != 2 or parts[0].lower() not in (
+                    "rows", "memory"):
+                return ["usage: .budget [rows N | memory BYTES | off]"]
+            try:
+                value = int(parts[1])
+            except ValueError:
+                return [f"error: {parts[1]!r} is not an integer"]
+            if value <= 0:
+                return ["error: the budget must be positive"]
+            if parts[0].lower() == "rows":
+                s.row_budget = value
+                return [f"row budget {value}"]
+            s.memory_budget = value
+            return [f"memory budget {value} bytes"]
+        parts = []
+        if s.row_budget is not None:
+            parts.append(f"rows {s.row_budget}")
+        if s.memory_budget is not None:
+            parts.append(f"memory {s.memory_budget} bytes")
+        return [", ".join(parts) or "no budgets"]
+
+    def _queries_command(self) -> list[str]:
+        registry = self.db.lifecycle
+        lines = []
+        for context in registry.active() + registry.recent():
+            snap = context.snapshot()
+            source = snap["source"].replace("\n", " ")
+            if len(source) > 48:
+                source = source[:45] + "..."
+            flags = []
+            if snap["cancelled"]:
+                flags.append(f"cancelled({snap['cancel_reason']})")
+            if snap["truncated"]:
+                flags.append("truncated")
+            lines.append(
+                f"{snap['query_id']:>5s}  {snap['phase']:<9s} "
+                f"{snap['rows_charged']:>8d} row(s) "
+                f"{snap['bytes_peak']:>10d} B  "
+                f"{snap['elapsed_ms']:>8.1f} ms"
+                + (f"  [{', '.join(flags)}]" if flags else "")
+                + (f"  {source}" if source else "")
+            )
+        return lines or ["(no statements)"]
 
     # -- serving commands -----------------------------------------------------
     def _start_serving(self) -> None:
@@ -516,6 +634,48 @@ class Shell:
         ]
 
 
+def _feed_interruptible(shell: Shell, line: str) -> list[str]:
+    """Run one input line on a worker thread so Ctrl-C cancels the
+    in-flight statement *cooperatively*.
+
+    The old loop caught KeyboardInterrupt at the top level and exited
+    the whole REPL -- and because the statement ran on the interrupted
+    thread, the evaluator was unwound at an arbitrary bytecode
+    boundary rather than a statement boundary.  Running the statement
+    on a worker turns Ctrl-C into exactly what ``.kill`` does: the
+    cancel token is pulled, the evaluator raises
+    :class:`~repro.errors.QueryCancelled` at its next cooperative
+    check (undo logs and lock releases run normally on the worker),
+    and the shell prints the typed error and prompts again.
+    """
+    import threading
+
+    box: dict = {}
+
+    def work():
+        try:
+            box["out"] = shell.feed(line)
+        except BaseException as error:  # includes SystemExit from .quit
+            box["err"] = error
+
+    worker = threading.Thread(
+        target=work, name="repro-cli-statement", daemon=True
+    )
+    worker.start()
+    while worker.is_alive():
+        try:
+            worker.join(timeout=0.1)
+        except KeyboardInterrupt:
+            cancelled = shell.cancel_inflight()
+            if cancelled:
+                print(f"^C cancelling {', '.join(cancelled)} ...")
+            else:
+                print("^C (nothing in flight yet; waiting)")
+    if "err" in box:
+        raise box["err"]
+    return box.get("out", [])
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     shell = Shell()
@@ -531,24 +691,30 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
 
     print(_BANNER)
-    try:
-        while True:
-            prompt = "....> " if shell._buffer else "esql> "
-            try:
-                line = input(prompt)
-            except EOFError:
-                break
-            try:
-                for output in shell.feed(line):
-                    print(output)
-            except SystemExit:
-                break
-            except ReproError as error:
-                # last-resort guard: a failing statement prints one
-                # diagnostic line and the REPL stays alive
-                print(f"error: {error}")
-    except KeyboardInterrupt:
-        pass
+    while True:
+        prompt = "....> " if shell._buffer else "esql> "
+        try:
+            line = input(prompt)
+        except EOFError:
+            break
+        except KeyboardInterrupt:
+            # Ctrl-C at the prompt: drop any half-typed statement and
+            # keep the shell alive (only EOF / .quit leave)
+            shell._buffer.clear()
+            print("^C")
+            continue
+        try:
+            for output in _feed_interruptible(shell, line):
+                print(output)
+        except SystemExit:
+            break
+        except KeyboardInterrupt:
+            # raced the worker handoff; the token is already pulled
+            print("^C")
+        except ReproError as error:
+            # last-resort guard: a failing statement prints one
+            # diagnostic line and the REPL stays alive
+            print(f"error: {error}")
     return 0
 
 

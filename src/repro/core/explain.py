@@ -6,10 +6,10 @@ shared by the CLI, ``Database.explain_json`` and
 ``benchmarks/report.py`` -- one schema for interactive EXPLAIN and
 benchmark ingestion (documented in ``docs/observability.md``).
 
-Top-level JSON shape (``schema_version`` 5)::
+Top-level JSON shape (``schema_version`` 6)::
 
     {
-      "schema_version": 5,
+      "schema_version": 6,
       "plans":   {"before": {"text", "nodes"}, "after": {"text", "nodes"}},
       "rewrite": {"applications", "checks", "passes", "degraded",
                   "trace": [{"block","rule","path","before","after"}],
@@ -34,6 +34,12 @@ Top-level JSON shape (``schema_version`` 5)::
                 or null,
       "trace":  {"trace_id", "span_id", "parent_id",
                  "stages": {stage: milliseconds}},
+      "lifecycle": {"query_id", "session", "trace_id", "phase",
+                    "source", "timeout_ms", "row_budget",
+                    "memory_budget", "degrade", "rows_charged",
+                    "bytes_reserved", "bytes_peak", "elapsed_ms",
+                    "truncated", "cancelled", "cancel_reason"}
+                   or null,
       "profile": <Profiler.report() or null>,
       "eval":    <EvalStats.snapshot() or null>
     }
@@ -67,6 +73,15 @@ the server's; direct ``explain_json`` calls mint a fresh one), and
 profile (``phase.*`` timings, evaluator operator time) plus whatever
 the caller measured itself (the server adds ``queue_wait_ms``).
 
+``lifecycle`` (version 6's addition; see ``docs/robustness.md``) is
+the governed statement's :meth:`~repro.lifecycle.context.QueryContext
+.snapshot` -- the same dict a ``sys.queries`` row is built from: the
+``q<N>`` id that ``Server.kill`` / CLI ``.kill`` take, the budgets in
+force, rows and bytes consumed, and the ``truncated`` flag degrade
+mode sets when a budget trip kept a partial result.  Null when the
+statement ran ungoverned (no budget knob set and the database not
+served).
+
 ``validate_explain`` is the schema's executable documentation: it
 returns the list of violations (empty means valid) and is used by the
 tests and the benchmark harness.
@@ -84,7 +99,7 @@ from repro.terms.term import term_size
 __all__ = ["explain_text", "explain_json", "validate_explain",
            "EXPLAIN_SCHEMA_VERSION"]
 
-EXPLAIN_SCHEMA_VERSION = 5
+EXPLAIN_SCHEMA_VERSION = 6
 
 
 def explain_text(optimized: OptimizedQuery, verbose: bool = False,
@@ -280,6 +295,9 @@ def explain_json(optimized: OptimizedQuery,
         profile = profile.report()
     result = optimized.rewrite_result
     trace_section = _trace_section(profile, trace)
+    from repro.lifecycle.context import current_context
+    context = current_context()
+    lifecycle = context.snapshot() if context is not None else None
     from repro.core.rewriter import provenance_entries
     provenance = provenance_entries(result, trace_section["trace_id"])
     return {
@@ -319,6 +337,7 @@ def explain_json(optimized: OptimizedQuery,
                        if result.resilience is not None else None),
         "server": server,
         "trace": trace_section,
+        "lifecycle": lifecycle,
         "profile": profile,
         "eval": eval_stats.snapshot() if eval_stats is not None else None,
     }
@@ -478,6 +497,35 @@ def validate_explain(report: dict) -> list[str]:
                     problems.append(
                         f"trace.stages.{stage}: not a non-negative number"
                     )
+    if "lifecycle" not in report:
+        problems.append("report: missing key 'lifecycle'")
+    elif report["lifecycle"] is not None:
+        lifecycle = report["lifecycle"]
+        query_id = need(lifecycle, "query_id", str, "lifecycle")
+        if query_id is not None and not (
+                query_id.startswith("q") and query_id[1:].isdigit()):
+            problems.append("lifecycle.query_id: not of the form q<N>")
+        need(lifecycle, "session", str, "lifecycle")
+        need(lifecycle, "phase", str, "lifecycle")
+        for key in ("degrade", "truncated", "cancelled"):
+            need(lifecycle, key, bool, "lifecycle")
+        for key in ("rows_charged", "bytes_reserved", "bytes_peak"):
+            value = need(lifecycle, key, int, "lifecycle")
+            if value is not None and value < 0:
+                problems.append(f"lifecycle.{key}: negative")
+        elapsed = need(lifecycle, "elapsed_ms", (int, float),
+                       "lifecycle")
+        if elapsed is not None and elapsed < 0:
+            problems.append("lifecycle.elapsed_ms: negative")
+        for key in ("timeout_ms", "row_budget", "memory_budget"):
+            if key not in lifecycle:
+                problems.append(f"lifecycle: missing key {key!r}")
+            elif lifecycle[key] is not None and (
+                    not isinstance(lifecycle[key], (int, float))
+                    or lifecycle[key] < 0):
+                problems.append(
+                    f"lifecycle.{key}: not null or a non-negative number"
+                )
     if "profile" not in report:
         problems.append("report: missing key 'profile'")
     elif report["profile"] is not None:

@@ -14,7 +14,7 @@ that is the baseline the benchmarks compare against.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from typing import Optional
 
 from repro.core.explain import explain_json, explain_text
@@ -25,9 +25,12 @@ from repro.core.rewriter import QueryRewriter, RewriteLedger
 from repro.engine.catalog import Catalog
 from repro.engine.evaluate import Evaluator, Result
 from repro.engine.stats import EvalStats
-from repro.errors import DurabilityError, TranslationError
+from repro.errors import (BudgetExceeded, DurabilityError, QueryCancelled,
+                          TranslationError)
 from repro.esql import ast
 from repro.esql.parser import parse_script_with_sources
+from repro.lifecycle.context import current_context, use_context
+from repro.lifecycle.registry import StatementRegistry
 from repro.esql.translate import Translator
 from repro.rules.library import DEFAULT_SEMANTIC_LIMIT
 from repro.rules.semantic import compile_integrity_constraint
@@ -54,6 +57,10 @@ class Database:
                  resilient: bool = False,
                  path: Optional[str] = None,
                  sync: bool = False,
+                 statement_timeout_ms: Optional[float] = None,
+                 row_budget: Optional[int] = None,
+                 memory_budget: Optional[int] = None,
+                 degrade: bool = False,
                  obs=None):
         self.catalog = Catalog()
         self.translator = Translator(self.catalog)
@@ -68,6 +75,19 @@ class Database:
         self.checked = checked
         self.deadline_ms = deadline_ms
         self.resilient = resilient
+        # lifecycle governance defaults: any knob set (or a chaos
+        # injector mounted, or serving enabled) makes statements run
+        # under a QueryContext; all None keeps the bare path
+        # context-free (see docs/robustness.md)
+        self.statement_timeout_ms = statement_timeout_ms
+        self.row_budget = row_budget
+        self.memory_budget = memory_budget
+        self.degrade = degrade
+        self.chaos = None
+        # force governance even with no budget knob set (the CLI turns
+        # this on so Ctrl-C always has a cancel token to pull)
+        self.govern_statements = False
+        self.lifecycle = StatementRegistry()
         self._optimizer: Optional[Optimizer] = None
         # durability: with a path, every mutating statement is WAL-logged
         # and the directory is recovered on open; without one the layer
@@ -133,8 +153,101 @@ class Database:
         guard = self.guard
         return nullcontext() if guard is None else guard.read()
 
+    # -- lifecycle governance --------------------------------------------------
+    def kill(self, query_id: str, reason: str = "kill") -> bool:
+        """Pull the cancel token of one in-flight statement (by its
+        ``sys.queries`` id); the evaluating thread raises
+        :class:`~repro.errors.QueryCancelled` at its next cooperative
+        check.  Safe from any thread."""
+        return self.lifecycle.kill(query_id, reason)
+
+    @contextmanager
+    def _statement_context(self, source: str = "",
+                           timeout_ms: Optional[float] = None,
+                           row_budget: Optional[int] = None,
+                           memory_budget: Optional[int] = None,
+                           degrade: Optional[bool] = None,
+                           session: str = ""):
+        """Mint, register and retire the :class:`QueryContext` of one
+        governed statement.
+
+        Yields None on the ungoverned fast path (no budget knob set,
+        no chaos injector, not served) so every downstream site stays
+        one ``is None`` test.  An ambient context -- installed by an
+        outer layer such as a test harness or the server -- is adopted
+        as-is instead of minting a nested one, which is how DML
+        subquery evaluators and script statements share the statement's
+        budget.
+        """
+        ambient = current_context()
+        if ambient is not None:
+            yield ambient
+            return
+        use_timeout = (self.statement_timeout_ms if timeout_ms is None
+                       else timeout_ms)
+        use_rows = self.row_budget if row_budget is None else row_budget
+        use_memory = (self.memory_budget if memory_budget is None
+                      else memory_budget)
+        use_degrade = self.degrade if degrade is None else degrade
+        chaos = self.chaos
+        if (use_timeout is None and use_rows is None
+                and use_memory is None and chaos is None
+                and self.guard is None and not self.govern_statements):
+            yield None
+            return
+        from repro.obs.telemetry import current_trace
+        trace = current_trace()
+        context = self.lifecycle.begin(
+            session=session,
+            trace_id=trace.trace_id if trace is not None else "",
+            timeout_ms=use_timeout, row_budget=use_rows,
+            memory_budget=use_memory, degrade=use_degrade,
+            source=source,
+        )
+        if chaos is not None:
+            # per-statement fork: Random is not thread-safe, and the
+            # q<N> salt keeps concurrent statements independent yet
+            # replayable
+            context.chaos = chaos.fork(int(context.query_id[1:]))
+        outcome = "done"
+        try:
+            with use_context(context):
+                yield context
+        except QueryCancelled:
+            outcome = "cancelled"
+            raise
+        except BaseException:
+            outcome = "failed"
+            raise
+        finally:
+            if outcome == "done" and context.truncated:
+                outcome = "truncated"
+            if context.trip_info is not None:
+                self._note_budget_trip(context)
+            self.lifecycle.finish(context, outcome)
+
+    def _note_budget_trip(self, context) -> None:
+        metrics = self.lifecycle.metrics
+        if metrics is not None:
+            metrics.inc("lifecycle.budget_trips")
+        bus = self.lifecycle.obs
+        if bus:
+            from repro.obs.events import BudgetTripped
+            resource, limit, consumed = context.trip_info
+            bus.emit(BudgetTripped(
+                query_id=context.query_id, session=context.session,
+                resource=resource, limit=float(limit),
+                consumed=float(consumed),
+                truncated=context.truncated,
+            ))
+
     # -- statements ------------------------------------------------------------
-    def execute(self, script: str, obs=None) -> list[Result]:
+    def execute(self, script: str, obs=None,
+                timeout_ms: Optional[float] = None,
+                row_budget: Optional[int] = None,
+                memory_budget: Optional[int] = None,
+                degrade: Optional[bool] = None,
+                session: str = "") -> list[Result]:
         """Run an ESQL script; returns the results of any queries.
 
         Each mutating statement is atomic: it either fully applies or --
@@ -147,25 +260,40 @@ class Database:
         shared reader lock, so concurrent callers interleave only at
         statement boundaries.  ``obs`` is an optional per-call event
         bus for any queries' rewrite/eval events.
+
+        Each statement of the script runs under its *own*
+        :class:`QueryContext` when governance is on (a budget knob
+        set, a chaos injector mounted, or serving enabled): a
+        mid-script kill cancels the in-flight statement at a statement
+        boundary, leaving prior statements committed.
         """
         guard = self.guard
         results = []
         for statement, source in parse_script_with_sources(script):
-            if guard is None:
-                term = self._apply_statement(statement, source)
-                if term is not None:
-                    results.append(
-                        self._run(term, self.rewrite_default, obs=obs)[0]
-                    )
-            elif isinstance(statement, ast.Select):
-                with guard.read():
+            with self._statement_context(
+                source=source, timeout_ms=timeout_ms,
+                row_budget=row_budget, memory_budget=memory_budget,
+                degrade=degrade, session=session,
+            ) as ctx:
+                if guard is None:
                     term = self._apply_statement(statement, source)
-                    results.append(
-                        self._run(term, self.rewrite_default, obs=obs)[0]
-                    )
-            else:
-                with guard.write():
-                    self._apply_statement(statement, source)
+                    if term is not None:
+                        results.append(
+                            self._run(term, self.rewrite_default,
+                                      obs=obs)[0]
+                        )
+                elif isinstance(statement, ast.Select):
+                    with guard.read():
+                        term = self._apply_statement(statement, source)
+                        results.append(
+                            self._run(term, self.rewrite_default,
+                                      obs=obs)[0]
+                        )
+                else:
+                    if ctx is not None:
+                        ctx.enter_phase("write")
+                    with guard.write():
+                        self._apply_statement(statement, source)
         return results
 
     def _apply_statement(self, statement, source: str) -> Optional[Term]:
@@ -244,27 +372,41 @@ class Database:
               stats: Optional[EvalStats] = None,
               checked: Optional[bool] = None,
               deadline_ms: Optional[float] = None,
+              timeout_ms: Optional[float] = None,
+              row_budget: Optional[int] = None,
+              memory_budget: Optional[int] = None,
+              degrade: Optional[bool] = None,
+              session: str = "",
               obs=None) -> Result:
         """Run one SELECT and return its result.
 
         ``checked`` / ``deadline_ms`` override the database-wide
         resilience defaults for this one call (what per-session
-        settings ride on; see ``docs/server.md``).  ``obs`` is an
-        optional per-call event bus for this query's rewrite/eval
-        events (the server passes its telemetry bus here so request
-        events land in the trace-stamped stream).
+        settings ride on; see ``docs/server.md``).  ``timeout_ms`` /
+        ``row_budget`` / ``memory_budget`` / ``degrade`` likewise
+        override the lifecycle-governance defaults: any of them set
+        runs the statement under a :class:`QueryContext` (killable,
+        visible in ``sys.queries``).  ``obs`` is an optional per-call
+        event bus for this query's rewrite/eval events (the server
+        passes its telemetry bus here so request events land in the
+        trace-stamped stream).
         """
-        guard = self.guard
-        if guard is None:
-            return self._query_term(
-                self._translate_single(source), rewrite, stats,
-                checked=checked, deadline_ms=deadline_ms, obs=obs,
-            )
-        with guard.read():
-            return self._query_term(
-                self._translate_single(source), rewrite, stats,
-                checked=checked, deadline_ms=deadline_ms, obs=obs,
-            )
+        with self._statement_context(
+            source=source, timeout_ms=timeout_ms, row_budget=row_budget,
+            memory_budget=memory_budget, degrade=degrade,
+            session=session,
+        ):
+            guard = self.guard
+            if guard is None:
+                return self._query_term(
+                    self._translate_single(source), rewrite, stats,
+                    checked=checked, deadline_ms=deadline_ms, obs=obs,
+                )
+            with guard.read():
+                return self._query_term(
+                    self._translate_single(source), rewrite, stats,
+                    checked=checked, deadline_ms=deadline_ms, obs=obs,
+                )
 
     def query_with_stats(
         self, source: str, rewrite: Optional[bool] = None,
@@ -273,18 +415,13 @@ class Database:
     ) -> tuple[Result, EvalStats, OptimizedQuery]:
         """Run one SELECT, returning work counters and the optimization."""
         stats = EvalStats()
-        with self._read_guard():
+        with self._statement_context(source=source), self._read_guard():
             term = self._translate_single(source)
             use_rewrite = (self.rewrite_default if rewrite is None
                            else rewrite)
-            optimized = self.optimizer.optimize(
-                term, rewrite=use_rewrite, obs=obs,
-                **self._resilience_kwargs(checked, deadline_ms),
+            result, optimized = self._optimize_and_evaluate(
+                term, use_rewrite, stats, checked, deadline_ms, obs
             )
-            result = Evaluator(
-                self.catalog, stats=stats, semi_naive=self.semi_naive,
-                hash_joins=self.hash_joins, obs=obs,
-            ).evaluate(optimized.final)
         return result, stats, optimized
 
     def optimize(self, source: str,
@@ -328,7 +465,8 @@ class Database:
     def explain_json(self, source: str, execute: bool = False,
                      rewrite: Optional[bool] = None,
                      checked: Optional[bool] = None,
-                     deadline_ms: Optional[float] = None) -> dict:
+                     deadline_ms: Optional[float] = None,
+                     session: str = "") -> dict:
         """The machine-readable EXPLAIN report (one schema for the CLI
         and ``benchmarks/report.py``; see ``docs/observability.md``).
 
@@ -338,13 +476,18 @@ class Database:
         """
         profiler = Profiler()
         use_rewrite = self.rewrite_default if rewrite is None else rewrite
-        with self._read_guard():
+        with self._statement_context(source=source, session=session) \
+                as ctx, self._read_guard():
+            if ctx is not None:
+                ctx.enter_phase("optimize")
             optimized = self.optimize(
                 source, rewrite=use_rewrite, obs=profiler.bus,
                 checked=checked, deadline_ms=deadline_ms,
             )
             stats = None
             if execute:
+                if ctx is not None:
+                    ctx.enter_phase("evaluate")
                 stats = EvalStats()
                 Evaluator(
                     self.catalog, stats=stats,
@@ -352,9 +495,11 @@ class Database:
                     hash_joins=self.hash_joins, obs=profiler.bus,
                 ).evaluate(optimized.final)
                 profiler.absorb_eval_stats(stats)
-        return explain_json(
-            optimized, profile=profiler, eval_stats=stats
-        )
+            # inside the statement extent on purpose: the report's
+            # lifecycle section reads the ambient QueryContext
+            return explain_json(
+                optimized, profile=profiler, eval_stats=stats
+            )
 
     # -- extensions -------------------------------------------------------------
     def add_integrity_constraint(self, source: str) -> None:
@@ -429,10 +574,23 @@ class Database:
         ``resilient=True`` activates rule sandboxing and divergence
         detection even when no deadline or checked mode is configured
         (those two imply a policy of their own, with sandboxing on).
+
+        Unified budget: inside a governed statement with a wall-clock
+        timeout, the rewrite deadline is clamped to the statement's
+        remaining allowance -- time the rewrite burns is gone for
+        evaluation, and a rewrite that overruns the whole statement
+        budget is cut off rather than granted its full configured
+        deadline.
         """
         use_checked = self.checked if checked is None else checked
         use_deadline = (self.deadline_ms if deadline_ms is None
                         else deadline_ms)
+        context = current_context()
+        if context is not None:
+            remaining = context.remaining_ms()
+            if remaining is not None:
+                use_deadline = (remaining if use_deadline is None
+                                else min(use_deadline, remaining))
         if self.resilient and use_deadline is None and not use_checked:
             from repro.resilience import ResiliencePolicy
             return {"resilience": ResiliencePolicy()}
@@ -446,22 +604,31 @@ class Database:
              ) -> tuple[Result, OptimizedQuery]:
         guard = self.guard
         if guard is None:
-            optimized = self.optimizer.optimize(
-                term, rewrite=rewrite, obs=obs,
-                **self._resilience_kwargs(checked, deadline_ms),
+            return self._optimize_and_evaluate(
+                term, rewrite, stats, checked, deadline_ms, obs
             )
-            evaluator = Evaluator(
-                self.catalog, stats=stats, semi_naive=self.semi_naive,
-                hash_joins=self.hash_joins, obs=obs,
-            )
-            return evaluator.evaluate(optimized.final), optimized
         with guard.read():
-            optimized = self.optimizer.optimize(
-                term, rewrite=rewrite, obs=obs,
-                **self._resilience_kwargs(checked, deadline_ms),
+            return self._optimize_and_evaluate(
+                term, rewrite, stats, checked, deadline_ms, obs
             )
-            evaluator = Evaluator(
-                self.catalog, stats=stats, semi_naive=self.semi_naive,
-                hash_joins=self.hash_joins, obs=obs,
-            )
-            return evaluator.evaluate(optimized.final), optimized
+
+    def _optimize_and_evaluate(
+        self, term: Term, rewrite: bool,
+        stats: Optional[EvalStats],
+        checked: Optional[bool], deadline_ms: Optional[float],
+        obs,
+    ) -> tuple[Result, OptimizedQuery]:
+        context = current_context()
+        if context is not None:
+            context.enter_phase("optimize")
+        optimized = self.optimizer.optimize(
+            term, rewrite=rewrite, obs=obs,
+            **self._resilience_kwargs(checked, deadline_ms),
+        )
+        if context is not None:
+            context.enter_phase("evaluate")
+        evaluator = Evaluator(
+            self.catalog, stats=stats, semi_naive=self.semi_naive,
+            hash_joins=self.hash_joins, obs=obs,
+        )
+        return evaluator.evaluate(optimized.final), optimized

@@ -14,6 +14,21 @@ physical strategy is deliberately simple and deterministic:
   case), with naive recomputation available as the A3 ablation baseline.
 
 Work counters (see :mod:`repro.engine.stats`) are updated throughout.
+
+Lifecycle governance: when a :class:`~repro.lifecycle.QueryContext` is
+active (passed explicitly or ambient via
+:func:`~repro.lifecycle.current_context`), the evaluator checks it
+cooperatively -- ``tick()`` per scanned tuple and join probe,
+``check()`` per fixpoint iteration -- and charges its row and memory
+budgets per materialized batch.  A pulled cancel token or a hard
+budget trip surfaces as :class:`~repro.errors.QueryCancelled` /
+:class:`~repro.errors.BudgetExceeded` at the next check site; under
+the context's *degrade* mode a budget trip instead raises the internal
+:class:`~repro.lifecycle.Truncation`, which every materializing
+operator catches, keeping its partial rows -- the statement completes
+with a truncated result flagged in ``EvalStats.truncated``.  Without a
+context every governance site is one ``is None`` test (the null-object
+fast path).
 """
 
 from __future__ import annotations
@@ -24,6 +39,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.stats import EvalStats
 from repro.errors import EvaluationError
 from repro.lera import ops
+from repro.lifecycle.context import Truncation, current_context
 from repro.lera.schema import Schema, schema_of
 from repro.terms.term import (AttrRef, Const, Fun, Term, conjuncts, is_fun,
                               mk_fun, sym)
@@ -101,6 +117,12 @@ class Evaluator:
         Optional :class:`~repro.obs.bus.EventBus`; when it has
         subscribers every evaluated operator emits an ``EvalOp`` event
         (operator name, rows produced, monotonic duration).
+    context:
+        Optional :class:`~repro.lifecycle.QueryContext` governing this
+        evaluation; defaults to the ambient statement context, so
+        evaluators built deep inside the translator (DML predicate
+        subqueries) inherit the statement's cancel token and budgets
+        without signature plumbing.
     """
 
     def __init__(self, catalog: Catalog,
@@ -108,13 +130,18 @@ class Evaluator:
                  semi_naive: bool = True,
                  hash_joins: bool = False,
                  max_fix_iterations: int = _MAX_DEFAULT_ITERATIONS,
-                 obs=None):
+                 obs=None, context=None):
         self.catalog = catalog
         self.stats = stats if stats is not None else EvalStats()
         self.semi_naive = semi_naive
         self.hash_joins = hash_joins
         self.max_fix_iterations = max_fix_iterations
         self.obs = obs
+        self.context = context if context is not None \
+            else current_context()
+        # bytes this evaluator has reserved against the context's
+        # memory budget; released wholesale when evaluate() exits
+        self._mem_reserved = 0
 
     # registry implementations receive the evaluator as their context
     @property
@@ -132,9 +159,74 @@ class Evaluator:
         # scans the same virtual twice (self-join, fixpoint) must see
         # the same point-in-time rows both times
         self._vrows: dict[str, list[tuple]] = {}
-        rows = self._eval_rel(term, {}, {})
-        schema = schema_of(term, self.catalog)
-        return Result(rows, schema)
+        ctx = self.context
+        if ctx is None:
+            rows = self._eval_rel(term, {}, {})
+            schema = schema_of(term, self.catalog)
+            return Result(rows, schema)
+        try:
+            try:
+                rows = self._eval_rel(term, {}, {})
+            except Truncation:
+                # the trip escaped every materializing handler (e.g. a
+                # bare-relation plan): an empty prefix is the result
+                self._note_truncated()
+                rows = []
+            schema = schema_of(term, self.catalog)
+            return Result(rows, schema)
+        finally:
+            # zero-balance the statement's memory account: every byte
+            # this evaluator reserved is released here, completion or
+            # abort alike (the hypothesis property relies on this)
+            if self._mem_reserved:
+                ctx.release(self._mem_reserved)
+                self._mem_reserved = 0
+
+    # -- lifecycle accounting -------------------------------------------------
+    def _note_truncated(self) -> None:
+        if not self.stats.truncated:
+            self.stats.incr("truncated")
+
+    def _reserve(self, rows: list) -> None:
+        """Reserve the estimated bytes of one materialized row list
+        against the context's memory budget (may trip it)."""
+        nbytes = _estimate_bytes(rows)
+        # the accountant records the reservation *before* the budget
+        # check raises, so the finally-release stays zero-balanced
+        self._mem_reserved += nbytes
+        self.context.reserve(nbytes)
+
+    def _account_out(self, rows: list) -> list:
+        """Charge one operator's output batch (rows + memory).
+
+        A degrade-mode trip here keeps the batch: the context is now
+        flagged truncated, so the very next tick anywhere unwinds the
+        operator stack.  A hard trip propagates as BudgetExceeded.
+        """
+        ctx = self.context
+        if ctx is None or not rows:
+            return rows
+        try:
+            ctx.charge_rows(len(rows))
+            self._reserve(rows)
+        except Truncation:
+            self._note_truncated()
+        return rows
+
+    def _charge_scan(self, rows: list, ctx) -> list:
+        """Charge one relation scan; returns the (possibly truncated)
+        batch to hand to the consuming operator."""
+        before = ctx.rows_charged
+        try:
+            ctx.tick(len(rows))
+            ctx.charge_rows(len(rows))
+            self._reserve(rows)
+            return rows
+        except Truncation:
+            self._note_truncated()
+            if ctx.row_budget is not None:
+                return rows[:max(0, ctx.row_budget - before)]
+            return []
 
     # -- relation evaluation ------------------------------------------------
     def _eval_rel(self, term: Term, fix_rows: dict,
@@ -199,7 +291,10 @@ class Evaluator:
             else:
                 raise EvaluationError(f"unknown relation {name!r}")
             self.stats.incr("tuples_scanned", len(rows))
-            return list(rows)
+            ctx = self.context
+            if ctx is None:
+                return list(rows)
+            return self._charge_scan(list(rows), ctx)
 
         if not isinstance(term, Fun):
             raise EvaluationError(f"not a LERA term: {term!r}")
@@ -216,23 +311,31 @@ class Evaluator:
         inputs, qual, items = ops.search_parts(term)
         exprs = [ops.item_expr(i) for i in items]
         out: list[tuple] = []
-        for env in self._combinations(inputs, qual, fix_rows, fix_env):
-            out.append(tuple(self._eval_expr(e, env) for e in exprs))
+        try:
+            for env in self._combinations(inputs, qual, fix_rows,
+                                          fix_env):
+                out.append(tuple(self._eval_expr(e, env) for e in exprs))
+        except Truncation:
+            self._note_truncated()
         self.stats.incr("tuples_output", len(out))
-        return out
+        return self._account_out(out)
 
     def _eval_join(self, term: Fun, fix_rows: dict,
                    fix_env: dict) -> list[tuple]:
         inputs = ops.rel_list(term)
         qual = term.args[1]
         out: list[tuple] = []
-        for env in self._combinations(inputs, qual, fix_rows, fix_env):
-            row: tuple = ()
-            for part in env:
-                row += part
-            out.append(row)
+        try:
+            for env in self._combinations(inputs, qual, fix_rows,
+                                          fix_env):
+                row: tuple = ()
+                for part in env:
+                    row += part
+                out.append(row)
+        except Truncation:
+            self._note_truncated()
         self.stats.incr("tuples_output", len(out))
-        return out
+        return self._account_out(out)
 
     def _combinations(self, inputs, qual, fix_rows, fix_env):
         """Nested-loop product with eager conjunct application.
@@ -291,6 +394,11 @@ class Evaluator:
                         hash_probe[depth] = probe
                         break
 
+        # the join-probe cooperative check site: one tick per candidate
+        # row extended at any depth (captured locally -- the per-row
+        # cost without a context is exactly one None test)
+        ctx = self.context
+
         def extend(depth: int):
             if depth == n:
                 yield list(env)
@@ -313,6 +421,8 @@ class Evaluator:
                     self.stats.incr("tuples_scanned")
                 else:
                     self.stats.incr("join_pairs")
+                if ctx is not None:
+                    ctx.tick()
                 env[pos - 1] = row
                 ok = True
                 for c in by_depth[depth]:
@@ -350,24 +460,37 @@ class Evaluator:
                      fix_env: dict) -> list[tuple]:
         rows = self._eval_rel(term.args[0], fix_rows, fix_env)
         qual = term.args[1]
+        ctx = self.context
         out = []
-        for row in rows:
-            self.stats.incr("qual_evaluations")
-            if self._truthy(self._eval_expr(qual, [row])):
-                out.append(row)
+        try:
+            for row in rows:
+                if ctx is not None:
+                    ctx.tick()
+                self.stats.incr("qual_evaluations")
+                if self._truthy(self._eval_expr(qual, [row])):
+                    out.append(row)
+        except Truncation:
+            self._note_truncated()
         self.stats.incr("tuples_output", len(out))
-        return out
+        return self._account_out(out)
 
     def _eval_projection(self, term: Fun, fix_rows: dict,
                          fix_env: dict) -> list[tuple]:
         rows = self._eval_rel(term.args[0], fix_rows, fix_env)
         exprs = [ops.item_expr(i) for i in ops.proj_items(term)]
-        out = [
-            tuple(self._eval_expr(e, [row]) for e in exprs)
-            for row in rows
-        ]
+        ctx = self.context
+        out = []
+        try:
+            for row in rows:
+                if ctx is not None:
+                    ctx.tick()
+                out.append(tuple(
+                    self._eval_expr(e, [row]) for e in exprs
+                ))
+        except Truncation:
+            self._note_truncated()
         self.stats.incr("tuples_output", len(out))
-        return out
+        return self._account_out(out)
 
     def _eval_empty(self, term: Fun, fix_rows: dict,
                     fix_env: dict) -> list[tuple]:
@@ -390,20 +513,29 @@ class Evaluator:
         left = self._eval_rel(term.args[0], fix_rows, fix_env)
         right = self._eval_rel(term.args[1], fix_rows, fix_env)
         qual = term.args[2]
+        ctx = self.context
         out = []
-        for row in left:
-            self.stats.incr("tuples_scanned")
-            found = False
-            for partner in right:
-                self.stats.incr("join_pairs")
-                self.stats.incr("qual_evaluations")
-                if self._truthy(self._eval_expr(qual, [row, partner])):
-                    found = True
-                    break
-            if found == keep:
-                out.append(row)
+        try:
+            for row in left:
+                self.stats.incr("tuples_scanned")
+                if ctx is not None:
+                    ctx.tick()
+                found = False
+                for partner in right:
+                    self.stats.incr("join_pairs")
+                    self.stats.incr("qual_evaluations")
+                    if ctx is not None:
+                        ctx.tick()
+                    if self._truthy(
+                            self._eval_expr(qual, [row, partner])):
+                        found = True
+                        break
+                if found == keep:
+                    out.append(row)
+        except Truncation:
+            self._note_truncated()
         self.stats.incr("tuples_output", len(out))
-        return out
+        return self._account_out(out)
 
     def _eval_values(self, term: Fun, fix_rows: dict,
                      fix_env: dict) -> list[tuple]:
@@ -418,8 +550,11 @@ class Evaluator:
     def _eval_union(self, term: Fun, fix_rows: dict,
                     fix_env: dict) -> list[tuple]:
         out: list[tuple] = []
-        for r in ops.relation_inputs(term):
-            out.extend(self._eval_rel(r, fix_rows, fix_env))
+        try:
+            for r in ops.relation_inputs(term):
+                out.extend(self._eval_rel(r, fix_rows, fix_env))
+        except Truncation:
+            self._note_truncated()
         return _dedupe(out)
 
     def _eval_intersection(self, term: Fun, fix_rows: dict,
@@ -452,17 +587,26 @@ class Evaluator:
 
     def _fix_naive(self, name: str, body: Term, fix_rows: dict,
                    fix_env: dict) -> list[tuple]:
+        ctx = self.context
         total: dict[tuple, None] = {}
-        for iteration in range(self.max_fix_iterations):
-            self.stats.incr("fix_iterations")
-            inner_rows = dict(fix_rows)
-            inner_rows[name] = list(total)
-            produced = self._eval_rel(body, inner_rows, fix_env)
-            before = len(total)
-            for row in produced:
-                total.setdefault(row, None)
-            if len(total) == before:
-                return list(total)
+        try:
+            for iteration in range(self.max_fix_iterations):
+                self.stats.incr("fix_iterations")
+                # the fixpoint-iteration check site: an iteration is
+                # far coarser than a row, so check unconditionally
+                if ctx is not None:
+                    ctx.check()
+                inner_rows = dict(fix_rows)
+                inner_rows[name] = list(total)
+                produced = self._eval_rel(body, inner_rows, fix_env)
+                before = len(total)
+                for row in produced:
+                    total.setdefault(row, None)
+                if len(total) == before:
+                    return self._account_out(list(total))
+        except Truncation:
+            self._note_truncated()
+            return self._account_out(list(total))
         raise EvaluationError(
             f"fixpoint {name} did not converge within "
             f"{self.max_fix_iterations} iterations"
@@ -484,43 +628,57 @@ class Evaluator:
         rec_branches = [b for b in branches
                         if _count_symbol(b, name) > 0]
 
+        ctx = self.context
         total: dict[tuple, None] = {}
-        for b in base_branches:
-            self.stats.incr("fix_iterations")
-            for row in self._eval_rel(b, fix_rows, inner_env):
-                total.setdefault(row, None)
-        delta = list(total)
+        try:
+            for b in base_branches:
+                self.stats.incr("fix_iterations")
+                if ctx is not None:
+                    ctx.check()
+                for row in self._eval_rel(b, fix_rows, inner_env):
+                    total.setdefault(row, None)
+            delta = list(total)
 
-        # delta rules: one variant per occurrence of the recursive
-        # relation (covers the non-linear case: at least one occurrence
-        # reads the delta, the others the running total).
-        variants: list[Term] = []
-        for b in rec_branches:
-            occurrences = _count_symbol(b, name)
-            for i in range(occurrences):
-                variants.append(_replace_nth_symbol(b, name, i, delta_name))
+            # delta rules: one variant per occurrence of the recursive
+            # relation (covers the non-linear case: at least one
+            # occurrence reads the delta, the others the running
+            # total).
+            variants: list[Term] = []
+            for b in rec_branches:
+                occurrences = _count_symbol(b, name)
+                for i in range(occurrences):
+                    variants.append(
+                        _replace_nth_symbol(b, name, i, delta_name)
+                    )
 
-        guard = 0
-        while delta:
-            guard += 1
-            if guard > self.max_fix_iterations:
-                raise EvaluationError(
-                    f"fixpoint {name} did not converge within "
-                    f"{self.max_fix_iterations} iterations"
-                )
-            self.stats.incr("fix_iterations")
-            inner_rows = dict(fix_rows)
-            inner_rows[name] = list(total)
-            inner_rows[delta_name] = delta
-            produced: list[tuple] = []
-            for v in variants:
-                produced.extend(self._eval_rel(v, inner_rows, inner_env))
-            delta = []
-            for row in _dedupe(produced):
-                if row not in total:
-                    total[row] = None
-                    delta.append(row)
-        return list(total)
+            guard = 0
+            while delta:
+                guard += 1
+                if guard > self.max_fix_iterations:
+                    raise EvaluationError(
+                        f"fixpoint {name} did not converge within "
+                        f"{self.max_fix_iterations} iterations"
+                    )
+                self.stats.incr("fix_iterations")
+                # the fixpoint-iteration check site (semi-naive)
+                if ctx is not None:
+                    ctx.check()
+                inner_rows = dict(fix_rows)
+                inner_rows[name] = list(total)
+                inner_rows[delta_name] = delta
+                produced: list[tuple] = []
+                for v in variants:
+                    produced.extend(
+                        self._eval_rel(v, inner_rows, inner_env)
+                    )
+                delta = []
+                for row in _dedupe(produced):
+                    if row not in total:
+                        total[row] = None
+                        delta.append(row)
+        except Truncation:
+            self._note_truncated()
+        return self._account_out(list(total))
 
     # -- nest / unnest ----------------------------------------------------------
     def _eval_nest(self, term: Fun, fix_rows: dict,
@@ -554,7 +712,7 @@ class Evaluator:
         ctor = ctors[kind]
         out = [key + (ctor(items),) for key, items in groups.items()]
         self.stats.incr("tuples_output", len(out))
-        return out
+        return self._account_out(out)
 
     def _eval_unnest(self, term: Fun, fix_rows: dict,
                      fix_env: dict) -> list[tuple]:
@@ -562,17 +720,24 @@ class Evaluator:
         input_term, attr = term.args
         rows = self._eval_rel(input_term, fix_rows, fix_env)
         pos = attr.pos  # type: ignore[union-attr]
+        ctx = self.context
         out = []
-        for row in rows:
-            coll = row[pos - 1]
-            if not isinstance(coll, CollectionValue):
-                raise EvaluationError(
-                    f"UNNEST attribute {pos} is not a collection: {coll!r}"
-                )
-            for element in coll:
-                out.append(row[:pos - 1] + (element,) + row[pos:])
+        try:
+            for row in rows:
+                if ctx is not None:
+                    ctx.tick()
+                coll = row[pos - 1]
+                if not isinstance(coll, CollectionValue):
+                    raise EvaluationError(
+                        f"UNNEST attribute {pos} is not a collection: "
+                        f"{coll!r}"
+                    )
+                for element in coll:
+                    out.append(row[:pos - 1] + (element,) + row[pos:])
+        except Truncation:
+            self._note_truncated()
         self.stats.incr("tuples_output", len(out))
-        return out
+        return self._account_out(out)
 
     # -- scalar expressions ----------------------------------------------------
     def _eval_expr(self, expr: Term, env: Sequence[tuple]) -> Any:
@@ -619,6 +784,17 @@ class Evaluator:
     @staticmethod
     def _truthy(value: Any) -> bool:
         return bool(value)
+
+
+def _estimate_bytes(rows: list) -> int:
+    """A cheap, deterministic size estimate for one materialized row
+    list: tuple header + one slot per attribute, per row.  Deliberately
+    O(1) (first-row width) -- the budget bounds blow-ups by orders of
+    magnitude, not bytes."""
+    if not rows:
+        return 0
+    width = len(rows[0]) if isinstance(rows[0], tuple) else 1
+    return len(rows) * (48 + 8 * width)
 
 
 def _equi_probe(conjunct: Term, pos: int, bound: set):

@@ -6,6 +6,10 @@ relation, ``join_pairs`` every partial combination extended inside a
 SEARCH/JOIN, ``fix_iterations`` the rounds of a fixpoint.  The counters
 are deliberately deterministic so the paper-shape assertions in
 EXPERIMENTS.md are reproducible.
+
+``truncated`` is the degrade-mode flag (0 or 1): a governed statement
+whose budget tripped under degrade mode kept a partial result; see
+``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ class EvalStats:
     TRACKED = (
         "tuples_scanned", "tuples_output", "join_pairs",
         "fix_iterations", "qual_evaluations", "operators_evaluated",
+        "truncated",
     )
 
     def __init__(self):

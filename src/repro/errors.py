@@ -160,6 +160,73 @@ class SessionExpired(ServerError):
         super().__init__(message)
 
 
+class LifecycleError(ReproError):
+    """Base class of the query-lifecycle governance errors.
+
+    Raised *cooperatively*: the evaluator polls its
+    :class:`~repro.lifecycle.QueryContext` at scan-batch, join-probe
+    and fixpoint-iteration granularity, so these surface at a check
+    site, never mid-row.  Statement atomicity is unaffected -- a
+    cancelled DML statement rolls back via its undo log exactly like
+    any other failing statement.
+    """
+
+
+class QueryCancelled(LifecycleError):
+    """The statement's cancel token fired (``Server.kill``, CLI
+    ``.kill``, Ctrl-C, or the watchdog reaping an over-deadline
+    statement).
+
+    Attributes
+    ----------
+    query_id:
+        The statement's id in ``sys.queries``.
+    reason:
+        Who pulled the token (``"kill"``, ``"watchdog"``,
+        ``"keyboard-interrupt"``, ``"deadline"``, ``"chaos"``, ...).
+    phase:
+        The lifecycle phase the statement was in when the token was
+        observed (``"optimize"``, ``"evaluate"``, ...).
+    elapsed_ms:
+        Wall-clock milliseconds from statement start to observation.
+    """
+
+    def __init__(self, message: str, query_id: str = "",
+                 reason: str = "kill", phase: str = "",
+                 elapsed_ms: float = 0.0):
+        self.query_id = query_id
+        self.reason = reason
+        self.phase = phase
+        self.elapsed_ms = float(elapsed_ms)
+        super().__init__(message)
+
+
+class BudgetExceeded(LifecycleError):
+    """The statement ran past one of its budgets and degrade mode was
+    off (with degrade on, the evaluator truncates instead of raising).
+
+    Attributes
+    ----------
+    query_id:
+        The statement's id in ``sys.queries``.
+    resource:
+        Which budget tripped: ``"deadline"``, ``"rows"`` or
+        ``"memory"``.
+    limit / consumed:
+        The budget and the consumption that crossed it
+        (milliseconds, rows or bytes, matching ``resource``).
+    """
+
+    def __init__(self, message: str, query_id: str = "",
+                 resource: str = "deadline",
+                 limit: float = 0.0, consumed: float = 0.0):
+        self.query_id = query_id
+        self.resource = resource
+        self.limit = limit
+        self.consumed = consumed
+        super().__init__(message)
+
+
 # Attributes lifted into an error's wire payload when present.  One
 # table for every typed error keeps the explain-JSON ``server.errors``
 # entries consistent across subsystems (ServerOverloaded's retry_after,
@@ -167,7 +234,8 @@ class SessionExpired(ServerError):
 _PAYLOAD_ATTRS = (
     "retry_after", "request_class", "queue_depth", "failure_class",
     "attempts", "session_id", "deadline_ms", "elapsed_ms", "rule",
-    "block", "line", "column",
+    "block", "line", "column", "query_id", "reason", "phase",
+    "resource", "limit", "consumed",
 )
 
 

@@ -19,6 +19,7 @@ from repro.engine.catalog import Catalog, ViewDef
 from repro.errors import TranslationError
 from repro.esql import ast
 from repro.lera import ops
+from repro.lifecycle.context import current_context
 from repro.lera.schema import Schema, schema_of
 from repro.terms.term import (AttrRef, Term, boolean, conj, disj, mk_fun,
                               num, string, sym)
@@ -231,6 +232,9 @@ class Translator:
             [self._literal_value(e) for e in row]
             for row in statement.rows
         ]
+        context = current_context()
+        if context is not None:
+            context.tick_write(len(rows))
         relation.insert_many(rows, self.catalog.objects)
 
     def _literal_value(self, expr: ast.Expr):
@@ -291,7 +295,13 @@ class Translator:
             statement.table, statement.where
         )
         # evaluate the predicate over every row before mutating anything
-        kept = [row for row in relation.rows if not matches(row)]
+        context = current_context()
+        kept = []
+        for row in relation.rows:
+            if context is not None:
+                context.tick_write()
+            if not matches(row):
+                kept.append(row)
         removed = len(relation.rows) - len(kept)
         if undo is not None:
             undo.note_relation(relation)
@@ -321,7 +331,10 @@ class Translator:
         # leaves the relation exactly as it was
         changed = 0
         staged: list[tuple] = []
+        context = current_context()
         for row in relation.rows:
+            if context is not None:
+                context.tick_write()
             if not matches(row):
                 staged.append(row)
                 continue

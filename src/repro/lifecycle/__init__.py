@@ -1,0 +1,26 @@
+"""Query-lifecycle governance: cancellation, deadlines, budgets.
+
+The resilience layer (PR 2) bounded the *rewrite* phase; this package
+bounds the whole statement.  A :class:`QueryContext` -- cancel token,
+wall-clock deadline, row/memory budgets -- is minted per governed
+statement by :class:`~repro.engine.database.Database`, threaded
+through the evaluator's cooperative check sites, registered in a
+:class:`StatementRegistry` (surfaced as the ``sys.queries`` virtual
+relation), killable by id (``Server.kill`` / CLI ``.kill``), and
+swept by a :class:`Watchdog` that reaps over-deadline statements and
+recovers a poisoned writer lock.  See ``docs/robustness.md``.
+"""
+
+from repro.lifecycle.chaos import ChaosInjector
+from repro.lifecycle.context import (DEFAULT_CHECK_INTERVAL,
+                                     MemoryAccountant, QueryContext,
+                                     Truncation, current_context,
+                                     use_context)
+from repro.lifecycle.registry import StatementRegistry
+from repro.lifecycle.watchdog import Watchdog
+
+__all__ = [
+    "QueryContext", "MemoryAccountant", "Truncation",
+    "current_context", "use_context", "DEFAULT_CHECK_INTERVAL",
+    "StatementRegistry", "Watchdog", "ChaosInjector",
+]

@@ -1,0 +1,80 @@
+"""Deterministic mid-evaluation fault injection for the chaos suite.
+
+The resilience chaos harness (``tests/resilience/chaos.py``) attacks
+the *rewrite* phase with hostile rules; this module attacks the
+*evaluation* phase with hostile governance: a :class:`ChaosInjector`
+rides on a :class:`~repro.lifecycle.context.QueryContext` and, on a
+seeded schedule of cooperative checks, pulls the cancel token or trips
+a budget mid-evaluation.  The stress suite then asserts the only
+acceptable outcome: typed errors at statement boundaries, zero fsck
+violations, no partial DML, a gap-free WAL.
+
+Determinism: the injector draws from ``random.Random(seed)`` only --
+never the wall clock -- so a failing run replays exactly.  Each
+injector instance is single-statement; :meth:`ChaosInjector.fork`
+derives an independently-seeded child per statement so concurrent
+threads never share a Random (it is not thread-safe).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["ChaosInjector"]
+
+
+class ChaosInjector:
+    """Probabilistic cancel/budget faults on the cooperative check path.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private ``random.Random``; same seed, same faults.
+    cancel_rate:
+        Probability per full check of pulling the cancel token
+        (reason ``"chaos"``).
+    budget_rate:
+        Probability per full check of tripping a synthetic budget
+        (honours the context's degrade mode like a real trip).
+    min_checks:
+        Checks to let through before any fault (lets tiny statements
+        finish, pushing faults into meaty evaluations).
+    """
+
+    def __init__(self, seed: int = 0, cancel_rate: float = 0.0,
+                 budget_rate: float = 0.0, min_checks: int = 0):
+        self.seed = seed
+        self.cancel_rate = cancel_rate
+        self.budget_rate = budget_rate
+        self.min_checks = min_checks
+        self._random = random.Random(seed)
+        self._checks = 0
+        self.injected: Optional[str] = None
+
+    def fork(self, salt: int) -> "ChaosInjector":
+        """An independently-seeded child (per-statement injector)."""
+        return ChaosInjector(
+            seed=self.seed * 1_000_003 + salt,
+            cancel_rate=self.cancel_rate,
+            budget_rate=self.budget_rate,
+            min_checks=self.min_checks,
+        )
+
+    def maybe_inject(self, context) -> None:
+        """Called from ``QueryContext.check()``; at most one fault per
+        statement."""
+        if self.injected is not None:
+            return
+        self._checks += 1
+        if self._checks <= self.min_checks:
+            return
+        roll = self._random.random()
+        if self.cancel_rate and roll < self.cancel_rate:
+            self.injected = "cancel"
+            context.cancel("chaos")
+            return
+        if self.budget_rate and roll < self.cancel_rate + self.budget_rate:
+            self.injected = "budget"
+            context._trip("rows", context.rows_charged,
+                          context.rows_charged + 1)

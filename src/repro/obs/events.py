@@ -39,6 +39,12 @@ sinks can serialise uniformly.  The taxonomy mirrors the pipeline:
 ``SubscriberDetached`` the bus dropped a failing subscriber
 ``SlowQuery``      a served request crossed the slow-query threshold;
                    carries the full EXPLAIN report for reads
+``StatementCancelled`` a statement's cancel token was pulled
+                   (kill / watchdog / Ctrl-C / chaos)
+``BudgetTripped``  a statement crossed a deadline/row/memory budget;
+                   ``truncated`` tells degrade from hard failure
+``WatchdogReaped`` the watchdog reaped an over-deadline statement or
+                   recovered a poisoned writer lock
 =================  ======================================================
 
 Durations are monotonic-clock seconds (``time.perf_counter`` deltas).
@@ -61,6 +67,7 @@ __all__ = [
     "SessionOpened", "SessionClosed", "RequestAdmitted", "RequestShed",
     "RequestCompleted", "RequestFailed", "BreakerStateChanged",
     "SubscriberDetached", "SlowQuery",
+    "StatementCancelled", "BudgetTripped", "WatchdogReaped",
 ]
 
 
@@ -355,3 +362,41 @@ class SlowQuery(Event):
     duration: float
     threshold_ms: float
     explain: Optional[dict]
+
+
+@dataclass(frozen=True)
+class StatementCancelled(Event):
+    """A statement's cancel token was pulled; ``reason`` names the
+    actor (``kill`` / ``watchdog`` / ``keyboard-interrupt`` /
+    ``chaos``).  Emitted by the registry when the token is pulled --
+    the evaluating thread observes it at its next cooperative check."""
+
+    query_id: str
+    session: str
+    reason: str
+    phase: str
+    elapsed_ms: float
+
+
+@dataclass(frozen=True)
+class BudgetTripped(Event):
+    """A statement crossed one of its budgets; ``truncated`` is True
+    when degrade mode turned the trip into a partial result instead of
+    a :class:`~repro.errors.BudgetExceeded`."""
+
+    query_id: str
+    session: str
+    resource: str
+    limit: float
+    consumed: float
+    truncated: bool
+
+
+@dataclass(frozen=True)
+class WatchdogReaped(Event):
+    """The watchdog acted: ``kind`` is ``"statement"`` (an
+    over-deadline statement was cancelled) or ``"writer_lock"`` (a
+    poisoned writer lock was force-released)."""
+
+    query_id: str
+    kind: str

@@ -45,6 +45,7 @@ SYS_RELATIONS = {
     "sys.histograms": "latency/size distributions with percentiles",
     "sys.sessions": "live server sessions and their settings",
     "sys.slow_queries": "requests that crossed the slow threshold",
+    "sys.queries": "in-flight and recent statements: id, phase, cost",
     "sys.rewrites": "the rewrite-provenance ring: one row per firing",
     "sys.rule_heat": "cumulative per-rule firing aggregates",
     "sys.wal": "committed statements in the write-ahead log",
@@ -66,6 +67,17 @@ def register_introspection(db, server=None) -> None:
          ("Rows", INT)],
         lambda: _relations_rows(catalog),
         SYS_RELATIONS["sys.relations"],
+    )
+
+    catalog.register_virtual(
+        "sys.queries",
+        [("QueryId", CHAR), ("Session", CHAR), ("TraceId", CHAR),
+         ("Phase", CHAR), ("Source", CHAR), ("Rows", INT),
+         ("Bytes", INT), ("PeakBytes", INT), ("ElapsedMs", REAL),
+         ("Cancelled", BOOLEAN), ("Reason", CHAR),
+         ("Truncated", BOOLEAN)],
+        lambda: _query_rows(db.lifecycle),
+        SYS_RELATIONS["sys.queries"],
     )
 
     catalog.register_virtual(
@@ -154,6 +166,28 @@ def _relations_rows(catalog):
     for name in catalog.virtual_names():
         virtual = catalog.virtual(name)
         rows.append((name, "virtual", len(virtual.schema), -1))
+    return rows
+
+
+_SOURCE_PREVIEW = 80  # sys.queries shows at most this much statement text
+
+
+def _query_rows(registry):
+    """Active statements first (registry order is by id), then the
+    done-ring.  Reads the registry's own mutex only -- never the
+    database's writer lock, so a wedged writer cannot make the
+    monitoring query hang too."""
+    rows = []
+    for context in registry.active() + registry.recent():
+        snap = context.snapshot()
+        rows.append((
+            snap["query_id"], snap["session"], snap["trace_id"],
+            snap["phase"], snap["source"][:_SOURCE_PREVIEW],
+            snap["rows_charged"], snap["bytes_reserved"],
+            snap["bytes_peak"], snap["elapsed_ms"],
+            snap["cancelled"], snap["cancel_reason"] or "",
+            snap["truncated"],
+        ))
     return rows
 
 

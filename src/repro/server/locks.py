@@ -42,6 +42,9 @@ class ReadWriteLock:
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        # the thread holding the exclusive side; lets the lifecycle
+        # watchdog detect a poisoned lock (writer died mid-hold)
+        self._writer_owner: Optional[threading.Thread] = None
 
     # -- shared side ----------------------------------------------------------
     def acquire_read(self, timeout: Optional[float] = None) -> bool:
@@ -74,6 +77,7 @@ class ReadWriteLock:
                 if not ok:
                     return False
                 self._writer = True
+                self._writer_owner = threading.current_thread()
                 return True
             finally:
                 self._writers_waiting -= 1
@@ -81,7 +85,27 @@ class ReadWriteLock:
     def release_write(self) -> None:
         with self._cond:
             self._writer = False
+            self._writer_owner = None
             self._cond.notify_all()
+
+    def recover_poisoned(self) -> bool:
+        """Force-release the exclusive side if its owner thread died.
+
+        A thread that acquires the write side and then dies without
+        releasing (a bug, or a hard kill from outside the cooperative
+        protocol) would block every future statement forever.  The
+        lifecycle watchdog calls this on each sweep; it only acts when
+        the recorded owner is provably dead, so a healthy writer can
+        never be preempted.  Returns True when a lock was recovered.
+        """
+        with self._cond:
+            owner = self._writer_owner
+            if not self._writer or owner is None or owner.is_alive():
+                return False
+            self._writer = False
+            self._writer_owner = None
+            self._cond.notify_all()
+            return True
 
     @contextmanager
     def read(self):
@@ -193,6 +217,11 @@ class ConcurrencyGuard:
         but do not change its logical state."""
         with self._exclusive():
             yield
+
+    def recover_poisoned(self) -> bool:
+        """Delegate to the underlying lock's poisoned-writer recovery
+        (see :meth:`ReadWriteLock.recover_poisoned`)."""
+        return self._lock.recover_poisoned()
 
     @contextmanager
     def _exclusive(self):

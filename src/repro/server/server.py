@@ -65,7 +65,8 @@ class Server:
                  metrics: Optional[MetricsRegistry] = None,
                  telemetry=None,
                  slow_query_ms: Optional[float] = None,
-                 slow_query_capacity: int = 32):
+                 slow_query_capacity: int = 32,
+                 watchdog_interval_s: float = 0.1):
         self.db = db
         self.guard = db.enable_serving()
         self.telemetry = telemetry
@@ -95,6 +96,31 @@ class Server:
         # sys.slow_queries) now read this server's registry and rings
         from repro.obs.introspect import register_introspection
         register_introspection(db, server=self)
+        # lifecycle governance: statement cancellations and budget
+        # trips land on the server's bus/registry, and the watchdog
+        # reaps over-deadline statements (plus a poisoned writer lock)
+        # on a short sweep so a runaway query dies within one
+        # cooperative check interval of its deadline
+        db.lifecycle.obs = self.bus
+        db.lifecycle.metrics = self.metrics
+        from repro.lifecycle import Watchdog
+        self.watchdog = Watchdog(
+            db.lifecycle, guard=self.guard,
+            interval_s=watchdog_interval_s,
+            obs=self.bus, metrics=self.metrics,
+        )
+        self.watchdog.start()
+
+    # -- lifecycle governance -------------------------------------------------
+    def kill(self, query_id: str, reason: str = "kill") -> bool:
+        """Cancel one in-flight statement by its ``sys.queries`` id.
+
+        Callable from any session/thread; the victim raises
+        :class:`~repro.errors.QueryCancelled` at its next cooperative
+        check.  Returns False when the id is unknown or already done
+        (kills race completions by nature, so that is not an error).
+        """
+        return self.db.kill(query_id, reason)
 
     # -- sessions -------------------------------------------------------------
     def open_session(self, session_id: Optional[str] = None,
@@ -349,6 +375,8 @@ class Server:
         }
 
     def close(self) -> None:
+        self.watchdog.stop()
+        self.db.lifecycle.cancel_all("server-shutdown")
         for session in self.sessions.sessions():
             self.sessions.close(session.id)
         self._errors.clear()

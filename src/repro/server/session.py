@@ -33,13 +33,21 @@ class SessionSettings:
 
     ``rewrite``/``checked``/``deadline_ms`` mirror the CLI toggles;
     ``profile`` drives whether the session's EXPLAIN output embeds
-    telemetry.  Mutable on purpose: the CLI flips these in place.
+    telemetry.  ``timeout_ms``/``row_budget``/``memory_budget``/
+    ``degrade`` are the lifecycle-governance knobs (whole-statement
+    wall clock, row and byte budgets, truncate-don't-fail); see
+    ``docs/robustness.md``.  Mutable on purpose: the CLI flips these
+    in place.
     """
 
     rewrite: Optional[bool] = None
     checked: Optional[bool] = None
     deadline_ms: Optional[float] = None
     profile: bool = False
+    timeout_ms: Optional[float] = None
+    row_budget: Optional[int] = None
+    memory_budget: Optional[int] = None
+    degrade: Optional[bool] = None
 
     def describe(self) -> str:
         parts = []
@@ -51,6 +59,14 @@ class SessionSettings:
             parts.append(f"deadline={self.deadline_ms:g}ms")
         if self.profile:
             parts.append("profile=on")
+        if self.timeout_ms is not None:
+            parts.append(f"timeout={self.timeout_ms:g}ms")
+        if self.row_budget is not None:
+            parts.append(f"rows={self.row_budget}")
+        if self.memory_budget is not None:
+            parts.append(f"memory={self.memory_budget}B")
+        if self.degrade is not None:
+            parts.append(f"degrade={'on' if self.degrade else 'off'}")
         return ", ".join(parts) or "defaults"
 
 
@@ -94,11 +110,19 @@ class Session:
         return self.db.query(
             source, rewrite=s.rewrite, checked=s.checked,
             deadline_ms=s.deadline_ms, obs=self.obs,
+            timeout_ms=s.timeout_ms, row_budget=s.row_budget,
+            memory_budget=s.memory_budget, degrade=s.degrade,
+            session=self.id,
         )
 
     def execute(self, script: str):
         self.touch()
-        return self.db.execute(script, obs=self.obs)
+        s = self.settings
+        return self.db.execute(
+            script, obs=self.obs, timeout_ms=s.timeout_ms,
+            row_budget=s.row_budget, memory_budget=s.memory_budget,
+            degrade=s.degrade, session=self.id,
+        )
 
     def query_with_stats(self, source: str, obs=None):
         self.touch()
@@ -122,6 +146,7 @@ class Session:
         return self.db.explain_json(
             source, execute=execute, rewrite=s.rewrite,
             checked=s.checked, deadline_ms=s.deadline_ms,
+            session=self.id,
         )
 
     def __repr__(self) -> str:

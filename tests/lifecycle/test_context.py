@@ -1,0 +1,211 @@
+"""Unit tests for QueryContext: the cooperative check protocol,
+budgets, degrade mode, and the memory accountant."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (BudgetExceeded, LifecycleError, QueryCancelled,
+                          error_payload)
+from repro.lifecycle import (MemoryAccountant, QueryContext, Truncation,
+                             current_context, use_context)
+
+
+class TestCancellation:
+    def test_cancel_raises_at_next_check(self):
+        ctx = QueryContext(query_id="q7", check_interval=4)
+        ctx.tick(3)  # below the interval: no check yet
+        assert ctx.cancel("kill") is True
+        with pytest.raises(QueryCancelled) as err:
+            ctx.tick()  # the flag forces an immediate check
+        assert err.value.query_id == "q7"
+        assert err.value.reason == "kill"
+
+    def test_first_cancel_reason_wins(self):
+        ctx = QueryContext()
+        assert ctx.cancel("watchdog") is True
+        assert ctx.cancel("kill") is False
+        assert ctx.cancel_reason == "watchdog"
+
+    def test_cancel_from_another_thread(self):
+        ctx = QueryContext(check_interval=1)
+        seen = []
+
+        def evaluate():
+            try:
+                while True:
+                    ctx.tick()
+                    time.sleep(0.001)
+            except QueryCancelled as error:
+                seen.append(error)
+
+        thread = threading.Thread(target=evaluate)
+        thread.start()
+        time.sleep(0.02)
+        ctx.cancel("kill")
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert seen and seen[0].reason == "kill"
+
+    def test_cancel_beats_degrade(self):
+        # degrade turns budget trips into truncation, never a cancel
+        ctx = QueryContext(degrade=True)
+        ctx.cancel("kill")
+        with pytest.raises(QueryCancelled):
+            ctx.check()
+
+    def test_typed_error_payload(self):
+        ctx = QueryContext(query_id="q3")
+        ctx.cancel("chaos")
+        with pytest.raises(QueryCancelled) as err:
+            ctx.check()
+        payload = error_payload(err.value)
+        assert payload["query_id"] == "q3"
+        assert payload["reason"] == "chaos"
+        assert isinstance(err.value, LifecycleError)
+
+
+class TestDeadline:
+    def test_deadline_trips(self):
+        ctx = QueryContext(timeout_ms=0.01)
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceeded) as err:
+            ctx.check()
+        assert err.value.resource == "deadline"
+
+    def test_remaining_ms_decreases(self):
+        ctx = QueryContext(timeout_ms=10_000)
+        first = ctx.remaining_ms()
+        time.sleep(0.005)
+        assert ctx.remaining_ms() < first
+        assert ctx.remaining_ms() > 0
+
+    def test_remaining_ms_unbounded_is_none(self):
+        assert QueryContext().remaining_ms() is None
+
+    def test_over_deadline_predicate(self):
+        assert QueryContext().over_deadline() is False
+        ctx = QueryContext(timeout_ms=0.01)
+        time.sleep(0.002)
+        assert ctx.over_deadline() is True
+
+
+class TestRowBudget:
+    def test_row_budget_trips(self):
+        ctx = QueryContext(query_id="q5", row_budget=10)
+        ctx.charge_rows(10)  # exactly at the budget: fine
+        with pytest.raises(BudgetExceeded) as err:
+            ctx.charge_rows(1)
+        assert err.value.resource == "rows"
+        assert err.value.limit == 10
+        assert err.value.consumed == 11
+
+    def test_degrade_turns_trip_into_truncation(self):
+        ctx = QueryContext(row_budget=5, degrade=True)
+        with pytest.raises(Truncation):
+            ctx.charge_rows(6)
+        assert ctx.truncated is True
+        assert ctx.trip_info == ("rows", 5, 6)
+
+    def test_truncated_context_unwinds_fast(self):
+        # once truncated, every subsequent full check re-raises
+        ctx = QueryContext(row_budget=5, degrade=True)
+        with pytest.raises(Truncation):
+            ctx.charge_rows(6)
+        with pytest.raises(Truncation):
+            ctx.check()
+
+
+class TestMemoryBudget:
+    def test_memory_budget_trips(self):
+        ctx = QueryContext(memory_budget=100)
+        ctx.reserve(60)
+        with pytest.raises(BudgetExceeded) as err:
+            ctx.reserve(50)
+        assert err.value.resource == "memory"
+        # the tripping reservation still counts: release stays balanced
+        assert ctx.memory.current == 110
+
+    def test_release_balances(self):
+        ctx = QueryContext()
+        ctx.reserve(100)
+        ctx.release(100)
+        assert ctx.memory.current == 0
+        assert ctx.memory.peak == 100
+
+
+class TestMemoryAccountant:
+    def test_peak_is_monotone(self):
+        accountant = MemoryAccountant()
+        accountant.reserve(50)
+        accountant.release(30)
+        accountant.reserve(10)
+        assert accountant.current == 30
+        assert accountant.peak == 50
+
+    def test_over_release_rejected(self):
+        accountant = MemoryAccountant()
+        accountant.reserve(10)
+        with pytest.raises(ValueError):
+            accountant.release(11)
+
+    def test_negative_amounts_rejected(self):
+        accountant = MemoryAccountant()
+        with pytest.raises(ValueError):
+            accountant.reserve(-1)
+        with pytest.raises(ValueError):
+            accountant.release(-1)
+
+    def test_release_all(self):
+        accountant = MemoryAccountant()
+        accountant.reserve(40)
+        assert accountant.release_all() == 40
+        assert accountant.current == 0
+
+
+class TestPropagation:
+    def test_ambient_context(self):
+        assert current_context() is None
+        ctx = QueryContext()
+        with use_context(ctx):
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_nested_context_restores(self):
+        outer, inner = QueryContext(), QueryContext()
+        with use_context(outer):
+            with use_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        ctx = QueryContext(query_id="q9", session="s1",
+                           timeout_ms=500, row_budget=10, degrade=True,
+                           source="SELECT 1")
+        snap = ctx.snapshot()
+        assert snap["query_id"] == "q9"
+        assert snap["session"] == "s1"
+        assert snap["timeout_ms"] == 500
+        assert snap["row_budget"] == 10
+        assert snap["degrade"] is True
+        assert snap["cancelled"] is False
+        assert snap["elapsed_ms"] >= 0
+
+    def test_elapsed_freezes_at_finish(self):
+        ctx = QueryContext()
+        ctx.finished = time.perf_counter()
+        frozen = ctx.elapsed_ms()
+        time.sleep(0.005)
+        assert ctx.elapsed_ms() == frozen
+
+    def test_tick_interval_bounds_check_frequency(self):
+        ctx = QueryContext(timeout_ms=0.001, check_interval=64)
+        time.sleep(0.002)
+        # 63 ticks: no full check, so no trip despite the dead deadline
+        for _ in range(63):
+            ctx.tick()
+        with pytest.raises(BudgetExceeded):
+            ctx.tick()  # the 64th runs the full check

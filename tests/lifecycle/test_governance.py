@@ -1,0 +1,212 @@
+"""End-to-end governance through Database: budgets, degrade mode, the
+unified statement budget, explain's lifecycle section, sys.queries."""
+
+import pytest
+
+from repro import Database
+from repro.core.explain import validate_explain
+from repro.engine.stats import EvalStats
+from repro.errors import BudgetExceeded, QueryCancelled
+from repro.lifecycle import QueryContext, use_context
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("TABLE T (A : NUMERIC, B : NUMERIC)")
+    values = ", ".join(f"({i}, {i * 2})" for i in range(60))
+    database.execute(f"INSERT INTO T VALUES {values}")
+    return database
+
+
+class TestUngovernedFastPath:
+    def test_no_context_minted_without_knobs(self, db):
+        db.query("SELECT A FROM T")
+        assert len(db.lifecycle) == 0
+        assert db.lifecycle.recent() == []
+
+    def test_explain_lifecycle_is_null(self, db):
+        report = db.explain_json("SELECT A FROM T")
+        assert report["lifecycle"] is None
+        assert validate_explain(report) == []
+
+
+class TestRowBudget:
+    def test_database_default_trips(self):
+        db = Database()
+        db.execute("TABLE T (A : NUMERIC)")
+        db.execute("INSERT INTO T VALUES " +
+                   ", ".join(f"({i})" for i in range(30)))
+        db.row_budget = 10  # the database-wide default, set post-seed
+        with pytest.raises(BudgetExceeded) as err:
+            db.query("SELECT A FROM T")
+        assert err.value.resource == "rows"
+        assert db.lifecycle.recent()[-1].phase == "failed"
+
+    def test_per_call_override(self, db):
+        with pytest.raises(BudgetExceeded):
+            db.query("SELECT A FROM T", row_budget=5)
+        # and the same query unbudgeted still works
+        assert len(db.query("SELECT A FROM T").rows) == 60
+
+    def test_degrade_returns_flagged_prefix(self, db):
+        stats = EvalStats()
+        result = db.query("SELECT A FROM T", row_budget=20,
+                          degrade=True, stats=stats)
+        assert 0 < len(result.rows) < 60
+        assert stats.truncated == 1
+        assert db.lifecycle.recent()[-1].phase == "truncated"
+
+    def test_complete_result_not_flagged(self, db):
+        stats = EvalStats()
+        result = db.query("SELECT A FROM T", row_budget=100_000,
+                          degrade=True, stats=stats)
+        assert len(result.rows) == 60
+        assert stats.truncated == 0
+
+
+class TestMemoryBudget:
+    def test_memory_budget_trips(self, db):
+        with pytest.raises(BudgetExceeded) as err:
+            db.query("SELECT A, B FROM T", memory_budget=64)
+        assert err.value.resource == "memory"
+
+    def test_memory_zero_balanced_after_trip(self, db):
+        with pytest.raises(BudgetExceeded):
+            db.query("SELECT A, B FROM T", memory_budget=64)
+        done = db.lifecycle.recent()[-1]
+        assert done.memory.current == 0
+        assert done.memory.peak > 0
+
+
+class TestUnifiedBudget:
+    def test_expired_statement_budget_blocks_evaluation(self, db):
+        # an already-exhausted ambient budget trips before any rows flow
+        ctx = QueryContext(timeout_ms=0.000001)
+        with use_context(ctx):
+            with pytest.raises(BudgetExceeded) as err:
+                db.query("SELECT A FROM T")
+        assert err.value.resource == "deadline"
+
+    def test_rewrite_deadline_clamped_to_statement_budget(self, db):
+        # with a 10s statement budget and no explicit rewrite deadline,
+        # the optimizer must receive a clamped, finite deadline
+        ctx = QueryContext(timeout_ms=10_000)
+        with use_context(ctx):
+            kwargs = db._resilience_kwargs(None, None)
+        assert kwargs["deadline_ms"] is not None
+        assert kwargs["deadline_ms"] <= 10_000
+        # an explicit rewrite deadline smaller than the statement
+        # budget survives; a larger one is clamped down
+        with use_context(QueryContext(timeout_ms=10_000)):
+            assert db._resilience_kwargs(None, 50.0)["deadline_ms"] == 50.0
+            big = db._resilience_kwargs(None, 60_000)["deadline_ms"]
+        assert big <= 10_000
+
+    def test_no_clamp_outside_governed_statement(self, db):
+        assert db._resilience_kwargs(None, None)["deadline_ms"] is None
+
+
+class TestCancellation:
+    def test_ambient_cancel_observed(self, db):
+        ctx = QueryContext()
+        ctx.cancel("kill")
+        with use_context(ctx):
+            with pytest.raises(QueryCancelled):
+                db.query("SELECT A FROM T")
+
+    def test_kill_by_id_mid_registry(self):
+        db = Database(statement_timeout_ms=60_000)
+        db.execute("TABLE T (A : NUMERIC)")
+        db.execute("INSERT INTO T VALUES (1)")
+        # registered statements are killable; finished ones are not
+        assert db.kill("q999") is False
+
+
+class TestExplainLifecycle:
+    def test_governed_explain_has_section(self):
+        db = Database(statement_timeout_ms=60_000)
+        db.execute("TABLE T (A : NUMERIC)")
+        db.execute("INSERT INTO T VALUES (1), (2)")
+        report = db.explain_json("SELECT A FROM T", execute=True)
+        section = report["lifecycle"]
+        assert section is not None
+        assert section["query_id"].startswith("q")
+        assert section["timeout_ms"] == 60_000
+        assert section["rows_charged"] > 0
+        assert section["truncated"] is False
+        assert validate_explain(report) == []
+
+    def test_truncated_flag_reaches_explain(self):
+        db = Database()
+        db.execute("TABLE T (A : NUMERIC)")
+        db.execute("INSERT INTO T VALUES (1), (2), (3), (4)")
+        db.row_budget, db.degrade = 2, True
+        report = db.explain_json("SELECT A FROM T", execute=True)
+        assert report["lifecycle"]["truncated"] is True
+        assert report["eval"]["truncated"] == 1
+        assert validate_explain(report) == []
+
+
+class TestSysQueries:
+    def test_done_statements_visible(self):
+        db = Database(statement_timeout_ms=60_000)
+        db.execute("TABLE T (A : NUMERIC)")
+        db.execute("INSERT INTO T VALUES (1), (2)")
+        db.query("SELECT A FROM T")
+        rows = db.query("SELECT QueryId, Phase, Source FROM sys.queries").rows
+        phases = {qid: phase for qid, phase, _ in rows}
+        assert phases["q1"] == "done"
+        assert phases["q3"] == "done"
+        # the sys.queries SELECT itself is governed and in flight
+        assert "evaluate" in {phase for _, phase, _ in rows}
+        sources = [source for _, _, source in rows]
+        assert any("INSERT INTO T" in source for source in sources)
+
+    def test_failed_statement_shows_outcome(self):
+        db = Database(row_budget=1)
+        db.execute("TABLE T (A : NUMERIC)")
+        try:
+            db.execute("INSERT INTO T VALUES (1), (2), (3)")
+        except BudgetExceeded:
+            pass
+        recent = {c.query_id: c.phase for c in db.lifecycle.recent()}
+        assert "failed" in recent.values()
+
+
+class TestDmlGovernance:
+    def test_insert_trips_hard(self):
+        db = Database()
+        db.execute("TABLE T (A : NUMERIC, PRIMARY KEY (A))")
+        db.execute("INSERT INTO T VALUES (1), (2)")
+        with pytest.raises(BudgetExceeded) as err:
+            db.execute("INSERT INTO T VALUES (3), (4), (5)",
+                       row_budget=2)
+        assert err.value.resource == "rows"
+        # the failed INSERT rolled back whole -- no partial DML
+        assert len(db.query("SELECT A FROM T").rows) == 2
+        assert db.fsck().violations == []
+
+    def test_delete_scan_counts_toward_budget(self):
+        db = Database()
+        db.execute("TABLE T (A : NUMERIC, PRIMARY KEY (A))")
+        db.execute("INSERT INTO T VALUES (1), (2)")
+        with pytest.raises(BudgetExceeded):
+            # the DELETE's row scan trips the budget mid-statement --
+            # and must roll back
+            db.execute("DELETE FROM T WHERE A >= 0", row_budget=1)
+        assert len(db.query("SELECT A FROM T").rows) == 2
+        assert db.fsck().violations == []
+
+    def test_dml_never_degrades(self):
+        # degrade mode must not truncate a mutation into a partial
+        # write: the trip stays a hard error and rolls back
+        db = Database()
+        db.execute("TABLE T (A : NUMERIC, PRIMARY KEY (A))")
+        db.execute("INSERT INTO T VALUES (1), (2)")
+        with pytest.raises(BudgetExceeded):
+            db.execute("UPDATE T SET A = A + 10 WHERE A >= 0",
+                       row_budget=1, degrade=True)
+        assert sorted(r[0] for r in db.query("SELECT A FROM T").rows) \
+            == [1, 2]
+        assert db.fsck().violations == []

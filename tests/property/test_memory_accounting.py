@@ -1,0 +1,116 @@
+"""Property tests: the lifecycle memory accountant is trustworthy.
+
+Three laws, over random reserve/release interleavings:
+
+* ``current`` never goes negative and always equals the running sum
+  of reservations minus releases;
+* ``peak`` is monotone non-decreasing and is exactly the running
+  maximum of ``current``;
+* a governed statement is *zero-balanced*: however evaluation ends --
+  completion, budget trip, cancellation -- every reserved byte is
+  released by the time the context retires.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import Database
+from repro.errors import BudgetExceeded
+from repro.lifecycle import MemoryAccountant, QueryContext
+
+# an op is (kind, amount): reserve always; release takes what it can
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["reserve", "release"]),
+              st.integers(0, 1 << 20)),
+    max_size=200,
+)
+
+
+class TestAccountantLaws:
+    @given(ops=_OPS)
+    def test_current_is_the_running_sum(self, ops):
+        accountant = MemoryAccountant()
+        expected = 0
+        for kind, amount in ops:
+            if kind == "reserve":
+                accountant.reserve(amount)
+                expected += amount
+            else:
+                take = min(amount, expected)
+                accountant.release(take)
+                expected -= take
+            assert accountant.current == expected
+            assert accountant.current >= 0
+
+    @given(ops=_OPS)
+    def test_peak_is_the_running_maximum(self, ops):
+        accountant = MemoryAccountant()
+        current = peak_seen = last_peak = 0
+        for kind, amount in ops:
+            if kind == "reserve":
+                accountant.reserve(amount)
+                current += amount
+            else:
+                take = min(amount, current)
+                accountant.release(take)
+                current -= take
+            peak_seen = max(peak_seen, current)
+            assert accountant.peak == peak_seen
+            assert accountant.peak >= last_peak  # monotone
+            last_peak = accountant.peak
+
+    @given(ops=_OPS)
+    def test_release_all_zero_balances(self, ops):
+        accountant = MemoryAccountant()
+        held = 0
+        for kind, amount in ops:
+            if kind == "reserve":
+                accountant.reserve(amount)
+                held += amount
+            else:
+                take = min(amount, held)
+                accountant.release(take)
+                held -= take
+        assert accountant.release_all() == held
+        assert accountant.current == 0
+
+    @given(reservations=st.lists(st.integers(0, 1 << 16), max_size=50),
+           budget=st.integers(1, 1 << 12))
+    def test_budgeted_context_stays_balanced_past_the_trip(
+            self, reservations, budget):
+        # the tripping reservation still counts, so a symmetric
+        # release in a finally block always balances
+        ctx = QueryContext(memory_budget=budget)
+        reserved = 0
+        for nbytes in reservations:
+            try:
+                ctx.reserve(nbytes)
+            except BudgetExceeded:
+                reserved += nbytes
+                break
+            reserved += nbytes
+        assert ctx.memory.current == reserved
+        ctx.release(reserved)
+        assert ctx.memory.current == 0
+
+
+class TestGovernedStatementsZeroBalance:
+    @settings(max_examples=20, deadline=None)
+    @given(rows=st.integers(1, 40),
+           row_budget=st.integers(1, 200) | st.none(),
+           degrade=st.booleans())
+    def test_every_outcome_releases_everything(self, rows, row_budget,
+                                               degrade):
+        db = Database()
+        db.execute("TABLE T (A : NUMERIC, B : NUMERIC)")
+        values = ", ".join(f"({i}, {i})" for i in range(rows))
+        db.execute(f"INSERT INTO T VALUES {values}")
+        try:
+            db.query("SELECT A, B FROM T WHERE A >= 0",
+                     row_budget=row_budget, degrade=degrade,
+                     memory_budget=1 << 30)
+        except BudgetExceeded:
+            pass
+        retired = db.lifecycle.recent()[-1]
+        assert retired.memory.current == 0
+        assert retired.memory.peak >= 0
