@@ -49,12 +49,13 @@ def baseline_path(group: str) -> str:
 
 
 def fresh_run(group: str) -> dict:
-    """Re-run one report group in-process and return its artifact."""
+    """Re-run one report group in-process and return its artifact,
+    scrubbed the same way ``--out`` scrubs the committed baseline so
+    both sides of the comparison are canonical."""
     report.ARTIFACT["suites"] = {}
     with contextlib.redirect_stdout(io.StringIO()):
         report.main(["--only", group])
-    return {"schema": report.ARTIFACT["schema"],
-            "suites": dict(report.ARTIFACT["suites"])}
+    return report.scrubbed_artifact()
 
 
 def compare(group: str, baseline: dict, fresh: dict) -> list[str]:

@@ -42,6 +42,52 @@ def record(suite: str, metric: str, value) -> None:
     ARTIFACT["suites"].setdefault(suite, {})[metric] = value
 
 
+# -- artifact determinism ------------------------------------------------------
+#
+# BENCH_<group>.json is a committed file: two runs on the same tree
+# must produce byte-identical output, or every baseline refresh drowns
+# the review in timing/trace-id churn.  _scrub() canonicalises the
+# artifact before it is written (and check_regression applies it to
+# the fresh run, so both sides of the gate see the same shape): ids
+# are zeroed, wall-clock measurements are zeroed (counters are the
+# trend signal; latency lives in pytest-benchmark output), and floats
+# are rounded so libm jitter cannot flip the last digit.
+
+_ID_KEYS = {"trace_id", "span_id", "parent_id"}
+_TIMING_KEYS = {"duration", "duration_reported", "started", "finished",
+                "qps"}
+_TIMING_SUFFIXES = ("_ms", "_s", "_seconds")
+
+
+def _scrub(value, key: str = ""):
+    if isinstance(value, dict):
+        if key == "seconds" or key.endswith(".seconds"):
+            # a latency histogram: the count is a counter, the rest is
+            # wall clock
+            return {k: (v if k == "count" else 0.0)
+                    for k, v in sorted(value.items())}
+        if key == "stages":
+            return {k: 0.0 for k in sorted(value)}
+        return {k: _scrub(v, k) for k, v in sorted(value.items())}
+    if isinstance(value, list):
+        return [_scrub(item, key) for item in value]
+    if isinstance(value, str) and key in _ID_KEYS:
+        return "0" * len(value)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return value
+    if key in _TIMING_KEYS or key.endswith(_TIMING_SUFFIXES):
+        return 0 if isinstance(value, int) else 0.0
+    if isinstance(value, float):
+        return round(value, 6)
+    return value
+
+
+def scrubbed_artifact() -> dict:
+    """The deterministic form of ``ARTIFACT`` (what ``--out`` writes
+    and what ``benchmarks.check_regression`` compares)."""
+    return _scrub(ARTIFACT)
+
+
 def work(db: Database, query: str, rewrite: bool):
     optimized = db.optimize(query, rewrite=rewrite)
     stats = EvalStats()
@@ -523,13 +569,68 @@ def lifecycle_governance():
     record("lifecycle_governance", "cancel_unwind_ticks", unwind_ticks)
 
 
+def pool_scaling():
+    """POOL -- the execution tier: one fixed read workload at worker
+    counts 0 (in-process), 1, 2 and 4.  The recorded metrics are the
+    deterministic ones (statements served, dispatch/crash/fallback
+    counters, result cardinality); measured throughput is printed for
+    EXPERIMENTS.md but deliberately kept out of the artifact."""
+    import time as time_mod
+
+    from repro.pool import PoolConfig
+    from repro.server import Server
+
+    statements = 12
+    query = "SELECT Shop, Amount FROM SALE WHERE Amount > 10"
+    rows = []
+    for workers in (0, 1, 2, 4):
+        db = Database()
+        db.execute("TABLE SALE (Shop : NUMERIC, Amount : NUMERIC)")
+        db.execute("INSERT INTO SALE VALUES " + ", ".join(
+            f"({i % 7}, {(i * 13) % 60})" for i in range(120)
+        ))
+        server = Server(db)
+        if workers:
+            pool = server.enable_pool(workers, config=PoolConfig(
+                workers=workers, monitor_interval_s=0.02,
+            ))
+            pool.wait_ready(timeout_s=120.0, workers=workers)
+        started = time_mod.perf_counter()
+        cardinality = 0
+        for __ in range(statements):
+            cardinality = len(server.query(query).rows)
+        elapsed = time_mod.perf_counter() - started
+        summary = (server.pool.summary() if server.pool is not None
+                   else {"dispatched": 0, "crashes": 0, "restarts": 0})
+        fallbacks = server.metrics.snapshot()["counters"].get(
+            "pool.fallbacks", 0)
+        rows.append([
+            workers or "in-process", statements, summary["dispatched"],
+            cardinality, f"{statements / elapsed:.0f}/s",
+        ])
+        key = f"w{workers}"
+        record("pool_scaling", f"{key}_statements", statements)
+        record("pool_scaling", f"{key}_dispatched",
+               summary["dispatched"])
+        record("pool_scaling", f"{key}_rows", cardinality)
+        record("pool_scaling", f"{key}_crashes", summary["crashes"])
+        record("pool_scaling", f"{key}_restarts", summary["restarts"])
+        record("pool_scaling", f"{key}_fallbacks", int(fallbacks))
+        server.close()
+    print("### POOL -- execution-tier scaling "
+          "(120-row SALE, 12 statements per tier)\n")
+    print(table(["workers", "statements", "dispatched", "rows/query",
+                 "rate (not gated)"], rows))
+    print()
+
+
 # the --only groups: the unit the committed BENCH_<group>.json
 # baselines and benchmarks.check_regression work in
 GROUPS = {
     "engine": [f3_translation, f7_merging, f8_pushdown,
                f10_f11_semantic, f13_subqueries, a1_limits, a6_engine],
     "fixpoint": [f9_fixpoint, a3_seminaive, a4_dynamic_limits],
-    "server": [obs_telemetry, server_introspection],
+    "server": [obs_telemetry, server_introspection, pool_scaling],
     "resilience": [lifecycle_governance],
 }
 
@@ -568,10 +669,12 @@ def main(argv=None) -> None:
         a6_engine()
         obs_telemetry()
         server_introspection()
+        pool_scaling()
         lifecycle_governance()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(ARTIFACT, handle, indent=2, sort_keys=True)
+            json.dump(scrubbed_artifact(), handle, indent=2,
+                      sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.out} "
               f"({len(ARTIFACT['suites'])} suite(s))", file=sys.stderr)

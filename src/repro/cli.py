@@ -43,7 +43,12 @@ Statements end with ``;``.  Dot-commands:
                    depth, shed rate, hottest rewrite rules and the
                    slow-query tail
 ``.queries``       in-flight and recent statements (the ``sys.queries``
-                   view): id, phase, rows/bytes consumed, elapsed
+                   view): id, phase, rows/bytes consumed, elapsed,
+                   queue wait and the executing pool worker (if any)
+``.workers``       the process-pool execution tier (needs ``.serve
+                   on``): ``on`` mounts it, ``off`` unmounts, ``N``
+                   resizes to N worker processes, bare/``status``
+                   lists the workers (pid, state, restarts)
 ``.kill <id>``     cancel one in-flight statement by its ``q<N>`` id
 ``.timeout N``     give every statement a wall-clock budget of N
                    milliseconds, rewrite and evaluation combined
@@ -267,6 +272,8 @@ class Shell:
             return [f"no such in-flight statement: {argument}"]
         if command == ".queries":
             return self._queries_command()
+        if command == ".workers":
+            return self._workers_command(argument)
         if command == ".serve":
             return self._serve_command(argument)
         if command == ".sessions":
@@ -460,15 +467,58 @@ class Shell:
                 flags.append(f"cancelled({snap['cancel_reason']})")
             if snap["truncated"]:
                 flags.append("truncated")
+            where = (f"@{snap['worker']}" if snap["worker"]
+                     else "inproc")
             lines.append(
                 f"{snap['query_id']:>5s}  {snap['phase']:<9s} "
+                f"{where:<8s} "
                 f"{snap['rows_charged']:>8d} row(s) "
                 f"{snap['bytes_peak']:>10d} B  "
+                f"wait {snap['queue_wait_ms']:>6.1f} ms  "
                 f"{snap['elapsed_ms']:>8.1f} ms"
                 + (f"  [{', '.join(flags)}]" if flags else "")
                 + (f"  {source}" if source else "")
             )
         return lines or ["(no statements)"]
+
+    def _workers_command(self, argument: str) -> list[str]:
+        if self.server is None:
+            return ["error: not serving (use .serve on)"]
+        arg = argument.lower()
+        if arg in ("on",) or arg.isdigit():
+            count = int(arg) if arg.isdigit() else 2
+            if count <= 0:
+                return ["usage: .workers [on | off | N | status]"]
+            pool = self.server.enable_pool(count)
+            pool.wait_ready(timeout_s=30.0, workers=1)
+            return [f"pool on: {count} worker(s)"]
+        if arg == "off":
+            if self.server.pool is None:
+                return ["pool is off"]
+            self.server.disable_pool()
+            return ["pool off"]
+        if arg not in ("", "status"):
+            return ["usage: .workers [on | off | N | status]"]
+        pool = self.server.pool
+        if pool is None:
+            return ["pool is off"]
+        summary = pool.summary()
+        lines = [
+            f"pool {summary['state']}: {summary['workers']} worker(s), "
+            f"{summary['ready']} ready, {summary['busy']} busy, "
+            f"{summary['dispatched']} dispatched, "
+            f"{summary['retries']} retried, "
+            f"{summary['crashes']} crash(es)"
+        ]
+        for (worker, pid, state, statements, restarts, query_id,
+             source, beat_age, version) in pool.rows():
+            busy = f"  {query_id} {source}" if query_id else ""
+            lines.append(
+                f"  {worker}: pid {pid}, {state}, "
+                f"{statements} statement(s), {restarts} restart(s), "
+                f"v{version}" + busy
+            )
+        return lines
 
     # -- serving commands -----------------------------------------------------
     def _start_serving(self) -> None:

@@ -6,10 +6,10 @@ shared by the CLI, ``Database.explain_json`` and
 ``benchmarks/report.py`` -- one schema for interactive EXPLAIN and
 benchmark ingestion (documented in ``docs/observability.md``).
 
-Top-level JSON shape (``schema_version`` 6)::
+Top-level JSON shape (``schema_version`` 7)::
 
     {
-      "schema_version": 6,
+      "schema_version": 7,
       "plans":   {"before": {"text", "nodes"}, "after": {"text", "nodes"}},
       "rewrite": {"applications", "checks", "passes", "degraded",
                   "trace": [{"block","rule","path","before","after"}],
@@ -36,10 +36,14 @@ Top-level JSON shape (``schema_version`` 6)::
                  "stages": {stage: milliseconds}},
       "lifecycle": {"query_id", "session", "trace_id", "phase",
                     "source", "timeout_ms", "row_budget",
-                    "memory_budget", "degrade", "rows_charged",
-                    "bytes_reserved", "bytes_peak", "elapsed_ms",
+                    "memory_budget", "degrade", "queue_wait_ms",
+                    "worker", "rows_charged", "bytes_reserved",
+                    "bytes_peak", "elapsed_ms",
                     "truncated", "cancelled", "cancel_reason"}
                    or null,
+      "execution": {"tier": "inprocess" | "pool",
+                    "worker": "w<N>" or null,
+                    "pool": Supervisor.summary() or null},
       "profile": <Profiler.report() or null>,
       "eval":    <EvalStats.snapshot() or null>
     }
@@ -82,6 +86,15 @@ mode sets when a budget trip kept a partial result.  Null when the
 statement ran ungoverned (no budget knob set and the database not
 served).
 
+``execution`` (version 7's addition; see ``docs/robustness.md``)
+names the execution tier: ``"inprocess"`` for the classic path,
+``"pool"`` when the statement would run on a
+:class:`repro.pool.Supervisor` worker process.  ``worker`` is the
+``sys.workers`` id when a specific worker executed the statement
+(null for explain itself, which always derives its plan in-process),
+and ``pool`` is the supervisor's summary (worker/busy/ready counts,
+crash and retry totals) or null when no pool is mounted.
+
 ``validate_explain`` is the schema's executable documentation: it
 returns the list of violations (empty means valid) and is used by the
 tests and the benchmark harness.
@@ -99,7 +112,7 @@ from repro.terms.term import term_size
 __all__ = ["explain_text", "explain_json", "validate_explain",
            "EXPLAIN_SCHEMA_VERSION"]
 
-EXPLAIN_SCHEMA_VERSION = 6
+EXPLAIN_SCHEMA_VERSION = 7
 
 
 def explain_text(optimized: OptimizedQuery, verbose: bool = False,
@@ -338,6 +351,10 @@ def explain_json(optimized: OptimizedQuery,
         "server": server,
         "trace": trace_section,
         "lifecycle": lifecycle,
+        # the default tier; Server.explain_json overrides with the
+        # mounted pool's view when one is serving reads
+        "execution": {"tier": "inprocess", "worker": None,
+                      "pool": None},
         "profile": profile,
         "eval": eval_stats.snapshot() if eval_stats is not None else None,
     }
@@ -517,6 +534,11 @@ def validate_explain(report: dict) -> list[str]:
                        "lifecycle")
         if elapsed is not None and elapsed < 0:
             problems.append("lifecycle.elapsed_ms: negative")
+        wait = need(lifecycle, "queue_wait_ms", (int, float),
+                    "lifecycle")
+        if wait is not None and wait < 0:
+            problems.append("lifecycle.queue_wait_ms: negative")
+        need(lifecycle, "worker", str, "lifecycle")
         for key in ("timeout_ms", "row_budget", "memory_budget"):
             if key not in lifecycle:
                 problems.append(f"lifecycle: missing key {key!r}")
@@ -525,6 +547,33 @@ def validate_explain(report: dict) -> list[str]:
                     or lifecycle[key] < 0):
                 problems.append(
                     f"lifecycle.{key}: not null or a non-negative number"
+                )
+    execution = need(report, "execution", dict, "report")
+    if execution is not None:
+        tier = need(execution, "tier", str, "execution")
+        if tier is not None and tier not in ("inprocess", "pool"):
+            problems.append(
+                "execution.tier: not 'inprocess' or 'pool'"
+            )
+        if "worker" not in execution:
+            problems.append("execution: missing key 'worker'")
+        elif execution["worker"] is not None and \
+                not isinstance(execution["worker"], str):
+            problems.append("execution.worker: not null or a string")
+        if "pool" not in execution:
+            problems.append("execution: missing key 'pool'")
+        elif execution["pool"] is not None:
+            pool = execution["pool"]
+            for key in ("workers", "busy", "ready", "dispatched",
+                        "retries", "crashes", "restarts"):
+                value = need(pool, key, int, "execution.pool")
+                if value is not None and value < 0:
+                    problems.append(f"execution.pool.{key}: negative")
+            state = need(pool, "state", str, "execution.pool")
+            if state is not None and state not in (
+                    "running", "broken", "stopped"):
+                problems.append(
+                    "execution.pool.state: not running/broken/stopped"
                 )
     if "profile" not in report:
         problems.append("report: missing key 'profile'")

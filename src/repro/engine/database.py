@@ -29,7 +29,8 @@ from repro.errors import (BudgetExceeded, DurabilityError, QueryCancelled,
                           TranslationError)
 from repro.esql import ast
 from repro.esql.parser import parse_script_with_sources
-from repro.lifecycle.context import current_context, use_context
+from repro.lifecycle.context import (current_context, pending_dispatch,
+                                     use_context)
 from repro.lifecycle.registry import StatementRegistry
 from repro.esql.translate import Translator
 from repro.rules.library import DEFAULT_SEMANTIC_LIMIT
@@ -102,6 +103,12 @@ class Database:
         self.guard = None
         self.durability = None
         self.recovery = None
+        # commit hooks: callables fired with the statement source after
+        # each committed (non-replayed) mutation, *inside* the writer
+        # lock when serving -- the pool's log-shipping feed hangs off
+        # this, and firing under the lock is what makes snapshot state
+        # and feed version impossible to observe out of step
+        self.commit_hooks: list = []
         # the rewrite-provenance ledger: owned here (not by the
         # optimizer) so it survives regenerate_optimizer(); feeds
         # sys.rewrites / sys.rule_heat
@@ -209,6 +216,11 @@ class Database:
             # q<N> salt keeps concurrent statements independent yet
             # replayable
             context.chaos = chaos.fork(int(context.query_id[1:]))
+        dispatch = pending_dispatch()
+        if dispatch is not None:
+            context.queue_wait_ms = float(
+                dispatch.get("queue_wait_ms", 0.0)
+            )
         outcome = "done"
         try:
             with use_context(context):
@@ -308,8 +320,11 @@ class Database:
         if term is None:
             if isinstance(statement, _DDL_STATEMENTS):
                 self._ddl_history.append(source)
-            if self.durability is not None and not self._replaying:
-                self.durability.log_statement(source)
+            if not self._replaying:
+                if self.durability is not None:
+                    self.durability.log_statement(source)
+                for hook in self.commit_hooks:
+                    hook(source)
         return term
 
     def _replay_statement(self, source: str) -> None:

@@ -160,6 +160,65 @@ class SessionExpired(ServerError):
         super().__init__(message)
 
 
+class WorkerCrashed(ServerError):
+    """A pool worker died (crash, kill -9, or missed heartbeats) while
+    executing the statement.
+
+    Raised by :class:`repro.pool.Supervisor` after its retry policy is
+    exhausted: side-effect-free reads are retried transparently on a
+    fresh worker up to the configured budget before this surfaces;
+    statements with side effects never retry (the worker's undo log
+    rolled its copy back, and replaying DML against an unknown
+    intermediate state would risk double-apply).
+
+    Attributes
+    ----------
+    worker_id:
+        The ``sys.workers`` id of the worker that died (``w<N>``).
+    query_id:
+        The governed statement's ``sys.queries`` id, when known.
+    attempts:
+        Dispatch attempts made for the statement, this one included.
+    exit_code / signal:
+        How the process died: a nonzero exit status, or the signal
+        number that killed it (9 for the chaos suite's kill -9).
+    """
+
+    def __init__(self, message: str, worker_id: str = "",
+                 query_id: str = "", attempts: int = 1,
+                 exit_code: int | None = None,
+                 signal: int | None = None):
+        self.worker_id = worker_id
+        self.query_id = query_id
+        self.attempts = attempts
+        self.exit_code = exit_code
+        self.signal = signal
+        super().__init__(message)
+
+
+class PoolUnavailable(ServerError):
+    """The worker pool cannot take this statement right now: every
+    worker is busy (``reason="saturated"``), the crash-loop circuit
+    breaker is open (``reason="circuit-open"``), or the pool is
+    stopped.  The server catches this and degrades to in-process
+    execution -- callers only ever see it when driving a
+    :class:`repro.pool.Supervisor` directly.
+
+    Attributes
+    ----------
+    reason:
+        ``"saturated"``, ``"circuit-open"`` or ``"stopped"``.
+    retry_after:
+        Hint, in seconds, for when the pool may accept again.
+    """
+
+    def __init__(self, message: str, reason: str = "saturated",
+                 retry_after: float = 0.05):
+        self.reason = reason
+        self.retry_after = float(retry_after)
+        super().__init__(message)
+
+
 class LifecycleError(ReproError):
     """Base class of the query-lifecycle governance errors.
 
@@ -235,7 +294,8 @@ _PAYLOAD_ATTRS = (
     "retry_after", "request_class", "queue_depth", "failure_class",
     "attempts", "session_id", "deadline_ms", "elapsed_ms", "rule",
     "block", "line", "column", "query_id", "reason", "phase",
-    "resource", "limit", "consumed",
+    "resource", "limit", "consumed", "worker_id", "exit_code",
+    "signal",
 )
 
 

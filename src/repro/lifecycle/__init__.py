@@ -15,12 +15,14 @@ from repro.lifecycle.chaos import ChaosInjector
 from repro.lifecycle.context import (DEFAULT_CHECK_INTERVAL,
                                      MemoryAccountant, QueryContext,
                                      Truncation, current_context,
-                                     use_context)
+                                     pending_dispatch, use_context,
+                                     use_dispatch)
 from repro.lifecycle.registry import StatementRegistry
 from repro.lifecycle.watchdog import Watchdog
 
 __all__ = [
     "QueryContext", "MemoryAccountant", "Truncation",
-    "current_context", "use_context", "DEFAULT_CHECK_INTERVAL",
+    "current_context", "use_context", "pending_dispatch",
+    "use_dispatch", "DEFAULT_CHECK_INTERVAL",
     "StatementRegistry", "Watchdog", "ChaosInjector",
 ]

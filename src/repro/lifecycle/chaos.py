@@ -40,14 +40,22 @@ class ChaosInjector:
     min_checks:
         Checks to let through before any fault (lets tiny statements
         finish, pushing faults into meaty evaluations).
+    worker_kill_rate:
+        Probability, per pooled dispatch, that the supervisor kill -9s
+        the executing worker right after handing it the statement --
+        the process-level fault the failover machinery must absorb
+        (reads retried on a fresh worker, DML surfacing
+        :class:`~repro.errors.WorkerCrashed`).
     """
 
     def __init__(self, seed: int = 0, cancel_rate: float = 0.0,
-                 budget_rate: float = 0.0, min_checks: int = 0):
+                 budget_rate: float = 0.0, min_checks: int = 0,
+                 worker_kill_rate: float = 0.0):
         self.seed = seed
         self.cancel_rate = cancel_rate
         self.budget_rate = budget_rate
         self.min_checks = min_checks
+        self.worker_kill_rate = worker_kill_rate
         self._random = random.Random(seed)
         self._checks = 0
         self.injected: Optional[str] = None
@@ -59,7 +67,19 @@ class ChaosInjector:
             cancel_rate=self.cancel_rate,
             budget_rate=self.budget_rate,
             min_checks=self.min_checks,
+            worker_kill_rate=self.worker_kill_rate,
         )
+
+    def should_kill_worker(self) -> bool:
+        """Probed by the pool supervisor once per dispatch; True means
+        kill -9 the worker that just took the statement.  Counts as
+        this statement's one fault."""
+        if self.injected is not None or not self.worker_kill_rate:
+            return False
+        if self._random.random() < self.worker_kill_rate:
+            self.injected = "worker-kill"
+            return True
+        return False
 
     def maybe_inject(self, context) -> None:
         """Called from ``QueryContext.check()``; at most one fault per

@@ -56,7 +56,8 @@ from repro.errors import BudgetExceeded, QueryCancelled
 
 __all__ = [
     "QueryContext", "MemoryAccountant", "Truncation",
-    "current_context", "use_context", "DEFAULT_CHECK_INTERVAL",
+    "current_context", "use_context", "pending_dispatch",
+    "use_dispatch", "DEFAULT_CHECK_INTERVAL",
 ]
 
 # rows/probes between full checks: the cancellation-latency bound
@@ -66,11 +67,37 @@ _current: ContextVar[Optional["QueryContext"]] = ContextVar(
     "repro_query_context", default=None
 )
 
+# dispatch attribution set by the serving layer *before* the context is
+# minted (the context is created deep inside Database, which has no
+# signature slot for queue-wait): the server parks the admission
+# ticket's queue wait here and _statement_context stamps it onto the
+# freshly minted context
+_dispatch: ContextVar[Optional[dict]] = ContextVar(
+    "repro_query_dispatch", default=None
+)
+
 
 def current_context() -> Optional["QueryContext"]:
     """The ambient :class:`QueryContext`, or None outside a governed
     statement."""
     return _current.get()
+
+
+def pending_dispatch() -> Optional[dict]:
+    """The dispatch attribution (``queue_wait_ms``) parked by the
+    serving layer for the statement about to be minted, or None."""
+    return _dispatch.get()
+
+
+@contextmanager
+def use_dispatch(info: Optional[dict]):
+    """Park dispatch attribution for the dynamic extent of one served
+    statement (consumed by ``Database._statement_context``)."""
+    token = _dispatch.set(info)
+    try:
+        yield info
+    finally:
+        _dispatch.reset(token)
 
 
 @contextmanager
@@ -194,6 +221,12 @@ class QueryContext:
         self.check_interval = max(1, int(check_interval))
         self.source = source
         self.chaos = chaos
+        # dispatch attribution: how long admission queued the request
+        # before this statement started, and which pool worker (if
+        # any) is executing it -- both surfaced by sys.queries so a
+        # stuck statement is attributable from another session
+        self.queue_wait_ms = 0.0
+        self.worker = ""
         self.memory = MemoryAccountant()
         self.started = time.perf_counter()
         # set by the registry at retirement so done-ring rows report a
@@ -353,6 +386,8 @@ class QueryContext:
             "row_budget": self.row_budget,
             "memory_budget": self.memory_budget,
             "degrade": self.degrade,
+            "queue_wait_ms": self.queue_wait_ms,
+            "worker": self.worker,
             "rows_charged": self.rows_charged,
             "bytes_reserved": self.memory.current,
             "bytes_peak": self.memory.peak,

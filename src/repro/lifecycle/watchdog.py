@@ -52,6 +52,11 @@ class Watchdog:
         self.sweeps = 0
         self.reaped_total = 0
         self.recovered_locks = 0
+        # optional pool supervisor: when the server mounts one, each
+        # sweep also reaps dead/hung workers -- a second, independent
+        # path to the same idempotent cleanup, so orphans die even if
+        # the pool's own monitor thread is wedged
+        self.pool = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -112,4 +117,10 @@ class Watchdog:
             if bus:
                 from repro.obs.events import WatchdogReaped
                 bus.emit(WatchdogReaped(query_id="", kind="writer_lock"))
+        pool = self.pool
+        if pool is not None:
+            try:
+                pool.reap_orphans()
+            except Exception:
+                pass  # pool cleanup must never break statement reaping
         return reaped

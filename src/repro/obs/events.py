@@ -45,6 +45,12 @@ sinks can serialise uniformly.  The taxonomy mirrors the pipeline:
                    ``truncated`` tells degrade from hard failure
 ``WatchdogReaped`` the watchdog reaped an over-deadline statement or
                    recovered a poisoned writer lock
+``WorkerSpawned``  the pool supervisor started (or restarted) a worker
+``WorkerExited``   a worker process ended; ``crashed`` distinguishes a
+                   fault from a deliberate shutdown/escalation
+``WorkerKilled``   the supervisor SIGKILLed a worker (hang / cancel
+                   escalation / chaos / boot timeout)
+``PoolStateChanged`` the pool moved between running / broken / stopped
 =================  ======================================================
 
 Durations are monotonic-clock seconds (``time.perf_counter`` deltas).
@@ -68,6 +74,7 @@ __all__ = [
     "RequestCompleted", "RequestFailed", "BreakerStateChanged",
     "SubscriberDetached", "SlowQuery",
     "StatementCancelled", "BudgetTripped", "WatchdogReaped",
+    "WorkerSpawned", "WorkerExited", "WorkerKilled", "PoolStateChanged",
 ]
 
 
@@ -400,3 +407,48 @@ class WatchdogReaped(Event):
 
     query_id: str
     kind: str
+
+
+@dataclass(frozen=True)
+class WorkerSpawned(Event):
+    """The pool supervisor started a worker process; ``restarts`` is
+    how many times this seat has respawned (0 for the first boot)."""
+
+    worker: str
+    pid: int
+    restarts: int
+
+
+@dataclass(frozen=True)
+class WorkerExited(Event):
+    """A worker process ended.  ``crashed`` is False for deliberate
+    ends (shutdown, cancel escalation); exactly one of ``exit_code``
+    and ``signal`` is set (signal 9 for the chaos suite's kill -9)."""
+
+    worker: str
+    pid: int
+    exit_code: Optional[int]
+    signal: Optional[int]
+    crashed: bool
+
+
+@dataclass(frozen=True)
+class WorkerKilled(Event):
+    """The supervisor SIGKILLed a worker; ``reason`` names why
+    (``hang`` / ``cancel`` / ``chaos`` / ``boot-timeout`` /
+    ``shutdown``)."""
+
+    worker: str
+    pid: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class PoolStateChanged(Event):
+    """The pool moved between ``running`` / ``broken`` / ``stopped``;
+    ``reason`` names the trigger (``started`` / ``crash-loop`` /
+    ``cooldown-elapsed`` / ``stopped``)."""
+
+    state: str
+    reason: str
+    workers: int

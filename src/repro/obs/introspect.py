@@ -46,6 +46,7 @@ SYS_RELATIONS = {
     "sys.sessions": "live server sessions and their settings",
     "sys.slow_queries": "requests that crossed the slow threshold",
     "sys.queries": "in-flight and recent statements: id, phase, cost",
+    "sys.workers": "pool worker processes: pid, state, restarts",
     "sys.rewrites": "the rewrite-provenance ring: one row per firing",
     "sys.rule_heat": "cumulative per-rule firing aggregates",
     "sys.wal": "committed statements in the write-ahead log",
@@ -75,9 +76,21 @@ def register_introspection(db, server=None) -> None:
          ("Phase", CHAR), ("Source", CHAR), ("Rows", INT),
          ("Bytes", INT), ("PeakBytes", INT), ("ElapsedMs", REAL),
          ("Cancelled", BOOLEAN), ("Reason", CHAR),
-         ("Truncated", BOOLEAN)],
+         ("Truncated", BOOLEAN), ("QueueMs", REAL),
+         ("Worker", CHAR)],
         lambda: _query_rows(db.lifecycle),
         SYS_RELATIONS["sys.queries"],
+    )
+
+    # reads the pool mounted *now* (a closure over server, not over
+    # the pool), so .workers on/off is reflected without re-mounting
+    catalog.register_virtual(
+        "sys.workers",
+        [("Worker", CHAR), ("Pid", INT), ("State", CHAR),
+         ("Statements", INT), ("Restarts", INT), ("QueryId", CHAR),
+         ("Source", CHAR), ("BeatAgeMs", REAL), ("Version", INT)],
+        lambda: _worker_rows(server),
+        SYS_RELATIONS["sys.workers"],
     )
 
     catalog.register_virtual(
@@ -186,9 +199,17 @@ def _query_rows(registry):
             snap["rows_charged"], snap["bytes_reserved"],
             snap["bytes_peak"], snap["elapsed_ms"],
             snap["cancelled"], snap["cancel_reason"] or "",
-            snap["truncated"],
+            snap["truncated"], snap["queue_wait_ms"],
+            snap["worker"],
         ))
     return rows
+
+
+def _worker_rows(server):
+    pool = getattr(server, "pool", None) if server is not None else None
+    if pool is None:
+        return []
+    return pool.rows()
 
 
 def _rewrites_rows(ledger):

@@ -1,0 +1,26 @@
+"""``repro.pool`` -- the supervised multi-process execution tier.
+
+The :class:`Supervisor` owns N crash-isolated worker processes, each a
+private replica of the database rebuilt from a snapshot payload and
+kept fresh by log-shipped committed statements.  The server routes
+eligible reads through it (past the GIL), detects worker death and
+hangs via heartbeats, retries reads transparently, and degrades to
+in-process execution whenever the pool cannot help.  See
+``docs/architecture.md`` for the supervision tree and
+``docs/robustness.md`` for the failure matrix.
+"""
+
+from repro.pool.chaos import WorkerChaos
+from repro.pool.protocol import (FrameError, MAX_FRAME_BYTES, recv_frame,
+                                 send_frame)
+from repro.pool.supervisor import PoolConfig, Supervisor
+
+__all__ = [
+    "Supervisor",
+    "PoolConfig",
+    "WorkerChaos",
+    "send_frame",
+    "recv_frame",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+]

@@ -1,0 +1,82 @@
+"""Kill-storm chaos for the worker pool.
+
+Two chaos paths exist for the pool:
+
+* the per-statement path lives on
+  :class:`~repro.lifecycle.chaos.ChaosInjector` (``worker_kill_rate``):
+  the supervisor probes it right after dispatch and kill -9s the
+  executing worker, so a single statement's failover is exercised
+  deterministically from its seed;
+* this module's :class:`WorkerChaos` is the *time-based* storm used by
+  the CI ``pool-chaos`` job: a background thread that, at random
+  intervals, SIGKILLs a random live worker while a multi-threaded
+  stress suite hammers the server.  It validates the whole supervision
+  loop -- detection, settle, backoff respawn, read retry -- under
+  sustained fire rather than one staged crash.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+
+__all__ = ["WorkerChaos"]
+
+
+class WorkerChaos:
+    """Kill -9 a random pool worker every ``interval_s`` (jittered).
+
+    Start with :meth:`start`, stop with :meth:`stop`; ``kills`` counts
+    delivered signals.  Uses only the supervisor's public ``rows()``
+    view to pick victims, so it exercises exactly what an external
+    fault would.
+    """
+
+    def __init__(self, supervisor, interval_s: float = 0.2,
+                 seed: int = 0):
+        self.supervisor = supervisor
+        self.interval_s = float(interval_s)
+        self.kills = 0
+        self._random = random.Random(seed)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "WorkerChaos":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-pool-chaos", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(
+            self.interval_s * self._random.uniform(0.5, 1.5)
+        ):
+            self.kill_one()
+
+    def kill_one(self) -> bool:
+        """SIGKILL one random live worker; ``False`` if none is up."""
+        live = [row for row in self.supervisor.rows()
+                if row[2] in ("idle", "busy") and row[1]]
+        if not live:
+            return False
+        victim = self._random.choice(live)
+        try:
+            os.kill(victim[1], signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            return False
+        self.kills += 1
+        return True

@@ -102,12 +102,18 @@ class RetryPolicy:
 class _BreakerSlot:
     """Mutable per-failure-class state (guarded by the breaker lock)."""
 
-    __slots__ = ("state", "failures", "opened_at")
+    __slots__ = ("state", "failures", "opened_at", "probing")
 
     def __init__(self):
         self.state = "closed"
         self.failures = 0
         self.opened_at = 0.0
+        # True while the half-open probe is in flight: the caller whose
+        # check() moved the slot to half-open owns the probe; every
+        # concurrent check() is refused until record_success/_failure
+        # resolves it (without this, N racing callers all "probe" a
+        # service that just proved itself down)
+        self.probing = False
 
 
 class CircuitBreaker:
@@ -168,6 +174,7 @@ class CircuitBreaker:
                     and slot.failures >= self.failure_threshold):
                 slot.state = "open"
                 slot.opened_at = self._clock()
+                slot.probing = False
                 self._emit(failure_class, slot)
 
     def record_success(self, failure_class: Optional[str] = None) -> None:
@@ -183,6 +190,7 @@ class CircuitBreaker:
                 if slot.state == "half-open":
                     slot.state = "closed"
                     slot.failures = 0
+                    slot.probing = False
                     self._emit_any(slot)
                 elif slot.state == "closed":
                     slot.failures = 0
@@ -190,18 +198,38 @@ class CircuitBreaker:
     def check(self, failure_class: Optional[str] = None) -> None:
         """Raise :class:`~repro.errors.CircuitOpen` if the class's (or
         any, when none is given) circuit is open; moves an expired open
-        circuit to half-open, letting exactly one probe through."""
+        circuit to half-open, letting exactly one probe through.
+
+        Single-probe semantics are enforced under the breaker lock:
+        the first ``check()`` after the cooldown wins the probe
+        (``probing`` set atomically with the half-open transition);
+        every concurrent or subsequent ``check()`` is refused until
+        ``record_success``/``record_failure`` resolves the probe, so
+        two threads racing past ``retry_after`` cannot both hit a
+        service the breaker only has evidence is down.
+        """
         now = self._clock()
         with self._lock:
             items = ([(failure_class, self._slot(failure_class))]
                      if failure_class is not None
                      else list(self._slots.items()))
             for name, slot in items:
+                if slot.state == "half-open":
+                    if not slot.probing:
+                        slot.probing = True  # probe abandoned: adopt it
+                        continue
+                    raise CircuitOpen(
+                        f"circuit half-open for {name}: a probe is "
+                        f"already in flight",
+                        failure_class=name,
+                        retry_after=self.cooldown_s,
+                    )
                 if slot.state != "open":
                     continue
                 remaining = self.cooldown_s - (now - slot.opened_at)
                 if remaining <= 0:
                     slot.state = "half-open"
+                    slot.probing = True  # this caller is the probe
                     self._emit(name, slot)
                     continue  # probe allowed
                 raise CircuitOpen(

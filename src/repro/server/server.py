@@ -36,9 +36,10 @@ import time
 from collections import deque
 from typing import Optional
 
-from repro.errors import ServerError, error_payload
+from repro.errors import PoolUnavailable, ServerError, error_payload
 from repro.esql import ast
 from repro.esql.parser import parse_script_with_sources
+from repro.lifecycle.context import use_dispatch
 from repro.obs.bus import EventBus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TraceContext, current_trace, use_trace
@@ -66,7 +67,8 @@ class Server:
                  telemetry=None,
                  slow_query_ms: Optional[float] = None,
                  slow_query_capacity: int = 32,
-                 watchdog_interval_s: float = 0.1):
+                 watchdog_interval_s: float = 0.1,
+                 workers: int = 0):
         self.db = db
         self.guard = db.enable_serving()
         self.telemetry = telemetry
@@ -110,6 +112,47 @@ class Server:
             obs=self.bus, metrics=self.metrics,
         )
         self.watchdog.start()
+        # the supervised process-pool execution tier (repro.pool):
+        # None until enable_pool() mounts one; eligible reads then run
+        # on crash-isolated worker processes, past the GIL
+        self.pool = None
+        if workers:
+            self.enable_pool(workers)
+
+    # -- the execution tier ---------------------------------------------------
+    def enable_pool(self, workers: int = 2, config=None):
+        """Mount a :class:`repro.pool.Supervisor` with ``workers``
+        worker processes (replacing any existing pool).  Eligible
+        reads are dispatched out of process from here on; everything
+        else -- and every pool failure -- stays on the in-process
+        path."""
+        from repro.pool import PoolConfig, Supervisor
+        self.disable_pool()
+        if config is None:
+            config = PoolConfig(workers=workers)
+        pool = Supervisor(self.db, config, obs=self.bus,
+                          metrics=self.metrics)
+        # the commit hook feeds the pool's log-shipping feed from
+        # inside the writer lock, keeping worker replicas fresh
+        self.db.commit_hooks.append(pool.note_write)
+        pool.start()
+        self.pool = pool
+        self.watchdog.pool = pool
+        return pool
+
+    def disable_pool(self) -> None:
+        """Stop and unmount the pool; the server serves on, fully
+        in-process (the degraded mode, made permanent)."""
+        pool = self.pool
+        if pool is None:
+            return
+        self.pool = None
+        self.watchdog.pool = None
+        try:
+            self.db.commit_hooks.remove(pool.note_write)
+        except ValueError:
+            pass
+        pool.stop()
 
     # -- lifecycle governance -------------------------------------------------
     def kill(self, query_id: str, reason: str = "kill") -> bool:
@@ -144,10 +187,53 @@ class Server:
 
     # -- the serving surface --------------------------------------------------
     def query(self, source: str, session: Optional[str] = None):
-        """Serve one SELECT under read admission."""
+        """Serve one SELECT under read admission.
+
+        With a pool mounted, eligible reads run on a crash-isolated
+        worker process; pool trouble of any kind (saturated, crash
+        looping, stopped mid-flight) degrades to the in-process path
+        rather than failing the request.
+        """
         sess = self._resolve(session)
+        pool = self.pool
+        if pool is not None and pool.eligible(source):
+            return self._serve(
+                "read", sess, lambda: self._pool_read(sess, source),
+                source=source,
+            )
         return self._serve("read", sess, lambda: sess.query(source),
                            source=source)
+
+    def _pool_read(self, sess: Session, source: str):
+        """One pooled read: mint the governed context here (so
+        ``Server.kill`` / the watchdog can cancel the statement while
+        it executes out of process), dispatch, and fall back to the
+        in-process session path when the pool cannot take it."""
+        pool = self.pool
+        sess.touch()
+        s = sess.settings
+        db = self.db
+        with db._statement_context(
+            source=source, timeout_ms=s.timeout_ms,
+            row_budget=s.row_budget, memory_budget=s.memory_budget,
+            degrade=s.degrade, session=sess.id,
+        ) as context:
+            if pool is not None:
+                try:
+                    return pool.submit(source, "read",
+                                       context=context, settings=s)
+                except PoolUnavailable:
+                    self.metrics.inc("pool.fallbacks")
+            if context is not None:
+                context.worker = ""
+                context.enter_phase("parse")
+            return db.query(
+                source, rewrite=s.rewrite, checked=s.checked,
+                deadline_ms=s.deadline_ms, obs=sess.obs,
+                timeout_ms=s.timeout_ms, row_budget=s.row_budget,
+                memory_budget=s.memory_budget, degrade=s.degrade,
+                session=sess.id,
+            )
 
     def execute(self, script: str, session: Optional[str] = None):
         """Serve a script, admitting each statement under its own
@@ -194,6 +280,14 @@ class Server:
             "errors": list(self._errors.get(sess.id, ())),
         }
         report["trace"]["stages"]["queue_wait_ms"] = queue_wait_ms
+        pool = self.pool
+        report["execution"] = {
+            "tier": ("pool" if pool is not None
+                     and pool.state == "running"
+                     and pool.eligible(source) else "inprocess"),
+            "worker": None,  # explain itself always runs in-process
+            "pool": pool.summary() if pool is not None else None,
+        }
         return report
 
     def _serve(self, klass: str, sess: Session, fn, ticket_box=None,
@@ -210,7 +304,13 @@ class Server:
                 with self.admission.admit(klass) as ticket:
                     if ticket_box is not None:
                         ticket_box["ticket"] = ticket
-                    result = fn()
+                    # park the queue wait for the context about to be
+                    # minted: sys.queries attributes a stuck statement
+                    # to queueing vs execution from another session
+                    with use_dispatch(
+                        {"queue_wait_ms": ticket.queue_wait * 1e3}
+                    ):
+                        result = fn()
             except Exception as error:
                 self._note_failure(klass, sess, error, started)
                 raise
@@ -296,6 +396,8 @@ class Server:
             "snapshot_version": self.guard.version,
             "admission": self.admission.snapshot(),
             "requests": self.metrics.counters_with_prefix("server."),
+            "pool": (self.pool.summary() if self.pool is not None
+                     else None),
         }
 
     def metrics_text(self) -> str:
@@ -375,6 +477,7 @@ class Server:
         }
 
     def close(self) -> None:
+        self.disable_pool()
         self.watchdog.stop()
         self.db.lifecycle.cancel_all("server-shutdown")
         for session in self.sessions.sessions():

@@ -1,0 +1,93 @@
+"""Framing tests: every way a peer can die mid-write is a typed error."""
+
+import io
+import struct
+
+import pytest
+
+from repro.pool.protocol import (MAX_FRAME_BYTES, FrameError, recv_frame,
+                                 send_frame)
+
+
+def _buffer(*messages):
+    stream = io.BytesIO()
+    for message in messages:
+        send_frame(stream, message)
+    stream.seek(0)
+    return stream
+
+
+class TestRoundtrip:
+    def test_single_frame(self):
+        stream = _buffer({"type": "hello", "pid": 42})
+        assert recv_frame(stream) == {"type": "hello", "pid": 42}
+
+    def test_frames_preserve_order(self):
+        stream = _buffer({"type": "a", "n": 1}, {"type": "b", "n": 2},
+                         {"type": "c", "n": 3})
+        kinds = [recv_frame(stream)["type"] for _ in range(3)]
+        assert kinds == ["a", "b", "c"]
+
+    def test_send_returns_bytes_written(self):
+        stream = io.BytesIO()
+        written = send_frame(stream, {"type": "x"})
+        assert written == len(stream.getvalue())
+        assert written > 4  # length prefix plus a non-empty payload
+
+    def test_unicode_payload(self):
+        stream = _buffer({"type": "execute", "source": "SELECT 'ü' -- ∆"})
+        assert recv_frame(stream)["source"] == "SELECT 'ü' -- ∆"
+
+    def test_nested_structures(self):
+        message = {"type": "boot", "state": {"tables": [{"rows": [[1, 2]]}]},
+                   "feed": ["INSERT INTO T VALUES (1, 2)"]}
+        assert recv_frame(_buffer(message)) == message
+
+
+class TestCleanEof:
+    def test_empty_stream_is_none(self):
+        assert recv_frame(io.BytesIO()) is None
+
+    def test_eof_after_whole_frame_is_none(self):
+        stream = _buffer({"type": "hello"})
+        assert recv_frame(stream)["type"] == "hello"
+        assert recv_frame(stream) is None
+
+
+class TestTornFrames:
+    def test_torn_length_prefix(self):
+        stream = io.BytesIO(b"\x00\x00")
+        with pytest.raises(FrameError):
+            recv_frame(stream)
+
+    def test_torn_payload(self):
+        whole = _buffer({"type": "result", "rows": [[1]]}).getvalue()
+        stream = io.BytesIO(whole[:-3])  # the peer died mid-write
+        with pytest.raises(FrameError):
+            recv_frame(stream)
+
+    def test_malformed_json(self):
+        payload = b"{not json"
+        stream = io.BytesIO(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FrameError):
+            recv_frame(stream)
+
+    def test_non_dict_payload(self):
+        payload = b"[1, 2, 3]"
+        stream = io.BytesIO(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FrameError):
+            recv_frame(stream)
+
+    def test_untyped_message(self):
+        payload = b'{"pid": 7}'
+        stream = io.BytesIO(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FrameError):
+            recv_frame(stream)
+
+    def test_corrupt_length_is_capped(self):
+        # a corrupt prefix must become a typed error, not a
+        # multi-gigabyte allocation
+        stream = io.BytesIO(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError) as info:
+            recv_frame(stream)
+        assert "cap" in str(info.value)

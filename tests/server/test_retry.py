@@ -210,3 +210,84 @@ class TestCircuitBreaker:
             request_class="read", session="s1", duration=0.001
         ))
         assert breaker.state("EvaluationError") == "closed"
+
+
+class TestHalfOpenSingleProbe:
+    """Two callers racing past the cooldown must not both probe a
+    service the breaker only has evidence is down."""
+
+    def _tripped(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, clock=clock
+        )
+        breaker.record_failure("EvaluationError")
+        clock.now = 1.5  # cooldown elapsed
+        return breaker
+
+    def test_second_caller_is_refused_while_probe_in_flight(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock)
+        breaker.check("EvaluationError")  # this caller wins the probe
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.check("EvaluationError")
+        assert "probe" in str(excinfo.value)
+        assert excinfo.value.retry_after == breaker.cooldown_s
+
+    def test_probe_success_unblocks_everyone(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock)
+        breaker.check("EvaluationError")
+        breaker.record_success("EvaluationError")
+        assert breaker.state("EvaluationError") == "closed"
+        breaker.check("EvaluationError")  # no longer refused
+        breaker.check("EvaluationError")
+
+    def test_probe_failure_reopens_for_everyone(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock)
+        breaker.check("EvaluationError")
+        breaker.record_failure("EvaluationError")
+        assert breaker.state("EvaluationError") == "open"
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.check("EvaluationError")
+        # the clock did not advance past the *new* opened_at
+        assert excinfo.value.retry_after > 0
+
+    def test_exactly_one_of_n_racing_threads_probes(self):
+        import threading
+
+        clock = FakeClock()
+        breaker = self._tripped(clock)
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait()
+            try:
+                breaker.check("EvaluationError")
+                with lock:
+                    outcomes.append("probe")
+            except CircuitOpen:
+                with lock:
+                    outcomes.append("refused")
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert outcomes.count("probe") == 1
+        assert outcomes.count("refused") == 7
+        # the winner's verdict resolves the probe for everyone
+        breaker.record_success("EvaluationError")
+        assert breaker.state("EvaluationError") == "closed"
+
+    def test_any_class_check_respects_the_probe(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock)
+        breaker.check()  # the class-less check wins the probe
+        with pytest.raises(CircuitOpen):
+            breaker.check()
+        with pytest.raises(CircuitOpen):
+            breaker.check("EvaluationError")
