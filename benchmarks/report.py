@@ -624,6 +624,73 @@ def pool_scaling():
     print()
 
 
+def antipattern():
+    """The anti-pattern block (``Database(antipattern=True)``): per
+    query shape, the ap_* rules that fire, the term-size change and
+    the answer cardinality (identical with the block off -- that *is*
+    the product), plus a fixed-seed differential fuzz sweep whose
+    violation count is a contract, not a trend."""
+    from repro.qa import fuzz
+
+    setup = (
+        "TABLE ITEM (Id : NUMERIC, Price : NUMERIC, "
+        "PRIMARY KEY (Id));"
+        + "INSERT INTO ITEM VALUES " + ", ".join(
+            f"({i}, {(i * 37) % 100})" for i in range(300)
+        )
+    )
+    plain, treated = Database(), Database(antipattern=True)
+    plain.execute(setup)
+    treated.execute(setup)
+
+    shapes = [
+        ("or_chain",
+         "SELECT Id FROM ITEM WHERE Id = 1 OR Id = 2 OR Id = 3 "
+         "OR Id = 4"),
+        ("redundant_distinct", "SELECT DISTINCT Id, Price FROM ITEM"),
+        ("double_negation",
+         "SELECT Id FROM ITEM WHERE NOT (NOT (Price > 90))"),
+        ("trivial_arithmetic",
+         "SELECT Id FROM ITEM WHERE Price * 1 > 90 + 0"),
+        ("subsumed_bounds",
+         "SELECT Id FROM ITEM WHERE Price > 90 OR Price >= 90"),
+    ]
+    rows = []
+    for key, query in shapes:
+        base = plain.optimize(query)
+        opt = treated.optimize(query)
+        fired = [r for r in opt.rewrite_result.rules_fired()
+                 if r.startswith("ap_")]
+        cardinality = len(treated.query(query).rows)
+        rows_match = (sorted(plain.query(query).rows)
+                      == sorted(treated.query(query).rows))
+        rows.append([key, len(fired), term_size(base.final),
+                     term_size(opt.final), cardinality, rows_match])
+        record("antipattern", f"{key}_ap_rules_fired", len(fired))
+        record("antipattern", f"{key}_size_plain",
+               term_size(base.final))
+        record("antipattern", f"{key}_size_treated",
+               term_size(opt.final))
+        record("antipattern", f"{key}_rows", cardinality)
+        record("antipattern", f"{key}_rows_match", rows_match)
+    plain.close()
+    treated.close()
+
+    sweep = fuzz(60, seed=20260808)
+    record("antipattern", "fuzz_cases", sweep.executed)
+    record("antipattern", "fuzz_skipped", sweep.skipped)
+    # named "violations" on purpose: check_regression treats it as an
+    # exact contract (any nonzero value fails the gate)
+    record("antipattern", "violations", sweep.violations)
+
+    print("### ANTIPATTERN -- rule-pack effect per query shape "
+          "(300-row keyed ITEM)\n")
+    print(table(["shape", "ap rules fired", "plan size (off)",
+                 "plan size (on)", "rows", "answers match"], rows))
+    print(f"\nfuzz sweep: {sweep.executed} case(s), "
+          f"{sweep.violations} violation(s)\n")
+
+
 # the --only groups: the unit the committed BENCH_<group>.json
 # baselines and benchmarks.check_regression work in
 GROUPS = {
@@ -632,6 +699,7 @@ GROUPS = {
     "fixpoint": [f9_fixpoint, a3_seminaive, a4_dynamic_limits],
     "server": [obs_telemetry, server_introspection, pool_scaling],
     "resilience": [lifecycle_governance],
+    "antipattern": [antipattern],
 }
 
 
@@ -671,6 +739,7 @@ def main(argv=None) -> None:
         server_introspection()
         pool_scaling()
         lifecycle_governance()
+        antipattern()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(scrubbed_artifact(), handle, indent=2,

@@ -22,6 +22,10 @@ Statements end with ``;``.  Dot-commands:
 ``.profile on``    toggle profiling (also ``off``): ``.explain`` and
                    ``.stats`` then include per-rule/per-block telemetry
 ``.stats <q>``     run a query and print the evaluator work counters
+``.fuzz N [S]``    run N randomized differential-equivalence cases
+                   (seed S, default 0) against a scratch database:
+                   rewritten vs unrewritten answers, leave-one-block-
+                   out sweeps; prints any minimized counterexample
 ``.open PATH``     open (or create) a durable database at PATH: the
                    snapshot is loaded, torn WAL tails are truncated and
                    the remaining statements replayed; prints the
@@ -378,6 +382,8 @@ class Shell:
                 )]
             except ReproError as error:
                 return [f"error: {error}"]
+        if command == ".fuzz":
+            return self._fuzz_command(argument)
         if command == ".stats":
             if not argument:
                 return ["usage: .stats SELECT ..."]
@@ -424,6 +430,25 @@ class Shell:
                     )
             return lines
         return [f"unknown command {command}; try .help"]
+
+    def _fuzz_command(self, argument: str) -> list[str]:
+        # scratch databases only -- the harness never touches self.db
+        parts = argument.split()
+        try:
+            n = int(parts[0]) if parts else 100
+            seed = int(parts[1]) if len(parts) > 1 else 0
+        except ValueError:
+            return ["usage: .fuzz [cases] [seed]"]
+        if n <= 0 or len(parts) > 2:
+            return ["usage: .fuzz [cases] [seed]"]
+        from repro.qa import fuzz
+        lines: list[str] = []
+        report = fuzz(
+            n, seed=seed,
+            on_finding=lambda f: lines.extend(f.describe().splitlines()),
+        )
+        lines.append(report.summary())
+        return lines
 
     def _budget_command(self, argument: str) -> list[str]:
         s = self.settings

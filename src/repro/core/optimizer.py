@@ -68,7 +68,7 @@ class Optimizer:
     def __init__(self, catalog: Catalog,
                  rewriter: Optional[QueryRewriter] = None,
                  dynamic_limits: bool = False,
-                 ledger=None):
+                 ledger=None, quarantine=None):
         self.catalog = catalog
         self.rewriter = rewriter or QueryRewriter(catalog)
         self.dynamic_limits = dynamic_limits
@@ -76,6 +76,10 @@ class Optimizer:
         # lands there, stamped with the current trace context, feeding
         # sys.rewrites / sys.rule_heat
         self.ledger = ledger
+        # the database's QuarantineRegistry (or None): benched rules
+        # are pre-quarantined into every policy, and checked-mode
+        # blame reports back into it (see _bind_quarantine)
+        self.quarantine = quarantine
 
     def optimize(self, term: Term, rewrite: bool = True,
                  obs=None, deadline_ms: Optional[float] = None,
@@ -150,17 +154,44 @@ class Optimizer:
                            max_applications, checked):
         """Resolve the optimize() convenience arguments to a policy."""
         if resilience is not None:
-            return resilience
+            return self._bind_quarantine(resilience)
         if deadline_ms is None and max_applications is None \
                 and not checked:
-            return None
+            return self._bind_quarantine(None)
         from repro.resilience import (ResiliencePolicy,
                                       make_checked_validator)
-        return ResiliencePolicy(
+        return self._bind_quarantine(ResiliencePolicy(
             deadline_ms=deadline_ms,
             max_applications=max_applications,
             validator=(make_checked_validator(self.catalog)
                        if checked else None),
+        ))
+
+    def _bind_quarantine(self, policy):
+        """Wire the persistent quarantine registry into a policy.
+
+        With benched rules on file, even a policy-free rewrite gets a
+        minimal policy carrying them -- a rule caught changing answers
+        must not fire in *any* later statement, checked or not.  The
+        registry's ``note`` is installed as the quarantine sink so
+        checked-mode blame persists.  With an empty registry the
+        policy passes through untouched (the common fast path).
+        """
+        registry = self.quarantine
+        if registry is None:
+            return policy
+        if policy is None and not registry:
+            return None  # nothing benched, nothing to sink into
+        from dataclasses import replace as _replace
+
+        from repro.resilience import ResiliencePolicy
+        if policy is None:
+            policy = ResiliencePolicy()
+        benched = registry.rules() | set(policy.prequarantined)
+        return _replace(
+            policy,
+            prequarantined=tuple(sorted(benched)),
+            quarantine_sink=policy.quarantine_sink or registry.note,
         )
 
     def _rewrite_dynamic(self, typed: Term, obs=None,

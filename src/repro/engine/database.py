@@ -56,6 +56,7 @@ class Database:
                  checked: bool = False,
                  deadline_ms: Optional[float] = None,
                  resilient: bool = False,
+                 antipattern: bool = False,
                  path: Optional[str] = None,
                  sync: bool = False,
                  statement_timeout_ms: Optional[float] = None,
@@ -76,6 +77,16 @@ class Database:
         self.checked = checked
         self.deadline_ms = deadline_ms
         self.resilient = resilient
+        # the optional anti-pattern block (OR-chain -> IN, redundant
+        # DISTINCT, double negation, trivial arithmetic); installed
+        # into every regenerated optimizer when True
+        self.antipattern = antipattern
+        # persistent rule quarantine: rules confirmed to change
+        # answers (checked-mode blame, the repro.qa harness) are
+        # benched here and pre-quarantined into every later rewrite;
+        # owned by the database so it survives regenerate_optimizer()
+        from repro.resilience.quarantine import QuarantineRegistry
+        self.quarantine = QuarantineRegistry()
         # lifecycle governance defaults: any knob set (or a chaos
         # injector mounted, or serving enabled) makes statements run
         # under a QueryContext; all None keeps the bare path
@@ -131,10 +142,15 @@ class Database:
             rewriter = QueryRewriter(
                 self.catalog, semantic_limit=self.semantic_limit
             )
+            if self.antipattern:
+                from repro.rules.antipattern import antipattern_block
+                rewriter.add_block(antipattern_block(),
+                                   before="simplify")
             self._optimizer = Optimizer(
                 self.catalog, rewriter,
                 dynamic_limits=self.dynamic_limits,
                 ledger=self.ledger,
+                quarantine=self.quarantine,
             )
         return self._optimizer
 
@@ -294,7 +310,7 @@ class Database:
                             self._run(term, self.rewrite_default,
                                       obs=obs)[0]
                         )
-                elif isinstance(statement, ast.Select):
+                elif ast.is_query(statement):
                     with guard.read():
                         term = self._apply_statement(statement, source)
                         results.append(

@@ -20,6 +20,7 @@ __all__ = [
     "Expr", "NumberLit", "StringLit", "BoolLit", "ColumnRef", "FnCall",
     "BinOp", "NotExpr", "AndExpr", "OrExpr", "NewObject", "CollectionLit",
     "TupleLit", "SelectItem", "FromItem", "Select", "UnionSelect", "Query",
+    "is_query",
     "InSubquery", "ExistsSubquery", "InList",
     "DeleteStmt", "UpdateStmt", "Star", "DropStmt",
 ]
@@ -242,6 +243,16 @@ class UnionSelect:
 
 
 Query = Union[Select, UnionSelect]
+
+
+def is_query(statement) -> bool:
+    """True for read-only statements (a bare SELECT or a UNION of
+    them).  This is THE read/write classifier: the serving layer's
+    admission class, the pool worker's dispatch path and the engine's
+    guard choice must all agree on it, or a UNION read ends up on a
+    write path (found by the qa tier oracle: pool workers executed
+    UNION SELECTs as DML and returned no rows)."""
+    return isinstance(statement, (Select, UnionSelect))
 
 Statement = Union[
     EnumTypeDef, TupleTypeDef, CollTypeDef, TableDef, ViewDef,

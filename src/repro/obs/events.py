@@ -51,6 +51,12 @@ sinks can serialise uniformly.  The taxonomy mirrors the pipeline:
 ``WorkerKilled``   the supervisor SIGKILLed a worker (hang / cancel
                    escalation / chaos / boot timeout)
 ``PoolStateChanged`` the pool moved between running / broken / stopped
+``EquivalenceViolation`` a differential check confirmed a rewrite
+                   changed a query's answer (checked-mode blame or the
+                   ``repro.qa`` fuzz harness); carries the blamed rule
+                   when localization succeeded
+``FuzzCompleted``  one ``repro.qa`` fuzz run finished; carries the
+                   seed, case count and violation count
 =================  ======================================================
 
 Durations are monotonic-clock seconds (``time.perf_counter`` deltas).
@@ -75,6 +81,7 @@ __all__ = [
     "SubscriberDetached", "SlowQuery",
     "StatementCancelled", "BudgetTripped", "WatchdogReaped",
     "WorkerSpawned", "WorkerExited", "WorkerKilled", "PoolStateChanged",
+    "EquivalenceViolation", "FuzzCompleted",
 ]
 
 
@@ -452,3 +459,27 @@ class PoolStateChanged(Event):
     state: str
     reason: str
     workers: int
+
+
+@dataclass(frozen=True)
+class EquivalenceViolation(Event):
+    """A differential check confirmed a rewrite changed a query's
+    answer.  ``source`` is ``checked`` (the in-engine validator blamed
+    a rolled-back block) or ``fuzz`` (the ``repro.qa`` harness);
+    ``rule`` is the blamed rule when step-replay localization
+    succeeded, else empty."""
+
+    source: str
+    block: str
+    rule: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class FuzzCompleted(Event):
+    """One ``repro.qa`` fuzz run finished."""
+
+    seed: int
+    cases: int
+    violations: int
+    duration: float

@@ -49,6 +49,7 @@ SYS_RELATIONS = {
     "sys.workers": "pool worker processes: pid, state, restarts",
     "sys.rewrites": "the rewrite-provenance ring: one row per firing",
     "sys.rule_heat": "cumulative per-rule firing aggregates",
+    "sys.quarantine": "rules benched for changing query answers",
     "sys.wal": "committed statements in the write-ahead log",
     "sys.snapshots": "the durability snapshot file, if any",
 }
@@ -110,6 +111,14 @@ def register_introspection(db, server=None) -> None:
          ("DurationMsTotal", REAL)],
         lambda: _rule_heat_rows(db.ledger),
         SYS_RELATIONS["sys.rule_heat"],
+    )
+
+    catalog.register_virtual(
+        "sys.quarantine",
+        [("Rule", CHAR), ("Block", CHAR), ("Source", CHAR),
+         ("Detail", CHAR), ("BenchedAt", REAL)],
+        lambda: _quarantine_rows(db.quarantine),
+        SYS_RELATIONS["sys.quarantine"],
     )
 
     catalog.register_virtual(
@@ -227,6 +236,13 @@ def _rule_heat_rows(ledger):
          r["complexity_delta_total"], r["complexity_delta_mean"],
          r["duration_ms_total"])
         for r in ledger.heat()
+    ]
+
+
+def _quarantine_rows(registry):
+    return [
+        (e.rule, e.block, e.source, e.detail, e.benched_at)
+        for e in registry.entries()
     ]
 
 

@@ -170,7 +170,7 @@ class _Worker:
         source = frame["source"]
         statements = parse_script_with_sources(source)
         is_read = (len(statements) == 1
-                   and isinstance(statements[0][0], ast.Select))
+                   and ast.is_query(statements[0][0]))
         budgets = {
             "timeout_ms": frame.get("timeout_ms"),
             "row_budget": frame.get("row_budget"),

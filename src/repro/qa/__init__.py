@@ -1,0 +1,44 @@
+"""Randomized differential testing of the rewriter (``repro.qa``).
+
+The paper's premise is that every rewrite rule is semantics-preserving;
+recent work makes that claim machine-checked (HoTTSQL; "An Extensible
+and Verifiable Language for Query Rewrite Rules").  This package is the
+testing approximation of that goal, and the safety net every speed PR
+runs behind:
+
+* :mod:`repro.qa.schema_gen` -- a seeded random ADT-schema + data
+  generator (tables, keys, typed rows) rendered as replayable ESQL;
+* :mod:`repro.qa.query_gen` -- a grammar-driven random ESQL query
+  generator biased toward rewrite-triggering shapes: joins, nesting,
+  EXISTS / NOT EXISTS, DISTINCT, OR chains, IN lists and subqueries,
+  double negation, trivial predicates;
+* :mod:`repro.qa.plan_gen` -- random LERA plans fed straight to the
+  rewriter (the widest net against rules firing where they should not);
+* :mod:`repro.qa.oracle` -- the differential oracle: each query runs
+  rewritten and unrewritten, metamorphically across rule-block subsets
+  (leave-one-out) and across execution tiers (in-process vs. a pool
+  worker), with results compared as *bags*;
+* :mod:`repro.qa.shrink` -- a delta-debugging shrinker that minimizes
+  any non-equivalence (rows, tables, conjuncts, query features) while
+  preserving the divergence;
+* :mod:`repro.qa.harness` -- the deterministic fuzz loop (``fuzz``),
+  with a ``qa.*`` metric surface and typed events;
+* :mod:`repro.qa.corpus` -- the committed regression corpus
+  (``tests/qa_corpus/*.json``), replayed by the tier-1 suite.
+
+Entry points: CLI ``.fuzz N [seed]`` and ``python -m repro.qa``.
+Everything is deterministic under a seed; see ``docs/robustness.md``.
+"""
+
+from repro.qa.harness import FuzzFinding, FuzzReport, fuzz
+from repro.qa.oracle import DifferentialOracle, Divergence, result_bag
+from repro.qa.query_gen import random_case, random_query
+from repro.qa.schema_gen import Case, TableSpec, random_rows, random_schema
+from repro.qa.shrink import shrink_case
+
+__all__ = [
+    "Case", "TableSpec", "random_schema", "random_rows",
+    "random_case", "random_query",
+    "DifferentialOracle", "Divergence", "result_bag",
+    "shrink_case", "fuzz", "FuzzReport", "FuzzFinding",
+]

@@ -1,0 +1,69 @@
+"""``python -m repro.qa`` -- the fuzz harness from the command line.
+
+The CI smoke job runs exactly this::
+
+    python -m repro.qa --n 300 --seed 20260808 --fail-on-violation
+
+Findings stream as they are confirmed (already minimized); with
+``--corpus DIR`` each shrunk case is also written into the regression
+corpus directory, ready to commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.qa.harness import fuzz
+from repro.qa.oracle import DifferentialOracle
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qa",
+        description="randomized differential testing of the rewriter",
+    )
+    parser.add_argument("--n", type=int, default=100,
+                        help="number of cases (default 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="run seed (default 0)")
+    parser.add_argument("--tier-every", type=int, default=0,
+                        help="also replay every k-th case through a "
+                             "pool worker (default: never)")
+    parser.add_argument("--no-antipattern", action="store_true",
+                        help="leave the anti-pattern block out")
+    parser.add_argument("--no-subsets", action="store_true",
+                        help="skip the leave-one-out block sweep")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report findings without minimizing them")
+    parser.add_argument("--corpus", metavar="DIR",
+                        help="write each shrunk finding into DIR")
+    parser.add_argument("--fail-on-violation", action="store_true",
+                        help="exit 1 when any violation is found")
+    args = parser.parse_args(argv)
+
+    oracle = DifferentialOracle(
+        antipattern=not args.no_antipattern,
+        check_subsets=not args.no_subsets,
+    )
+
+    def stream(finding):
+        print(finding.describe())
+        if args.corpus:
+            from repro.qa.corpus import save_case
+            path = save_case(finding.shrunk, args.corpus)
+            print(f"  saved: {path}")
+
+    report = fuzz(
+        args.n, seed=args.seed, oracle=oracle,
+        tier_every=args.tier_every, shrink=not args.no_shrink,
+        on_finding=stream,
+    )
+    print(report.summary())
+    if args.fail_on_violation and not report.ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Seeded random LERA plan generation (rewriter-level fuzzing).
+
+Queries that came through the parser only exercise the plan shapes the
+translator emits.  This module builds random *plans* directly -- width-2
+trees of searches, unions, differences, intersections, semi/antijoins
+and nest/unnest pairs over two base tables -- and feeds them straight
+to the rewriter: the widest net against a rule firing somewhere it
+should not.
+
+Everything is driven by a caller-supplied :class:`random.Random`, so
+the harness can fuzz plans deterministically and the hypothesis
+property tests can keep shrinking over seeds
+(``st.integers().map(lambda s: random_plan(Random(s)))``).
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.adt.types import NUMERIC
+from repro.engine.catalog import Catalog
+from repro.lera import ops
+from repro.terms.parser import parse_term
+from repro.terms.term import AttrRef, Term, sym
+
+__all__ = ["plan_catalog", "random_plan", "QUALS", "JOIN_QUALS"]
+
+# single-input qualifications over a two-column row (parsed once)
+QUALS = tuple(parse_term(text) for text in (
+    "true", "#1.1 = 1", "#1.1 > 1", "#1.2 <> 2", "#1.1 = #1.2",
+    "#1.1 > 1 AND #1.2 < 4", "#1.1 = 1 OR #1.2 = 3",
+    "NOT(#1.1 = 2)", "#1.1 > 1 AND #1.1 < 1",
+))
+
+# two-input join qualifications
+JOIN_QUALS = tuple(parse_term(text) for text in (
+    "#1.1 = #2.1", "#1.2 = #2.2 AND #1.1 > 0", "#1.1 = #2.2",
+))
+
+_BASES = ("P", "Q")
+
+
+def plan_catalog() -> Catalog:
+    """Two small NUMERIC base tables with overlapping value domains
+    (so joins, differences and intersections all produce rows)."""
+    cat = Catalog()
+    cat.define_table("P", [("A", NUMERIC), ("B", NUMERIC)])
+    cat.define_table("Q", [("A", NUMERIC), ("B", NUMERIC)])
+    cat.insert_many("P", [(i % 4, (i * 3) % 5) for i in range(8)])
+    cat.insert_many("Q", [(i % 5, (i * 2) % 4) for i in range(7)])
+    return cat
+
+
+def _search(rng: Random, child: Term) -> Term:
+    return ops.search([child], rng.choice(QUALS),
+                      [AttrRef(1, 1), AttrRef(1, 2)])
+
+
+def _join_search(rng: Random, a: Term, b: Term) -> Term:
+    return ops.search([a, b], rng.choice(JOIN_QUALS),
+                      [AttrRef(1, 1), AttrRef(2, 2)])
+
+
+def _nest_unnest(rng: Random, child: Term) -> Term:
+    nested = ops.nest(child, [AttrRef(1, 2)], "Bs", kind="SET")
+    return ops.unnest(nested, AttrRef(1, 2))
+
+
+_UNARY = (_search, _nest_unnest)
+_BINARY = (
+    lambda rng, a, b: ops.union([a, b]),
+    lambda rng, a, b: ops.difference(a, b),
+    lambda rng, a, b: ops.intersection([a, b]),
+    lambda rng, a, b: ops.semijoin(a, b, rng.choice(JOIN_QUALS)),
+    lambda rng, a, b: ops.antijoin(a, b, rng.choice(JOIN_QUALS)),
+    _join_search,
+)
+
+
+def random_plan(rng: Random, max_depth: int = 3) -> Term:
+    """One random width-2 LERA plan over the :func:`plan_catalog`
+    tables.  At each level: a base table (always, at depth 0), a unary
+    node, or a binary node over two recursive children."""
+    if max_depth <= 0 or rng.random() < 0.25:
+        return sym(rng.choice(_BASES))
+    if rng.random() < 0.45:
+        builder = rng.choice(_UNARY)
+        return builder(rng, random_plan(rng, max_depth - 1))
+    builder = rng.choice(_BINARY)
+    return builder(rng, random_plan(rng, max_depth - 1),
+                   random_plan(rng, max_depth - 1))

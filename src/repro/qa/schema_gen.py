@@ -1,0 +1,191 @@
+"""Seeded random schema + data generation, and the :class:`Case` model.
+
+A :class:`Case` is one self-contained differential-testing input: a
+random schema (tables, typed columns, optional primary keys), random
+rows, and one ESQL query.  Everything renders to plain ESQL text, so a
+case can be replayed against a fresh :class:`~repro.engine.database.
+Database` -- and serialized to JSON for the regression corpus.
+
+All randomness flows from a caller-supplied :class:`random.Random`, so
+the same seed always yields the same case (the determinism the CI fuzz
+smoke and the shrinker both rely on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Optional, Sequence
+
+__all__ = ["TableSpec", "Case", "random_schema", "random_rows",
+           "render_const"]
+
+# the value domains are deliberately tiny so joins, EXISTS probes and
+# OR chains actually hit: a 7-integer domain over <= 10 rows makes
+# every generated predicate selective-but-satisfiable most of the time
+_INT_DOMAIN = tuple(range(0, 7))
+_CHAR_DOMAIN = ("a", "b", "c", "d", "e")
+_COLUMN_TYPES = ("INT", "NUMERIC", "CHAR")
+
+# column names are globally unique across the schema (one alphabet,
+# consumed left to right), so generated queries never need to qualify
+# a reference and multi-table FROM lists stay unambiguous
+_ALPHABET = tuple("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+
+
+def render_const(value, type_name: str) -> str:
+    """Render one Python value as an ESQL literal."""
+    if type_name == "CHAR":
+        return "'" + str(value) + "'"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One random table: name, typed columns, optional key, rows."""
+
+    name: str
+    columns: tuple[tuple[str, str], ...]  # (column name, type name)
+    key: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def ddl(self) -> str:
+        cols = ", ".join(f"{n} : {t}" for n, t in self.columns)
+        if self.key:
+            cols += f", PRIMARY KEY ({', '.join(self.key)})"
+        return f"TABLE {self.name} ({cols})"
+
+    def insert(self) -> Optional[str]:
+        if not self.rows:
+            return None
+        types = [t for __, t in self.columns]
+        rendered = ", ".join(
+            "(" + ", ".join(
+                render_const(v, t) for v, t in zip(row, types)
+            ) + ")"
+            for row in self.rows
+        )
+        return f"INSERT INTO {self.name} VALUES {rendered}"
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(n for n, __ in self.columns)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "columns": [list(c) for c in self.columns],
+            "key": list(self.key),
+            "rows": [list(r) for r in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TableSpec":
+        return cls(
+            name=data["name"],
+            columns=tuple((n, t) for n, t in data["columns"]),
+            key=tuple(data["key"]),
+            rows=tuple(tuple(r) for r in data["rows"]),
+        )
+
+
+@dataclass(frozen=True)
+class Case:
+    """One replayable schema + data + query differential-test input."""
+
+    tables: tuple[TableSpec, ...]
+    query: str
+    name: str = ""
+    note: str = ""
+
+    def setup_script(self) -> str:
+        statements = []
+        for table in self.tables:
+            statements.append(table.ddl())
+            insert = table.insert()
+            if insert:
+                statements.append(insert)
+        return ";\n".join(statements)
+
+    def to_dict(self) -> dict:
+        out = {
+            "tables": [t.to_dict() for t in self.tables],
+            "query": self.query,
+        }
+        if self.name:
+            out["name"] = self.name
+        if self.note:
+            out["note"] = self.note
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Case":
+        return cls(
+            tables=tuple(TableSpec.from_dict(t) for t in data["tables"]),
+            query=data["query"],
+            name=data.get("name", ""),
+            note=data.get("note", ""),
+        )
+
+
+def random_rows(rng: Random, types: Sequence[str], max_rows: int = 10,
+                unique_on: Sequence[int] = ()) -> tuple[tuple, ...]:
+    """Random rows for a column-type signature.
+
+    ``unique_on`` names column positions (0-based) that must stay
+    duplicate-free together -- the generated data for a declared
+    primary key (uniqueness is enforced on insert, so a violating row
+    would abort the whole setup script).
+    """
+    count = rng.randint(0, max_rows)
+    rows: list[tuple] = []
+    seen_keys: set[tuple] = set()
+    for __ in range(count):
+        for __attempt in range(8):
+            row = tuple(
+                rng.choice(_CHAR_DOMAIN) if t == "CHAR"
+                else rng.choice(_INT_DOMAIN)
+                for t in types
+            )
+            key = tuple(row[i] for i in unique_on)
+            if not unique_on or key not in seen_keys:
+                seen_keys.add(key)
+                rows.append(row)
+                break
+    return tuple(rows)
+
+
+def random_schema(rng: Random, max_tables: int = 3,
+                  max_rows: int = 10) -> tuple[TableSpec, ...]:
+    """A random schema of 1..``max_tables`` tables.
+
+    Bias knobs, all aimed at rewrite-triggering shapes downstream:
+
+    * ~60% of tables declare their first column PRIMARY KEY (feeds the
+      key-based rules: self-join elimination, redundant DISTINCT);
+    * the first column is always an integer type, so any two tables
+      are joinable on their heads;
+    * column names are globally unique (no qualification needed).
+    """
+    n_tables = rng.randint(1, max_tables)
+    tables = []
+    letters = iter(_ALPHABET)
+    for t in range(n_tables):
+        n_cols = rng.randint(2, 4)
+        columns = []
+        for c in range(n_cols):
+            col_type = ("INT" if c == 0
+                        else rng.choice(_COLUMN_TYPES))
+            columns.append((next(letters), col_type))
+        keyed = rng.random() < 0.6
+        key = (columns[0][0],) if keyed else ()
+        rows = random_rows(
+            rng, [ct for __, ct in columns], max_rows=max_rows,
+            unique_on=(0,) if keyed else (),
+        )
+        tables.append(TableSpec(
+            name=f"T{t}",
+            columns=tuple(columns),
+            key=key,
+            rows=rows,
+        ))
+    return tuple(tables)

@@ -1,0 +1,119 @@
+"""Delta-debugging shrinker: minimize a diverging case.
+
+Classic greedy ddmin over the structured case: every candidate
+reduction is accepted iff the oracle still reports a divergence of the
+same family (``Oracle.reproduces``).  Reductions, applied to fixpoint:
+
+* drop data rows, one at a time, per table;
+* drop whole tables the query no longer mentions;
+* drop WHERE conjuncts, UNION branches, DISTINCT, projection items
+  (structural reductions need the :class:`~repro.qa.query_gen.
+  QuerySpec`; a corpus replay without one shrinks data only).
+
+The output is what lands in the regression corpus: small enough to
+read, still failing for the original reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.qa.query_gen import QuerySpec
+from repro.qa.schema_gen import Case, TableSpec
+
+__all__ = ["shrink_case"]
+
+
+def _with_query(case: Case, spec: QuerySpec) -> Case:
+    return replace(case, query=spec.sql())
+
+
+def _shrink_rows(case: Case, oracle, mode) -> Case:
+    changed = True
+    while changed:
+        changed = False
+        for t_index, table in enumerate(case.tables):
+            r_index = 0
+            while r_index < len(case.tables[t_index].rows):
+                table = case.tables[t_index]
+                rows = (table.rows[:r_index]
+                        + table.rows[r_index + 1:])
+                candidate = replace(case, tables=(
+                    case.tables[:t_index]
+                    + (replace(table, rows=rows),)
+                    + case.tables[t_index + 1:]
+                ))
+                if oracle.reproduces(candidate, mode):
+                    case = candidate
+                    changed = True
+                else:
+                    r_index += 1
+    return case
+
+
+def _shrink_tables(case: Case, oracle, mode) -> Case:
+    for table in list(case.tables):
+        if table.name in case.query:
+            continue
+        candidate = replace(case, tables=tuple(
+            t for t in case.tables if t.name != table.name
+        ))
+        if oracle.reproduces(candidate, mode):
+            case = candidate
+    return case
+
+
+def _spec_reductions(spec: QuerySpec):
+    """Candidate structural reductions, most aggressive first."""
+    if spec.union is not None:
+        yield replace(spec, union=None)
+        yield spec.union  # keep only the second branch
+    for i in range(len(spec.where)):
+        yield replace(spec, where=spec.where[:i] + spec.where[i + 1:])
+    if spec.distinct:
+        yield replace(spec, distinct=False)
+    if len(spec.select) > 1 and not spec.group_by:
+        for i in range(len(spec.select)):
+            yield replace(
+                spec, select=spec.select[:i] + spec.select[i + 1:]
+            )
+    if len(spec.tables) > 1:
+        for i in range(len(spec.tables)):
+            yield replace(
+                spec, tables=spec.tables[:i] + spec.tables[i + 1:]
+            )
+
+
+def _shrink_query(case: Case, spec: QuerySpec, oracle,
+                  mode) -> tuple[Case, QuerySpec]:
+    changed = True
+    while changed:
+        changed = False
+        for candidate_spec in _spec_reductions(spec):
+            candidate = _with_query(case, candidate_spec)
+            if oracle.reproduces(candidate, mode):
+                case, spec = candidate, candidate_spec
+                changed = True
+                break
+    return case, spec
+
+
+def shrink_case(case: Case, oracle,
+                spec: Optional[QuerySpec] = None,
+                mode: Optional[str] = None) -> Case:
+    """Minimize ``case`` while ``oracle.reproduces(case, mode)``.
+
+    ``spec`` is the structured query the generator built (enables the
+    query-level reductions); ``mode`` pins the divergence family so
+    shrinking cannot wander to an unrelated failure.
+    """
+    if not oracle.reproduces(case, mode):
+        return case  # not reproducible: nothing safe to shrink
+    if spec is not None:
+        case, spec = _shrink_query(case, spec, oracle, mode)
+    case = _shrink_rows(case, oracle, mode)
+    case = _shrink_tables(case, oracle, mode)
+    if spec is not None:
+        case, __ = _shrink_query(case, spec, oracle, mode)
+    return case

@@ -32,11 +32,13 @@ from repro.resilience.policy import (CheckedRollbackRecord, DivergenceReport,
                                      ResiliencePolicy, ResilienceReport,
                                      ResilienceRuntime, RuleFailure,
                                      TermHistory)
+from repro.resilience.quarantine import QuarantineEntry, QuarantineRegistry
 
 __all__ = [
     "ResiliencePolicy", "ResilienceRuntime", "ResilienceReport",
     "RuleFailure", "DivergenceReport", "CheckedRollbackRecord",
     "TermHistory", "make_checked_validator",
+    "QuarantineEntry", "QuarantineRegistry",
 ]
 
 

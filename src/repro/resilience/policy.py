@@ -20,9 +20,10 @@ from time import perf_counter
 from typing import Callable, Optional
 
 from repro.obs.events import (CheckedRollback, Degraded, DivergenceDetected,
-                              RuleFailed, RuleQuarantined)
+                              EquivalenceViolation, RuleFailed,
+                              RuleQuarantined)
 from repro.terms.printer import term_to_str
-from repro.terms.term import Term, term_size
+from repro.terms.term import Term, replace_at, term_size
 
 __all__ = [
     "ResiliencePolicy", "ResilienceRuntime", "ResilienceReport",
@@ -76,6 +77,16 @@ class ResiliencePolicy:
         run after every block that changed the term.  A non-None
         return is a divergence description and rolls the block back.
         See :func:`repro.resilience.make_checked_validator`.
+    prequarantined:
+        Rule names banned before the rewrite even starts -- the
+        database's persistent
+        :class:`~repro.resilience.quarantine.QuarantineRegistry`
+        seeds this, so a rule benched by one statement never fires in
+        any later one.
+    quarantine_sink:
+        Called as ``sink(block, rule, detail)`` when checked-mode
+        blame localizes a rollback to one rule; the registry's
+        ``note`` hangs here, making in-rewrite quarantine persistent.
     """
 
     deadline_ms: Optional[float] = None
@@ -86,6 +97,8 @@ class ResiliencePolicy:
     growth_factor: float = 8.0
     growth_slack: int = 64
     validator: Optional[Callable[[Term, Term], Optional[str]]] = None
+    prequarantined: tuple = ()
+    quarantine_sink: Optional[Callable[[str, str, str], None]] = None
 
 
 @dataclass(frozen=True)
@@ -233,7 +246,7 @@ class ResilienceRuntime:
     def __init__(self, policy: ResiliencePolicy):
         self.policy = policy
         self.report = ResilienceReport()
-        self.quarantined: set[str] = set()
+        self.quarantined: set[str] = set(policy.prequarantined)
         self._failures: dict[str, int] = {}
         self._started = perf_counter()
         self.deadline = (
@@ -316,3 +329,57 @@ class ResilienceRuntime:
         if bus:
             bus.emit(CheckedRollback(block, problem, applications))
         return False
+
+    def blame_rollback(self, block: str, before: Term, entries,
+                       bus=None) -> Optional[str]:
+        """Localize a refuted block to one rule, and quarantine it.
+
+        ``entries`` are the block's trace entries (each holds the
+        rewritten subterm and its path).  Replaying them sequentially
+        from ``before`` rebuilds every intermediate whole term; the
+        first intermediate the validator refutes blames its rule.  The
+        blamed rule is quarantined for the rest of this rewrite *and*
+        reported through ``policy.quarantine_sink``, which the
+        database wires to its persistent registry -- one confirmed
+        wrong answer benches the rule everywhere.
+
+        Returns the blamed rule name, or None when localization was
+        not possible (no trace collected, or only the combination of
+        applications diverges).
+        """
+        validator = self.policy.validator
+        blamed: Optional[str] = None
+        detail = ""
+        if validator is not None:
+            current = before
+            for entry in entries:
+                try:
+                    current = replace_at(current, entry.path,
+                                         entry.after)
+                    problem = validator(before, current)
+                except Exception:  # blame must never be a second fault
+                    continue
+                if problem is not None:
+                    blamed = entry.rule
+                    detail = problem
+                    break
+        if bus:
+            bus.emit(EquivalenceViolation(
+                source="checked", block=block, rule=blamed or "",
+                detail=detail or "block-level divergence "
+                                 "(no single rule localized)",
+            ))
+        if blamed is None:
+            return None
+        if blamed not in self.quarantined:
+            self.quarantined.add(blamed)
+            self.report.quarantined.append(blamed)
+            if bus:
+                bus.emit(RuleQuarantined(block, blamed, 1))
+        sink = self.policy.quarantine_sink
+        if sink is not None:
+            try:
+                sink(block, blamed, detail)
+            except Exception:
+                pass  # a broken sink must not break the rewrite
+        return blamed

@@ -190,7 +190,13 @@ class RewriteEngine:
                         not runtime.validate_block(
                             block.name, before, result.term,
                             result.applications - apps_mark, bus):
-                    # checked mode refuted this block: roll it back
+                    # checked mode refuted this block: localize blame
+                    # (step-replay over the trace quarantines the one
+                    # unsound rule) and roll it back
+                    runtime.blame_rollback(
+                        block.name, before, result.trace[trace_mark:],
+                        bus,
+                    )
                     result.term = before
                     del result.trace[trace_mark:]
                     result.applications = apps_mark

@@ -40,8 +40,11 @@ def canonicalization_rules() -> list[RewriteRule]:
         # join* is a search keeping the concatenated attributes
         "join_to_search: "
         "JOIN(z, f) / --> SEARCH(z, f, s) / SCHEMA(z, s)",
-        # a one-branch union is its branch
-        "union_singleton: UNION(SET(u)) / --> u /",
+        # a one-branch union is its branch -- *deduplicated*: UNION has
+        # set semantics while the branch may be a bag, so unwrapping
+        # must keep the duplicate elimination (found by the repro.qa
+        # differential harness; tests/qa_corpus replays the repro)
+        "union_singleton: UNION(SET(u)) / --> DISTINCT(u) /",
     ]
     return [rule_from_text(t) for t in texts]
 

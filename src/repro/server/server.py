@@ -54,7 +54,7 @@ _ERROR_HISTORY = 16  # per-session tail of typed error payloads
 
 def classify_statement(statement) -> str:
     """The admission class of one parsed statement."""
-    return "read" if isinstance(statement, ast.Select) else "write"
+    return "read" if ast.is_query(statement) else "write"
 
 
 class Server:

@@ -195,6 +195,23 @@ class TestResilienceCommands:
         assert "(1 row)" in out[0]
 
 
+class TestFuzzCommand:
+    def test_fuzz_runs_and_summarizes(self, shell):
+        out = run(shell, ".fuzz 3 11")
+        assert out[-1].startswith("fuzz seed=11: 3/3 case(s)")
+        assert "0 violation(s)" in out[-1]
+
+    def test_fuzz_rejects_garbage(self, shell):
+        assert run(shell, ".fuzz lots") == ["usage: .fuzz [cases] [seed]"]
+        assert run(shell, ".fuzz 0") == ["usage: .fuzz [cases] [seed]"]
+
+    def test_fuzz_never_touches_the_shell_database(self, shell):
+        run(shell, ".fuzz 2 1")
+        # the scratch schemas (T1, T2, ...) must not leak in
+        names = shell.db.catalog.relation_names()
+        assert all(not n.startswith("T") or n == "EDGE" for n in names)
+
+
 class TestShellSurvivesErrors:
     def test_dot_command_repro_error_is_reported(self, shell):
         from repro.errors import ReproError

@@ -51,6 +51,20 @@ class TestRouting:
         finally:
             server.close()
 
+    def test_union_selects_are_pooled_reads(self):
+        # regression (qa tier oracle find): a top-level UNION parses
+        # as ast.UnionSelect, which the worker's Select-only read
+        # check sent down the DML path -- it ran as a write on the
+        # worker's private replica and returned no rows
+        server = _server()
+        try:
+            query = "SELECT A FROM T UNION SELECT A FROM T"
+            rows = server.query(query).rows
+            assert sorted(rows) == [(1,), (2,), (3,)]
+            assert server.pool.dispatched == 1  # classified as a read
+        finally:
+            server.close()
+
     def test_sys_reads_stay_in_process(self):
         server = _server()
         try:

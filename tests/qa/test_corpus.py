@@ -1,0 +1,63 @@
+"""The regression corpus: persistence plus the tier-1 replay gate."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa.corpus import case_filename, load_case, load_corpus, save_case
+from repro.qa.oracle import DifferentialOracle
+from repro.qa.schema_gen import Case, TableSpec
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "qa_corpus"
+
+_CASE = Case(
+    tables=(TableSpec(name="T", columns=(("A", "INT"),), key=(),
+                      rows=((1,), (1,))),),
+    query="SELECT A FROM T",
+    name="demo case",
+    note="round-trip fixture",
+)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = save_case(_CASE, tmp_path)
+        assert load_case(path) == _CASE
+
+    def test_filenames_are_content_addressed(self, tmp_path):
+        assert case_filename(_CASE).startswith("demo-case-")
+        # saving twice is idempotent -- same content, same file
+        assert save_case(_CASE, tmp_path) == save_case(_CASE, tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_load_corpus_sorted_and_missing_dir(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+        save_case(_CASE, tmp_path)
+        names = [name for name, __ in load_corpus(tmp_path)]
+        assert names == sorted(names) and len(names) == 1
+
+
+class TestCommittedCorpus:
+    """Every minimized divergence ever committed must stay fixed."""
+
+    def test_corpus_is_not_empty(self):
+        assert load_corpus(CORPUS_DIR), \
+            "tests/qa_corpus/ should hold at least the union_singleton repro"
+
+    @pytest.mark.parametrize(
+        "name,case",
+        load_corpus(CORPUS_DIR) or [("missing", None)],
+        ids=lambda v: v if isinstance(v, str) else "",
+    )
+    def test_replay_stays_equivalent(self, name, case):
+        if case is None:
+            pytest.skip("corpus directory missing")
+        # tier checks too: the corpus holds cross-tier repros (the
+        # UNION-read-as-DML pool bug), not just rewrite bugs
+        divergence = DifferentialOracle(
+            antipattern=True, check_tier=True
+        ).check(case)
+        assert divergence is None, (
+            f"corpus case {name} regressed: {divergence.mode}: "
+            f"{divergence.detail}"
+        )

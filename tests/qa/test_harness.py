@@ -1,0 +1,81 @@
+"""The fuzz loop: deterministic, observable, and it finds planted bugs."""
+
+from repro.obs.bus import EventBus
+from repro.obs.events import EquivalenceViolation, FuzzCompleted
+from repro.obs.metrics import MetricsRegistry
+from repro.qa.harness import case_seed, fuzz
+from repro.qa.oracle import DifferentialOracle
+
+from tests.qa.test_oracle_shrink import UnsoundOracle
+
+N = 25
+SEED = 7
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        a = fuzz(N, seed=SEED)
+        b = fuzz(N, seed=SEED)
+        assert (a.executed, a.skipped, a.violations) == \
+            (b.executed, b.skipped, b.violations)
+
+    def test_case_seeds_are_stable(self):
+        assert case_seed(SEED, 0) == SEED * 1_000_003
+        assert case_seed(SEED, 3) == SEED * 1_000_003 + 3
+
+    def test_findings_replay_from_their_seed(self):
+        oracle = UnsoundOracle(check_subsets=False)
+        a = fuzz(N, seed=SEED, oracle=oracle, shrink=False)
+        b = fuzz(N, seed=SEED, oracle=oracle, shrink=False)
+        assert [f.case.query for f in a.findings] == \
+            [f.case.query for f in b.findings]
+
+
+class TestFindings:
+    def test_clean_run_reports_ok(self):
+        report = fuzz(N, seed=SEED)
+        assert report.ok
+        assert report.violations == 0
+        assert report.executed + report.skipped == N
+
+    def test_planted_bug_is_found_and_shrunk(self):
+        oracle = UnsoundOracle(check_subsets=False)
+        report = fuzz(60, seed=SEED, oracle=oracle)
+        assert not report.ok
+        finding = report.findings[0]
+        assert finding.divergence.mode in ("rewrite", "rewrite-error")
+        # the shrunk case must still reproduce, and not have grown
+        assert oracle.reproduces(finding.shrunk,
+                                 finding.divergence.mode)
+        assert len(finding.shrunk.query) <= len(finding.case.query)
+
+    def test_on_finding_streams(self):
+        seen = []
+        fuzz(60, seed=SEED, oracle=UnsoundOracle(check_subsets=False),
+             shrink=False, on_finding=seen.append)
+        assert seen, "the planted bug never streamed"
+
+
+class TestObservability:
+    def test_events_and_metrics(self):
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        metrics = MetricsRegistry()
+        report = fuzz(40, seed=SEED,
+                      oracle=UnsoundOracle(check_subsets=False),
+                      shrink=False, obs=bus, metrics=metrics)
+        completed = [e for e in events if isinstance(e, FuzzCompleted)]
+        assert len(completed) == 1
+        assert completed[0].violations == report.violations
+        violations = [e for e in events
+                      if isinstance(e, EquivalenceViolation)]
+        assert len(violations) == report.violations
+        assert all(v.source == "fuzz" for v in violations)
+        assert metrics.value("qa.cases") == report.executed
+        assert metrics.value("qa.violations") == report.violations
+
+    def test_summary_mentions_the_seed(self):
+        report = fuzz(5, seed=123,
+                      oracle=DifferentialOracle(check_subsets=False))
+        assert "seed=123" in report.summary()

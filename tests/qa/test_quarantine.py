@@ -1,0 +1,111 @@
+"""Quarantine-on-divergence: a rule that changes an answer is benched,
+persisted, surfaced in ``sys.quarantine``, and the statement that
+caught it still answers correctly."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.obs.bus import EventBus
+from repro.obs.events import EquivalenceViolation, RuleQuarantined
+from repro.resilience import QuarantineEntry, QuarantineRegistry
+from repro.rules.rule import rule_from_text
+
+BAD_RULE = "bad_flip: x > y / --> x >= y /"
+
+SETUP = """
+TABLE T (A : INT, B : INT);
+INSERT INTO T VALUES (1, 5);
+INSERT INTO T VALUES (2, 6);
+INSERT INTO T VALUES (3, 7)
+"""
+
+QUERY = "SELECT A FROM T WHERE A > 2"
+RIGHT = [(3,)]
+
+
+@pytest.fixture
+def db():
+    database = Database(checked=True)
+    database.execute(SETUP)
+    database.optimizer.rewriter.add_rule(
+        rule_from_text(BAD_RULE), block="simplify"
+    )
+    database.regenerate_optimizer = lambda: None  # keep the planted rule
+    yield database
+    database.close()
+
+
+class TestRegistry:
+    def test_first_note_wins(self):
+        registry = QuarantineRegistry()
+        registry.note("simplify", "r1", "first")
+        registry.note("other", "r1", "second")
+        (entry,) = registry.entries()
+        assert (entry.block, entry.detail) == ("simplify", "first")
+        assert "r1" in registry and len(registry) == 1
+
+    def test_lift(self):
+        registry = QuarantineRegistry()
+        registry.note("b", "r1", "d")
+        registry.lift("r1")
+        assert "r1" not in registry and not registry
+
+    def test_entry_as_dict(self):
+        entry = QuarantineEntry(rule="r", block="b", source="checked",
+                                detail="d", benched_at=1.0)
+        assert entry.as_dict()["rule"] == "r"
+
+
+class TestAutoQuarantine:
+    def test_checked_statement_answers_correctly(self, db):
+        assert db.query(QUERY).rows == RIGHT
+
+    def test_bad_rule_lands_in_the_registry(self, db):
+        db.query(QUERY)
+        (entry,) = db.quarantine.entries()
+        assert entry.rule == "bad_flip"
+        assert entry.block == "simplify"
+        assert entry.source == "checked"
+
+    def test_surfaced_in_sys_quarantine(self, db):
+        db.query(QUERY)
+        rows = db.query(
+            "SELECT Rule, Block, Source FROM sys.quarantine"
+        ).rows
+        assert rows == [("bad_flip", "simplify", "checked")]
+
+    def test_unchecked_statement_skips_the_benched_rule(self, db):
+        db.query(QUERY)  # benches bad_flip
+        # without the quarantine, unchecked rewriting would widen > to
+        # >= and return the wrong extra row
+        assert db.query(QUERY, checked=False).rows == RIGHT
+
+    def test_events_are_emitted(self, db):
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        db.query(QUERY, obs=bus)
+        violations = [e for e in events
+                      if isinstance(e, EquivalenceViolation)]
+        assert violations and violations[0].source == "checked"
+        assert violations[0].rule == "bad_flip"
+        benched = [e for e in events if isinstance(e, RuleQuarantined)]
+        assert benched and benched[0].rule == "bad_flip"
+
+    def test_lift_rearms_detection(self, db):
+        db.query(QUERY)
+        db.quarantine.lift("bad_flip")
+        assert not db.quarantine.entries()
+        # the rule fires again, diverges again, and is re-benched
+        assert db.query(QUERY).rows == RIGHT
+        (entry,) = db.quarantine.entries()
+        assert entry.rule == "bad_flip"
+
+    def test_sys_quarantine_empty_by_default(self):
+        plain = Database()
+        try:
+            assert plain.query(
+                "SELECT Rule FROM sys.quarantine"
+            ).rows == []
+        finally:
+            plain.close()

@@ -160,9 +160,12 @@ class TestCanonicalization:
             sorted(evaluate(result.term, cat).rows)
 
     def test_singleton_union_unwrapped(self, cat):
+        # unwrapping must keep the duplicate elimination: UNION has
+        # set semantics while its branch may be a bag (a bare unwrap
+        # returned duplicate rows; tests/qa_corpus holds the repro)
         t = parse_term("UNION(SET(EDGE))")
         result = rewrite(t, cat)
-        assert result.term == parse_term("EDGE")
+        assert result.term == parse_term("DISTINCT(EDGE)")
 
 
 class TestUnionFactoring:
