@@ -1,0 +1,87 @@
+"""ANALYZE -- the cost of workload intelligence.
+
+Three questions, per the observability layer's contract:
+
+* what does an analyze-*off* query pay for the instrumentation
+  existing at all? (the evaluator's null-object fast path: no
+  collector means no wrapper, and the only new per-statement cost is
+  one memoized fingerprint lookup);
+* what does EXPLAIN ANALYZE mode actually cost? (one timestamped
+  enter/exit pair per operator invocation -- measured here so the
+  "opt-in" framing in docs/observability.md stays honest);
+* is the fingerprint memo really a memo? (re-running the same source
+  must not re-render the template).
+
+Wall-clock ratios land in EXPERIMENTS.md; the committed artifact
+(``BENCH_analyze.json``, from ``benchmarks.report --only analyze``)
+carries only the deterministic counters.
+"""
+
+import time
+
+from repro import Database
+from repro.engine.analyze import AnalyzeCollector
+
+QUERY = "SELECT Shop, Amount FROM SALE WHERE Amount > 10"
+
+
+def _sale_db():
+    db = Database()
+    db.execute("TABLE SALE (Shop : NUMERIC, Amount : NUMERIC)")
+    values = ", ".join(f"({i % 7}, {(i * 13) % 60})" for i in range(120))
+    db.execute(f"INSERT INTO SALE VALUES {values}")
+    return db
+
+
+# -- per-statement costs -------------------------------------------------------
+
+def test_analyze_off_baseline(benchmark):
+    db = _sale_db()
+    benchmark(lambda: db.query(QUERY))
+    # the fast path really is the null object: nothing was logged
+    assert db.plan_log.recorded == 0
+
+
+def test_analyze_on_cost(benchmark):
+    db = _sale_db()
+    benchmark(lambda: db.query(QUERY, analyze=True))
+    assert db.plan_log.recorded > 0
+
+
+def test_analyze_off_stays_cheap():
+    """Analyze-off must stay clearly cheaper than analyze-on: if the
+    two converge, the wrappers leaked onto the default path (the
+    bound is lenient so CI machines do not flap)."""
+    db = _sale_db()
+    rounds = 40
+
+    def loop(analyze):
+        started = time.perf_counter()
+        for __ in range(rounds):
+            db.query(QUERY, analyze=analyze)
+        return time.perf_counter() - started
+
+    loop(False)  # warm caches
+    off = min(loop(False) for __ in range(3))
+    on = min(loop(True) for __ in range(3))
+    assert off <= on * 1.25
+
+
+def test_analyze_answers_match():
+    db = _sale_db()
+    collector = AnalyzeCollector()
+    plain = db.query(QUERY).rows
+    analyzed = db.query(QUERY, analyze=collector).rows
+    assert sorted(plain) == sorted(analyzed)
+    assert collector.observed > 0
+
+
+# -- fingerprint memo ----------------------------------------------------------
+
+def test_fingerprint_memo_hits(benchmark):
+    from repro.esql.fingerprint import fingerprint_source
+
+    first = fingerprint_source(QUERY)
+    result = benchmark(lambda: fingerprint_source(QUERY))
+    # identity: the memo returns the same object, not a re-render
+    assert result is first

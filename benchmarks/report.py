@@ -691,6 +691,97 @@ def antipattern():
           f"{sweep.violations} violation(s)\n")
 
 
+def workload_analyze():
+    """ANALYZE -- workload intelligence: fingerprint deduplication
+    under a mixed workload (``sys.statements`` aggregates), plus the
+    per-operator actuals of an EXPLAIN ANALYZE fixpoint run.  The
+    contracts: analyzed answers are bag-identical to plain answers and
+    the v8 explain report validates clean."""
+    from repro.core.explain import validate_explain
+    from repro.engine.analyze import AnalyzeCollector
+    from repro.esql.fingerprint import fingerprint_source
+
+    db = Database()
+    db.execute("""
+    TABLE EDGE (Src : NUMERIC, Dst : NUMERIC);
+    CREATE VIEW PATH (Src, Dst) AS
+    ( SELECT Src, Dst FROM EDGE
+      UNION
+      SELECT E.Src, P.Dst FROM EDGE E, PATH P WHERE E.Dst = P.Src )
+    """)
+    db.execute("INSERT INTO EDGE VALUES " + ", ".join(
+        f"({i}, {i + 1})" for i in range(1, 12)
+    ))
+
+    # a mixed workload: 18 raw statements collapsing onto 2 read
+    # templates (constants vary, one batch varies casing too)
+    raw_statements = 0
+    for i in range(8):
+        db.query(f"SELECT Dst FROM EDGE WHERE Src = {i}")
+        raw_statements += 1
+    for i in range(6):
+        db.query(f"select dst  from edge where src = {i + 20}")
+        raw_statements += 1
+    for i in range(4):
+        db.query(f"SELECT Dst FROM PATH WHERE Src = {i + 1}")
+        raw_statements += 1
+
+    stats = {row[0]: row for row in db.workload.rows()}
+    edge_fp = fingerprint_source(
+        "SELECT Dst FROM EDGE WHERE Src = 0"
+    ).fingerprint
+    path_fp = fingerprint_source(
+        "SELECT Dst FROM PATH WHERE Src = 1"
+    ).fingerprint
+
+    # the analyze leg: same query, collector on, answers must match
+    probe = "SELECT Dst FROM PATH WHERE Src = 1"
+    baseline = sorted(db.query(probe).rows)
+    collector = AnalyzeCollector()
+    analyzed = sorted(db.query(probe, analyze=collector).rows)
+    nodes = collector.snapshot()
+    explain = db.explain_json(probe, analyze=True)
+    problems = validate_explain(explain)
+    mismatches = 0 if analyzed == baseline else 1
+
+    print("### ANALYZE -- workload intelligence "
+          "(11-edge chain, 18-statement workload)\n")
+    print(table(
+        ["metric", "value"],
+        [["raw statements executed", raw_statements],
+         ["templates tracked (sys.statements)", db.workload.tracked],
+         ["EDGE-template calls", stats[edge_fp][2]],
+         ["PATH-template calls", stats[path_fp][2]],
+         ["analyzed operators", len(nodes)],
+         ["max operator loops (fixpoint)",
+          max(n["loops"] for n in nodes)],
+         ["analyzed plans recorded", db.plan_log.recorded],
+         ["answer mismatches (contract)", mismatches],
+         ["explain schema version", explain["schema_version"]],
+         ["explain violations", len(problems)]],
+    ))
+    print()
+    record("workload_analyze", "raw_statements", raw_statements)
+    record("workload_analyze", "templates_tracked",
+           db.workload.tracked)
+    record("workload_analyze", "edge_template_calls",
+           stats[edge_fp][2])
+    record("workload_analyze", "path_template_calls",
+           stats[path_fp][2])
+    record("workload_analyze", "analyze_nodes", len(nodes))
+    record("workload_analyze", "analyze_max_loops",
+           max(n["loops"] for n in nodes))
+    record("workload_analyze", "plans_recorded", db.plan_log.recorded)
+    record("workload_analyze", "schema_version",
+           explain["schema_version"])
+    # named "violations" on purpose: check_regression treats it as an
+    # exact contract (explain problems or an answer mismatch fail the
+    # gate outright)
+    record("workload_analyze", "violations",
+           len(problems) + mismatches)
+    db.close()
+
+
 # the --only groups: the unit the committed BENCH_<group>.json
 # baselines and benchmarks.check_regression work in
 GROUPS = {
@@ -700,6 +791,7 @@ GROUPS = {
     "server": [obs_telemetry, server_introspection, pool_scaling],
     "resilience": [lifecycle_governance],
     "antipattern": [antipattern],
+    "analyze": [workload_analyze],
 }
 
 
@@ -740,6 +832,7 @@ def main(argv=None) -> None:
         pool_scaling()
         lifecycle_governance()
         antipattern()
+        workload_analyze()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(scrubbed_artifact(), handle, indent=2,

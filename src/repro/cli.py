@@ -42,10 +42,15 @@ Statements end with ``;``.  Dot-commands:
 ``.shed``          show admission/shedding stats; ``queue N``,
                    ``readers N``, ``writers N``, ``timeout MS`` tune
                    the limits
-``.top``           one dashboard frame of the serving layer: req/s,
+``.top [N]``       one dashboard frame of the serving layer: req/s,
                    per-class latency percentiles (p50/p95/p99), queue
-                   depth, shed rate, hottest rewrite rules and the
-                   slow-query tail
+                   depth, shed rate, the N (default 10) hottest
+                   rewrite rules and the slow-query tail;
+                   ``.top [N] by-statement`` ranks the workload by
+                   statement fingerprint instead (``sys.statements``)
+``.analyze <q>``   EXPLAIN ANALYZE: execute the query with per-operator
+                   actuals collected (rows, loops, self/total time,
+                   budget bytes) and print the operator tree
 ``.queries``       in-flight and recent statements (the ``sys.queries``
                    view): id, phase, rows/bytes consumed, elapsed,
                    queue wait and the executing pool worker (if any)
@@ -285,7 +290,9 @@ class Shell:
         if command == ".shed":
             return self._shed_command(argument)
         if command == ".top":
-            return self._top_command()
+            return self._top_command(argument)
+        if command == ".analyze":
+            return self._analyze_command(argument)
         if command == ".schema":
             lines = []
             catalog = self.db.catalog
@@ -626,10 +633,71 @@ class Shell:
             )
         return lines or ["(no sessions)"]
 
-    def _top_command(self) -> list[str]:
+    def _analyze_command(self, argument: str) -> list[str]:
+        if not argument:
+            return ["usage: .analyze SELECT ..."]
+        try:
+            if self.server is not None and self.session is not None:
+                report = self.server.explain_json(
+                    argument, session=self.session.id, analyze=True,
+                )
+            else:
+                s = self.settings
+                report = self.db.explain_json(
+                    argument, analyze=True, rewrite=s.rewrite,
+                    checked=s.checked, deadline_ms=s.deadline_ms,
+                )
+        except ReproError as error:
+            return [f"error: {error}"]
+        nodes = report["analyze"]["nodes"]
+        fingerprint = report["trace"].get("fingerprint") or "(none)"
+        lines = [f"statement fingerprint {fingerprint}"]
+        for node in nodes:
+            indent = "  " * node["depth"]
+            lines.append(
+                f"  {indent}{node['operator']} [{node['hash']}]  "
+                f"rows={node['rows']} loops={node['loops']} "
+                f"self={node['self_ms']:.3f}ms "
+                f"total={node['total_ms']:.3f}ms "
+                f"bytes={node['bytes']}"
+            )
+        total_self = sum(n["self_ms"] for n in nodes)
+        lines.append(
+            f"  {len(nodes)} operator(s), "
+            f"{total_self:.3f} ms self-time total"
+        )
+        return lines
+
+    def _top_command(self, argument: str = "") -> list[str]:
         if self.server is None:
             return ["error: not serving (use .serve on)"]
-        top = self.server.top()
+        limit = 10
+        by_statement = False
+        for token in argument.split():
+            if token.isdigit() and int(token) > 0:
+                limit = int(token)
+            elif token.lower() == "by-statement":
+                by_statement = True
+            else:
+                return ["usage: .top [N] [by-statement]"]
+        if by_statement:
+            rows = self.server.top_statements(limit)
+            if not rows:
+                return ["(no statements recorded)"]
+            lines = ["hottest statements:"]
+            for row in rows:
+                template = row["template"].replace("\n", " ")
+                if len(template) > 60:
+                    template = template[:57] + "..."
+                lines.append(
+                    f"  [{row['fingerprint']}] {row['calls']} call(s), "
+                    f"{row['rows']} row(s), "
+                    f"{row['total_ms']:.2f} ms total "
+                    f"({row['mean_ms']:.2f} ms mean), "
+                    f"{row['rule_firings']} rule firing(s)  {template}"
+                )
+            return lines
+        top = self.server.top(limit)
         lines = [
             f"uptime {top['uptime_s']:.1f}s, {top['qps']:.2f} req/s, "
             f"queue {top['queue_depth']}, shed {top['shed_total']} "

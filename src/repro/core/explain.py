@@ -6,10 +6,10 @@ shared by the CLI, ``Database.explain_json`` and
 ``benchmarks/report.py`` -- one schema for interactive EXPLAIN and
 benchmark ingestion (documented in ``docs/observability.md``).
 
-Top-level JSON shape (``schema_version`` 7)::
+Top-level JSON shape (``schema_version`` 8)::
 
     {
-      "schema_version": 7,
+      "schema_version": 8,
       "plans":   {"before": {"text", "nodes"}, "after": {"text", "nodes"}},
       "rewrite": {"applications", "checks", "passes", "degraded",
                   "trace": [{"block","rule","path","before","after"}],
@@ -32,7 +32,7 @@ Top-level JSON shape (``schema_version`` 7)::
                  "snapshot_version", "shed_total",
                  "errors": [{"error","message", <typed attrs>...}]}
                 or null,
-      "trace":  {"trace_id", "span_id", "parent_id",
+      "trace":  {"trace_id", "span_id", "parent_id", "fingerprint",
                  "stages": {stage: milliseconds}},
       "lifecycle": {"query_id", "session", "trace_id", "phase",
                     "source", "timeout_ms", "row_budget",
@@ -44,6 +44,9 @@ Top-level JSON shape (``schema_version`` 7)::
       "execution": {"tier": "inprocess" | "pool",
                     "worker": "w<N>" or null,
                     "pool": Supervisor.summary() or null},
+      "analyze": {"enabled": bool,
+                  "nodes": [{"node","operator","hash","depth","rows",
+                             "loops","self_ms","total_ms","bytes"}]},
       "profile": <Profiler.report() or null>,
       "eval":    <EvalStats.snapshot() or null>
     }
@@ -95,6 +98,22 @@ names the execution tier: ``"inprocess"`` for the classic path,
 and ``pool`` is the supervisor's summary (worker/busy/ready counts,
 crash and retry totals) or null when no pool is mounted.
 
+``analyze`` (version 8's addition; see ``docs/observability.md``) is
+the EXPLAIN ANALYZE section: always present, ``enabled`` false with an
+empty ``nodes`` list unless the report was produced with analyze mode
+on (``Database.explain_json(analyze=True)``, CLI ``.analyze``).  Each
+node is one executed LERA operator with its *actual* row count, loop
+count (semi-naive fixpoint bodies re-run once per iteration and merge
+into one node), wall time split into self and total milliseconds
+(self times sum to the eval stage time within clock tolerance), the
+budget-byte estimate of its output, and the same 12-hex term hash
+``sys.rewrites`` uses -- so analyzed nodes join against rewrite
+provenance.  The same nodes are logged to ``sys.plan_nodes``.
+Version 8 also stamps the statement's template ``fingerprint``
+(:mod:`repro.esql.fingerprint`, empty outside a fingerprinted
+statement) into the ``trace`` section, joining explain output against
+``sys.statements``.
+
 ``validate_explain`` is the schema's executable documentation: it
 returns the list of violations (empty means valid) and is used by the
 tests and the benchmark harness.
@@ -112,7 +131,7 @@ from repro.terms.term import term_size
 __all__ = ["explain_text", "explain_json", "validate_explain",
            "EXPLAIN_SCHEMA_VERSION"]
 
-EXPLAIN_SCHEMA_VERSION = 7
+EXPLAIN_SCHEMA_VERSION = 8
 
 
 def explain_text(optimized: OptimizedQuery, verbose: bool = False,
@@ -275,6 +294,13 @@ def _trace_section(profile: Optional[dict],
     if context is None:
         context = TraceContext.new()
     section = context.as_dict()
+    if not section.get("fingerprint"):
+        # direct explain calls have no server-stamped trace; the
+        # statement fingerprint context still knows the identity
+        from repro.esql.fingerprint import current_fingerprint
+        fingerprint = current_fingerprint()
+        section["fingerprint"] = (fingerprint.fingerprint
+                                  if fingerprint else "")
     stages: dict = dict((trace or {}).get("stages") or {})
     histograms = ((profile or {}).get("metrics") or {}) \
         .get("histograms") or {}
@@ -293,7 +319,8 @@ def explain_json(optimized: OptimizedQuery,
                  profile: Optional[dict] = None,
                  eval_stats=None,
                  server: Optional[dict] = None,
-                 trace: Optional[dict] = None) -> dict:
+                 trace: Optional[dict] = None,
+                 analyze: Optional[list] = None) -> dict:
     """The machine-readable EXPLAIN report (see the module docstring).
 
     ``profile`` is a :meth:`~repro.obs.profile.Profiler.report` dict
@@ -302,7 +329,9 @@ def explain_json(optimized: OptimizedQuery,
     ``server`` the serving-layer section (filled in by
     :meth:`repro.server.Server.explain_json`, null everywhere else);
     ``trace`` optional extra stage timings (``{"stages": {...}}``)
-    merged into the trace section.
+    merged into the trace section; ``analyze`` the per-operator actuals
+    (an :meth:`~repro.engine.analyze.AnalyzeCollector.snapshot` node
+    list) when the plan was executed in analyze mode.
     """
     if profile is not None and hasattr(profile, "report"):
         profile = profile.report()
@@ -312,7 +341,8 @@ def explain_json(optimized: OptimizedQuery,
     context = current_context()
     lifecycle = context.snapshot() if context is not None else None
     from repro.core.rewriter import provenance_entries
-    provenance = provenance_entries(result, trace_section["trace_id"])
+    provenance = provenance_entries(result, trace_section["trace_id"],
+                                    trace_section.get("fingerprint", ""))
     return {
         "schema_version": EXPLAIN_SCHEMA_VERSION,
         "plans": {
@@ -355,6 +385,10 @@ def explain_json(optimized: OptimizedQuery,
         # mounted pool's view when one is serving reads
         "execution": {"tier": "inprocess", "worker": None,
                       "pool": None},
+        "analyze": {
+            "enabled": analyze is not None,
+            "nodes": list(analyze) if analyze is not None else [],
+        },
         "profile": profile,
         "eval": eval_stats.snapshot() if eval_stats is not None else None,
     }
@@ -507,6 +541,12 @@ def validate_explain(report: dict) -> list[str]:
         elif trace["parent_id"] is not None and \
                 not _is_hex(trace["parent_id"], 16):
             problems.append("trace.parent_id: not null or 16 hex chars")
+        fingerprint = need(trace, "fingerprint", str, "trace")
+        if fingerprint:
+            if not _is_hex(fingerprint, 12):
+                problems.append(
+                    "trace.fingerprint: not empty or 12 hex chars"
+                )
         stages = need(trace, "stages", dict, "trace")
         if stages is not None:
             for stage, value in stages.items():
@@ -575,6 +615,26 @@ def validate_explain(report: dict) -> list[str]:
                 problems.append(
                     "execution.pool.state: not running/broken/stopped"
                 )
+    analyze = need(report, "analyze", dict, "report")
+    if analyze is not None:
+        enabled = need(analyze, "enabled", bool, "analyze")
+        nodes = need(analyze, "nodes", list, "analyze")
+        if enabled is False and nodes:
+            problems.append("analyze.nodes: non-empty while disabled")
+        for i, node in enumerate(nodes or []):
+            where = f"analyze.nodes[{i}]"
+            need(node, "operator", str, where)
+            node_hash = need(node, "hash", str, where)
+            if node_hash is not None and not _is_hex(node_hash, 12):
+                problems.append(f"{where}.hash: not 12 hex chars")
+            for key in ("node", "depth", "rows", "loops", "bytes"):
+                value = need(node, key, int, where)
+                if value is not None and value < 0:
+                    problems.append(f"{where}.{key}: negative")
+            for key in ("self_ms", "total_ms"):
+                value = need(node, key, (int, float), where)
+                if value is not None and value < 0:
+                    problems.append(f"{where}.{key}: negative")
     if "profile" not in report:
         problems.append("report: missing key 'profile'")
     elif report["profile"] is not None:

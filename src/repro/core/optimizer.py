@@ -138,9 +138,14 @@ class Optimizer:
             bus.emit(PhaseEnd("optimize", perf_counter() - t_opt))
         ledger = self.ledger
         if ledger is not None and result.trace:
+            from repro.esql.fingerprint import current_fingerprint
             from repro.obs.telemetry import current_trace
             trace = current_trace()
-            ledger.record(result, trace.trace_id if trace else "")
+            fingerprint = current_fingerprint()
+            ledger.record(
+                result, trace.trace_id if trace else "",
+                fingerprint.fingerprint if fingerprint else "",
+            )
         return OptimizedQuery(
             original=term,
             typed=typed,

@@ -49,7 +49,9 @@ class ProvenanceEntry:
     for the rewritten *subterm* (negative = the rule simplified).
     ``duration_ms`` is the measured apply time when an event bus was
     attached to the rewrite; 0.0 on the null-sink fast path, which
-    never touches the clock.
+    never touches the clock.  ``fingerprint`` is the statement-template
+    identity (:mod:`repro.esql.fingerprint`) of the query the rule
+    fired in, joining ``sys.rewrites`` against ``sys.statements``.
     """
 
     trace_id: str
@@ -61,6 +63,7 @@ class ProvenanceEntry:
     after_hash: str
     complexity_delta: int
     duration_ms: float
+    fingerprint: str = ""
 
     def as_dict(self) -> dict:
         return {
@@ -73,11 +76,13 @@ class ProvenanceEntry:
             "after_hash": self.after_hash,
             "complexity_delta": self.complexity_delta,
             "duration_ms": self.duration_ms,
+            "fingerprint": self.fingerprint,
         }
 
 
 def provenance_entries(result: RewriteResult,
-                       trace_id: str = "") -> list[ProvenanceEntry]:
+                       trace_id: str = "",
+                       fingerprint: str = "") -> list[ProvenanceEntry]:
     """Flatten a rewrite trace into provenance entries.
 
     Shared by the ledger (which accumulates them across statements)
@@ -97,6 +102,7 @@ def provenance_entries(result: RewriteResult,
             after_hash=term_hash(t.after),
             complexity_delta=term_size(t.after) - term_size(t.before),
             duration_ms=t.duration * 1000.0,
+            fingerprint=fingerprint,
         ))
     return entries
 
@@ -126,10 +132,11 @@ class RewriteLedger:
         self._recorded = 0
 
     def record(self, result: RewriteResult,
-               trace_id: str = "") -> list[ProvenanceEntry]:
+               trace_id: str = "",
+               fingerprint: str = "") -> list[ProvenanceEntry]:
         if not result.trace:
             return []
-        entries = provenance_entries(result, trace_id)
+        entries = provenance_entries(result, trace_id, fingerprint)
         with self._lock:
             self._ring.extend(entries)
             self._recorded += len(entries)

@@ -14,7 +14,8 @@ that is the baseline the benchmarks compare against.
 
 from __future__ import annotations
 
-from contextlib import contextmanager, nullcontext
+from contextlib import ExitStack, contextmanager, nullcontext
+from time import perf_counter
 from typing import Optional
 
 from repro.core.explain import explain_json, explain_text
@@ -22,17 +23,21 @@ from repro.core.extension import Extension
 from repro.obs.profile import Profiler
 from repro.core.optimizer import OptimizedQuery, Optimizer
 from repro.core.rewriter import QueryRewriter, RewriteLedger
+from repro.engine.analyze import AnalyzeCollector
 from repro.engine.catalog import Catalog
 from repro.engine.evaluate import Evaluator, Result
 from repro.engine.stats import EvalStats
 from repro.errors import (BudgetExceeded, DurabilityError, QueryCancelled,
                           TranslationError)
 from repro.esql import ast
+from repro.esql.fingerprint import (current_fingerprint, fingerprint_source,
+                                    use_fingerprint)
 from repro.esql.parser import parse_script_with_sources
 from repro.lifecycle.context import (current_context, pending_dispatch,
                                      use_context)
 from repro.lifecycle.registry import StatementRegistry
 from repro.esql.translate import Translator
+from repro.obs.workload import PlanLog, StatementStats
 from repro.rules.library import DEFAULT_SEMANTIC_LIMIT
 from repro.rules.semantic import compile_integrity_constraint
 from repro.terms.term import Term
@@ -43,6 +48,16 @@ __all__ = ["Database"]
 # order rebuilds the catalog schema (snapshots store them verbatim)
 _DDL_STATEMENTS = (ast.EnumTypeDef, ast.TupleTypeDef, ast.CollTypeDef,
                    ast.TableDef, ast.ViewDef, ast.DropStmt)
+
+
+def _as_collector(analyze) -> Optional[AnalyzeCollector]:
+    """Normalize an ``analyze=`` argument: falsy -> None (analyze off),
+    True -> a fresh collector, a collector -> itself."""
+    if not analyze:
+        return None
+    if isinstance(analyze, AnalyzeCollector):
+        return analyze
+    return AnalyzeCollector()
 
 
 class Database:
@@ -124,6 +139,11 @@ class Database:
         # optimizer) so it survives regenerate_optimizer(); feeds
         # sys.rewrites / sys.rule_heat
         self.ledger = RewriteLedger()
+        # workload intelligence: per-fingerprint statement aggregates
+        # (sys.statements) and the last-N analyzed plans
+        # (sys.plan_nodes); owned here for the same lifetime reason
+        self.workload = StatementStats()
+        self.plan_log = PlanLog()
         if path is not None:
             from repro.durability import DurabilityManager
             self.durability = DurabilityManager(path, sync=sync, obs=obs)
@@ -201,58 +221,78 @@ class Database:
         as-is instead of minting a nested one, which is how DML
         subquery evaluators and script statements share the statement's
         budget.
+
+        The statement's template fingerprint (see
+        :mod:`repro.esql.fingerprint`) is computed here -- memoized on
+        the source text, so a repeated statement costs one dict lookup
+        -- and installed for the statement's extent, stamped into the
+        ambient trace context when one exists.  Nested statements
+        (ambient context adopted) keep the outer statement's
+        fingerprint: a DML subquery is part of its statement, not a
+        workload entry of its own.
         """
         ambient = current_context()
         if ambient is not None:
             yield ambient
             return
-        use_timeout = (self.statement_timeout_ms if timeout_ms is None
-                       else timeout_ms)
-        use_rows = self.row_budget if row_budget is None else row_budget
-        use_memory = (self.memory_budget if memory_budget is None
-                      else memory_budget)
-        use_degrade = self.degrade if degrade is None else degrade
-        chaos = self.chaos
-        if (use_timeout is None and use_rows is None
-                and use_memory is None and chaos is None
-                and self.guard is None and not self.govern_statements):
-            yield None
-            return
-        from repro.obs.telemetry import current_trace
-        trace = current_trace()
-        context = self.lifecycle.begin(
-            session=session,
-            trace_id=trace.trace_id if trace is not None else "",
-            timeout_ms=use_timeout, row_budget=use_rows,
-            memory_budget=use_memory, degrade=use_degrade,
-            source=source,
-        )
-        if chaos is not None:
-            # per-statement fork: Random is not thread-safe, and the
-            # q<N> salt keeps concurrent statements independent yet
-            # replayable
-            context.chaos = chaos.fork(int(context.query_id[1:]))
-        dispatch = pending_dispatch()
-        if dispatch is not None:
-            context.queue_wait_ms = float(
-                dispatch.get("queue_wait_ms", 0.0)
+        with ExitStack() as scope:
+            if source:
+                fp = fingerprint_source(source)
+                scope.enter_context(use_fingerprint(fp))
+                from repro.obs.telemetry import current_trace, use_trace
+                trace = current_trace()
+                if trace is not None and not trace.fingerprint:
+                    scope.enter_context(
+                        use_trace(trace.stamped(fp.fingerprint))
+                    )
+            use_timeout = (self.statement_timeout_ms if timeout_ms is None
+                           else timeout_ms)
+            use_rows = self.row_budget if row_budget is None else row_budget
+            use_memory = (self.memory_budget if memory_budget is None
+                          else memory_budget)
+            use_degrade = self.degrade if degrade is None else degrade
+            chaos = self.chaos
+            if (use_timeout is None and use_rows is None
+                    and use_memory is None and chaos is None
+                    and self.guard is None and not self.govern_statements):
+                yield None
+                return
+            from repro.obs.telemetry import current_trace
+            trace = current_trace()
+            context = self.lifecycle.begin(
+                session=session,
+                trace_id=trace.trace_id if trace is not None else "",
+                timeout_ms=use_timeout, row_budget=use_rows,
+                memory_budget=use_memory, degrade=use_degrade,
+                source=source,
             )
-        outcome = "done"
-        try:
-            with use_context(context):
-                yield context
-        except QueryCancelled:
-            outcome = "cancelled"
-            raise
-        except BaseException:
-            outcome = "failed"
-            raise
-        finally:
-            if outcome == "done" and context.truncated:
-                outcome = "truncated"
-            if context.trip_info is not None:
-                self._note_budget_trip(context)
-            self.lifecycle.finish(context, outcome)
+            if chaos is not None:
+                # per-statement fork: Random is not thread-safe, and the
+                # q<N> salt keeps concurrent statements independent yet
+                # replayable
+                context.chaos = chaos.fork(int(context.query_id[1:]))
+            dispatch = pending_dispatch()
+            if dispatch is not None:
+                context.queue_wait_ms = float(
+                    dispatch.get("queue_wait_ms", 0.0)
+                )
+            outcome = "done"
+            try:
+                with use_context(context):
+                    yield context
+            except QueryCancelled:
+                outcome = "cancelled"
+                raise
+            except BaseException:
+                outcome = "failed"
+                raise
+            finally:
+                if outcome == "done" and context.truncated:
+                    outcome = "truncated"
+                if context.trip_info is not None:
+                    self._note_budget_trip(context)
+                self.lifecycle.finish(context, outcome)
+                self._note_outcome(outcome)
 
     def _note_budget_trip(self, context) -> None:
         metrics = self.lifecycle.metrics
@@ -268,6 +308,14 @@ class Database:
                 consumed=float(consumed),
                 truncated=context.truncated,
             ))
+
+    def _note_outcome(self, outcome: str) -> None:
+        """Fold an abnormal statement outcome into ``sys.statements``."""
+        if outcome == "done":
+            return
+        fp = current_fingerprint()
+        if fp:
+            self.workload.note(fp.fingerprint, fp.template, outcome)
 
     # -- statements ------------------------------------------------------------
     def execute(self, script: str, obs=None,
@@ -341,6 +389,10 @@ class Database:
                     self.durability.log_statement(source)
                 for hook in self.commit_hooks:
                     hook(source)
+                fp = current_fingerprint()
+                if fp:
+                    # writes have no eval stage; still count the call
+                    self.workload.record_call(fp.fingerprint, fp.template)
         return term
 
     def _replay_statement(self, source: str) -> None:
@@ -408,7 +460,8 @@ class Database:
               memory_budget: Optional[int] = None,
               degrade: Optional[bool] = None,
               session: str = "",
-              obs=None) -> Result:
+              obs=None,
+              analyze=False) -> Result:
         """Run one SELECT and return its result.
 
         ``checked`` / ``deadline_ms`` override the database-wide
@@ -420,8 +473,13 @@ class Database:
         visible in ``sys.queries``).  ``obs`` is an optional per-call
         event bus for this query's rewrite/eval events (the server
         passes its telemetry bus here so request events land in the
-        trace-stamped stream).
+        trace-stamped stream).  ``analyze`` turns on EXPLAIN ANALYZE
+        collection for this call (True, or a pre-built
+        :class:`~repro.engine.analyze.AnalyzeCollector` to inspect
+        afterwards): per-operator actuals land in ``sys.plan_nodes``;
+        result rows are unchanged.
         """
+        collector = _as_collector(analyze)
         with self._statement_context(
             source=source, timeout_ms=timeout_ms, row_budget=row_budget,
             memory_budget=memory_budget, degrade=degrade,
@@ -432,11 +490,13 @@ class Database:
                 return self._query_term(
                     self._translate_single(source), rewrite, stats,
                     checked=checked, deadline_ms=deadline_ms, obs=obs,
+                    analyze=collector,
                 )
             with guard.read():
                 return self._query_term(
                     self._translate_single(source), rewrite, stats,
                     checked=checked, deadline_ms=deadline_ms, obs=obs,
+                    analyze=collector,
                 )
 
     def query_with_stats(
@@ -497,39 +557,58 @@ class Database:
                      rewrite: Optional[bool] = None,
                      checked: Optional[bool] = None,
                      deadline_ms: Optional[float] = None,
-                     session: str = "") -> dict:
+                     session: str = "",
+                     analyze=False) -> dict:
         """The machine-readable EXPLAIN report (one schema for the CLI
         and ``benchmarks/report.py``; see ``docs/observability.md``).
 
         ``execute=True`` also runs the final plan, embedding the
         evaluator's work counters (absorbed into the profile metrics as
-        ``eval.*``) and its per-operator events.
+        ``eval.*``) and its per-operator events.  ``analyze`` (implies
+        ``execute``) additionally collects per-operator actuals --
+        rows, loops, self/total time, budget bytes -- reported in the
+        schema-v8 ``analyze`` section and logged to ``sys.plan_nodes``.
         """
         profiler = Profiler()
         use_rewrite = self.rewrite_default if rewrite is None else rewrite
+        collector = _as_collector(analyze)
+        if collector is not None:
+            execute = True
         with self._statement_context(source=source, session=session) \
                 as ctx, self._read_guard():
             if ctx is not None:
                 ctx.enter_phase("optimize")
+            t0 = perf_counter()
             optimized = self.optimize(
                 source, rewrite=use_rewrite, obs=profiler.bus,
                 checked=checked, deadline_ms=deadline_ms,
             )
+            rewrite_s = perf_counter() - t0
             stats = None
+            nodes = None
             if execute:
                 if ctx is not None:
                     ctx.enter_phase("evaluate")
                 stats = EvalStats()
-                Evaluator(
+                t1 = perf_counter()
+                result = Evaluator(
                     self.catalog, stats=stats,
                     semi_naive=self.semi_naive,
                     hash_joins=self.hash_joins, obs=profiler.bus,
+                    analyze=collector,
                 ).evaluate(optimized.final)
+                eval_s = perf_counter() - t1
                 profiler.absorb_eval_stats(stats)
+                if collector is not None:
+                    nodes = collector.snapshot()
+                self._record_statement(
+                    result, optimized, rewrite_s, eval_s, nodes
+                )
             # inside the statement extent on purpose: the report's
             # lifecycle section reads the ambient QueryContext
             return explain_json(
-                optimized, profile=profiler, eval_stats=stats
+                optimized, profile=profiler, eval_stats=stats,
+                analyze=nodes,
             )
 
     # -- extensions -------------------------------------------------------------
@@ -590,11 +669,11 @@ class Database:
                     stats: Optional[EvalStats],
                     checked: Optional[bool] = None,
                     deadline_ms: Optional[float] = None,
-                    obs=None) -> Result:
+                    obs=None, analyze=None) -> Result:
         use_rewrite = self.rewrite_default if rewrite is None else rewrite
         return self._run(term, use_rewrite, stats,
                          checked=checked, deadline_ms=deadline_ms,
-                         obs=obs)[0]
+                         obs=obs, analyze=analyze)[0]
 
     def _resilience_kwargs(self, checked: Optional[bool] = None,
                            deadline_ms: Optional[float] = None) -> dict:
@@ -631,35 +710,65 @@ class Database:
              stats: Optional[EvalStats] = None,
              checked: Optional[bool] = None,
              deadline_ms: Optional[float] = None,
-             obs=None,
+             obs=None, analyze=None,
              ) -> tuple[Result, OptimizedQuery]:
         guard = self.guard
         if guard is None:
             return self._optimize_and_evaluate(
-                term, rewrite, stats, checked, deadline_ms, obs
+                term, rewrite, stats, checked, deadline_ms, obs, analyze
             )
         with guard.read():
             return self._optimize_and_evaluate(
-                term, rewrite, stats, checked, deadline_ms, obs
+                term, rewrite, stats, checked, deadline_ms, obs, analyze
             )
 
     def _optimize_and_evaluate(
         self, term: Term, rewrite: bool,
         stats: Optional[EvalStats],
         checked: Optional[bool], deadline_ms: Optional[float],
-        obs,
+        obs, analyze=None,
     ) -> tuple[Result, OptimizedQuery]:
         context = current_context()
         if context is not None:
             context.enter_phase("optimize")
+        t0 = perf_counter()
         optimized = self.optimizer.optimize(
             term, rewrite=rewrite, obs=obs,
             **self._resilience_kwargs(checked, deadline_ms),
         )
+        rewrite_s = perf_counter() - t0
         if context is not None:
             context.enter_phase("evaluate")
         evaluator = Evaluator(
             self.catalog, stats=stats, semi_naive=self.semi_naive,
-            hash_joins=self.hash_joins, obs=obs,
+            hash_joins=self.hash_joins, obs=obs, analyze=analyze,
         )
-        return evaluator.evaluate(optimized.final), optimized
+        t1 = perf_counter()
+        result = evaluator.evaluate(optimized.final)
+        self._record_statement(
+            result, optimized, rewrite_s, perf_counter() - t1,
+            analyze.snapshot() if analyze is not None else None,
+        )
+        return result, optimized
+
+    def _record_statement(self, result: Result, optimized: OptimizedQuery,
+                          rewrite_s: float, eval_s: float,
+                          analyze_nodes: Optional[list] = None) -> None:
+        """Fold one completed execution into the workload views."""
+        fp = current_fingerprint()
+        if fp:
+            self.workload.record_call(
+                fp.fingerprint, fp.template,
+                rewrite_ms=rewrite_s * 1000.0,
+                eval_ms=eval_s * 1000.0,
+                rows=len(result.rows),
+                rule_firings=len(optimized.rewrite_result.trace),
+            )
+        if analyze_nodes is not None:
+            from repro.obs.telemetry import current_trace
+            trace = current_trace()
+            self.plan_log.push(
+                fp.fingerprint if fp else "",
+                trace.trace_id if trace is not None else "",
+                analyze_nodes,
+            )

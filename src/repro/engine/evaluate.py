@@ -130,13 +130,17 @@ class Evaluator:
                  semi_naive: bool = True,
                  hash_joins: bool = False,
                  max_fix_iterations: int = _MAX_DEFAULT_ITERATIONS,
-                 obs=None, context=None):
+                 obs=None, context=None, analyze=None):
         self.catalog = catalog
         self.stats = stats if stats is not None else EvalStats()
         self.semi_naive = semi_naive
         self.hash_joins = hash_joins
         self.max_fix_iterations = max_fix_iterations
         self.obs = obs
+        # EXPLAIN ANALYZE: an AnalyzeCollector accumulating per-operator
+        # actuals, or None (the default) -- the off path costs one is-None
+        # test per dispatched node, same discipline as the event bus
+        self.analyze = analyze
         self.context = context if context is not None \
             else current_context()
         # bytes this evaluator has reserved against the context's
@@ -253,17 +257,36 @@ class Evaluator:
     def _eval_rel_inner(self, term: Term, fix_rows: dict,
                         fix_env: dict) -> list[tuple]:
         bus = self.obs
-        if bus:
-            from time import perf_counter
+        analyze = self.analyze
+        if analyze is None and not bus:
+            return self._eval_dispatch(term, fix_rows, fix_env)
+        from time import perf_counter
+        if analyze is not None:
+            analyze.enter(term)
+            rows = None
+            t0 = perf_counter()
+            try:
+                rows = self._eval_dispatch(term, fix_rows, fix_env)
+            finally:
+                # exit even when a Truncation / budget trip unwinds
+                # through this node, keeping the collector's nesting
+                # stack aligned with the recursion
+                analyze.exit(
+                    term,
+                    len(rows) if rows is not None else 0,
+                    perf_counter() - t0,
+                    _estimate_bytes(rows) if rows else 0,
+                )
+        else:
             t0 = perf_counter()
             rows = self._eval_dispatch(term, fix_rows, fix_env)
+        if bus:
             from repro.obs.events import EvalOp
             operator = (term.name if isinstance(term, Fun)
                         else "SCAN" if ops.is_relation_name(term)
                         else type(term).__name__)
             bus.emit(EvalOp(operator, len(rows), perf_counter() - t0))
-            return rows
-        return self._eval_dispatch(term, fix_rows, fix_env)
+        return rows
 
     def _eval_dispatch(self, term: Term, fix_rows: dict,
                        fix_env: dict) -> list[tuple]:

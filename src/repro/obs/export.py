@@ -35,6 +35,17 @@ from repro.obs.tracer import Tracer
 __all__ = ["JsonlSink", "OtlpSpanExporter", "spans_to_otlp"]
 
 
+def _ambient_fingerprint(context: Optional[TraceContext]) -> str:
+    """The statement fingerprint to stamp a record with: the trace
+    context's (a served request stamped at statement start) or, for
+    un-served direct calls, the ambient fingerprint contextvar."""
+    if context is not None and context.fingerprint:
+        return context.fingerprint
+    from repro.esql.fingerprint import current_fingerprint
+    fingerprint = current_fingerprint()
+    return fingerprint.fingerprint if fingerprint else ""
+
+
 class JsonlSink:
     """A rotating, sampling, trace-stamping JSONL event log.
 
@@ -93,6 +104,9 @@ class JsonlSink:
             record["span_id"] = context.span_id
             if context.parent_id is not None:
                 record["parent_id"] = context.parent_id
+        fingerprint = _ambient_fingerprint(context)
+        if fingerprint:
+            record["fingerprint"] = fingerprint
         line = json.dumps(record, default=str) + "\n"
         encoded = line.encode("utf-8")
         with self._lock:
@@ -146,7 +160,8 @@ def _nano(seconds: float) -> str:
 
 def spans_to_otlp(roots, trace: Optional[TraceContext] = None,
                   service_name: str = "repro",
-                  epoch_anchor: Optional[float] = None) -> dict:
+                  epoch_anchor: Optional[float] = None,
+                  fingerprint: str = "") -> dict:
     """Render :class:`~repro.obs.tracer.Span` trees as OTLP/JSON.
 
     Tracer spans carry monotonic-clock times; ``epoch_anchor`` (the
@@ -154,16 +169,30 @@ def spans_to_otlp(roots, trace: Optional[TraceContext] = None,
     computed at export time by default) maps them onto unix nanos.
     ``trace`` supplies the trace id and the parent of the root spans;
     a fresh trace is minted when absent, so the export is always
-    well-formed.
+    well-formed.  ``fingerprint`` (the statement-template identity, or
+    the trace's own stamp when omitted) is attached to every root span
+    as the ``statement.fingerprint`` attribute.
     """
     if epoch_anchor is None:
         epoch_anchor = time.time() - time.perf_counter()
     if trace is None:
         trace = TraceContext.new()
+    if not fingerprint:
+        fingerprint = trace.fingerprint
 
-    def render(span, parent_id: Optional[str]) -> list:
+    def render(span, parent_id: Optional[str],
+               root: bool = False) -> list:
         span_id = os.urandom(8).hex()
         end = span.end if span.end is not None else span.start
+        attrs = [
+            {"key": str(key), "value": {"stringValue": str(value)}}
+            for key, value in span.attrs.items()
+        ]
+        if root and fingerprint:
+            attrs.append({
+                "key": "statement.fingerprint",
+                "value": {"stringValue": fingerprint},
+            })
         node = {
             "traceId": trace.trace_id,
             "spanId": span_id,
@@ -171,10 +200,7 @@ def spans_to_otlp(roots, trace: Optional[TraceContext] = None,
             "kind": 1,  # SPAN_KIND_INTERNAL
             "startTimeUnixNano": _nano(epoch_anchor + span.start),
             "endTimeUnixNano": _nano(epoch_anchor + end),
-            "attributes": [
-                {"key": str(key), "value": {"stringValue": str(value)}}
-                for key, value in span.attrs.items()
-            ],
+            "attributes": attrs,
         }
         if parent_id is not None:
             node["parentSpanId"] = parent_id
@@ -185,7 +211,7 @@ def spans_to_otlp(roots, trace: Optional[TraceContext] = None,
 
     spans: list = []
     for root in roots:
-        spans.extend(render(root, trace.span_id))
+        spans.extend(render(root, trace.span_id, root=True))
     return {
         "resourceSpans": [{
             "resource": {"attributes": [{
@@ -212,6 +238,7 @@ class OtlpSpanExporter:
         self.service_name = service_name
         self._lock = threading.Lock()
         self._tracers: dict[str, Tracer] = {}
+        self._fingerprints: dict[str, str] = {}
         self._subscription = None
 
     def attach(self, bus) -> None:
@@ -225,16 +252,20 @@ class OtlpSpanExporter:
     def _on_event(self, event: ev.Event) -> None:
         context = current_trace()
         key = context.trace_id if context is not None else "(untraced)"
+        fingerprint = _ambient_fingerprint(context)
         with self._lock:
             tracer = self._tracers.get(key)
             if tracer is None:
                 tracer = self._tracers[key] = Tracer()
+            if fingerprint:
+                self._fingerprints[key] = fingerprint
             tracer.on_event(event)
 
     def export(self) -> dict:
         """Drain every collected trace into one OTLP/JSON document."""
         with self._lock:
             batches, self._tracers = self._tracers, {}
+            fingerprints, self._fingerprints = self._fingerprints, {}
         documents = []
         for trace_id, tracer in sorted(batches.items()):
             trace = (TraceContext(trace_id=trace_id, span_id="0" * 16)
@@ -242,6 +273,7 @@ class OtlpSpanExporter:
             documents.append(spans_to_otlp(
                 tracer.span_tree(), trace=trace,
                 service_name=self.service_name,
+                fingerprint=fingerprints.get(trace_id, ""),
             ))
         spans = [
             span

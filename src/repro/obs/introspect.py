@@ -20,7 +20,7 @@ degrades to "one statement short", never to an error.
 Two registration tiers:
 
 * ``register_introspection(db)`` -- every Database gets this at
-  construction.  All eight relations exist; the server-backed ones
+  construction.  Every relation exists; the server-backed ones
   (``sys.metrics``, ``sys.histograms``, ``sys.sessions``,
   ``sys.slow_queries``) produce no rows yet.
 * ``register_introspection(db, server=server)`` -- the Server re-runs
@@ -49,6 +49,9 @@ SYS_RELATIONS = {
     "sys.workers": "pool worker processes: pid, state, restarts",
     "sys.rewrites": "the rewrite-provenance ring: one row per firing",
     "sys.rule_heat": "cumulative per-rule firing aggregates",
+    "sys.statements": "per-fingerprint workload aggregates "
+                      "(pg_stat_statements style)",
+    "sys.plan_nodes": "per-operator actuals of the last analyzed plans",
     "sys.quarantine": "rules benched for changing query answers",
     "sys.wal": "committed statements in the write-ahead log",
     "sys.snapshots": "the durability snapshot file, if any",
@@ -96,12 +99,34 @@ def register_introspection(db, server=None) -> None:
 
     catalog.register_virtual(
         "sys.rewrites",
-        [("TraceId", CHAR), ("Block", CHAR), ("Rule", CHAR),
-         ("Iteration", INT), ("Path", CHAR), ("BeforeHash", CHAR),
-         ("AfterHash", CHAR), ("ComplexityDelta", INT),
-         ("DurationMs", REAL)],
+        [("TraceId", CHAR), ("Fingerprint", CHAR), ("Block", CHAR),
+         ("Rule", CHAR), ("Iteration", INT), ("Path", CHAR),
+         ("BeforeHash", CHAR), ("AfterHash", CHAR),
+         ("ComplexityDelta", INT), ("DurationMs", REAL)],
         lambda: _rewrites_rows(db.ledger),
         SYS_RELATIONS["sys.rewrites"],
+    )
+
+    catalog.register_virtual(
+        "sys.statements",
+        [("Fingerprint", CHAR), ("Template", CHAR), ("Calls", INT),
+         ("Rows", INT), ("RewriteMs", REAL), ("EvalMs", REAL),
+         ("TotalMs", REAL), ("MeanMs", REAL), ("MinMs", REAL),
+         ("MaxMs", REAL), ("RuleFirings", INT), ("Shed", INT),
+         ("Retries", INT), ("Cancelled", INT), ("Truncated", INT),
+         ("Failed", INT)],
+        lambda: db.workload.rows(),
+        SYS_RELATIONS["sys.statements"],
+    )
+
+    catalog.register_virtual(
+        "sys.plan_nodes",
+        [("Plan", INT), ("Fingerprint", CHAR), ("TraceId", CHAR),
+         ("Node", INT), ("Operator", CHAR), ("Hash", CHAR),
+         ("Depth", INT), ("Rows", INT), ("Loops", INT),
+         ("SelfMs", REAL), ("TotalMs", REAL), ("Bytes", INT)],
+        lambda: db.plan_log.rows(),
+        SYS_RELATIONS["sys.plan_nodes"],
     )
 
     catalog.register_virtual(
@@ -165,8 +190,8 @@ def register_introspection(db, server=None) -> None:
 
     catalog.register_virtual(
         "sys.slow_queries",
-        [("TraceId", CHAR), ("Class", CHAR), ("Session", CHAR),
-         ("Source", CHAR), ("DurationMs", REAL),
+        [("TraceId", CHAR), ("Fingerprint", CHAR), ("Class", CHAR),
+         ("Session", CHAR), ("Source", CHAR), ("DurationMs", REAL),
          ("ThresholdMs", REAL)],
         lambda: _slow_query_rows(server),
         SYS_RELATIONS["sys.slow_queries"],
@@ -223,8 +248,8 @@ def _worker_rows(server):
 
 def _rewrites_rows(ledger):
     return [
-        (e.trace_id, e.block, e.rule, e.iteration, e.path,
-         e.before_hash, e.after_hash, e.complexity_delta,
+        (e.trace_id, e.fingerprint, e.block, e.rule, e.iteration,
+         e.path, e.before_hash, e.after_hash, e.complexity_delta,
          e.duration_ms)
         for e in ledger.entries()
     ]
@@ -304,7 +329,8 @@ def _slow_query_rows(server):
     if server is None:
         return []
     return [
-        (entry.get("trace_id") or "", entry["request_class"],
+        (entry.get("trace_id") or "",
+         entry.get("fingerprint") or "", entry["request_class"],
          entry["session"], entry["source"], entry["duration_ms"],
          float(entry.get("threshold_ms") or 0.0))
         for entry in list(server._slow)

@@ -57,6 +57,7 @@ class TraceContext:
     trace_id: str                    # 16 bytes hex: the whole request
     span_id: str                     # 8 bytes hex: this span
     parent_id: Optional[str] = None  # the opening span, None at root
+    fingerprint: str = ""            # 12 hex: statement template identity
 
     @classmethod
     def new(cls) -> "TraceContext":
@@ -67,7 +68,15 @@ class TraceContext:
         """A sub-span of this context (same trace, fresh span id)."""
         return TraceContext(
             trace_id=self.trace_id, span_id=_hex_id(8),
-            parent_id=self.span_id,
+            parent_id=self.span_id, fingerprint=self.fingerprint,
+        )
+
+    def stamped(self, fingerprint: str) -> "TraceContext":
+        """This context carrying the statement's fingerprint (see
+        :mod:`repro.esql.fingerprint`) -- same trace and span ids."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=self.span_id,
+            parent_id=self.parent_id, fingerprint=fingerprint,
         )
 
     def as_dict(self) -> dict:
@@ -75,6 +84,7 @@ class TraceContext:
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "fingerprint": self.fingerprint,
         }
 
 

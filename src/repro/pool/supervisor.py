@@ -267,6 +267,10 @@ class Supervisor:
                     raise
                 self.retries += 1
                 self._inc("pool.retries")
+                from repro.esql.fingerprint import fingerprint_source
+                fp = fingerprint_source(source)
+                self.db.workload.note(fp.fingerprint, fp.template,
+                                      "retries")
                 self._wait_for_seat()
 
     def _wait_for_seat(self) -> None:
@@ -347,6 +351,7 @@ class Supervisor:
             message["rewrite"] = settings.rewrite
             message["checked"] = settings.checked
             message["deadline_ms"] = settings.deadline_ms
+            message["analyze"] = getattr(settings, "analyze", False)
         try:
             try:
                 send_frame(slot.proc.stdin, message)
@@ -364,7 +369,8 @@ class Supervisor:
                 # mid-statement and let the failover machinery answer
                 self._kill_worker(slot, "chaos")
             self._await(slot, pending, context)
-            return self._settle(slot, pending, version, context)
+            return self._settle(slot, pending, version, context,
+                                source)
         finally:
             with self._lock:
                 slot.pending = None
@@ -400,7 +406,7 @@ class Supervisor:
                 self._handle_death(slot)
 
     def _settle(self, slot: _Slot, pending: _Pending, version: int,
-                context):
+                context, source: str = ""):
         reply = pending.reply
         if reply is None:
             crash = pending.crash or WorkerCrashed(
@@ -421,6 +427,24 @@ class Supervisor:
                 context.truncated = True
         self._observe("pool.request.seconds",
                       float(reply.get("elapsed_ms", 0.0)) / 1e3)
+        # workload intelligence: the statement executed on the worker's
+        # replica, so its per-fingerprint record (and, under analyze
+        # mode, the per-operator actuals) ride home in the reply frame
+        # and fold into the *parent* database's aggregates
+        statement = reply.get("statement")
+        if statement:
+            self.db.workload.merge_call(statement)
+        nodes = reply.get("analyze")
+        if nodes:
+            from repro.obs.telemetry import current_trace
+            trace = current_trace()
+            fingerprint = (statement or {}).get("fingerprint", "")
+            if not fingerprint and source:
+                from repro.esql.fingerprint import fingerprint_source
+                fingerprint = fingerprint_source(source).fingerprint
+            self.db.plan_log.push(
+                fingerprint, trace.trace_id if trace else "", nodes,
+            )
         if reply["type"] == "error":
             raise self._remote_error(reply.get("payload") or {})
         return self._decode_result(reply)

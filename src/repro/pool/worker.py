@@ -183,13 +183,19 @@ class _Worker:
             # is untouched (the server never routes DML here)
             db.execute(source, **budgets)
             return {"type": "result", "rows": None, "columns": [],
-                    "types": [], **self._work_counters()}
+                    "types": [], **self._work_counters(),
+                    **self._statement_record(source)}
+        collector = None
+        if frame.get("analyze"):
+            from repro.engine.analyze import AnalyzeCollector
+            collector = AnalyzeCollector()
         result = db.query(
             source, rewrite=frame.get("rewrite"),
             checked=frame.get("checked"),
-            deadline_ms=frame.get("deadline_ms"), **budgets,
+            deadline_ms=frame.get("deadline_ms"),
+            analyze=collector, **budgets,
         )
-        return {
+        reply = {
             "type": "result",
             "rows": [[encode_value(v) for v in row]
                      for row in result.rows],
@@ -197,7 +203,23 @@ class _Worker:
             "types": [getattr(t, "name", None) or str(t)
                       for __, t in result.schema],
             **self._work_counters(),
+            **self._statement_record(source),
         }
+        if collector is not None:
+            # per-operator actuals ride the reply so the supervisor can
+            # fold them into the parent's sys.plan_nodes ring
+            reply["analyze"] = collector.snapshot()
+        return reply
+
+    def _statement_record(self, source: str) -> dict:
+        """The statement's per-call workload record (this replica's
+        ``sys.statements`` entry for its last call), shipped so the
+        parent aggregates pooled executions too."""
+        from repro.esql.fingerprint import fingerprint_source
+        record = self.db.workload.last(
+            fingerprint_source(source).fingerprint
+        )
+        return {"statement": record} if record is not None else {}
 
     def _work_counters(self) -> dict:
         recent = self.db.lifecycle.recent()

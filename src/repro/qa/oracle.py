@@ -55,7 +55,8 @@ def describe_bags(expected: list[tuple], got: list[tuple]) -> str:
 class Divergence:
     """One confirmed non-equivalence between execution paths."""
 
-    mode: str    # "rewrite" | "rewrite-error" | "block:<name>" | "tier"
+    mode: str    # "rewrite[-error]" | "block:<name>" | "tier"
+                 # | "analyze[-error]"
     detail: str
     query: str
 
@@ -78,14 +79,21 @@ class DifferentialOracle:
         Replay the query through a one-worker pool supervisor.  Off by
         default: a worker boot is a subprocess spawn, so the harness
         samples this leg rather than paying it per case.
+    check_analyze:
+        Re-run the rewritten query in EXPLAIN ANALYZE mode (a live
+        :class:`~repro.engine.analyze.AnalyzeCollector` wrapping every
+        operator) and demand the same bag -- instrumentation must be a
+        pure observer, never an execution path of its own.
     """
 
     def __init__(self, antipattern: bool = True,
                  check_subsets: bool = True,
-                 check_tier: bool = False):
+                 check_tier: bool = False,
+                 check_analyze: bool = False):
         self.antipattern = antipattern
         self.check_subsets = check_subsets
         self.check_tier = check_tier
+        self.check_analyze = check_analyze
 
     # -- plumbing ----------------------------------------------------------
     def build_db(self, case) -> Database:
@@ -164,6 +172,28 @@ class DifferentialOracle:
                         f"block:{block.name}",
                         describe_bags(baseline, rows), case.query,
                     )
+
+        if self.check_analyze:
+            from repro.engine.analyze import AnalyzeCollector
+            collector = AnalyzeCollector()
+            try:
+                rows = db.query(case.query, rewrite=True,
+                                analyze=collector).rows
+            except Exception as error:
+                return Divergence(
+                    "analyze-error",
+                    f"{type(error).__name__}: {error}", case.query,
+                )
+            if result_bag(rows) != expected:
+                return Divergence(
+                    "analyze", describe_bags(baseline, rows),
+                    case.query,
+                )
+            if not collector.observed:
+                return Divergence(
+                    "analyze", "collector observed no operators",
+                    case.query,
+                )
 
         if self.check_tier:
             try:

@@ -256,15 +256,19 @@ class Server:
         return results
 
     def explain_json(self, source: str, session: Optional[str] = None,
-                     execute: bool = False) -> dict:
+                     execute: bool = False,
+                     analyze: bool = False) -> dict:
         """EXPLAIN through the serving layer; the report's ``server``
         section records the trip and its ``trace`` section (schema v4)
-        carries the serve span's ids plus the queue wait as a stage."""
+        carries the serve span's ids plus the queue wait as a stage.
+        ``analyze=True`` executes the statement with per-operator
+        actuals collected (the report's ``analyze`` section)."""
         sess = self._resolve(session)
         ticket_box = {}
 
         def run():
-            return sess.explain_json(source, execute=execute)
+            return sess.explain_json(source, execute=execute,
+                                     analyze=analyze)
 
         report = self._serve("read", sess, run, ticket_box=ticket_box,
                              source=source)
@@ -312,7 +316,8 @@ class Server:
                     ):
                         result = fn()
             except Exception as error:
-                self._note_failure(klass, sess, error, started)
+                self._note_failure(klass, sess, error, started,
+                                   source=source)
                 raise
             duration = time.perf_counter() - started
             metrics = self.metrics
@@ -344,10 +349,18 @@ class Server:
             except Exception:
                 explain = None  # the capture must never fail the request
         context = current_trace()
+        # the fingerprint contextvar is statement-scoped and already
+        # unwound by capture time; re-derive from the source (memoized,
+        # so the steady-state cost is one dict lookup)
+        fingerprint = ""
+        if source:
+            from repro.esql.fingerprint import fingerprint_source
+            fingerprint = fingerprint_source(source).fingerprint
         self._slow.append({
             "request_class": klass,
             "session": sess.id,
             "source": source or "",
+            "fingerprint": fingerprint,
             "duration_ms": duration * 1e3,
             "threshold_ms": self.slow_query_ms,
             "trace_id": context.trace_id if context else None,
@@ -364,12 +377,19 @@ class Server:
             ))
 
     def _note_failure(self, klass: str, sess: Session, error,
-                      started: float) -> None:
+                      started: float,
+                      source: Optional[str] = None) -> None:
         payload = error_payload(error)
         history = self._errors.get(sess.id)
         if history is not None:
             history.append(payload)
         self.metrics.inc(f"server.errors.{payload['error']}")
+        if payload["error"] == "ServerOverloaded" and source:
+            # shed requests never reach the engine's statement
+            # recording, so charge the fingerprint here
+            from repro.esql.fingerprint import fingerprint_source
+            fp = fingerprint_source(source)
+            self.db.workload.note(fp.fingerprint, fp.template, "shed")
         bus = self.bus
         if bus:
             from repro.obs.events import RequestFailed
@@ -419,18 +439,23 @@ class Server:
                       "FROM sys.histograms WHERE Kind = 'bucket'")
     _TOP_HEAT = ("SELECT Block, Rule, Fired, DeltaTotal "
                  "FROM sys.rule_heat")
-    _TOP_SLOW = ("SELECT TraceId, Class, Session, Source, "
+    _TOP_SLOW = ("SELECT TraceId, Fingerprint, Class, Session, Source, "
                  "DurationMs, ThresholdMs FROM sys.slow_queries")
+    _TOP_STATEMENTS = ("SELECT Fingerprint, Template, Calls, Rows, "
+                       "TotalMs, MeanMs, RuleFirings "
+                       "FROM sys.statements")
 
-    def top(self) -> dict:
+    def top(self, limit: int = 10) -> dict:
         """One dashboard frame: throughput, latency percentiles per
         request class, shedding, queue depth, per-rule heat and the
-        slow-query tail (what the CLI's ``.top`` renders).
+        slow-query tail (what the CLI's ``.top`` renders).  ``limit``
+        caps the rule-heat list (the slow tail stays at limit/2).
 
         Relation-backed data comes from the canned ESQL above; only
         ephemeral admission state (queue depth, active slots) is read
         live, since a queue length has no point-in-time row identity.
         """
+        limit = max(1, limit)
         uptime = max(1e-9, time.perf_counter() - self._started)
         db = self.db
         counters = dict(db.query(self._TOP_COUNTERS).rows)
@@ -449,8 +474,8 @@ class Server:
                 "p95_ms": row[3] * 1e3 if row else 0.0,
                 "p99_ms": row[4] * 1e3 if row else 0.0,
             }
-        heat = db.query(self._TOP_HEAT).rows[:10]
-        slow = db.query(self._TOP_SLOW).rows[-5:]
+        heat = db.query(self._TOP_HEAT).rows[:limit]
+        slow = db.query(self._TOP_SLOW).rows[-max(1, limit // 2):]
         return {
             "uptime_s": uptime,
             "qps": total / uptime,
@@ -467,14 +492,28 @@ class Server:
                 for block, rule, fired, delta in heat
             ],
             "slow_queries": [
-                {"trace_id": trace_id, "request_class": klass,
+                {"trace_id": trace_id, "fingerprint": fingerprint,
+                 "request_class": klass,
                  "session": session, "source": source,
                  "duration_ms": duration_ms,
                  "threshold_ms": threshold_ms}
-                for trace_id, klass, session, source, duration_ms,
-                threshold_ms in slow
+                for trace_id, fingerprint, klass, session, source,
+                duration_ms, threshold_ms in slow
             ],
         }
+
+    def top_statements(self, limit: int = 10) -> list[dict]:
+        """The workload leaderboard: per-fingerprint aggregates from
+        ``sys.statements`` (hottest first), served through the same
+        canned-ESQL path as the rest of the dashboard."""
+        rows = self.db.query(self._TOP_STATEMENTS).rows[:max(1, limit)]
+        return [
+            {"fingerprint": fingerprint, "template": template,
+             "calls": calls, "rows": nrows, "total_ms": total_ms,
+             "mean_ms": mean_ms, "rule_firings": rule_firings}
+            for fingerprint, template, calls, nrows, total_ms,
+            mean_ms, rule_firings in rows
+        ]
 
     def close(self) -> None:
         self.disable_pool()

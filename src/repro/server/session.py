@@ -48,6 +48,9 @@ class SessionSettings:
     row_budget: Optional[int] = None
     memory_budget: Optional[int] = None
     degrade: Optional[bool] = None
+    # EXPLAIN ANALYZE mode: queries collect per-operator actuals into
+    # sys.plan_nodes (pool workers ship theirs back in the reply frame)
+    analyze: bool = False
 
     def describe(self) -> str:
         parts = []
@@ -67,6 +70,8 @@ class SessionSettings:
             parts.append(f"memory={self.memory_budget}B")
         if self.degrade is not None:
             parts.append(f"degrade={'on' if self.degrade else 'off'}")
+        if self.analyze:
+            parts.append("analyze=on")
         return ", ".join(parts) or "defaults"
 
 
@@ -112,7 +117,7 @@ class Session:
             deadline_ms=s.deadline_ms, obs=self.obs,
             timeout_ms=s.timeout_ms, row_budget=s.row_budget,
             memory_budget=s.memory_budget, degrade=s.degrade,
-            session=self.id,
+            session=self.id, analyze=s.analyze,
         )
 
     def execute(self, script: str):
@@ -140,13 +145,14 @@ class Session:
             checked=s.checked, deadline_ms=s.deadline_ms,
         )
 
-    def explain_json(self, source: str, execute: bool = False) -> dict:
+    def explain_json(self, source: str, execute: bool = False,
+                     analyze: bool = False) -> dict:
         self.touch()
         s = self.settings
         return self.db.explain_json(
             source, execute=execute, rewrite=s.rewrite,
             checked=s.checked, deadline_ms=s.deadline_ms,
-            session=self.id,
+            session=self.id, analyze=analyze or s.analyze,
         )
 
     def __repr__(self) -> str:

@@ -44,6 +44,7 @@ class TestTraceContext:
             "trace_id": root.trace_id,
             "span_id": root.span_id,
             "parent_id": None,
+            "fingerprint": "",
         }
 
 

@@ -1,0 +1,162 @@
+"""Workload intelligence: StatementStats, PlanLog, and the
+sys.statements / sys.plan_nodes relations."""
+
+import pytest
+
+from repro import Database
+from repro.obs.workload import PlanLog, StatementStats
+
+
+class TestStatementStats:
+    def test_aggregates_per_fingerprint(self):
+        stats = StatementStats()
+        stats.record_call("abc", "SELECT A FROM T WHERE B = $1",
+                          rewrite_ms=1.0, eval_ms=2.0, rows=5)
+        stats.record_call("abc", "SELECT A FROM T WHERE B = $1",
+                          rewrite_ms=3.0, eval_ms=4.0, rows=7)
+        (row,) = stats.rows()
+        assert row[0] == "abc"
+        assert row[2] == 2          # calls
+        assert row[3] == 12         # rows
+        assert row[4] == pytest.approx(4.0)   # rewrite_ms
+        assert row[5] == pytest.approx(6.0)   # eval_ms
+
+    def test_rows_sorted_hottest_first(self):
+        stats = StatementStats()
+        stats.record_call("cold", "Q1")
+        for __ in range(3):
+            stats.record_call("hot", "Q2")
+        assert [r[0] for r in stats.rows()] == ["hot", "cold"]
+
+    def test_capacity_overflow_bucket(self):
+        stats = StatementStats(capacity=2)
+        stats.record_call("a", "QA")
+        stats.record_call("b", "QB")
+        stats.record_call("c", "QC")  # over capacity -> (other)
+        stats.record_call("a", "QA")  # existing entries keep updating
+        rows = {r[0]: r[2] for r in stats.rows()}
+        assert rows["a"] == 2
+        assert rows[StatementStats.OVERFLOW] == 1
+
+    def test_note_abnormal_outcomes(self):
+        stats = StatementStats()
+        stats.note("abc", "Q", "shed")
+        stats.note("abc", "Q", "cancelled")
+        stats.note("abc", "Q", "retries", count=2)
+        (row,) = stats.rows()
+        assert row[2] == 0         # notes are not calls
+        shed, retries, cancelled = row[11], row[12], row[13]
+        assert (shed, retries, cancelled) == (1, 2, 1)
+
+    def test_last_and_merge_call_round_trip(self):
+        source = StatementStats()
+        source.record_call("abc", "Q", rewrite_ms=1.5, eval_ms=2.5,
+                           rows=4, rule_firings=3)
+        record = source.last("abc")
+        assert record["fingerprint"] == "abc"
+        parent = StatementStats()
+        parent.merge_call(record)
+        parent.merge_call(record)
+        (row,) = parent.rows()
+        assert row[2] == 2
+        assert row[3] == 8
+        assert row[10] == 6        # rule firings
+
+    def test_clear(self):
+        stats = StatementStats()
+        stats.record_call("abc", "Q")
+        stats.clear()
+        assert stats.rows() == []
+        assert stats.tracked == 0
+
+
+class TestPlanLog:
+    def _node(self, **overrides):
+        node = {"node": 0, "operator": "SCAN", "hash": "a" * 12,
+                "depth": 0, "rows": 3, "loops": 1, "self_ms": 0.1,
+                "total_ms": 0.1, "bytes": 24}
+        node.update(overrides)
+        return node
+
+    def test_ring_is_bounded_but_numbering_monotonic(self):
+        log = PlanLog(capacity=2)
+        for __ in range(3):
+            log.push("f" * 12, "t" * 32, [self._node()])
+        assert log.recorded == 3
+        plans = {row[0] for row in log.rows()}
+        assert plans == {2, 3}     # plan 1 evicted, numbering keeps
+
+    def test_rows_flatten_nodes(self):
+        log = PlanLog()
+        log.push("f" * 12, "t" * 32,
+                 [self._node(), self._node(node=1, operator="SEARCH")])
+        rows = log.rows()
+        assert len(rows) == 2
+        assert rows[0][4] == "SCAN" and rows[1][4] == "SEARCH"
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("TABLE T (A : NUMERIC, B : NUMERIC)")
+    d.execute("INSERT INTO T VALUES (1, 10), (2, 20), (3, 30)")
+    return d
+
+
+class TestSysStatements:
+    def test_mixed_repeated_workload_aggregates(self, db):
+        for i in range(4):
+            db.query(f"SELECT A FROM T WHERE B = {i * 10}")
+        db.query("select a from t where b = 999")  # same template
+        db.query("SELECT B FROM T")                # different one
+        rows = db.query(
+            "SELECT Fingerprint, Template, Calls, Rows "
+            "FROM sys.statements"
+        ).rows
+        by_template = {r[1]: r for r in rows}
+        hot = by_template["SELECT A FROM T WHERE (B = $1)"]
+        assert hot[2] == 5
+        assert by_template["SELECT B FROM T"][2] == 1
+        # the catalog read itself is recorded on the *next* read
+        assert all(len(r[0]) == 12 for r in rows)
+
+    def test_writes_and_ddl_recorded(self, db):
+        db.execute("INSERT INTO T VALUES (4, 40)")
+        rows = db.query(
+            "SELECT Template, Calls FROM sys.statements"
+        ).rows
+        templates = dict(rows)
+        assert templates["INSERT INTO T VALUES ($1, $2)"] == 1
+        assert templates["TableDef"] == 1
+
+    def test_joins_with_rule_heat_fingerprint(self, db):
+        # a rule actually fires -> sys.rewrites rows carry the
+        # statement fingerprint for joining back to sys.statements
+        db.query("SELECT T.A FROM T WHERE EXISTS "
+                 "(SELECT A FROM T WHERE B = 10)")
+        rewrites = db.query(
+            "SELECT Fingerprint FROM sys.rewrites"
+        ).rows
+        assert rewrites
+        fingerprints = {r[0] for r in rewrites}
+        statements = {
+            r[0] for r in db.query(
+                "SELECT Fingerprint FROM sys.statements"
+            ).rows
+        }
+        assert fingerprints <= statements
+
+
+class TestSysPlanNodes:
+    def test_analyzed_plans_queryable(self, db):
+        db.query("SELECT A FROM T WHERE B > 10", analyze=True)
+        rows = db.query(
+            "SELECT Plan, Operator, Rows, Loops FROM sys.plan_nodes"
+        ).rows
+        assert rows
+        assert all(r[0] == 1 for r in rows)
+        assert {r[1] for r in rows} & {"SCAN", "SEARCH"}
+
+    def test_empty_without_analyze(self, db):
+        db.query("SELECT A FROM T")
+        assert db.query("SELECT Plan FROM sys.plan_nodes").rows == []

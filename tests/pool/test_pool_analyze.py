@@ -1,0 +1,97 @@
+"""Pooled EXPLAIN ANALYZE: worker-collected operator actuals ship
+home in the reply frame and match an in-process run of the same
+query."""
+
+from repro.engine.analyze import AnalyzeCollector
+from repro.engine.database import Database
+from repro.pool import PoolConfig, Supervisor
+from repro.server.server import Server
+from repro.server.session import SessionSettings
+
+QUERY = "SELECT A, B FROM T WHERE A > 1"
+
+
+def _database(seed_rows=((1, 10), (2, 20), (3, 30), (4, 40))):
+    db = Database()
+    db.execute("CREATE TABLE T (A : INT, B : INT)")
+    values = ", ".join(f"({a}, {b})" for a, b in seed_rows)
+    db.execute(f"INSERT INTO T VALUES {values}")
+    return db
+
+
+def _pool(db, **overrides):
+    defaults = dict(workers=1, monitor_interval_s=0.02,
+                    restart_backoff_base_s=0.01,
+                    restart_backoff_max_s=0.1)
+    defaults.update(overrides)
+    pool = Supervisor(db, PoolConfig(**defaults))
+    db.commit_hooks.append(pool.note_write)
+    pool.start()
+    assert pool.wait_ready(timeout_s=60.0, workers=1)
+    return pool
+
+
+class TestWorkerShippedCounters:
+    def test_pooled_counters_match_in_process(self):
+        db = _database()
+        pool = _pool(db)
+        try:
+            settings = SessionSettings(analyze=True)
+            result = pool.submit(QUERY, settings=settings)
+            assert sorted(result.rows) == [(2, 20), (3, 30), (4, 40)]
+            assert db.plan_log.recorded == 1
+            (plan,) = db.plan_log.plans()
+            shipped = {
+                (n["operator"], n["hash"]): (n["rows"], n["loops"])
+                for n in plan["nodes"]
+            }
+        finally:
+            pool.stop()
+            db.close()
+
+        local_db = _database()
+        collector = AnalyzeCollector()
+        local = local_db.query(QUERY, analyze=collector)
+        assert sorted(local.rows) == [(2, 20), (3, 30), (4, 40)]
+        local_nodes = {
+            (n["operator"], n["hash"]): (n["rows"], n["loops"])
+            for n in collector.snapshot()
+        }
+        # deterministic counters (rows, loops, per-operator identity)
+        # agree exactly across tiers; only wall times may differ
+        assert shipped == local_nodes
+
+    def test_pooled_statement_folds_into_parent_workload(self):
+        db = _database()
+        pool = _pool(db)
+        try:
+            pool.submit(QUERY)
+            pool.submit(QUERY)
+            rows = {r[0]: r for r in db.workload.rows()}
+            from repro.esql.fingerprint import fingerprint_source
+            fp = fingerprint_source(QUERY).fingerprint
+            assert rows[fp][2] == 2     # calls aggregated on the parent
+            assert rows[fp][3] == 6     # 3 result rows per call
+        finally:
+            pool.stop()
+            db.close()
+
+
+class TestServerAnalyzeSession:
+    def test_analyze_session_over_pool(self):
+        db = _database()
+        server = Server(db, workers=1)
+        try:
+            assert server.pool.wait_ready(timeout_s=60.0, workers=1)
+            sess = server.open_session(
+                settings=SessionSettings(analyze=True)
+            )
+            result = server.query(QUERY, session=sess.id)
+            assert len(result.rows) == 3
+            assert db.plan_log.recorded == 1
+            nodes = db.query(
+                "SELECT Operator, Rows FROM sys.plan_nodes"
+            ).rows
+            assert nodes
+        finally:
+            server.close()

@@ -1,0 +1,137 @@
+"""The workload dashboard surfaces: fingerprinted slow queries,
+``top(limit)``, ``top_statements`` and the CLI's ``.top`` variants."""
+
+from repro import Database
+from repro.esql.fingerprint import fingerprint_source
+from repro.server import AdmissionLimits, Server
+
+
+def _server(**kwargs):
+    db = Database()
+    db.execute("TABLE T (A : NUMERIC, B : NUMERIC, PRIMARY KEY (A))")
+    db.execute("INSERT INTO T VALUES (1, 10), (2, 20)")
+    return Server(db, **kwargs)
+
+
+class TestSlowQueryFingerprints:
+    def test_entries_group_by_fingerprint(self):
+        server = _server(slow_query_ms=0.0)
+        server.query("SELECT A FROM T WHERE B = 10")
+        server.query("select a from t where b = 99")
+        first, second = server.slow_queries()
+        assert first["fingerprint"] == second["fingerprint"]
+        assert len(first["fingerprint"]) == 12
+        assert first["fingerprint"] == \
+            fingerprint_source(first["source"]).fingerprint
+
+    def test_sys_slow_queries_exposes_the_column(self):
+        server = _server(slow_query_ms=0.0)
+        server.query("SELECT A FROM T")
+        rows = server.db.query(
+            "SELECT Fingerprint, Source FROM sys.slow_queries"
+        ).rows
+        assert rows
+        assert all(len(fp) == 12 for fp, __ in rows)
+
+
+class TestTopLimits:
+    def test_limit_caps_rule_heat(self):
+        server = _server()
+        server.query("SELECT T.A FROM T WHERE EXISTS "
+                     "(SELECT A FROM T WHERE B = 10)")
+        full = server.top()["rule_heat"]
+        capped = server.top(1)["rule_heat"]
+        assert len(capped) == min(1, len(full))
+
+    def test_top_statements_leaderboard(self):
+        server = _server()
+        for i in range(3):
+            server.query(f"SELECT A FROM T WHERE B = {i}")
+        server.query("SELECT B FROM T")
+        rows = server.top_statements(10)
+        assert rows[0]["template"] == \
+            "SELECT A FROM T WHERE (B = $1)"
+        assert rows[0]["calls"] == 3
+        assert len(server.top_statements(1)) == 1
+
+    def test_shed_requests_note_the_fingerprint(self):
+        server = _server(limits=AdmissionLimits(
+            max_readers=1, max_queue=0, queue_timeout_ms=1.0,
+        ))
+        import threading
+        release = threading.Event()
+        started = threading.Event()
+
+        def hold():
+            # occupy the only read slot so the next read sheds
+            with server.admission.admit("read"):
+                started.set()
+                release.wait(5.0)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        try:
+            assert started.wait(5.0)
+            source = "SELECT A FROM T WHERE B = 123"
+            try:
+                server.query(source)
+            except Exception:
+                pass
+            fp = fingerprint_source(source)
+            rows = {r[0]: r for r in server.db.workload.rows()}
+            assert rows[fp.fingerprint][11] == 1  # shed column
+        finally:
+            release.set()
+            holder.join()
+
+
+class TestCLIVariants:
+    def _shell(self):
+        from repro.cli import Shell
+        shell = Shell()
+        list(shell.run([
+            "TABLE T (A : NUMERIC, B : NUMERIC);",
+            "INSERT INTO T VALUES (1, 10), (2, 20);",
+            ".serve on",
+            "SELECT A FROM T WHERE B = 10;",
+        ]))
+        return shell
+
+    def test_top_by_statement(self):
+        shell = self._shell()
+        out = "\n".join(shell._dot_command(".top by-statement"))
+        assert "hottest statements" in out
+        assert "SELECT A FROM T WHERE (B = $1)" in out
+
+    def test_top_with_limit(self):
+        shell = self._shell()
+        out = shell._dot_command(".top 3")
+        assert any("req/s" in line for line in out)
+
+    def test_top_rejects_garbage(self):
+        shell = self._shell()
+        assert shell._dot_command(".top nonsense") == \
+            ["usage: .top [N] [by-statement]"]
+
+    def test_analyze_prints_operator_tree(self):
+        shell = self._shell()
+        out = shell._dot_command(".analyze SELECT A FROM T WHERE B = 10")
+        joined = "\n".join(out)
+        assert "statement fingerprint" in joined
+        assert "rows=" in joined and "loops=" in joined
+        assert "self-time total" in joined
+
+    def test_analyze_requires_a_query(self):
+        shell = self._shell()
+        assert shell._dot_command(".analyze") == \
+            ["usage: .analyze SELECT ..."]
+
+    def test_analyze_works_unserved(self):
+        from repro.cli import Shell
+        shell = Shell()
+        list(shell.run([
+            "TABLE T (A : NUMERIC, B : NUMERIC);",
+            "INSERT INTO T VALUES (1, 10);",
+        ]))
+        out = shell._dot_command(".analyze SELECT A FROM T")
+        assert any("operator(s)" in line for line in out)
